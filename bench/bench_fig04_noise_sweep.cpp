@@ -1,0 +1,67 @@
+// Fig. 4: sweep the input-referred noise of the standard acquisition chain
+// (Fig. 1a) with a sine input; report the system SNDR, the total power and
+// the distribution of power across blocks (the paper's stacked bottom plot).
+
+#include <iostream>
+
+#include "results_common.hpp"
+
+#include "blocks/sources.hpp"
+#include "core/chain.hpp"
+#include "dsp/metrics.hpp"
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+using namespace efficsense;
+
+int main() {
+  const power::TechnologyParams tech;
+  const double duration_s = env_double("EFFICSENSE_FIG4_DURATION", 16.0);
+  const double fs_analog = 8192.0;
+
+  std::cout << "Fig. 4 reproduction: LNA input-referred noise sweep "
+               "(baseline chain, sine input)\n\n";
+
+  TablePrinter table({"noise [uVrms]", "SNDR [dB]", "ENOB", "P_total",
+                      "P_lna", "P_sh", "P_adc", "P_tx", "lna share [%]"});
+  auto csv_file = efficsense::bench::open_results("fig04_noise_sweep.csv");
+  CsvWriter csv(csv_file);
+  csv.header({"noise_uvrms", "sndr_db", "enob", "p_total_w", "p_lna_w",
+              "p_sh_w", "p_adc_w", "p_tx_w"});
+
+  // Log-spaced noise grid over the paper's 1-20 uV range.
+  const double grid[] = {1.0, 1.5, 2.2, 3.3, 4.7, 6.8, 10.0, 14.0, 20.0};
+  for (double uv : grid) {
+    power::DesignParams design;
+    design.lna_noise_vrms = uv * 1e-6;
+    design.adc_bits = 8;
+
+    auto chain = core::build_baseline_chain(tech, design, {});
+    blocks::SineSource tone("tone", fs_analog, duration_s, 50.0,
+                            0.85 * (design.v_fs / 2.0) / design.lna_gain);
+    const auto out = core::run_chain(*chain, tone.process({}).front());
+    const auto analysis = dsp::analyze_tone(out.samples, out.fs);
+
+    const auto power = chain->power_report();
+    const double total = power.total_watts();
+    table.add_row({format_number(uv), format_number(analysis.sndr_db),
+                   format_number(analysis.enob), format_power(total),
+                   format_power(power.watts_of(core::kLnaBlock)),
+                   format_power(power.watts_of(core::kSampleHoldBlock)),
+                   format_power(power.watts_of(core::kAdcBlock)),
+                   format_power(power.watts_of(core::kTxBlock)),
+                   format_number(100.0 * power.watts_of(core::kLnaBlock) / total)});
+    csv.row(std::vector<double>{uv, analysis.sndr_db, analysis.enob, total,
+                                power.watts_of(core::kLnaBlock),
+                                power.watts_of(core::kSampleHoldBlock),
+                                power.watts_of(core::kAdcBlock),
+                                power.watts_of(core::kTxBlock)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nExpected shape (paper Fig. 4): SNDR falls monotonically "
+               "with the allowed noise floor;\npower is LNA-dominated at "
+               "tight noise floors and flattens at the transmitter floor "
+               "(~4.3 uW)\nonce the LNA noise branch stops dominating.\n";
+  return 0;
+}

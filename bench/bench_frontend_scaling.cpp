@@ -1,0 +1,87 @@
+// Bandwidth scaling of the four front-ends (analytic, power models only):
+// where does each architecture win? The paper's case study sits at
+// BW_in = 256 Hz; sweeping BW_in up to 1 MHz shows how the power ranking of
+// classical / passive-CS / active-CS / digital-CS front-ends shifts as the
+// converter and amplifier terms start to dominate over the transmitter —
+// the kind of system-level question the framework exists to answer.
+
+#include <iostream>
+
+#include "power/area.hpp"
+#include "power/models.hpp"
+#include "util/csv.hpp"
+
+using namespace efficsense;
+using namespace efficsense::power;
+
+namespace {
+
+double total_power(const TechnologyParams& tech, const DesignParams& d) {
+  double p = lna_power(tech, d) + comparator_power(tech, d) +
+             sar_logic_power(tech, d) + dac_power(tech, d) +
+             transmitter_power(tech, d) + cs_encoder_power(tech, d);
+  // The sampling network: a separate S&H for the baseline and digital
+  // styles, part of the converter for the analog CS styles.
+  p += sample_hold_power(tech, d);
+  return p;
+}
+
+DesignParams with_style(DesignParams base, CsStyle style) {
+  base.cs_m = 75;
+  base.cs_c_hold_f = 1e-12;
+  base.cs_style = style;
+  return base;
+}
+
+}  // namespace
+
+int main() {
+  const TechnologyParams tech;
+  std::cout << "Analytic front-end power vs input bandwidth (Table II "
+               "models, N = 8, 6 uV floor)\n\n";
+
+  TablePrinter t({"BW_in [Hz]", "classical", "passive CS", "active CS",
+                  "digital CS", "cheapest"});
+  for (double bw : {256.0, 1e3, 4e3, 16e3, 64e3, 256e3, 1e6}) {
+    DesignParams base;
+    base.bw_in_hz = bw;
+    base.adc_bits = 8;
+    base.lna_noise_vrms = 6e-6;
+
+    const double p_base = total_power(tech, base);
+    const double p_passive =
+        total_power(tech, with_style(base, CsStyle::PassiveCharge));
+    const double p_active =
+        total_power(tech, with_style(base, CsStyle::ActiveIntegrator));
+    const double p_digital =
+        total_power(tech, with_style(base, CsStyle::DigitalMac));
+
+    const char* winner = "classical";
+    double best = p_base;
+    if (p_passive < best) {
+      best = p_passive;
+      winner = "passive CS";
+    }
+    if (p_active < best) {
+      best = p_active;
+      winner = "active CS";
+    }
+    if (p_digital < best) {
+      best = p_digital;
+      winner = "digital CS";
+    }
+    t.add_row({format_number(bw), format_power(p_base), format_power(p_passive),
+               format_power(p_active), format_power(p_digital), winner});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: every front-end scales linearly with rate through "
+               "the transmitter, so CS\n(any style) always saves its "
+               "compression factor there; the styles separate in how\ntheir "
+               "own overhead scales — OTA bias (active) and MAC/word power "
+               "(digital) grow with\nrate while the passive encoder adds "
+               "only switch-driver logic, so the passive\narchitecture's "
+               "advantage widens with bandwidth, which is why the paper "
+               "builds it.\n";
+  return 0;
+}

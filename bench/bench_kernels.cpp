@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the numerical kernels that dominate
+// sweep runtime: FFT, Welch PSD, matrix multiply, OMP reconstruction and
+// the charge-sharing encoder loop.
+
+#include <benchmark/benchmark.h>
+
+#include "blocks/cs_encoder.hpp"
+#include "cs/basis.hpp"
+#include "cs/omp.hpp"
+#include "cs/reconstructor.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/metrics.hpp"
+#include "linalg/matrix.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+
+namespace {
+
+std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian();
+  return x;
+}
+
+linalg::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (auto& v : m.data()) v = rng.gaussian();
+  return m;
+}
+
+}  // namespace
+
+static void BM_FftPow2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::Complex> x(n);
+  Rng rng(1);
+  for (auto& v : x) v = dsp::Complex(rng.gaussian(), 0.0);
+  for (auto _ : state) {
+    auto copy = x;
+    dsp::fft_pow2(copy);
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftPow2)->Arg(256)->Arg(1024)->Arg(4096);
+
+static void BM_FftBluestein384(benchmark::State& state) {
+  std::vector<dsp::Complex> x(384);
+  Rng rng(2);
+  for (auto& v : x) v = dsp::Complex(rng.gaussian(), 0.0);
+  for (auto _ : state) {
+    auto spec = dsp::fft(x);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_FftBluestein384);
+
+static void BM_WelchPsd(benchmark::State& state) {
+  const auto x = random_signal(12690, 3);  // one 23.6 s segment at f_sample
+  for (auto _ : state) {
+    auto psd = dsp::welch_psd(x, 537.6, 512);
+    benchmark::DoNotOptimize(psd.density.data());
+  }
+}
+BENCHMARK(BM_WelchPsd);
+
+static void BM_Matmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(n, n, 4);
+  const auto b = random_matrix(n, n, 5);
+  for (auto _ : state) {
+    auto c = linalg::matmul(a, b);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_Matmul)->Arg(96)->Arg(192)->Arg(384);
+
+static void BM_OmpFrame(benchmark::State& state) {
+  // One CS frame reconstruction at the paper's dimensions.
+  const auto m = static_cast<std::size_t>(state.range(0));
+  const auto phi = cs::SparseBinaryMatrix::generate(m, 384, 2, 9);
+  const auto gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
+  cs::ReconstructorConfig cfg;
+  cfg.residual_tol = 0.02;
+  const cs::Reconstructor rec(phi, gains, cfg);
+  // A representative band-limited frame.
+  linalg::Vector coeffs(384, 0.0);
+  Rng rng(10);
+  for (std::size_t k = 1; k < 30; ++k) coeffs[k] = rng.gaussian();
+  const auto x = cs::dct_inverse(coeffs);
+  const auto eff = cs::effective_matrix(phi, gains.a, gains.b);
+  const auto y = linalg::matvec(eff, x);
+  for (auto _ : state) {
+    auto xr = rec.reconstruct_frame(y);
+    benchmark::DoNotOptimize(xr.data());
+  }
+}
+BENCHMARK(BM_OmpFrame)->Arg(75)->Arg(150)->Arg(192);
+
+static void BM_ChargeSharingEncode(benchmark::State& state) {
+  power::TechnologyParams tech;
+  power::DesignParams design;
+  design.cs_m = static_cast<int>(state.range(0));
+  auto phi = cs::SparseBinaryMatrix::generate(
+      static_cast<std::size_t>(design.cs_m), 384, 2, 11);
+  blocks::CsEncoderBlock enc("enc", tech, design, phi, 1, 2);
+  // 4 s of "analog" input.
+  const sim::Waveform in(2048.0, random_signal(8192, 12));
+  for (auto _ : state) {
+    auto out = enc.process({in});
+    benchmark::DoNotOptimize(out.front().samples.data());
+  }
+}
+BENCHMARK(BM_ChargeSharingEncode)->Arg(75)->Arg(192);
+
+static void BM_SnrMetric(benchmark::State& state) {
+  const auto a = random_signal(12690, 13);
+  auto b = a;
+  for (auto& v : b) v *= 1.01;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsp::snr_vs_reference_db(a, b));
+  }
+}
+BENCHMARK(BM_SnrMetric);

@@ -1,0 +1,116 @@
+// Reproduces Table II + Table III of the paper: prints the extracted
+// technology / design parameters and evaluates every block power model over
+// its relevant parameter range, so the numbers behind all other figures can
+// be audited directly.
+
+#include <iostream>
+
+#include "power/area.hpp"
+#include "power/models.hpp"
+#include "util/csv.hpp"
+
+using namespace efficsense;
+using namespace efficsense::power;
+
+int main() {
+  const TechnologyParams tech;
+  std::cout << "=== Table III: parameters ===\n" << tech.describe() << "\n";
+  DesignParams nominal;
+  std::cout << nominal.describe() << "\n";
+
+  std::cout << "=== Table II: power models at the nominal design point ===\n";
+  {
+    TablePrinter t({"block", "model", "power"});
+    DesignParams d;
+    t.add_row({"LNA", "Vdd*max(bandwidth, slewing, noise) [16]",
+               format_power(lna_power(tech, d))});
+    t.add_row({"Sample & hold", "Vref*fclk*12kT*2^2N/VFS^2 [14]",
+               format_power(sample_hold_power(tech, d))});
+    t.add_row({"Comparator", "2N*ln2*(fclk-fs)*C*VFS*Veff [14]",
+               format_power(comparator_power(tech, d))});
+    t.add_row({"SAR logic", "a(2N+1)C_logic*Vdd^2*(fclk-fs) [17]",
+               format_power(sar_logic_power(tech, d))});
+    t.add_row({"DAC", "Saberi closed form [15]", format_power(dac_power(tech, d))});
+    t.add_row({"Transmitter", "fclk/(N+1)*N*E_bit [4][12]",
+               format_power(transmitter_power(tech, d))});
+    DesignParams cs = d;
+    cs.cs_m = 75;
+    t.add_row({"CS encoder logic", "a(ceil(log2 Nphi)+1)*Nphi*8C*Vdd^2*fclk [17]",
+               format_power(cs_encoder_power(tech, cs))});
+    DesignParams active = cs;
+    active.cs_style = CsStyle::ActiveIntegrator;
+    t.add_row({"CS encoder (active)", "+ M OTA integrators [2][10]",
+               format_power(cs_encoder_power(tech, active))});
+    DesignParams digital = cs;
+    digital.cs_style = CsStyle::DigitalMac;
+    t.add_row({"CS encoder (digital)", "+ s-adder MAC + registers [2][12]",
+               format_power(cs_encoder_power(tech, digital))});
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== LNA model across the Table III noise-floor range ===\n";
+  {
+    TablePrinter t({"noise floor [uV]", "limit", "P_LNA"});
+    for (double uv : {1.0, 2.0, 3.0, 5.0, 8.0, 12.0, 16.0, 20.0}) {
+      DesignParams d;
+      d.lna_noise_vrms = uv * 1e-6;
+      const auto limit = lna_limit(tech, d);
+      const char* name = limit == LnaLimit::Noise       ? "noise"
+                         : limit == LnaLimit::Bandwidth ? "bandwidth"
+                                                        : "slewing";
+      t.add_row({format_number(uv), name, format_power(lna_power(tech, d))});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== ADC components vs resolution (N = 6..10) ===\n";
+  {
+    TablePrinter t({"N", "S&H", "comparator", "SAR logic", "DAC", "TX"});
+    for (int n : {6, 7, 8, 9, 10}) {
+      DesignParams d;
+      d.adc_bits = n;
+      t.add_row({format_number(n), format_power(sample_hold_power(tech, d)),
+                 format_power(comparator_power(tech, d)),
+                 format_power(sar_logic_power(tech, d)),
+                 format_power(dac_power(tech, d)),
+                 format_power(transmitter_power(tech, d))});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== CS encoder logic and rate scaling vs M (N_Phi = 384) ===\n";
+  {
+    TablePrinter t({"M", "compression", "ADC rate [Hz]", "P_cs_logic", "P_TX"});
+    for (int m : {48, 75, 96, 150, 192}) {
+      DesignParams d;
+      d.cs_m = m;
+      t.add_row({format_number(m), format_number(d.compression_ratio()),
+                 format_number(d.adc_rate_hz()),
+                 format_power(cs_encoder_power(tech, d)),
+                 format_power(transmitter_power(tech, d))});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\n=== Capacitor area model (Fig. 9 bookkeeping) ===\n";
+  {
+    TablePrinter t({"configuration", "S&H [Cu]", "DAC [Cu]", "CS [Cu]", "total [Cu]",
+                    "area [um^2]"});
+    DesignParams base;
+    const auto ab = capacitor_area(tech, base);
+    t.add_row({"baseline N=8", format_number(ab.sample_hold),
+               format_number(ab.dac), format_number(ab.cs_encoder),
+               format_number(ab.total()),
+               format_number(area_um2(tech, ab.total()))});
+    DesignParams cs = base;
+    cs.cs_m = 75;
+    cs.cs_c_hold_f = 0.5e-12;
+    const auto ac = capacitor_area(tech, cs);
+    t.add_row({"CS M=75 Ch=0.5pF", format_number(ac.sample_hold),
+               format_number(ac.dac), format_number(ac.cs_encoder),
+               format_number(ac.total()),
+               format_number(area_um2(tech, ac.total()))});
+    t.print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,24 @@
+#pragma once
+// Shared helper for the figure benches: next to the console tables, each
+// bench drops a machine-readable CSV under results/ so the figures can be
+// re-plotted without re-running the sweep.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+namespace efficsense::bench {
+
+/// Open results/<name> for writing (creating the directory if needed).
+inline std::ofstream open_results(const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  std::ofstream out("results/" + name, std::ios::trunc);
+  if (out) {
+    std::cout << "[writing results/" << name << "]\n";
+  }
+  return out;
+}
+
+}  // namespace efficsense::bench

@@ -1,0 +1,72 @@
+// The paper's use case in miniature: compare one classical design point
+// against one passive-CS design point on synthetic EEG, scoring
+// reconstruction SNR, seizure-detection accuracy, power and capacitor area.
+//
+// Run: ./build/examples/eeg_epilepsy [n_segments]
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+
+#include "core/evaluator.hpp"
+#include "core/study.hpp"
+#include "eeg/dataset.hpp"
+#include "util/csv.hpp"
+
+using namespace efficsense;
+
+int main(int argc, char** argv) {
+  const std::size_t n_segments =
+      (argc > 1) ? static_cast<std::size_t>(std::atoi(argv[1])) : 16;
+
+  // Synthesize the dataset (the stand-in for the Bonn corpus, DESIGN.md §2).
+  eeg::GeneratorConfig gen_cfg;
+  const eeg::Generator generator(gen_cfg);
+  const auto dataset =
+      eeg::make_dataset(generator, n_segments / 2, n_segments - n_segments / 2,
+                        /*seed=*/999);
+  std::cout << "dataset: " << dataset.size() << " segments ("
+            << dataset.count(eeg::SegmentClass::Seizure) << " ictal)\n";
+
+  // Train the seizure detector on clean, ideally sampled EEG.
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto train_set = eeg::make_dataset(generator, 30, 30, /*seed=*/777);
+  const auto detector = classify::EpilepsyDetector::train(train_set);
+  const auto t1 = std::chrono::steady_clock::now();
+  std::cout << "detector trained: "
+            << format_number(100.0 * detector.training_accuracy())
+            << " % training accuracy ("
+            << std::chrono::duration<double>(t1 - t0).count() << " s)\n\n";
+
+  const power::TechnologyParams tech;
+  const core::Evaluator evaluator(tech, &dataset, &detector);
+
+  // Design point A: classical chain, low noise floor.
+  power::DesignParams baseline;
+  baseline.lna_noise_vrms = 3.5e-6;
+  baseline.adc_bits = 8;
+
+  // Design point B: passive charge-sharing CS front-end, relaxed noise
+  // floor (near the optimum the Fig. 7 sweep finds).
+  power::DesignParams cs = baseline;
+  cs.lna_noise_vrms = 6e-6;
+  cs.cs_m = 75;
+  cs.cs_c_hold_f = 1e-12;
+
+  for (const auto* design : {&baseline, &cs}) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto m = evaluator.evaluate(*design);
+    const auto stop = std::chrono::steady_clock::now();
+    std::cout << (design->uses_cs() ? "--- CS front-end ---"
+                                    : "--- classical front-end ---")
+              << "\n"
+              << "  SNR      : " << format_number(m.snr_db) << " dB\n"
+              << "  accuracy : " << format_number(100.0 * m.accuracy) << " %\n"
+              << "  power    : " << format_power(m.power_w) << "\n"
+              << m.power_breakdown.to_string() << "  area     : "
+              << format_number(m.area_unit_caps) << " x C_u,min\n"
+              << "  (evaluated in "
+              << std::chrono::duration<double>(stop - start).count() << " s)\n\n";
+  }
+  return 0;
+}

@@ -1,0 +1,158 @@
+#include "blocks/cs_encoder.hpp"
+
+#include <cmath>
+
+#include "dsp/resample.hpp"
+#include "power/models.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::blocks {
+
+CsEncoderBlock::CsEncoderBlock(std::string name,
+                               const power::TechnologyParams& tech,
+                               const power::DesignParams& design,
+                               cs::SparseBinaryMatrix phi,
+                               std::uint64_t mismatch_seed,
+                               std::uint64_t noise_seed,
+                               CsEncoderOptions options)
+    : sim::Block(std::move(name), 1, 1),
+      tech_(tech),
+      design_(design),
+      phi_(std::move(phi)),
+      options_(options),
+      noise_seed_(noise_seed) {
+  design_.validate();
+  EFF_REQUIRE(design_.uses_cs(), "design does not enable CS");
+  EFF_REQUIRE(phi_.rows() == static_cast<std::size_t>(design_.cs_m) &&
+                  phi_.cols() == static_cast<std::size_t>(design_.cs_n_phi),
+              "sensing matrix does not match the design dimensions");
+  EFF_REQUIRE(phi_.sparsity() == static_cast<std::size_t>(design_.cs_sparsity),
+              "sensing matrix sparsity does not match the design");
+
+  // Fabricate the capacitor arrays once (frozen mismatch).
+  Rng rng(mismatch_seed);
+  const double sig_h = tech_.sigma_cap_mismatch(design_.cs_c_hold_f);
+  const double sig_s = tech_.sigma_cap_mismatch(design_.cs_c_sample_f);
+  c_hold_f_.resize(phi_.rows());
+  for (auto& c : c_hold_f_) {
+    const double eps = options_.enable_mismatch ? rng.gaussian(0.0, sig_h) : 0.0;
+    c = design_.cs_c_hold_f * (1.0 + eps);
+  }
+  c_sample_f_.resize(static_cast<std::size_t>(design_.cs_sparsity));
+  for (auto& c : c_sample_f_) {
+    const double eps = options_.enable_mismatch ? rng.gaussian(0.0, sig_s) : 0.0;
+    c = design_.cs_c_sample_f * (1.0 + eps);
+  }
+
+  params().set("m", design_.cs_m);
+  params().set("n_phi", design_.cs_n_phi);
+  params().set("sparsity", design_.cs_sparsity);
+  params().set("c_hold_f", design_.cs_c_hold_f);
+  params().set("c_sample_f", design_.cs_c_sample_f);
+}
+
+cs::ChargeSharingGains CsEncoderBlock::nominal_gains() const {
+  return cs::charge_sharing_gains(design_.cs_c_sample_f, design_.cs_c_hold_f);
+}
+
+std::vector<sim::Waveform> CsEncoderBlock::process(
+    const std::vector<sim::Waveform>& in) {
+  const sim::Waveform& x = in.at(0);
+  EFF_REQUIRE(!x.empty(), "CS encoder input is empty");
+  const double f_sample = design_.f_sample_hz();
+  EFF_REQUIRE(x.fs >= f_sample, "CS encoder cannot sample above the input rate");
+
+  const auto n_phi = static_cast<std::size_t>(design_.cs_n_phi);
+  const auto m = static_cast<std::size_t>(design_.cs_m);
+  const double t_sample = 1.0 / f_sample;
+  const double kT = units::kBoltzmann * tech_.temperature_k;
+
+  // Sample the quasi-continuous input at f_sample.
+  const auto n_samples =
+      static_cast<std::size_t>(std::floor(x.duration_s() * f_sample));
+  const auto times = dsp::uniform_times(n_samples, f_sample);
+  const auto sampled = dsp::sample_at_times(x.samples, x.fs, times);
+
+  Rng rng(derive_seed(noise_seed_, run_));
+  ++run_;
+
+  const std::size_t frames = n_samples / n_phi;
+  std::vector<double> measurements;
+  measurements.reserve(frames * m);
+
+  std::vector<double> v_hold(m);
+  std::vector<double> last_event_t(m);
+
+  const double i_leak = (options_.i_leak_override_a > 0.0)
+                            ? options_.i_leak_override_a
+                            : tech_.i_leak_a;
+  auto apply_leak = [&](std::size_t row, double now, double c_hold) {
+    if (!options_.enable_leakage) return;
+    const double dt = now - last_event_t[row];
+    last_event_t[row] = now;
+    if (dt <= 0.0) return;
+    const double droop = i_leak * dt / c_hold;
+    // Leakage discharges the cap toward ground without crossing zero.
+    if (v_hold[row] > 0.0) {
+      v_hold[row] = std::max(0.0, v_hold[row] - droop);
+    } else {
+      v_hold[row] = std::min(0.0, v_hold[row] + droop);
+    }
+  };
+
+  for (std::size_t f = 0; f < frames; ++f) {
+    std::fill(v_hold.begin(), v_hold.end(), 0.0);
+    std::fill(last_event_t.begin(), last_event_t.end(), 0.0);
+
+    for (std::size_t j = 0; j < n_phi; ++j) {
+      const double now = static_cast<double>(j) * t_sample;
+      const auto& support = phi_.column_support(j);
+      for (std::size_t si = 0; si < support.size(); ++si) {
+        const std::size_t row = support[si];
+        const double c_s = c_sample_f_[si % c_sample_f_.size()];
+        const double c_h = c_hold_f_[row];
+
+        // Sample x_j on C_sample: kT/C sampling noise.
+        double v_s = sampled[f * n_phi + j];
+        if (options_.enable_noise) {
+          v_s += rng.gaussian(0.0, std::sqrt(kT / c_s));
+        }
+
+        apply_leak(row, now, c_h);
+
+        // Passive charge redistribution (Eq. 1) with the actual capacitors.
+        double v_new = (c_s * v_s + c_h * v_hold[row]) / (c_s + c_h);
+        if (options_.enable_noise) {
+          v_new += rng.gaussian(0.0, std::sqrt(kT / (c_s + c_h)));
+        }
+        v_hold[row] = v_new;
+      }
+    }
+
+    // Readout at the end of the frame (sequential SAR conversions).
+    const double frame_end = static_cast<double>(n_phi) * t_sample;
+    for (std::size_t row = 0; row < m; ++row) {
+      apply_leak(row, frame_end, c_hold_f_[row]);
+      measurements.push_back(v_hold[row]);
+    }
+  }
+
+  const double out_rate = design_.tx_sample_rate_hz();
+  return {sim::Waveform(out_rate, std::move(measurements))};
+}
+
+void CsEncoderBlock::reset() { run_ = 0; }
+
+double CsEncoderBlock::power_watts() const {
+  return power::cs_encoder_power(tech_, design_);
+}
+
+double CsEncoderBlock::area_unit_caps() const {
+  return (static_cast<double>(design_.cs_m) * design_.cs_c_hold_f +
+          static_cast<double>(design_.cs_sparsity) * design_.cs_c_sample_f) /
+         tech_.c_u_min_f;
+}
+
+}  // namespace efficsense::blocks

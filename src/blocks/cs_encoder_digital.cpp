@@ -1,0 +1,52 @@
+#include "blocks/cs_encoder_digital.hpp"
+
+#include "power/models.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::blocks {
+
+DigitalCsEncoderBlock::DigitalCsEncoderBlock(
+    std::string name, const power::TechnologyParams& tech,
+    const power::DesignParams& design, cs::SparseBinaryMatrix phi)
+    : sim::Block(std::move(name), 1, 1),
+      tech_(tech),
+      design_(design),
+      phi_(std::move(phi)) {
+  design_.validate();
+  EFF_REQUIRE(design_.uses_cs(), "design does not enable CS");
+  EFF_REQUIRE(design_.cs_style == power::CsStyle::DigitalMac,
+              "design is not configured for the digital-MAC style");
+  EFF_REQUIRE(phi_.rows() == static_cast<std::size_t>(design_.cs_m) &&
+                  phi_.cols() == static_cast<std::size_t>(design_.cs_n_phi),
+              "sensing matrix does not match the design dimensions");
+  params().set("m", design_.cs_m);
+  params().set("n_phi", design_.cs_n_phi);
+  params().set("acc_bits", design_.adc_bits + design_.digital_acc_extra_bits());
+}
+
+std::vector<sim::Waveform> DigitalCsEncoderBlock::process(
+    const std::vector<sim::Waveform>& in) {
+  const sim::Waveform& x = in.at(0);
+  EFF_REQUIRE(!x.empty(), "digital CS encoder input is empty");
+  // The input is the converter's output: already sampled at f_sample and
+  // quantized; the MAC is exact from here on.
+  const auto n_phi = static_cast<std::size_t>(design_.cs_n_phi);
+  const auto m = static_cast<std::size_t>(design_.cs_m);
+  const std::size_t frames = x.size() / n_phi;
+
+  std::vector<double> measurements;
+  measurements.reserve(frames * m);
+  linalg::Vector frame(n_phi);
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t j = 0; j < n_phi; ++j) frame[j] = x[f * n_phi + j];
+    const auto y = phi_.apply(frame);
+    measurements.insert(measurements.end(), y.begin(), y.end());
+  }
+  return {sim::Waveform(design_.tx_sample_rate_hz(), std::move(measurements))};
+}
+
+double DigitalCsEncoderBlock::power_watts() const {
+  return power::cs_encoder_power(tech_, design_);
+}
+
+}  // namespace efficsense::blocks

@@ -1,0 +1,34 @@
+#pragma once
+// Digital CS encoder [2][12]: the classical chain digitizes every sample at
+// the full rate and a digital MAC computes y = Phi x exactly (binary
+// sensing matrix -> additions only, in a widened accumulator). There are no
+// analog imperfections; the costs are the full-rate converter ahead of it,
+// the MAC/register switching power and the wider transmitted words.
+
+#include <cstdint>
+
+#include "cs/srbm.hpp"
+#include "power/tech.hpp"
+#include "sim/block.hpp"
+
+namespace efficsense::blocks {
+
+class DigitalCsEncoderBlock final : public sim::Block {
+ public:
+  DigitalCsEncoderBlock(std::string name, const power::TechnologyParams& tech,
+                        const power::DesignParams& design,
+                        cs::SparseBinaryMatrix phi);
+
+  std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+
+  double power_watts() const override;
+
+  const cs::SparseBinaryMatrix& sensing_matrix() const { return phi_; }
+
+ private:
+  power::TechnologyParams tech_;
+  power::DesignParams design_;
+  cs::SparseBinaryMatrix phi_;
+};
+
+}  // namespace efficsense::blocks

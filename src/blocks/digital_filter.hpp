@@ -1,0 +1,35 @@
+#pragma once
+// Digital signal-conditioning block (the "DSP" box of Fig. 1a): wraps an
+// arbitrary biquad cascade, with a dynamic-power estimate based on the
+// switched logic capacitance per processed sample (same alpha*C*Vdd^2*f
+// form as the SAR logic model [17]).
+
+#include "dsp/biquad.hpp"
+#include "power/tech.hpp"
+#include "sim/block.hpp"
+
+namespace efficsense::blocks {
+
+class DigitalFilterBlock final : public sim::Block {
+ public:
+  /// `gates_per_sample` approximates the switched gate count per sample
+  /// (multipliers dominate; ~200 gates per biquad is a typical figure for a
+  /// serial 16-bit MAC implementation).
+  DigitalFilterBlock(std::string name, const power::TechnologyParams& tech,
+                     const power::DesignParams& design,
+                     dsp::BiquadCascade cascade,
+                     double gates_per_sample = 200.0);
+
+  std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  void reset() override;
+
+  double power_watts() const override;
+
+ private:
+  power::TechnologyParams tech_;
+  power::DesignParams design_;
+  dsp::BiquadCascade cascade_;
+  double gates_per_sample_;
+};
+
+}  // namespace efficsense::blocks

@@ -1,0 +1,72 @@
+#include "blocks/lna.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/biquad.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::blocks {
+
+LnaBlock::LnaBlock(std::string name, const power::TechnologyParams& tech,
+                   const power::DesignParams& design, std::uint64_t seed,
+                   double hd3_db)
+    : sim::Block(std::move(name), 1, 1),
+      tech_(tech),
+      design_(design),
+      seed_(seed) {
+  design_.validate();
+  EFF_REQUIRE(hd3_db < 0.0, "HD3 must be negative dB");
+  clip_level_ = design_.v_fs / 2.0;
+  // For y = x - k3 x^3, HD3 of a tone of amplitude A is (k3 A^2 / 4).
+  const double hd3 = std::pow(10.0, hd3_db / 20.0);
+  k3_ = 4.0 * hd3 / (clip_level_ * clip_level_);
+  params().set("gain", design_.lna_gain);
+  params().set("noise_vrms", design_.lna_noise_vrms);
+  params().set("bw_hz", design_.bw_lna_hz());
+  params().set("hd3_db", hd3_db);
+}
+
+std::vector<sim::Waveform> LnaBlock::process(
+    const std::vector<sim::Waveform>& in) {
+  const sim::Waveform& x = in.at(0);
+  EFF_REQUIRE(!x.empty(), "LNA input is empty");
+  EFF_REQUIRE(x.fs > 2.0 * design_.bw_lna_hz(),
+              "simulation rate too low for the LNA bandwidth");
+
+  // Input-referred noise: the spec is the rms noise integrated over BW_LNA,
+  // so the per-sample sigma of the white stream at rate fs must be scaled by
+  // sqrt(fs / (2 BW_LNA)); the low-pass below then leaves exactly the
+  // specified in-band rms.
+  const double sigma_sample =
+      design_.lna_noise_vrms * std::sqrt(x.fs / (2.0 * design_.bw_lna_hz()));
+
+  Rng rng(derive_seed(seed_, run_));
+  ++run_;
+
+  sim::Waveform out;
+  out.fs = x.fs;
+  out.samples.resize(x.size());
+
+  auto lpf = dsp::butterworth_lowpass(2, design_.bw_lna_hz(), x.fs);
+  const double g = design_.lna_gain;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double v = x[i] + rng.gaussian(0.0, sigma_sample);  // noise at the input
+    v *= g;                                             // gain
+    v = lpf.process(v);                                 // bandwidth limit
+    v = v - k3_ * v * v * v;                            // 3rd-order compression
+    out.samples[i] = std::clamp(v, -clip_level_, clip_level_);
+  }
+  return {std::move(out)};
+}
+
+void LnaBlock::reset() { run_ = 0; }
+
+double LnaBlock::power_watts() const { return power::lna_power(tech_, design_); }
+
+power::LnaLimit LnaBlock::limiting_factor() const {
+  return power::lna_limit(tech_, design_);
+}
+
+}  // namespace efficsense::blocks

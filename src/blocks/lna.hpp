@@ -1,0 +1,40 @@
+#pragma once
+// The low-noise amplifier block of Fig. 3: input-referred white noise, gain,
+// bandwidth limitation (2nd-order Butterworth low-pass at BW_LNA), odd-order
+// compression and output clipping. Its power model is the three-branch bound
+// of Table II (bandwidth-, slewing- or noise-limited supply current).
+
+#include "power/models.hpp"
+#include "power/tech.hpp"
+#include "sim/block.hpp"
+
+namespace efficsense::blocks {
+
+class LnaBlock final : public sim::Block {
+ public:
+  /// `hd3_db` sets the third-harmonic distortion at full output swing
+  /// (V_FS/2); the cubic coefficient is derived from it. `seed` fixes the
+  /// noise stream; each run() consumes the next sub-stream so repeated
+  /// dataset evaluations see independent but reproducible noise.
+  LnaBlock(std::string name, const power::TechnologyParams& tech,
+           const power::DesignParams& design, std::uint64_t seed,
+           double hd3_db = -60.0);
+
+  std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  void reset() override;
+
+  double power_watts() const override;
+  power::LnaLimit limiting_factor() const;
+
+  double gain() const { return design_.lna_gain; }
+
+ private:
+  power::TechnologyParams tech_;
+  power::DesignParams design_;
+  std::uint64_t seed_;
+  std::uint64_t run_ = 0;
+  double k3_;          // output-referred cubic coefficient
+  double clip_level_;  // output clips at +-clip_level_
+};
+
+}  // namespace efficsense::blocks

@@ -1,0 +1,71 @@
+#include "blocks/sample_hold.hpp"
+
+#include <cmath>
+
+#include "dsp/resample.hpp"
+#include "power/models.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::blocks {
+
+SampleHoldBlock::SampleHoldBlock(std::string name,
+                                 const power::TechnologyParams& tech,
+                                 const power::DesignParams& design,
+                                 std::uint64_t seed, double aperture_jitter_s)
+    : sim::Block(std::move(name), 1, 1),
+      tech_(tech),
+      design_(design),
+      seed_(seed),
+      jitter_s_(aperture_jitter_s),
+      cap_f_(design.sh_cap_f(tech)) {
+  design_.validate();
+  EFF_REQUIRE(jitter_s_ >= 0.0, "aperture jitter must be non-negative");
+  EFF_REQUIRE(jitter_s_ < 0.1 / design_.f_sample_hz(),
+              "aperture jitter must stay well below the sample period");
+  params().set("f_sample_hz", design_.f_sample_hz());
+  params().set("cap_f", cap_f_);
+  params().set("aperture_jitter_s", jitter_s_);
+}
+
+double SampleHoldBlock::kt_c_noise_vrms() const {
+  return std::sqrt(units::kBoltzmann * tech_.temperature_k / cap_f_);
+}
+
+std::vector<sim::Waveform> SampleHoldBlock::process(
+    const std::vector<sim::Waveform>& in) {
+  const sim::Waveform& x = in.at(0);
+  EFF_REQUIRE(!x.empty(), "S&H input is empty");
+  const double f_sample = design_.f_sample_hz();
+  EFF_REQUIRE(x.fs >= f_sample, "S&H cannot sample above the input rate");
+
+  const auto n_out =
+      static_cast<std::size_t>(std::floor(x.duration_s() * f_sample));
+  auto times = dsp::uniform_times(n_out, f_sample);
+
+  Rng rng(derive_seed(seed_, run_));
+  ++run_;
+  if (jitter_s_ > 0.0) {
+    // Aperture jitter: each sampling instant wanders by a Gaussian offset.
+    for (double& t : times) t += rng.gaussian(0.0, jitter_s_);
+  }
+  auto sampled = dsp::sample_at_times(x.samples, x.fs, times);
+
+  const double sigma = kt_c_noise_vrms();
+  for (double& v : sampled) v += rng.gaussian(0.0, sigma);
+
+  return {sim::Waveform(f_sample, std::move(sampled))};
+}
+
+void SampleHoldBlock::reset() { run_ = 0; }
+
+double SampleHoldBlock::power_watts() const {
+  return power::sample_hold_power(tech_, design_);
+}
+
+double SampleHoldBlock::area_unit_caps() const {
+  return cap_f_ / tech_.c_u_min_f;
+}
+
+}  // namespace efficsense::blocks

@@ -1,0 +1,105 @@
+#include "blocks/sar_adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/models.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::blocks {
+
+SarAdcBlock::SarAdcBlock(std::string name, const power::TechnologyParams& tech,
+                         const power::DesignParams& design,
+                         std::uint64_t mismatch_seed, std::uint64_t noise_seed,
+                         bool include_sampling_network)
+    : sim::Block(std::move(name), 1, 1),
+      tech_(tech),
+      design_(design),
+      noise_seed_(noise_seed),
+      include_sampling_network_(include_sampling_network) {
+  design_.validate();
+  params().set("bits", design_.adc_bits);
+  params().set("v_fs", design_.v_fs);
+
+  // Draw the fabricated DAC array once. Bit b (MSB first) is built from
+  // 2^b unit caps, so its relative sigma improves as 1/sqrt(2^b).
+  const int n = design_.adc_bits;
+  const double sigma_unit = tech_.sigma_cap_mismatch(
+      std::max(design_.dac_c_unit_f, tech_.c_u_min_f));
+  Rng rng(mismatch_seed);
+  std::vector<double> caps(n);  // in units of C_u, MSB first
+  double total = 1.0;           // dummy LSB cap (ideal C_u terminator)
+  for (int b = 0; b < n; ++b) {
+    const double nominal = std::pow(2.0, n - 1 - b);
+    const double sigma_b = sigma_unit / std::sqrt(nominal);
+    caps[b] = nominal * (1.0 + rng.gaussian(0.0, sigma_b));
+    total += caps[b];
+  }
+  weights_.resize(n);
+  for (int b = 0; b < n; ++b) weights_[b] = caps[b] / total;
+}
+
+double SarAdcBlock::lsb() const {
+  return design_.v_fs / std::pow(2.0, design_.adc_bits);
+}
+
+std::vector<sim::Waveform> SarAdcBlock::process(
+    const std::vector<sim::Waveform>& in) {
+  const sim::Waveform& x = in.at(0);
+  EFF_REQUIRE(!x.empty(), "ADC input is empty");
+
+  const int n = design_.adc_bits;
+  const double v_fs = design_.v_fs;
+  const double sigma_cmp_norm = design_.comparator_noise_vrms / v_fs;
+
+  Rng rng(derive_seed(noise_seed_, run_));
+  ++run_;
+
+  sim::Waveform out;
+  out.fs = x.fs;
+  out.samples.resize(x.size());
+  const double code_scale = 1.0 / std::pow(2.0, n);
+
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    // Normalize the bipolar input to [0, 1]; saturate outside full scale.
+    double v_norm = std::clamp((x[i] + v_fs / 2.0) / v_fs, 0.0, 1.0);
+
+    // Successive approximation with the mismatched hardware weights.
+    double level = 0.0;
+    std::uint64_t code = 0;
+    for (int b = 0; b < n; ++b) {
+      const double trial = level + weights_[b];
+      const double decision = v_norm + rng.gaussian(0.0, sigma_cmp_norm);
+      if (decision >= trial) {
+        level = trial;
+        code |= (1ULL << (n - 1 - b));
+      }
+    }
+
+    // Receiver-side reconstruction with *nominal* binary weights (mid-tread).
+    const double v_hat =
+        (static_cast<double>(code) + 0.5) * code_scale * v_fs - v_fs / 2.0;
+    out.samples[i] = v_hat;
+  }
+  return {std::move(out)};
+}
+
+void SarAdcBlock::reset() { run_ = 0; }
+
+double SarAdcBlock::power_watts() const {
+  double p = power::comparator_power(tech_, design_) +
+             power::sar_logic_power(tech_, design_) +
+             power::dac_power(tech_, design_);
+  if (include_sampling_network_) {
+    p += power::sample_hold_power(tech_, design_);
+  }
+  return p;
+}
+
+double SarAdcBlock::area_unit_caps() const {
+  return std::pow(2.0, design_.adc_bits) *
+         std::max(design_.dac_c_unit_f, tech_.c_u_min_f) / tech_.c_u_min_f;
+}
+
+}  // namespace efficsense::blocks

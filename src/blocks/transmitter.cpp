@@ -1,0 +1,63 @@
+#include "blocks/transmitter.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "power/models.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::blocks {
+
+TransmitterBlock::TransmitterBlock(std::string name,
+                                   const power::TechnologyParams& tech,
+                                   const power::DesignParams& design,
+                                   std::uint64_t seed, double bit_error_rate)
+    : sim::Block(std::move(name), 1, 1),
+      tech_(tech),
+      design_(design),
+      seed_(seed),
+      ber_(bit_error_rate) {
+  design_.validate();
+  EFF_REQUIRE(ber_ >= 0.0 && ber_ < 1.0, "BER must lie in [0, 1)");
+  // The bit-flip model assumes N-bit mid-tread words; the digital MAC's
+  // widened sums use a different format, so only lossless TX is modeled.
+  EFF_REQUIRE(ber_ == 0.0 || design_.tx_bits() == design_.adc_bits,
+              "BER injection requires N-bit words");
+  params().set("e_bit_j", tech_.e_bit_j);
+  params().set("ber", ber_);
+}
+
+std::vector<sim::Waveform> TransmitterBlock::process(
+    const std::vector<sim::Waveform>& in) {
+  sim::Waveform out = in.at(0);
+  const int n = design_.adc_bits;
+  bits_sent_ = static_cast<std::uint64_t>(out.size()) *
+               static_cast<std::uint64_t>(design_.tx_bits());
+
+  if (ber_ > 0.0) {
+    Rng rng(derive_seed(seed_, run_));
+    const double v_fs = design_.v_fs;
+    const double levels = std::pow(2.0, n);
+    for (double& v : out.samples) {
+      // Recover the mid-tread code this voltage represents.
+      auto code = static_cast<std::int64_t>(
+          std::floor((v + v_fs / 2.0) / v_fs * levels));
+      code = std::clamp<std::int64_t>(code, 0, static_cast<std::int64_t>(levels) - 1);
+      for (int b = 0; b < n; ++b) {
+        if (rng.chance(ber_)) code ^= (1LL << b);
+      }
+      v = (static_cast<double>(code) + 0.5) / levels * v_fs - v_fs / 2.0;
+    }
+  }
+  ++run_;
+  return {std::move(out)};
+}
+
+void TransmitterBlock::reset() { run_ = 0; }
+
+double TransmitterBlock::power_watts() const {
+  return power::transmitter_power(tech_, design_);
+}
+
+}  // namespace efficsense::blocks

@@ -1,0 +1,174 @@
+#include "classify/features.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/metrics.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::classify {
+
+FeatureExtractor::FeatureExtractor(FeatureConfig config) : config_(config) {
+  EFF_REQUIRE(config_.epoch_s > 0.1, "epoch length too short");
+}
+
+std::vector<std::string> FeatureExtractor::epoch_feature_names() {
+  return {"log_rms",       "line_length",  "hjorth_mobility",
+          "hjorth_complexity", "rel_delta", "rel_theta",
+          "rel_alpha",     "rel_beta",     "rel_gamma",
+          "spectral_entropy",  "dominant_hz", "crest_factor",
+          "zero_cross_rate"};
+}
+
+namespace {
+
+double safe_log(double v) { return std::log10(std::max(v, 1e-30)); }
+
+}  // namespace
+
+linalg::Vector FeatureExtractor::epoch_features(const std::vector<double>& x,
+                                                double fs) const {
+  EFF_REQUIRE(x.size() >= 64, "epoch must have at least 64 samples");
+  EFF_REQUIRE(fs > 0.0, "sample rate must be positive");
+  const auto n = x.size();
+
+  // Centered copy; amplitude features use the AC component.
+  const double m = dsp::mean(x);
+  std::vector<double> xc(n);
+  for (std::size_t i = 0; i < n; ++i) xc[i] = x[i] - m;
+
+  const double rms = dsp::rms(xc);
+  const double var_x = rms * rms;
+
+  // First and second differences (Hjorth parameters).
+  double var_d1 = 0.0, var_d2 = 0.0;
+  double line_length = 0.0;
+  std::size_t zero_crossings = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    const double d = xc[i] - xc[i - 1];
+    var_d1 += d * d;
+    line_length += std::fabs(d);
+    if ((xc[i] >= 0.0) != (xc[i - 1] >= 0.0)) ++zero_crossings;
+    if (i >= 2) {
+      const double d2 = xc[i] - 2.0 * xc[i - 1] + xc[i - 2];
+      var_d2 += d2 * d2;
+    }
+  }
+  var_d1 /= static_cast<double>(n - 1);
+  var_d2 /= static_cast<double>(n - 2);
+  line_length /= static_cast<double>(n - 1);
+
+  const double mobility = (var_x > 0.0) ? std::sqrt(var_d1 / var_x) : 0.0;
+  const double mobility_d =
+      (var_d1 > 0.0) ? std::sqrt(var_d2 / var_d1) : 0.0;
+  const double complexity = (mobility > 0.0) ? mobility_d / mobility : 0.0;
+
+  // Spectral features from a Welch PSD. The window must be ~1 s long so the
+  // delta band (0.5-4 Hz) spans several bins regardless of sample rate.
+  std::size_t nperseg = 1;
+  while (nperseg * 2 <= n && static_cast<double>(nperseg) < fs) nperseg *= 2;
+  nperseg = std::max<std::size_t>(nperseg, 64);
+  nperseg = std::min(nperseg, n);
+  const auto psd = dsp::welch_psd(xc, fs, nperseg);
+  const double nyq = fs / 2.0;
+  auto rel_band = [&](double lo, double hi) {
+    const double total = dsp::band_power(psd, 0.5, std::min(100.0, nyq * 0.98));
+    if (total <= 0.0) return 0.0;
+    return dsp::band_power(psd, lo, std::min(hi, nyq * 0.98)) / total;
+  };
+  const double rel_delta = rel_band(0.5, 4.0);
+  const double rel_theta = rel_band(4.0, 8.0);
+  const double rel_alpha = rel_band(8.0, 13.0);
+  const double rel_beta = rel_band(13.0, 30.0);
+  const double rel_gamma = rel_band(30.0, 80.0);
+
+  // Normalized spectral entropy over the informative band.
+  double entropy = 0.0;
+  {
+    double total = 0.0;
+    std::size_t bins = 0;
+    for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+      if (psd.freq_hz[k] >= 0.5 && psd.freq_hz[k] <= std::min(100.0, nyq)) {
+        total += psd.density[k];
+        ++bins;
+      }
+    }
+    if (total > 0.0 && bins > 1) {
+      for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+        if (psd.freq_hz[k] >= 0.5 && psd.freq_hz[k] <= std::min(100.0, nyq)) {
+          const double p = psd.density[k] / total;
+          if (p > 0.0) entropy -= p * std::log(p);
+        }
+      }
+      entropy /= std::log(static_cast<double>(bins));
+    }
+  }
+
+  // Dominant frequency (largest PSD bin above 0.5 Hz).
+  double dominant_hz = 0.0, peak = -1.0;
+  for (std::size_t k = 0; k < psd.freq_hz.size(); ++k) {
+    if (psd.freq_hz[k] >= 0.5 && psd.density[k] > peak) {
+      peak = psd.density[k];
+      dominant_hz = psd.freq_hz[k];
+    }
+  }
+
+  double peak_to_peak = 0.0;
+  const auto [mn, mx] = std::minmax_element(xc.begin(), xc.end());
+  peak_to_peak = *mx - *mn;
+  const double crest = (rms > 0.0) ? peak_to_peak / (2.0 * rms) : 0.0;
+
+  return linalg::Vector{
+      safe_log(rms),
+      safe_log(line_length),
+      mobility,
+      complexity,
+      rel_delta,
+      rel_theta,
+      rel_alpha,
+      rel_beta,
+      rel_gamma,
+      entropy,
+      dominant_hz,
+      crest,
+      static_cast<double>(zero_crossings) / static_cast<double>(n),
+  };
+}
+
+linalg::Matrix FeatureExtractor::epoch_matrix(const std::vector<double>& x,
+                                              double fs) const {
+  const auto epoch_len = static_cast<std::size_t>(config_.epoch_s * fs);
+  EFF_REQUIRE(epoch_len >= 64, "epoch too short at this sample rate");
+  const std::size_t epochs = x.size() / epoch_len;
+  EFF_REQUIRE(epochs >= 1, "record shorter than one epoch");
+  linalg::Matrix out(epochs, kEpochFeatures);
+  std::vector<double> buf(epoch_len);
+  for (std::size_t e = 0; e < epochs; ++e) {
+    std::copy(x.begin() + static_cast<std::ptrdiff_t>(e * epoch_len),
+              x.begin() + static_cast<std::ptrdiff_t>((e + 1) * epoch_len),
+              buf.begin());
+    const auto f = epoch_features(buf, fs);
+    for (std::size_t c = 0; c < kEpochFeatures; ++c) out(e, c) = f[c];
+  }
+  return out;
+}
+
+linalg::Vector FeatureExtractor::segment_features(const std::vector<double>& x,
+                                                  double fs) const {
+  const auto epochs = epoch_matrix(x, fs);
+  linalg::Vector out(kSegmentFeatures, 0.0);
+  for (std::size_t c = 0; c < kEpochFeatures; ++c) {
+    double sum = 0.0;
+    double mx = -1e300;
+    for (std::size_t e = 0; e < epochs.rows(); ++e) {
+      sum += epochs(e, c);
+      mx = std::max(mx, epochs(e, c));
+    }
+    out[c] = sum / static_cast<double>(epochs.rows());
+    out[kEpochFeatures + c] = mx;
+  }
+  return out;
+}
+
+}  // namespace efficsense::classify

@@ -1,0 +1,91 @@
+#include "core/design_space.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::core {
+
+DesignSpace& DesignSpace::add_axis(std::string name,
+                                   std::vector<double> values) {
+  EFF_REQUIRE(!values.empty(), "axis needs at least one value: " + name);
+  for (const auto& [existing, _] : axes_) {
+    EFF_REQUIRE(existing != name, "duplicate axis: " + name);
+  }
+  axes_.emplace_back(std::move(name), std::move(values));
+  return *this;
+}
+
+std::size_t DesignSpace::size() const {
+  std::size_t n = 1;
+  for (const auto& [_, values] : axes_) n *= values.size();
+  return n;
+}
+
+PointValues DesignSpace::point(std::size_t index) const {
+  EFF_REQUIRE(index < size(), "design point index out of range");
+  PointValues out;
+  for (const auto& [name, values] : axes_) {
+    out[name] = values[index % values.size()];
+    index /= values.size();
+  }
+  return out;
+}
+
+void apply_axis(power::DesignParams& design, const std::string& name,
+                double value) {
+  if (name == "lna_noise_vrms") {
+    design.lna_noise_vrms = value;
+  } else if (name == "lna_gain") {
+    design.lna_gain = value;
+  } else if (name == "adc_bits") {
+    design.adc_bits = static_cast<int>(std::llround(value));
+  } else if (name == "dac_c_unit_f") {
+    design.dac_c_unit_f = value;
+  } else if (name == "cs_m") {
+    design.cs_m = static_cast<int>(std::llround(value));
+  } else if (name == "cs_n_phi") {
+    design.cs_n_phi = static_cast<int>(std::llround(value));
+  } else if (name == "cs_sparsity") {
+    design.cs_sparsity = static_cast<int>(std::llround(value));
+  } else if (name == "cs_style") {
+    const auto style = static_cast<int>(std::llround(value));
+    EFF_REQUIRE(style >= 0 && style <= 2, "cs_style must be 0, 1 or 2");
+    design.cs_style = static_cast<power::CsStyle>(style);
+  } else if (name == "cs_c_int_f") {
+    design.cs_c_int_f = value;
+  } else if (name == "cs_c_hold_f") {
+    design.cs_c_hold_f = value;
+  } else if (name == "cs_c_sample_f") {
+    design.cs_c_sample_f = value;
+  } else if (name == "vdd") {
+    design.vdd = value;
+  } else if (name == "v_fs") {
+    design.v_fs = value;
+  } else if (name == "bw_in_hz") {
+    design.bw_in_hz = value;
+  } else {
+    throw Error("unknown design axis: " + name);
+  }
+}
+
+power::DesignParams apply_point(power::DesignParams base,
+                                const PointValues& values) {
+  for (const auto& [name, value] : values) apply_axis(base, name, value);
+  return base;
+}
+
+std::string point_to_string(const PointValues& values) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [name, value] : values) {
+    if (!first) os << ";";
+    first = false;
+    os << name << "=" << format_number(value);
+  }
+  return os.str();
+}
+
+}  // namespace efficsense::core

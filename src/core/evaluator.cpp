@@ -1,0 +1,96 @@
+#include "core/evaluator.hpp"
+
+#include <cmath>
+
+#include "dsp/metrics.hpp"
+#include "dsp/resample.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::core {
+
+Evaluator::Evaluator(power::TechnologyParams tech, const eeg::Dataset* dataset,
+                     const classify::EpilepsyDetector* detector,
+                     EvalOptions options)
+    : tech_(tech), dataset_(dataset), detector_(detector), options_(options) {
+  EFF_REQUIRE(dataset_ != nullptr && !dataset_->segments.empty(),
+              "evaluator needs a non-empty dataset");
+  EFF_REQUIRE(detector_ != nullptr, "evaluator needs a trained detector");
+}
+
+Evaluator::SegmentOutcome Evaluator::process_segment(
+    sim::Model& chain, const cs::Reconstructor* recon,
+    const power::DesignParams& design, const sim::Waveform& clean) const {
+  SegmentOutcome out;
+  const sim::Waveform received = run_chain(chain, clean);
+
+  std::vector<double> signal;  // at LNA-output scale, rate f_sample
+  if (design.uses_cs()) {
+    EFF_REQUIRE(recon != nullptr, "CS design requires a reconstructor");
+    signal = recon->reconstruct_stream(received.samples);
+  } else {
+    signal = received.samples;
+  }
+  EFF_REQUIRE(!signal.empty(), "front-end produced no samples");
+
+  // Ground truth: the clean segment ideally sampled at f_sample, truncated
+  // to the received length (CS drops a trailing partial frame).
+  const double f_sample = design.f_sample_hz();
+  const auto times = dsp::uniform_times(signal.size(), f_sample);
+  const auto reference = dsp::sample_at_times(clean.samples, clean.fs, times);
+
+  out.snr_db = dsp::snr_vs_reference_db(reference, signal);
+
+  // Input-referred signal for the detector (receiver knows the LNA gain).
+  out.received.resize(signal.size());
+  const double inv_gain = 1.0 / design.lna_gain;
+  for (std::size_t i = 0; i < signal.size(); ++i) {
+    out.received[i] = signal[i] * inv_gain;
+  }
+  out.fs = f_sample;
+  return out;
+}
+
+EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
+  design.validate();
+
+  auto chain = build_chain(tech_, design, options_.seeds);
+  std::unique_ptr<cs::Reconstructor> recon;
+  if (design.uses_cs()) {
+    recon = std::make_unique<cs::Reconstructor>(
+        make_matched_reconstructor(design, options_.seeds, options_.recon));
+  }
+
+  EvalMetrics metrics;
+  metrics.power_breakdown = chain->power_report();
+  metrics.power_w = metrics.power_breakdown.total_watts();
+  metrics.area_breakdown = chain->area_report();
+  metrics.area_unit_caps = metrics.area_breakdown.total_unit_caps();
+
+  std::size_t limit = dataset_->segments.size();
+  if (options_.max_segments > 0) {
+    limit = std::min(limit, options_.max_segments);
+  }
+
+  // Accuracy is epoch-level (as with the paper's window-based CNN [20]):
+  // every unambiguous 2 s epoch of every segment is one decision, scored
+  // against the generator's ground-truth discharge annotations.
+  double snr_sum = 0.0;
+  std::size_t correct = 0, scored = 0;
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& segment = dataset_->segments[i];
+    const auto outcome =
+        process_segment(*chain, recon.get(), design, segment.waveform);
+    snr_sum += outcome.snr_db;
+    const auto score =
+        detector_->score_epochs(outcome.received, outcome.fs, segment.ictal);
+    correct += score.correct;
+    scored += score.scored;
+  }
+  metrics.segments_evaluated = limit;
+  metrics.snr_db = snr_sum / static_cast<double>(limit);
+  EFF_REQUIRE(scored > 0, "no scorable epochs in the dataset");
+  metrics.accuracy = static_cast<double>(correct) / static_cast<double>(scored);
+  return metrics;
+}
+
+}  // namespace efficsense::core

@@ -1,0 +1,70 @@
+#pragma once
+// The evaluator binds everything together: for one design point it builds
+// the chain, streams the whole EEG dataset through it, reconstructs (CS
+// case), and scores both goal functions of the paper — reconstruction SNR
+// (Fig. 7a) and seizure-detection accuracy (Fig. 7b) — next to the analytic
+// power and capacitor area.
+
+#include <cstdint>
+
+#include "classify/detector.hpp"
+#include "core/chain.hpp"
+#include "eeg/dataset.hpp"
+#include "power/area.hpp"
+#include "sim/report.hpp"
+
+namespace efficsense::core {
+
+struct EvalOptions {
+  cs::ReconstructorConfig recon;
+  ChainSeeds seeds;
+  /// Evaluate at most this many segments (0 = all).
+  std::size_t max_segments = 0;
+};
+
+struct EvalMetrics {
+  double snr_db = 0.0;       ///< mean reconstruction SNR over the dataset
+  double accuracy = 0.0;     ///< seizure detection accuracy
+  double power_w = 0.0;      ///< total analytic power
+  double area_unit_caps = 0.0;
+  sim::PowerReport power_breakdown;
+  sim::AreaReport area_breakdown;
+  std::size_t segments_evaluated = 0;
+};
+
+class Evaluator {
+ public:
+  /// The detector must have been trained at design.f_sample_hz-compatible
+  /// rates (it is rate-aware, so a single detector serves all points).
+  Evaluator(power::TechnologyParams tech, const eeg::Dataset* dataset,
+            const classify::EpilepsyDetector* detector, EvalOptions options = {});
+
+  /// Score one design point.
+  EvalMetrics evaluate(const power::DesignParams& design) const;
+
+  /// Process one segment through an existing chain; returns the received
+  /// signal at f_sample scale (input-referred: LNA gain divided out) plus
+  /// its reconstruction SNR versus the ideally sampled clean segment.
+  struct SegmentOutcome {
+    std::vector<double> received;  ///< input-referred received signal
+    double fs = 0.0;
+    double snr_db = 0.0;
+  };
+  SegmentOutcome process_segment(sim::Model& chain,
+                                 const cs::Reconstructor* recon,
+                                 const power::DesignParams& design,
+                                 const sim::Waveform& clean) const;
+
+  const power::TechnologyParams& tech() const { return tech_; }
+  const EvalOptions& options() const { return options_; }
+  /// Replace the chain seeds (Monte-Carlo fabrication sweeps).
+  void set_seeds(const ChainSeeds& seeds) { options_.seeds = seeds; }
+
+ private:
+  power::TechnologyParams tech_;
+  const eeg::Dataset* dataset_;
+  const classify::EpilepsyDetector* detector_;
+  EvalOptions options_;
+};
+
+}  // namespace efficsense::core

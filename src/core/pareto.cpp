@@ -1,0 +1,53 @@
+#include "core/pareto.hpp"
+
+#include <algorithm>
+
+namespace efficsense::core {
+
+std::vector<Candidate> pareto_front(std::vector<Candidate> candidates) {
+  // Sort by ascending cost, descending merit; then a single pass keeps the
+  // strictly improving merit envelope.
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.cost != b.cost) return a.cost < b.cost;
+              return a.merit > b.merit;
+            });
+  std::vector<Candidate> front;
+  double best_merit = -1e300;
+  for (const auto& c : candidates) {
+    if (c.merit > best_merit) {
+      front.push_back(c);
+      best_merit = c.merit;
+    }
+  }
+  return front;
+}
+
+std::optional<Candidate> cheapest_with_merit(
+    const std::vector<Candidate>& candidates, double min_merit) {
+  std::optional<Candidate> best;
+  for (const auto& c : candidates) {
+    if (c.merit < min_merit) continue;
+    if (!best || c.cost < best->cost ||
+        (c.cost == best->cost && c.merit > best->merit)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::optional<Candidate> best_merit_where(
+    const std::vector<Candidate>& candidates,
+    const std::function<bool(const Candidate&)>& keep) {
+  std::optional<Candidate> best;
+  for (const auto& c : candidates) {
+    if (!keep(c)) continue;
+    if (!best || c.merit > best->merit ||
+        (c.merit == best->merit && c.cost < best->cost)) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace efficsense::core

@@ -1,0 +1,38 @@
+#pragma once
+// Pareto-front extraction and constrained selection over sweep results —
+// the analysis behind Fig. 7 (fronts), the "optimal design" call-outs, and
+// Fig. 10 (area-constrained fronts).
+
+#include <cstddef>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace efficsense::core {
+
+/// A scored candidate: lower `cost` is better (power), higher `merit` is
+/// better (SNR or accuracy). `tag` is an opaque index into the caller's
+/// result list.
+struct Candidate {
+  double cost = 0.0;
+  double merit = 0.0;
+  std::size_t tag = 0;
+};
+
+/// Indices (tags) of the non-dominated candidates, sorted by ascending cost.
+/// A candidate is dominated if another has (cost <=, merit >=) with at least
+/// one strict inequality.
+std::vector<Candidate> pareto_front(std::vector<Candidate> candidates);
+
+/// Cheapest candidate with merit >= `min_merit` (the paper's "optimal
+/// design fulfilling the constraint"); nullopt if none qualifies.
+std::optional<Candidate> cheapest_with_merit(
+    const std::vector<Candidate>& candidates, double min_merit);
+
+/// Highest-merit candidate subject to a predicate (e.g. an area cap);
+/// ties broken by lower cost.
+std::optional<Candidate> best_merit_where(
+    const std::vector<Candidate>& candidates,
+    const std::function<bool(const Candidate&)>& keep);
+
+}  // namespace efficsense::core

@@ -1,0 +1,146 @@
+#include "core/sweep.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::core {
+
+Sweeper::Sweeper(const Evaluator* evaluator) : evaluator_(evaluator) {
+  EFF_REQUIRE(evaluator_ != nullptr, "sweeper needs an evaluator");
+}
+
+std::vector<SweepResult> Sweeper::run(
+    const power::DesignParams& base, const DesignSpace& space,
+    ThreadPool* pool,
+    const std::function<void(std::size_t, std::size_t)>& progress) const {
+  const std::size_t total = space.size();
+  std::vector<SweepResult> results(total);
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+
+  auto evaluate_one = [&](std::size_t i) {
+    SweepResult r;
+    r.point = space.point(i);
+    r.design = apply_point(base, r.point);
+    r.metrics = evaluator_->evaluate(r.design);
+    results[i] = std::move(r);
+    const std::size_t now = done.fetch_add(1) + 1;
+    if (progress) {
+      std::lock_guard lock(progress_mutex);
+      progress(now, total);
+    }
+  };
+
+  if (pool != nullptr && pool->size() > 1) {
+    pool->parallel_for(total, evaluate_one);
+  } else {
+    for (std::size_t i = 0; i < total; ++i) evaluate_one(i);
+  }
+  return results;
+}
+
+namespace {
+
+std::string breakdown_to_string(
+    const std::vector<std::pair<std::string, double>>& entries) {
+  std::ostringstream os;
+  os.precision(17);
+  bool first = true;
+  for (const auto& [name, value] : entries) {
+    if (!first) os << "|";
+    first = false;
+    os << name << ":" << value;
+  }
+  return os.str();
+}
+
+std::vector<std::pair<std::string, double>> breakdown_from_string(
+    const std::string& text) {
+  std::vector<std::pair<std::string, double>> out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, '|')) {
+    const auto colon = item.find(':');
+    EFF_REQUIRE(colon != std::string::npos, "malformed breakdown cell");
+    out.emplace_back(item.substr(0, colon),
+                     std::stod(item.substr(colon + 1)));
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  // The sweep CSV uses no quoted cells (points use ';', breakdowns '|').
+  std::vector<std::string> cells;
+  std::istringstream is(line);
+  std::string cell;
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+}  // namespace
+
+PointValues parse_point(const std::string& text) {
+  PointValues out;
+  if (text.empty()) return out;
+  std::istringstream is(text);
+  std::string item;
+  while (std::getline(is, item, ';')) {
+    const auto eq = item.find('=');
+    EFF_REQUIRE(eq != std::string::npos, "malformed point item: " + item);
+    out[item.substr(0, eq)] = std::stod(item.substr(eq + 1));
+  }
+  return out;
+}
+
+std::string sweep_to_csv(const std::vector<SweepResult>& results) {
+  std::ostringstream os;
+  os.precision(17);
+  os << "point,snr_db,accuracy,power_w,area_unit_caps,segments,"
+        "power_breakdown,area_breakdown\n";
+  for (const auto& r : results) {
+    os << point_to_string(r.point) << "," << r.metrics.snr_db << ","
+       << r.metrics.accuracy << "," << r.metrics.power_w << ","
+       << r.metrics.area_unit_caps << "," << r.metrics.segments_evaluated
+       << "," << breakdown_to_string(r.metrics.power_breakdown.entries())
+       << "," << breakdown_to_string(r.metrics.area_breakdown.entries())
+       << "\n";
+  }
+  return os.str();
+}
+
+std::vector<SweepResult> sweep_from_csv(const std::string& csv,
+                                        const power::DesignParams& base) {
+  std::istringstream is(csv);
+  std::string line;
+  EFF_REQUIRE(std::getline(is, line), "empty sweep CSV");
+  EFF_REQUIRE(line.rfind("point,", 0) == 0, "unrecognized sweep CSV header");
+
+  std::vector<SweepResult> out;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    EFF_REQUIRE(cells.size() == 8, "malformed sweep CSV row");
+    SweepResult r;
+    r.point = parse_point(cells[0]);
+    r.design = apply_point(base, r.point);
+    r.metrics.snr_db = std::stod(cells[1]);
+    r.metrics.accuracy = std::stod(cells[2]);
+    r.metrics.power_w = std::stod(cells[3]);
+    r.metrics.area_unit_caps = std::stod(cells[4]);
+    r.metrics.segments_evaluated = static_cast<std::size_t>(std::stoul(cells[5]));
+    for (const auto& [name, w] : breakdown_from_string(cells[6])) {
+      r.metrics.power_breakdown.add(name, w);
+    }
+    for (const auto& [name, a] : breakdown_from_string(cells[7])) {
+      r.metrics.area_breakdown.add(name, a);
+    }
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace efficsense::core

@@ -1,0 +1,49 @@
+#pragma once
+// The sweep engine of Step 5: evaluate every point of a DesignSpace with an
+// Evaluator, optionally across a thread pool (each point is independent and
+// deterministically seeded). Results serialize to CSV so the figure benches
+// can share one sweep through the file cache.
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/design_space.hpp"
+#include "core/evaluator.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efficsense::core {
+
+struct SweepResult {
+  PointValues point;
+  power::DesignParams design;
+  EvalMetrics metrics;
+};
+
+class Sweeper {
+ public:
+  explicit Sweeper(const Evaluator* evaluator);
+
+  /// Evaluate the full grid (base design + each point's overrides).
+  /// `progress` (optional) is invoked after each finished point with
+  /// (done, total) — from worker threads when a pool is used.
+  std::vector<SweepResult> run(
+      const power::DesignParams& base, const DesignSpace& space,
+      ThreadPool* pool = nullptr,
+      const std::function<void(std::size_t, std::size_t)>& progress = {}) const;
+
+ private:
+  const Evaluator* evaluator_;
+};
+
+/// CSV round-trip for caching. The CSV stores the point overrides and all
+/// metrics (including the power/area breakdowns); `base` reconstructs the
+/// full DesignParams on load.
+std::string sweep_to_csv(const std::vector<SweepResult>& results);
+std::vector<SweepResult> sweep_from_csv(const std::string& csv,
+                                        const power::DesignParams& base);
+
+/// Parse "a=1;b=2" back into PointValues (inverse of point_to_string).
+PointValues parse_point(const std::string& text);
+
+}  // namespace efficsense::core

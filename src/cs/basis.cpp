@@ -1,0 +1,165 @@
+#include "cs/basis.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace efficsense::cs {
+
+linalg::Matrix dct_synthesis_matrix(std::size_t n) {
+  EFF_REQUIRE(n > 0, "basis size must be positive");
+  linalg::Matrix psi(n, n);
+  const double norm0 = std::sqrt(1.0 / static_cast<double>(n));
+  const double norm = std::sqrt(2.0 / static_cast<double>(n));
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double c = std::cos(std::numbers::pi *
+                                (static_cast<double>(t) + 0.5) *
+                                static_cast<double>(k) / static_cast<double>(n));
+      psi(t, k) = (k == 0 ? norm0 : norm) * c;
+    }
+  }
+  return psi;
+}
+
+linalg::Vector dct_forward(const linalg::Vector& x) {
+  const std::size_t n = x.size();
+  EFF_REQUIRE(n > 0, "dct of empty vector");
+  linalg::Vector c(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double norm = (k == 0) ? std::sqrt(1.0 / static_cast<double>(n))
+                                 : std::sqrt(2.0 / static_cast<double>(n));
+    double sum = 0.0;
+    for (std::size_t t = 0; t < n; ++t) {
+      sum += x[t] * std::cos(std::numbers::pi * (static_cast<double>(t) + 0.5) *
+                             static_cast<double>(k) / static_cast<double>(n));
+    }
+    c[k] = norm * sum;
+  }
+  return c;
+}
+
+linalg::Vector dct_inverse(const linalg::Vector& coeffs) {
+  const std::size_t n = coeffs.size();
+  EFF_REQUIRE(n > 0, "idct of empty vector");
+  linalg::Vector x(n, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      const double norm = (k == 0) ? std::sqrt(1.0 / static_cast<double>(n))
+                                   : std::sqrt(2.0 / static_cast<double>(n));
+      sum += norm * coeffs[k] *
+             std::cos(std::numbers::pi * (static_cast<double>(t) + 0.5) *
+                      static_cast<double>(k) / static_cast<double>(n));
+    }
+    x[t] = sum;
+  }
+  return x;
+}
+
+linalg::Matrix haar_synthesis_matrix(std::size_t n) {
+  EFF_REQUIRE(n >= 2 && (n & (n - 1)) == 0,
+              "Haar basis requires a power-of-two size");
+  // Build the orthonormal Haar analysis matrix row by row, then transpose.
+  linalg::Matrix h(n, n);
+  const double scale0 = 1.0 / std::sqrt(static_cast<double>(n));
+  for (std::size_t j = 0; j < n; ++j) h(0, j) = scale0;
+  std::size_t row = 1;
+  for (std::size_t level = 1; level <= n; level <<= 1) {
+    if (level >= n) break;
+    const std::size_t wavelets = level;            // wavelets at this scale
+    const std::size_t support = n / level;         // support length
+    const double amp = std::sqrt(static_cast<double>(level) /
+                                 static_cast<double>(n));
+    for (std::size_t w = 0; w < wavelets && row < n; ++w, ++row) {
+      const std::size_t start = w * support;
+      for (std::size_t j = 0; j < support / 2; ++j) {
+        h(row, start + j) = amp;
+        h(row, start + support / 2 + j) = -amp;
+      }
+    }
+  }
+  return h.transposed();  // synthesis = analysis^T for orthonormal bases
+}
+
+namespace {
+
+/// One analysis level of the periodic Daubechies-4 transform as an m x m
+/// orthonormal matrix: the first m/2 rows are the low-pass/decimate
+/// filter, the rest the high-pass.
+linalg::Matrix db4_level_matrix(std::size_t m) {
+  const double s3 = std::sqrt(3.0);
+  const double norm = 4.0 * std::numbers::sqrt2;
+  const double h[4] = {(1.0 + s3) / norm, (3.0 + s3) / norm,
+                       (3.0 - s3) / norm, (1.0 - s3) / norm};
+  linalg::Matrix a(m, m);
+  const std::size_t half = m / 2;
+  for (std::size_t k = 0; k < half; ++k) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::size_t col = (2 * k + i) % m;
+      a(k, col) += h[i];
+      // High-pass: g[i] = (-1)^i h[3-i].
+      const double g = ((i % 2 == 0) ? 1.0 : -1.0) * h[3 - i];
+      a(half + k, col) += g;
+    }
+  }
+  return a;
+}
+
+}  // namespace
+
+linalg::Matrix db4_synthesis_matrix(std::size_t n, std::size_t levels) {
+  EFF_REQUIRE(n >= 8 && n % 2 == 0, "db4 needs an even length >= 8");
+  if (levels == 0) {
+    std::size_t band = n;
+    while (band % 2 == 0 && band / 2 >= 4) {
+      band /= 2;
+      ++levels;
+    }
+  }
+  EFF_REQUIRE(levels >= 1, "db4 needs at least one level");
+  {
+    std::size_t band = n;
+    for (std::size_t l = 0; l < levels; ++l) {
+      EFF_REQUIRE(band % 2 == 0 && band / 2 >= 4,
+                  "length does not support this many db4 levels");
+      band /= 2;
+    }
+  }
+
+  // Analysis W: apply level matrices to progressively coarser bands.
+  linalg::Matrix w = db4_level_matrix(n);
+  std::size_t band = n / 2;
+  for (std::size_t l = 1; l < levels; ++l) {
+    // Extend the band-level matrix to n x n with identity on the details.
+    const auto a_band = db4_level_matrix(band);
+    linalg::Matrix a_full = linalg::Matrix::identity(n);
+    for (std::size_t r = 0; r < band; ++r) {
+      for (std::size_t c = 0; c < band; ++c) a_full(r, c) = a_band(r, c);
+    }
+    w = linalg::matmul(a_full, w);
+    band /= 2;
+  }
+  return w.transposed();  // orthonormal: synthesis = analysis^T
+}
+
+double energy_in_top_k(const linalg::Vector& coeffs, std::size_t k) {
+  EFF_REQUIRE(!coeffs.empty(), "empty coefficient vector");
+  std::vector<double> mags(coeffs.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < coeffs.size(); ++i) {
+    mags[i] = coeffs[i] * coeffs[i];
+    total += mags[i];
+  }
+  if (total == 0.0) return 1.0;
+  k = std::min(k, mags.size());
+  std::partial_sort(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k),
+                    mags.end(), std::greater<double>());
+  double top = 0.0;
+  for (std::size_t i = 0; i < k; ++i) top += mags[i];
+  return top / total;
+}
+
+}  // namespace efficsense::cs

@@ -1,0 +1,36 @@
+#pragma once
+// Sparsifying bases for CS reconstruction. EEG is approximately sparse in
+// the DCT domain, which is what the reconstruction benches use; a Haar
+// wavelet basis is provided as an alternative (power-of-two sizes only).
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace efficsense::cs {
+
+/// Orthonormal DCT-II synthesis matrix Psi (n x n): x = Psi * coeffs.
+/// Columns are the DCT basis vectors; Psi^T Psi = I.
+linalg::Matrix dct_synthesis_matrix(std::size_t n);
+
+/// Forward orthonormal DCT-II of a signal (coeffs = Psi^T x).
+linalg::Vector dct_forward(const linalg::Vector& x);
+
+/// Inverse orthonormal DCT-II (x = Psi * coeffs).
+linalg::Vector dct_inverse(const linalg::Vector& coeffs);
+
+/// Orthonormal Haar synthesis matrix (n must be a power of two).
+linalg::Matrix haar_synthesis_matrix(std::size_t n);
+
+/// Orthonormal Daubechies-4 (4-tap) wavelet synthesis matrix with periodic
+/// boundary handling. `levels` = 0 selects the deepest decomposition the
+/// length allows (n divisible by 2^L with a coarse band of >= 4 samples).
+/// Atoms are ordered coarse-to-fine, so truncating to the first k atoms
+/// keeps the smooth content — consistent with the DCT ordering.
+linalg::Matrix db4_synthesis_matrix(std::size_t n, std::size_t levels = 0);
+
+/// Fraction of signal energy captured by the `k` largest-magnitude
+/// coefficients; the operational sparsity measure used in tests.
+double energy_in_top_k(const linalg::Vector& coeffs, std::size_t k);
+
+}  // namespace efficsense::cs

@@ -1,0 +1,38 @@
+#include "cs/effective.hpp"
+
+#include "util/error.hpp"
+
+namespace efficsense::cs {
+
+ChargeSharingGains charge_sharing_gains(double c_sample_f, double c_hold_f) {
+  EFF_REQUIRE(c_sample_f > 0.0 && c_hold_f > 0.0,
+              "capacitances must be positive");
+  const double total = c_sample_f + c_hold_f;
+  return {c_sample_f / total, c_hold_f / total};
+}
+
+linalg::Matrix effective_matrix(const SparseBinaryMatrix& phi, double a,
+                                double b) {
+  // b == 1 models an ideal (active/digital) accumulator with no decay.
+  EFF_REQUIRE(a > 0.0 && a <= 1.0 && b >= 0.0 && b <= 1.0,
+              "gains must satisfy 0 < a <= 1, 0 <= b <= 1");
+  const std::size_t m = phi.rows();
+  const std::size_t n = phi.cols();
+  linalg::Matrix w(m, n);
+  // Walk columns in reverse sampling order, tracking for each row the decay
+  // factor accumulated by shares that happen *after* the current sample.
+  std::vector<double> decay(m, 1.0);
+  for (std::size_t jj = n; jj-- > 0;) {
+    for (std::size_t i : phi.column_support(jj)) {
+      w(i, jj) = a * decay[i];
+      decay[i] *= b;
+    }
+  }
+  return w;
+}
+
+linalg::Matrix ideal_matrix(const SparseBinaryMatrix& phi) {
+  return phi.to_dense();
+}
+
+}  // namespace efficsense::cs

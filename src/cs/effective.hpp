@@ -1,0 +1,33 @@
+#pragma once
+// The *effective* sensing matrix of the passive charge-sharing encoder.
+//
+// Physically (paper Eq. 1), every share onto a hold capacitor attenuates the
+// charge already stored there: a share realizes V <- a*x + b*V with
+// a = C_s/(C_s+C_h) and b = C_h/(C_s+C_h). A hold capacitor that accumulates
+// its r-th-from-last sample therefore weighs it by a*b^r instead of 1. The
+// designer knows the nominal capacitor ratio, so reconstruction uses this
+// effective matrix rather than the ideal binary Phi; the *random* part of
+// the weights (mismatch, noise, leakage) stays uncompensated.
+
+#include "cs/srbm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace efficsense::cs {
+
+struct ChargeSharingGains {
+  double a = 0.0;  ///< new-sample weight   C_s / (C_s + C_h)
+  double b = 0.0;  ///< retained weight     C_h / (C_s + C_h)
+};
+
+ChargeSharingGains charge_sharing_gains(double c_sample_f, double c_hold_f);
+
+/// Dense M x N matrix of nominal charge-sharing weights: entry (i, j) is
+/// a * b^(shares onto row i after sample j), zero where Phi is zero.
+linalg::Matrix effective_matrix(const SparseBinaryMatrix& phi, double a,
+                                double b);
+
+/// Ideal binary matrix (for ablation: pretend the encoder were a perfect
+/// digital MAC).
+linalg::Matrix ideal_matrix(const SparseBinaryMatrix& phi);
+
+}  // namespace efficsense::cs

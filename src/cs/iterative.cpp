@@ -1,0 +1,113 @@
+#include "cs/iterative.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace efficsense::cs {
+
+namespace {
+
+/// Largest singular value of D, estimated with a few power iterations on
+/// D^T D. Sets the gradient step 1/sigma_max^2 — the Frobenius bound is far
+/// too conservative for the wide dictionaries used here.
+double spectral_norm(const linalg::Matrix& d) {
+  linalg::Vector v(d.cols(), 1.0);
+  double norm = 0.0;
+  for (int iter = 0; iter < 30; ++iter) {
+    const auto dv = linalg::matvec(d, v);
+    auto dtdv = linalg::matvec_transposed(d, dv);
+    norm = linalg::norm2(dtdv);
+    if (norm == 0.0) break;
+    for (auto& x : dtdv) x /= norm;
+    v = std::move(dtdv);
+  }
+  return std::sqrt(norm);
+}
+
+double default_step(const linalg::Matrix& d) {
+  const double sigma = spectral_norm(d);
+  EFF_REQUIRE(sigma > 0.0, "zero dictionary");
+  // Slightly below 1/sigma_max^2 for guaranteed descent.
+  return 0.95 / (sigma * sigma);
+}
+
+void hard_threshold(linalg::Vector& x, std::size_t k) {
+  if (k >= x.size()) return;
+  std::vector<double> mags(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) mags[i] = std::fabs(x[i]);
+  std::nth_element(mags.begin(), mags.begin() + static_cast<std::ptrdiff_t>(k),
+                   mags.end(), std::greater<double>());
+  const double threshold = mags[k];
+  for (double& v : x) {
+    if (std::fabs(v) <= threshold) v = 0.0;
+  }
+}
+
+}  // namespace
+
+linalg::Vector iht_solve(const linalg::Matrix& d, const linalg::Vector& y,
+                         IhtOptions options) {
+  EFF_REQUIRE(d.rows() == y.size(), "measurement vector has wrong size");
+  if (options.sparsity == 0) {
+    options.sparsity = std::max<std::size_t>(1, d.rows() / 4);
+  }
+  const double mu = options.step > 0.0 ? options.step : default_step(d);
+
+  linalg::Vector x(d.cols(), 0.0);
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    const linalg::Vector dx = linalg::matvec(d, x);
+    const linalg::Vector r = linalg::vsub(y, dx);
+    const linalg::Vector grad = linalg::matvec_transposed(d, r);
+    double change = 0.0, scale = 0.0;
+    linalg::Vector x_new = x;
+    for (std::size_t i = 0; i < x_new.size(); ++i) x_new[i] += mu * grad[i];
+    hard_threshold(x_new, options.sparsity);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      change += (x_new[i] - x[i]) * (x_new[i] - x[i]);
+      scale += x_new[i] * x_new[i];
+    }
+    x = std::move(x_new);
+    if (scale > 0.0 && std::sqrt(change) <= options.tol * std::sqrt(scale)) break;
+  }
+  return x;
+}
+
+linalg::Vector ista_solve(const linalg::Matrix& d, const linalg::Vector& y,
+                          IstaOptions options) {
+  EFF_REQUIRE(d.rows() == y.size(), "measurement vector has wrong size");
+  const double mu = options.step > 0.0 ? options.step : default_step(d);
+  double lambda = options.lambda;
+  if (lambda <= 0.0) {
+    const linalg::Vector dty = linalg::matvec_transposed(d, y);
+    lambda = 0.05 * linalg::norm_inf(dty);
+  }
+  const double shrink = mu * lambda;
+
+  linalg::Vector x(d.cols(), 0.0);
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    const linalg::Vector dx = linalg::matvec(d, x);
+    const linalg::Vector r = linalg::vsub(y, dx);
+    const linalg::Vector grad = linalg::matvec_transposed(d, r);
+    double change = 0.0, scale = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      double v = x[i] + mu * grad[i];
+      // Soft threshold.
+      if (v > shrink) {
+        v -= shrink;
+      } else if (v < -shrink) {
+        v += shrink;
+      } else {
+        v = 0.0;
+      }
+      change += (v - x[i]) * (v - x[i]);
+      scale += v * v;
+      x[i] = v;
+    }
+    if (scale > 0.0 && std::sqrt(change) <= options.tol * std::sqrt(scale)) break;
+  }
+  return x;
+}
+
+}  // namespace efficsense::cs

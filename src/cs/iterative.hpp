@@ -1,0 +1,33 @@
+#pragma once
+// Iterative thresholding reconstruction algorithms, provided as baselines
+// against OMP for the reconstruction-algorithm ablation bench:
+//  * IHT  — iterative hard thresholding (keep the K largest coefficients),
+//  * ISTA — iterative soft thresholding (l1 proximal gradient).
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace efficsense::cs {
+
+struct IhtOptions {
+  std::size_t sparsity = 0;   ///< K kept coefficients (0 selects M/4)
+  std::size_t max_iters = 100;
+  double step = 0.0;          ///< 0 selects 1 / ||D||_F^2 (safe upper bound)
+  double tol = 1e-6;          ///< stop when the update is below tol*||x||
+};
+
+linalg::Vector iht_solve(const linalg::Matrix& dictionary,
+                         const linalg::Vector& y, IhtOptions options = {});
+
+struct IstaOptions {
+  double lambda = 0.0;        ///< l1 weight (0 selects 0.05*||D^T y||_inf)
+  std::size_t max_iters = 200;
+  double step = 0.0;          ///< 0 selects 1 / ||D||_F^2
+  double tol = 1e-6;
+};
+
+linalg::Vector ista_solve(const linalg::Matrix& dictionary,
+                          const linalg::Vector& y, IstaOptions options = {});
+
+}  // namespace efficsense::cs

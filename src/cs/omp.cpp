@@ -1,0 +1,114 @@
+#include "cs/omp.hpp"
+
+#include <cmath>
+
+#include "linalg/decompositions.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::cs {
+
+OmpSolver::OmpSolver(linalg::Matrix dictionary, OmpOptions options)
+    : dict_(std::move(dictionary)),
+      dict_t_(dict_.transposed()),
+      options_(options) {
+  EFF_REQUIRE(dict_.rows() > 0 && dict_.cols() > 0, "empty dictionary");
+  col_norm_.resize(dict_.cols());
+  for (std::size_t k = 0; k < dict_.cols(); ++k) {
+    const double* atom = dict_t_.row_ptr(k);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < dict_.rows(); ++i) sum += atom[i] * atom[i];
+    col_norm_[k] = std::sqrt(sum);
+  }
+  if (options_.max_atoms == 0) {
+    options_.max_atoms = std::max<std::size_t>(1, dict_.rows() / 4);
+  }
+  options_.max_atoms = std::min(options_.max_atoms, dict_.rows());
+}
+
+OmpResult OmpSolver::solve(const linalg::Vector& y) const {
+  EFF_REQUIRE(y.size() == dict_.rows(), "measurement vector has wrong size");
+  const std::size_t m = dict_.rows();
+  const std::size_t k_atoms = dict_.cols();
+
+  OmpResult out;
+  out.coefficients.assign(k_atoms, 0.0);
+
+  const double y_norm = linalg::norm2(y);
+  if (y_norm == 0.0) return out;
+  const double target = options_.residual_tol * y_norm;
+
+  linalg::Vector residual = y;
+  std::vector<bool> in_support(k_atoms, false);
+  std::vector<std::size_t> support;
+  support.reserve(options_.max_atoms);
+  linalg::CholeskyAppend gram(options_.max_atoms);
+  linalg::Vector dt_y;  // <atom_s, y> for s in support, in support order
+  dt_y.reserve(options_.max_atoms);
+
+  for (std::size_t iter = 0; iter < options_.max_atoms; ++iter) {
+    // Atom selection: largest normalized correlation with the residual.
+    std::size_t best = k_atoms;
+    double best_score = 0.0;
+    for (std::size_t k = 0; k < k_atoms; ++k) {
+      if (in_support[k] || col_norm_[k] == 0.0) continue;
+      const double* atom = dict_t_.row_ptr(k);
+      double corr = 0.0;
+      for (std::size_t i = 0; i < m; ++i) corr += atom[i] * residual[i];
+      const double score = std::fabs(corr) / col_norm_[k];
+      if (score > best_score) {
+        best_score = score;
+        best = k;
+      }
+    }
+    if (best == k_atoms || best_score < 1e-15) break;
+
+    // Gram cross terms against the current support.
+    const double* new_atom = dict_t_.row_ptr(best);
+    linalg::Vector cross(support.size());
+    for (std::size_t si = 0; si < support.size(); ++si) {
+      const double* s_atom = dict_t_.row_ptr(support[si]);
+      double g = 0.0;
+      for (std::size_t i = 0; i < m; ++i) g += s_atom[i] * new_atom[i];
+      cross[si] = g;
+    }
+    if (!gram.append(cross, col_norm_[best] * col_norm_[best])) break;
+
+    in_support[best] = true;
+    support.push_back(best);
+    double ay = 0.0;
+    for (std::size_t i = 0; i < m; ++i) ay += new_atom[i] * y[i];
+    dt_y.push_back(ay);
+
+    // Least-squares coefficients on the support, then fresh residual.
+    const linalg::Vector coef = gram.solve(dt_y);
+    residual = y;
+    for (std::size_t si = 0; si < support.size(); ++si) {
+      const double* s_atom = dict_t_.row_ptr(support[si]);
+      const double c = coef[si];
+      for (std::size_t i = 0; i < m; ++i) residual[i] -= c * s_atom[i];
+    }
+    out.iterations = iter + 1;
+    out.residual_norm = linalg::norm2(residual);
+    if (out.residual_norm <= target) {
+      for (std::size_t si = 0; si < support.size(); ++si) {
+        out.coefficients[support[si]] = coef[si];
+      }
+      out.support = support;
+      return out;
+    }
+    if (iter + 1 == options_.max_atoms) {
+      for (std::size_t si = 0; si < support.size(); ++si) {
+        out.coefficients[support[si]] = coef[si];
+      }
+    }
+  }
+  out.support = support;
+  return out;
+}
+
+OmpResult omp_solve(const linalg::Matrix& dictionary, const linalg::Vector& y,
+                    OmpOptions options) {
+  return OmpSolver(dictionary, options).solve(y);
+}
+
+}  // namespace efficsense::cs

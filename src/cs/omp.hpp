@@ -1,0 +1,47 @@
+#pragma once
+// Orthogonal Matching Pursuit with an incrementally updated Cholesky
+// factorisation (O(M*K) per iteration for correlation, O(k^2) for the
+// solve). The solver object precomputes per-dictionary state so that the
+// per-frame cost during a sweep stays minimal.
+
+#include <cstddef>
+
+#include "linalg/matrix.hpp"
+
+namespace efficsense::cs {
+
+struct OmpOptions {
+  std::size_t max_atoms = 0;      ///< 0 selects M/4 (a common heuristic)
+  double residual_tol = 1e-4;     ///< stop when ||r|| <= tol * ||y||
+};
+
+struct OmpResult {
+  linalg::Vector coefficients;    ///< sparse solution (size K)
+  std::vector<std::size_t> support;
+  double residual_norm = 0.0;
+  std::size_t iterations = 0;
+};
+
+class OmpSolver {
+ public:
+  /// `dictionary` is M x K (measurements x atoms). Columns need not be
+  /// normalized; atom selection divides by the precomputed column norms.
+  explicit OmpSolver(linalg::Matrix dictionary, OmpOptions options = {});
+
+  OmpResult solve(const linalg::Vector& y) const;
+
+  std::size_t measurements() const { return dict_.rows(); }
+  std::size_t atoms() const { return dict_.cols(); }
+
+ private:
+  linalg::Matrix dict_;       // M x K
+  linalg::Matrix dict_t_;     // K x M (row access = atom access)
+  linalg::Vector col_norm_;   // per-atom l2 norm
+  OmpOptions options_;
+};
+
+/// One-shot convenience wrapper.
+OmpResult omp_solve(const linalg::Matrix& dictionary, const linalg::Vector& y,
+                    OmpOptions options = {});
+
+}  // namespace efficsense::cs

@@ -1,0 +1,88 @@
+#include "cs/reconstructor.hpp"
+
+#include <algorithm>
+#include <memory>
+
+#include "cs/basis.hpp"
+#include "cs/iterative.hpp"
+#include "cs/omp.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::cs {
+
+Reconstructor::Reconstructor(const SparseBinaryMatrix& phi,
+                             ChargeSharingGains gains,
+                             ReconstructorConfig config)
+    : m_(phi.rows()), n_(phi.cols()), config_(config) {
+  EFF_REQUIRE(m_ > 0 && n_ > 0, "empty sensing matrix");
+
+  // Truncate the DCT dictionary to the low-frequency atoms that carry EEG
+  // energy; the automatic choice keeps the system comfortably solvable.
+  k_atoms_ = config_.basis_atoms;
+  if (k_atoms_ == 0) {
+    k_atoms_ = std::max<std::size_t>(
+        16, static_cast<std::size_t>(0.85 * static_cast<double>(m_)));
+  }
+  k_atoms_ = std::min(k_atoms_, n_);
+
+  const linalg::Matrix psi_full = (config_.basis == BasisKind::Db4)
+                                      ? db4_synthesis_matrix(n_)
+                                      : dct_synthesis_matrix(n_);
+  psi_ = linalg::Matrix(n_, k_atoms_);
+  for (std::size_t r = 0; r < n_; ++r) {
+    for (std::size_t k = 0; k < k_atoms_; ++k) psi_(r, k) = psi_full(r, k);
+  }
+
+  const linalg::Matrix sensing =
+      config_.compensate_decay ? effective_matrix(phi, gains.a, gains.b)
+                               : ideal_matrix(phi);
+  dictionary_ = linalg::matmul(sensing, psi_);
+  if (config_.algorithm == ReconAlgorithm::Omp) {
+    OmpOptions opts;
+    opts.max_atoms = (config_.sparsity != 0)
+                         ? config_.sparsity
+                         : std::max<std::size_t>(1, m_ / 3);
+    opts.residual_tol = config_.residual_tol;
+    omp_ = std::make_shared<OmpSolver>(dictionary_, opts);
+  }
+}
+
+linalg::Vector Reconstructor::reconstruct_frame(const linalg::Vector& y) const {
+  EFF_REQUIRE(y.size() == m_, "measurement frame has wrong size");
+  linalg::Vector coeffs;
+  switch (config_.algorithm) {
+    case ReconAlgorithm::Omp:
+      coeffs = omp_->solve(y).coefficients;
+      break;
+    case ReconAlgorithm::Iht: {
+      IhtOptions opts;
+      opts.sparsity = config_.sparsity;
+      opts.max_iters = config_.max_iters;
+      coeffs = iht_solve(dictionary_, y, opts);
+      break;
+    }
+    case ReconAlgorithm::Ista: {
+      IstaOptions opts;
+      opts.max_iters = config_.max_iters;
+      coeffs = ista_solve(dictionary_, y, opts);
+      break;
+    }
+  }
+  return linalg::matvec(psi_, coeffs);
+}
+
+std::vector<double> Reconstructor::reconstruct_stream(
+    const std::vector<double>& measurements) const {
+  const std::size_t frames = measurements.size() / m_;
+  std::vector<double> out;
+  out.reserve(frames * n_);
+  linalg::Vector y(m_);
+  for (std::size_t f = 0; f < frames; ++f) {
+    for (std::size_t i = 0; i < m_; ++i) y[i] = measurements[f * m_ + i];
+    const linalg::Vector x = reconstruct_frame(y);
+    out.insert(out.end(), x.begin(), x.end());
+  }
+  return out;
+}
+
+}  // namespace efficsense::cs

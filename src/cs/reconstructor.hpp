@@ -1,0 +1,69 @@
+#pragma once
+// Frame-wise CS reconstruction facade: binds a sensing matrix (with its
+// nominal charge-sharing weights), a sparsifying basis and a recovery
+// algorithm, and turns measurement streams back into signal estimates.
+
+#include <cstddef>
+#include <memory>
+
+#include "cs/effective.hpp"
+#include "cs/srbm.hpp"
+#include "linalg/matrix.hpp"
+
+namespace efficsense::cs {
+
+enum class ReconAlgorithm { Omp, Iht, Ista };
+enum class BasisKind { Dct, Db4 };
+
+struct ReconstructorConfig {
+  ReconAlgorithm algorithm = ReconAlgorithm::Omp;
+  /// Sparsifying basis: DCT (default) or Daubechies-4 wavelets. Both order
+  /// atoms smooth-first, so the basis_atoms truncation applies equally.
+  BasisKind basis = BasisKind::Dct;
+  std::size_t sparsity = 0;     ///< atoms for OMP / K for IHT (0 = M/3)
+  double residual_tol = 1e-3;   ///< OMP stopping criterion
+  std::size_t max_iters = 100;  ///< IHT / ISTA iteration cap
+  /// Dictionary truncation: keep only the first `basis_atoms` DCT atoms
+  /// (EEG energy lives below ~45 Hz, so high-frequency atoms only let the
+  /// solver fit noise). 0 selects the automatic choice 0.85 * M. Set to
+  /// N_Phi for the full, untruncated dictionary (ablation knob).
+  std::size_t basis_atoms = 0;
+  /// If false, reconstruct with the ideal binary Phi instead of the
+  /// charge-sharing-aware effective matrix (ablation knob).
+  bool compensate_decay = true;
+};
+
+class Reconstructor {
+ public:
+  /// `gains` carries the nominal a/b of the charge-sharing encoder. Pass
+  /// {1.0, 0.0} when the measurements come from an ideal digital MAC.
+  Reconstructor(const SparseBinaryMatrix& phi, ChargeSharingGains gains,
+                ReconstructorConfig config = {});
+
+  std::size_t frame_length() const { return n_; }
+  std::size_t measurements_per_frame() const { return m_; }
+
+  /// Recover one frame (y of size M) -> time-domain estimate of size N_Phi.
+  linalg::Vector reconstruct_frame(const linalg::Vector& y) const;
+
+  /// Recover a stream: measurements are consumed M at a time; a trailing
+  /// partial frame is ignored. Output size = full_frames * N_Phi.
+  std::vector<double> reconstruct_stream(
+      const std::vector<double>& measurements) const;
+
+  /// Number of DCT atoms actually used after truncation.
+  std::size_t active_atoms() const { return k_atoms_; }
+
+ private:
+  std::size_t m_ = 0;
+  std::size_t n_ = 0;
+  std::size_t k_atoms_ = 0;
+  ReconstructorConfig config_;
+  linalg::Matrix psi_;         // N x k_atoms DCT synthesis (truncated)
+  linalg::Matrix dictionary_;  // M x k_atoms: Phi_eff * Psi
+  // Lazily built OMP solver state lives in the dictionary; OMP path uses a
+  // solver constructed once here.
+  std::shared_ptr<const class OmpSolver> omp_;
+};
+
+}  // namespace efficsense::cs

@@ -1,0 +1,93 @@
+#include "cs/srbm.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::cs {
+
+SparseBinaryMatrix SparseBinaryMatrix::generate(std::size_t rows,
+                                                std::size_t cols,
+                                                std::size_t s,
+                                                std::uint64_t seed) {
+  EFF_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  EFF_REQUIRE(s >= 1 && s <= rows, "sparsity must satisfy 1 <= s <= rows");
+
+  SparseBinaryMatrix phi;
+  phi.rows_ = rows;
+  phi.cols_ = cols;
+  phi.s_ = s;
+  phi.support_.resize(cols);
+  phi.row_weight_.assign(rows, 0);
+
+  Rng rng(seed);
+
+  // Load-balanced assignment: maintain a pool of row slots where each row
+  // appears ceil(cols*s/rows) times, shuffle, and deal s distinct rows per
+  // column (resolving rare collisions by re-drawing from the least-loaded
+  // rows).
+  const std::size_t total = cols * s;
+  const std::size_t per_row = (total + rows - 1) / rows;
+  std::vector<std::size_t> pool;
+  pool.reserve(per_row * rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t k = 0; k < per_row; ++k) pool.push_back(r);
+  }
+  rng.shuffle(pool);
+
+  std::size_t cursor = 0;
+  for (std::size_t j = 0; j < cols; ++j) {
+    auto& sup = phi.support_[j];
+    sup.clear();
+    while (sup.size() < s) {
+      std::size_t row;
+      if (cursor < pool.size()) {
+        row = pool[cursor++];
+      } else {
+        row = static_cast<std::size_t>(rng.below(rows));
+      }
+      if (std::find(sup.begin(), sup.end(), row) != sup.end()) {
+        // Collision within the column: draw a fresh random row instead.
+        row = static_cast<std::size_t>(rng.below(rows));
+        if (std::find(sup.begin(), sup.end(), row) != sup.end()) continue;
+      }
+      sup.push_back(row);
+      ++phi.row_weight_[row];
+    }
+    std::sort(sup.begin(), sup.end());
+  }
+  return phi;
+}
+
+const std::vector<std::size_t>& SparseBinaryMatrix::column_support(
+    std::size_t j) const {
+  EFF_REQUIRE(j < cols_, "column index out of range");
+  return support_[j];
+}
+
+std::size_t SparseBinaryMatrix::row_weight(std::size_t i) const {
+  EFF_REQUIRE(i < rows_, "row index out of range");
+  return row_weight_[i];
+}
+
+linalg::Vector SparseBinaryMatrix::apply(const linalg::Vector& x) const {
+  EFF_REQUIRE(x.size() == cols_, "input vector has wrong size");
+  linalg::Vector y(rows_, 0.0);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    const double xj = x[j];
+    for (std::size_t i : support_[j]) y[i] += xj;
+  }
+  return y;
+}
+
+linalg::Matrix SparseBinaryMatrix::to_dense() const {
+  linalg::Matrix m(rows_, cols_);
+  for (std::size_t j = 0; j < cols_; ++j) {
+    for (std::size_t i : support_[j]) m(i, j) = 1.0;
+  }
+  return m;
+}
+
+}  // namespace efficsense::cs

@@ -1,0 +1,47 @@
+#pragma once
+// s-Sparse Random Binary Matrices (s-SRBM), the sensing matrices of the
+// paper's CS front-end (Sec. III): each column of the M x N matrix Phi has
+// exactly `s` ones, so every input sample is accumulated onto exactly `s`
+// partial sums. Rows are load-balanced so hold capacitors see a near-equal
+// number of accumulations, which both matches hardware practice and keeps
+// the charge-sharing decay uniform.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace efficsense::cs {
+
+class SparseBinaryMatrix {
+ public:
+  /// Generate an s-SRBM with `rows` x `cols`, `s` ones per column.
+  static SparseBinaryMatrix generate(std::size_t rows, std::size_t cols,
+                                     std::size_t s, std::uint64_t seed);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t sparsity() const { return s_; }
+
+  /// Row indices of the ones in column j (size s, strictly increasing).
+  const std::vector<std::size_t>& column_support(std::size_t j) const;
+
+  /// Number of ones in row i (accumulations per hold capacitor).
+  std::size_t row_weight(std::size_t i) const;
+
+  /// y = Phi * x (exact binary arithmetic, no analog effects).
+  linalg::Vector apply(const linalg::Vector& x) const;
+
+  /// Dense 0/1 matrix.
+  linalg::Matrix to_dense() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t s_ = 0;
+  std::vector<std::vector<std::size_t>> support_;  // per column
+  std::vector<std::size_t> row_weight_;
+};
+
+}  // namespace efficsense::cs

@@ -1,0 +1,136 @@
+#include "dsp/biquad.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace efficsense::dsp {
+
+Biquad::Biquad(double b0, double b1, double b2, double a1, double a2)
+    : b0_(b0), b1_(b1), b2_(b2), a1_(a1), a2_(a2) {}
+
+double Biquad::process(double x) {
+  // Direct form II transposed: numerically robust for audio-rate filters.
+  const double y = b0_ * x + z1_;
+  z1_ = b1_ * x - a1_ * y + z2_;
+  z2_ = b2_ * x - a2_ * y;
+  return y;
+}
+
+void Biquad::reset() { z1_ = z2_ = 0.0; }
+
+BiquadCascade::BiquadCascade(std::vector<Biquad> sections)
+    : sections_(std::move(sections)) {}
+
+double BiquadCascade::process(double x) {
+  for (auto& s : sections_) x = s.process(x);
+  return x;
+}
+
+std::vector<double> BiquadCascade::process(const std::vector<double>& x) {
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    double v = x[i];
+    for (auto& s : sections_) v = s.process(v);
+    y[i] = v;
+  }
+  return y;
+}
+
+void BiquadCascade::reset() {
+  for (auto& s : sections_) s.reset();
+}
+
+double BiquadCascade::magnitude(double f, double fs) const {
+  const std::complex<double> j(0.0, 1.0);
+  const std::complex<double> z =
+      std::exp(j * (2.0 * std::numbers::pi * f / fs));
+  const std::complex<double> zi = 1.0 / z;
+  std::complex<double> h(1.0, 0.0);
+  for (const auto& s : sections_) {
+    const std::complex<double> num = s.b0() + s.b1() * zi + s.b2() * zi * zi;
+    const std::complex<double> den = 1.0 + s.a1() * zi + s.a2() * zi * zi;
+    h *= num / den;
+  }
+  return std::abs(h);
+}
+
+namespace {
+
+// Bilinear-transform a 2nd-order analog prototype pole pair with quality q
+// into a digital low-/high-pass biquad (standard cookbook formulation).
+Biquad butter_section(double fc, double fs, double q, bool highpass) {
+  EFF_REQUIRE(fc > 0.0 && fc < fs / 2.0, "cutoff must lie in (0, fs/2)");
+  const double w0 = 2.0 * std::numbers::pi * fc / fs;
+  const double cw = std::cos(w0);
+  const double sw = std::sin(w0);
+  const double alpha = sw / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  double b0, b1, b2;
+  if (!highpass) {
+    b0 = (1.0 - cw) / 2.0;
+    b1 = 1.0 - cw;
+    b2 = (1.0 - cw) / 2.0;
+  } else {
+    b0 = (1.0 + cw) / 2.0;
+    b1 = -(1.0 + cw);
+    b2 = (1.0 + cw) / 2.0;
+  }
+  const double a1 = -2.0 * cw;
+  const double a2 = 1.0 - alpha;
+  return Biquad(b0 / a0, b1 / a0, b2 / a0, a1 / a0, a2 / a0);
+}
+
+std::vector<double> butterworth_qs(std::size_t order) {
+  EFF_REQUIRE(order >= 2 && order % 2 == 0, "order must be even and >= 2");
+  // Pole pair k of an order-n Butterworth has Q = 1 / (2 sin(theta_k)).
+  std::vector<double> qs;
+  const std::size_t pairs = order / 2;
+  for (std::size_t k = 0; k < pairs; ++k) {
+    const double theta = std::numbers::pi * (2.0 * static_cast<double>(k) + 1.0) /
+                         (2.0 * static_cast<double>(order));
+    qs.push_back(1.0 / (2.0 * std::sin(theta)));
+  }
+  return qs;
+}
+
+}  // namespace
+
+BiquadCascade butterworth_lowpass(std::size_t order, double fc, double fs) {
+  std::vector<Biquad> sections;
+  for (double q : butterworth_qs(order)) {
+    sections.push_back(butter_section(fc, fs, q, /*highpass=*/false));
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+BiquadCascade butterworth_highpass(std::size_t order, double fc, double fs) {
+  std::vector<Biquad> sections;
+  for (double q : butterworth_qs(order)) {
+    sections.push_back(butter_section(fc, fs, q, /*highpass=*/true));
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+BiquadCascade rbj_bandpass(double f0, double q, double fs) {
+  EFF_REQUIRE(f0 > 0.0 && f0 < fs / 2.0, "centre must lie in (0, fs/2)");
+  const double w0 = 2.0 * std::numbers::pi * f0 / fs;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  return BiquadCascade({Biquad(alpha / a0, 0.0, -alpha / a0,
+                               -2.0 * std::cos(w0) / a0, (1.0 - alpha) / a0)});
+}
+
+BiquadCascade rbj_notch(double f0, double q, double fs) {
+  EFF_REQUIRE(f0 > 0.0 && f0 < fs / 2.0, "centre must lie in (0, fs/2)");
+  const double w0 = 2.0 * std::numbers::pi * f0 / fs;
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  const double cw = std::cos(w0);
+  return BiquadCascade({Biquad(1.0 / a0, -2.0 * cw / a0, 1.0 / a0,
+                               -2.0 * cw / a0, (1.0 - alpha) / a0)});
+}
+
+}  // namespace efficsense::dsp

@@ -1,0 +1,63 @@
+#pragma once
+// IIR biquad sections and Butterworth / RBJ designs. Used for the LNA
+// bandwidth limitation (the low-pass in Fig. 3), the anti-alias filter in
+// front of the S&H, the EEG generator's spectral shaping, and the digital
+// signal-conditioning block.
+
+#include <cstddef>
+#include <vector>
+
+namespace efficsense::dsp {
+
+/// One direct-form-II-transposed second-order section.
+class Biquad {
+ public:
+  Biquad() = default;
+  /// Coefficients normalized so a0 == 1.
+  Biquad(double b0, double b1, double b2, double a1, double a2);
+
+  double process(double x);
+  void reset();
+
+  double b0() const { return b0_; }
+  double b1() const { return b1_; }
+  double b2() const { return b2_; }
+  double a1() const { return a1_; }
+  double a2() const { return a2_; }
+
+ private:
+  double b0_ = 1.0, b1_ = 0.0, b2_ = 0.0;
+  double a1_ = 0.0, a2_ = 0.0;
+  double z1_ = 0.0, z2_ = 0.0;
+};
+
+/// A cascade of biquads forming a higher-order filter.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<Biquad> sections);
+
+  double process(double x);
+  std::vector<double> process(const std::vector<double>& x);
+  void reset();
+
+  std::size_t order() const { return 2 * sections_.size(); }
+  const std::vector<Biquad>& sections() const { return sections_; }
+
+  /// Magnitude response at normalized frequency f (Hz) for sample rate fs.
+  double magnitude(double f, double fs) const;
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+/// Butterworth low-pass of even order `order` with cutoff fc (Hz) at fs.
+BiquadCascade butterworth_lowpass(std::size_t order, double fc, double fs);
+/// Butterworth high-pass of even order.
+BiquadCascade butterworth_highpass(std::size_t order, double fc, double fs);
+/// RBJ band-pass (constant peak gain) with centre f0 and quality q.
+BiquadCascade rbj_bandpass(double f0, double q, double fs);
+/// RBJ notch with centre f0 and quality q (e.g. 50 Hz mains rejection).
+BiquadCascade rbj_notch(double f0, double q, double fs);
+
+}  // namespace efficsense::dsp

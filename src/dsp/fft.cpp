@@ -1,0 +1,129 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace efficsense::dsp {
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_pow2(std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  EFF_REQUIRE(is_pow2(n), "fft_pow2 requires a power-of-two length");
+  if (n == 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : x) v *= inv;
+  }
+}
+
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Bluestein chirp-z transform: expresses an arbitrary-length DFT as a
+/// convolution, evaluated with power-of-two FFTs.
+std::vector<Complex> bluestein(const std::vector<Complex>& x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  const std::size_t m = next_pow2(2 * n - 1);
+
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // Use k^2 mod 2n to keep the phase argument small for large k.
+    const std::size_t k2 = (static_cast<unsigned long long>(k) * k) % (2 * n);
+    const double ang =
+        sign * std::numbers::pi * static_cast<double>(k2) / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+
+  std::vector<Complex> a(m, Complex(0, 0)), b(m, Complex(0, 0));
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) b[k] = b[m - k] = std::conj(chirp[k]);
+
+  fft_pow2(a);
+  fft_pow2(b);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_pow2(a, /*inverse=*/true);
+
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (auto& v : out) v *= inv;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Complex> fft(const std::vector<Complex>& x) {
+  EFF_REQUIRE(!x.empty(), "fft of empty signal");
+  if (is_pow2(x.size())) {
+    std::vector<Complex> copy = x;
+    fft_pow2(copy);
+    return copy;
+  }
+  return bluestein(x, /*inverse=*/false);
+}
+
+std::vector<Complex> ifft(const std::vector<Complex>& x) {
+  EFF_REQUIRE(!x.empty(), "ifft of empty signal");
+  if (is_pow2(x.size())) {
+    std::vector<Complex> copy = x;
+    fft_pow2(copy, /*inverse=*/true);
+    return copy;
+  }
+  return bluestein(x, /*inverse=*/true);
+}
+
+std::vector<Complex> fft_real(const std::vector<double>& x) {
+  std::vector<Complex> cx(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) cx[i] = Complex(x[i], 0.0);
+  return fft(cx);
+}
+
+std::vector<double> amplitude_spectrum(const std::vector<double>& x) {
+  const auto spec = fft_real(x);
+  const std::size_t n = x.size();
+  std::vector<double> amp(n / 2 + 1);
+  for (std::size_t k = 0; k < amp.size(); ++k) {
+    double mag = std::abs(spec[k]) / static_cast<double>(n);
+    if (k != 0 && !(n % 2 == 0 && k == n / 2)) mag *= 2.0;  // fold negative bins
+    amp[k] = mag;
+  }
+  return amp;
+}
+
+}  // namespace efficsense::dsp

@@ -1,0 +1,33 @@
+#pragma once
+// FFT: iterative radix-2 for power-of-two lengths plus Bluestein's algorithm
+// for arbitrary lengths (needed because the paper's frame and segment sizes
+// are not powers of two). Used by the PSD estimator, the SNDR metric and the
+// spectral feature extraction of the classifier.
+
+#include <complex>
+#include <vector>
+
+namespace efficsense::dsp {
+
+using Complex = std::complex<double>;
+
+/// In-place forward FFT; size must be a power of two.
+void fft_pow2(std::vector<Complex>& x, bool inverse = false);
+
+/// Forward FFT of arbitrary length (radix-2 when possible, else Bluestein).
+std::vector<Complex> fft(const std::vector<Complex>& x);
+
+/// Inverse FFT of arbitrary length (normalized by 1/N).
+std::vector<Complex> ifft(const std::vector<Complex>& x);
+
+/// FFT of a real signal; returns the full complex spectrum of length N.
+std::vector<Complex> fft_real(const std::vector<double>& x);
+
+/// One-sided amplitude spectrum of a real signal: bins 0..N/2, scaled so a
+/// full-scale sine of amplitude A shows as a peak of height A.
+std::vector<double> amplitude_spectrum(const std::vector<double>& x);
+
+/// true iff n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+}  // namespace efficsense::dsp

@@ -1,0 +1,54 @@
+#include "dsp/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace efficsense::dsp {
+
+std::vector<double> design_lowpass_fir(std::size_t taps, double fc, double fs) {
+  EFF_REQUIRE(taps >= 3, "need at least 3 taps");
+  EFF_REQUIRE(fc > 0.0 && fc < fs / 2.0, "cutoff must lie in (0, fs/2)");
+  std::vector<double> h(taps);
+  const double fn = fc / fs;  // normalized cutoff (cycles/sample)
+  const double centre = (static_cast<double>(taps) - 1.0) / 2.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < taps; ++i) {
+    const double t = static_cast<double>(i) - centre;
+    const double x = 2.0 * std::numbers::pi * fn * t;
+    const double sinc = (t == 0.0) ? 2.0 * fn : std::sin(x) / (std::numbers::pi * t);
+    // Hann window (symmetric form for linear phase).
+    const double w = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                          static_cast<double>(i) /
+                                          (static_cast<double>(taps) - 1.0));
+    h[i] = sinc * w;
+    sum += h[i];
+  }
+  EFF_REQUIRE(sum != 0.0, "degenerate FIR design");
+  for (double& v : h) v /= sum;  // unity DC gain
+  return h;
+}
+
+std::vector<double> convolve(const std::vector<double>& h,
+                             const std::vector<double>& x) {
+  EFF_REQUIRE(!h.empty() && !x.empty(), "convolve of empty input");
+  std::vector<double> y(h.size() + x.size() - 1, 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    for (std::size_t j = 0; j < h.size(); ++j) y[i + j] += xi * h[j];
+  }
+  return y;
+}
+
+std::vector<double> fir_filter_same(const std::vector<double>& h,
+                                    const std::vector<double>& x) {
+  const auto full = convolve(h, x);
+  const std::size_t delay = (h.size() - 1) / 2;
+  std::vector<double> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = full[i + delay];
+  return y;
+}
+
+}  // namespace efficsense::dsp

@@ -1,0 +1,23 @@
+#pragma once
+// FIR design (windowed sinc) and application. The polyphase resampler in
+// resample.hpp builds on the low-pass designer here.
+
+#include <cstddef>
+#include <vector>
+
+namespace efficsense::dsp {
+
+/// Windowed-sinc linear-phase low-pass: `taps` coefficients (odd preferred),
+/// cutoff fc (Hz) at sample rate fs, Hann-windowed, unity DC gain.
+std::vector<double> design_lowpass_fir(std::size_t taps, double fc, double fs);
+
+/// Convolve x with h ("same" size output, group delay compensated for
+/// odd-length linear-phase h).
+std::vector<double> fir_filter_same(const std::vector<double>& h,
+                                    const std::vector<double>& x);
+
+/// Full convolution (length x.size() + h.size() - 1).
+std::vector<double> convolve(const std::vector<double>& h,
+                             const std::vector<double>& x);
+
+}  // namespace efficsense::dsp

@@ -1,0 +1,59 @@
+#pragma once
+// Signal-quality metrics: the goal functions of EffiCSense Step 5.
+//  * snr_vs_reference — reconstruction SNR against a known clean signal
+//    (Fig. 7a's y-axis); fits the best scale factor first so that benign
+//    front-end gain does not count as error.
+//  * sine SNDR / THD / ENOB — single-tone spectral metrics (Fig. 4's y-axis).
+//  * Welch PSD and band power — building blocks for the EEG features.
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/windows.hpp"
+
+namespace efficsense::dsp {
+
+double mean(const std::vector<double>& x);
+double rms(const std::vector<double>& x);
+double variance(const std::vector<double>& x);
+
+/// 10*log10(P_ref / P_err) after fitting test = a*ref (optimal scale `a`).
+/// Returns +inf dB for a perfect match.
+double snr_vs_reference_db(const std::vector<double>& reference,
+                           const std::vector<double>& test);
+
+/// Result of single-tone spectral analysis.
+struct ToneAnalysis {
+  double fundamental_hz = 0.0;     ///< estimated tone frequency
+  double signal_power = 0.0;       ///< power in the fundamental
+  double noise_distortion_power = 0.0;  ///< everything else except DC
+  double harmonic_power = 0.0;     ///< power in harmonics 2..6
+  double sndr_db = 0.0;
+  double thd_db = 0.0;             ///< harmonics relative to fundamental
+  double enob = 0.0;               ///< (SNDR - 1.76) / 6.02
+};
+
+/// Analyse a (quasi-)single-tone record. Uses a Blackman-Harris window; the
+/// fundamental is located as the largest non-DC spectral peak and integrated
+/// over +-`peak_halfwidth` bins to absorb windowing leakage.
+ToneAnalysis analyze_tone(const std::vector<double>& x, double fs,
+                          std::size_t peak_halfwidth = 8);
+
+/// Welch power spectral density estimate.
+struct Psd {
+  std::vector<double> freq_hz;
+  std::vector<double> density;  ///< one-sided PSD [unit^2 / Hz]
+  double bin_hz = 0.0;
+};
+Psd welch_psd(const std::vector<double>& x, double fs, std::size_t nperseg,
+              double overlap = 0.5,
+              WindowKind window = WindowKind::Hann);
+
+/// Total signal power within [f_lo, f_hi] from a PSD.
+double band_power(const Psd& psd, double f_lo, double f_hi);
+
+/// Band power computed directly from a time-domain record.
+double band_power(const std::vector<double>& x, double fs, double f_lo,
+                  double f_hi);
+
+}  // namespace efficsense::dsp

@@ -1,0 +1,104 @@
+#include "dsp/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "dsp/fir.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::dsp {
+
+std::vector<double> resample_rational(const std::vector<double>& x,
+                                      std::size_t up, std::size_t down,
+                                      std::size_t taps_per_phase) {
+  EFF_REQUIRE(up > 0 && down > 0, "resample factors must be positive");
+  EFF_REQUIRE(!x.empty(), "resample of empty signal");
+  const std::size_t g = std::gcd(up, down);
+  up /= g;
+  down /= g;
+  if (up == 1 && down == 1) return x;
+
+  // Design one prototype low-pass at the higher of the two Nyquist limits.
+  const std::size_t taps = taps_per_phase * up + 1;
+  const double fs_up = static_cast<double>(up);            // normalized
+  const double fc = 0.5 / static_cast<double>(std::max(up, down));
+  auto h = design_lowpass_fir(taps | 1, fc * fs_up, fs_up);
+  for (double& v : h) v *= static_cast<double>(up);  // restore passband gain
+
+  // Upsample-by-zero-insertion + filter + decimate, evaluated directly
+  // (polyphase): y[m] corresponds to upsampled index m*down.
+  const std::size_t n_out = (x.size() * up + down - 1) / down;
+  std::vector<double> y(n_out, 0.0);
+  const std::size_t delay = (h.size() - 1) / 2;  // group delay compensation
+  for (std::size_t m = 0; m < n_out; ++m) {
+    const std::size_t pos = m * down + delay;  // index in the upsampled grid
+    double acc = 0.0;
+    // x contributes at upsampled indices k*up; h index = pos - k*up.
+    const std::size_t k_max = pos / up;
+    for (std::size_t k = (pos >= h.size()) ? (pos - h.size() + up) / up : 0;
+         k <= k_max && k < x.size(); ++k) {
+      const std::size_t hi = pos - k * up;
+      if (hi < h.size()) acc += x[k] * h[hi];
+    }
+    y[m] = acc;
+  }
+  return y;
+}
+
+std::vector<double> uniform_times(std::size_t n, double f_target) {
+  EFF_REQUIRE(f_target > 0.0, "target rate must be positive");
+  std::vector<double> t(n);
+  for (std::size_t k = 0; k < n; ++k) t[k] = static_cast<double>(k) / f_target;
+  return t;
+}
+
+namespace {
+
+double sample_linear(const std::vector<double>& x, double idx) {
+  if (idx <= 0.0) return x.front();
+  const double last = static_cast<double>(x.size() - 1);
+  if (idx >= last) return x.back();
+  const auto i0 = static_cast<std::size_t>(idx);
+  const double frac = idx - static_cast<double>(i0);
+  return x[i0] * (1.0 - frac) + x[i0 + 1] * frac;
+}
+
+double sample_sinc8(const std::vector<double>& x, double idx) {
+  const auto n = static_cast<long long>(x.size());
+  const auto centre = static_cast<long long>(std::floor(idx));
+  double acc = 0.0;
+  double wsum = 0.0;
+  for (long long k = centre - 3; k <= centre + 4; ++k) {
+    const double t = idx - static_cast<double>(k);
+    const double sinc =
+        (t == 0.0) ? 1.0
+                   : std::sin(std::numbers::pi * t) / (std::numbers::pi * t);
+    // Hann taper over the 8-tap support.
+    const double w =
+        0.5 + 0.5 * std::cos(std::numbers::pi * t / 4.0);
+    const long long kk = std::clamp(k, 0LL, n - 1);
+    acc += x[static_cast<std::size_t>(kk)] * sinc * w;
+    wsum += sinc * w;
+  }
+  return (wsum != 0.0) ? acc / wsum : 0.0;
+}
+
+}  // namespace
+
+std::vector<double> sample_at_times(const std::vector<double>& x, double fs,
+                                    const std::vector<double>& times,
+                                    Interp interp) {
+  EFF_REQUIRE(!x.empty(), "sample_at_times on empty waveform");
+  EFF_REQUIRE(fs > 0.0, "sample rate must be positive");
+  std::vector<double> y(times.size());
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double idx = times[i] * fs;
+    y[i] = (interp == Interp::Linear) ? sample_linear(x, idx)
+                                      : sample_sinc8(x, idx);
+  }
+  return y;
+}
+
+}  // namespace efficsense::dsp

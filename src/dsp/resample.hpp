@@ -1,0 +1,32 @@
+#pragma once
+// Sample-rate conversion. Two converters are provided:
+//  * `resample_rational` — classic polyphase up-L / FIR / down-M, used for
+//    the paper's Step 4 (upsampling the 173.61 Hz EEG records toward a
+//    quasi-continuous rate).
+//  * `sample_at_times` — fractional-delay evaluation of a waveform at
+//    arbitrary instants (linear or windowed-sinc interpolation), used by the
+//    S&H block to sample the "analog" waveform at f_sample, which is not an
+//    integer divisor of the simulation rate.
+
+#include <cstddef>
+#include <vector>
+
+namespace efficsense::dsp {
+
+/// Rational resampling by L/M with a shared anti-alias/anti-image FIR.
+std::vector<double> resample_rational(const std::vector<double>& x,
+                                      std::size_t up, std::size_t down,
+                                      std::size_t taps_per_phase = 24);
+
+enum class Interp { Linear, Sinc8 };
+
+/// Evaluate waveform x (sampled at fs) at the given times [s].
+/// Times outside the record clamp to the edge samples.
+std::vector<double> sample_at_times(const std::vector<double>& x, double fs,
+                                    const std::vector<double>& times,
+                                    Interp interp = Interp::Linear);
+
+/// Uniform sample instants k / f_target for k in [0, n).
+std::vector<double> uniform_times(std::size_t n, double f_target);
+
+}  // namespace efficsense::dsp

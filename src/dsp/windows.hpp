@@ -1,0 +1,26 @@
+#pragma once
+// Window functions for spectral analysis (SNDR, Welch PSD). The metric code
+// defaults to Blackman-Harris, whose sidelobes (-92 dB) are far below the
+// quantization floors measured in this project.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace efficsense::dsp {
+
+enum class WindowKind { Rectangular, Hann, Hamming, BlackmanHarris, FlatTop };
+
+/// Generate the window samples (periodic form, suited for spectral analysis).
+std::vector<double> make_window(WindowKind kind, std::size_t n);
+
+/// Sum of window samples (coherent gain * n), needed for amplitude scaling.
+double window_coherent_gain(const std::vector<double>& w);
+
+/// Sum of squared samples / n (noise gain), needed for power scaling.
+double window_noise_gain(const std::vector<double>& w);
+
+/// Parse from text ("hann", "blackman-harris", ...), for CLI/bench knobs.
+WindowKind window_from_name(const std::string& name);
+
+}  // namespace efficsense::dsp

@@ -1,0 +1,85 @@
+#include "eeg/dataset.hpp"
+
+#include <cmath>
+
+#include "dsp/resample.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::eeg {
+
+std::size_t Dataset::count(SegmentClass c) const {
+  std::size_t n = 0;
+  for (const auto& s : segments) {
+    if (s.label == c) ++n;
+  }
+  return n;
+}
+
+Dataset make_dataset(const Generator& generator, std::size_t n_normal,
+                     std::size_t n_seizure, std::uint64_t seed) {
+  Dataset ds;
+  ds.segments.reserve(n_normal + n_seizure);
+  std::size_t made_normal = 0, made_seizure = 0;
+  std::size_t index = 0;
+  while (made_normal < n_normal || made_seizure < n_seizure) {
+    // Interleave classes so truncated datasets stay balanced.
+    const bool want_seizure =
+        made_seizure < n_seizure &&
+        (made_normal >= n_normal ||
+         made_seizure * (n_normal + n_seizure) <= index * n_seizure);
+    Segment s;
+    s.seed = derive_seed(seed, index);
+    if (want_seizure) {
+      s.label = SegmentClass::Seizure;
+      IctalAnnotation annotation;
+      s.waveform = generator.seizure(s.seed, &annotation);
+      s.ictal = annotation;
+      ++made_seizure;
+    } else {
+      s.label = SegmentClass::Normal;
+      s.waveform = generator.normal(s.seed);
+      ++made_normal;
+    }
+    ds.segments.push_back(std::move(s));
+    ++index;
+  }
+  return ds;
+}
+
+namespace {
+/// Smallest rational p/q approximating `ratio` within rel_tol (Stern-Brocot).
+std::pair<std::size_t, std::size_t> approximate_ratio(double ratio,
+                                                      double rel_tol) {
+  EFF_REQUIRE(ratio > 0.0, "ratio must be positive");
+  std::size_t best_p = 1, best_q = 1;
+  double best_err = std::fabs(1.0 - ratio) / ratio;
+  for (std::size_t q = 1; q <= 4096; ++q) {
+    const auto p = static_cast<std::size_t>(std::llround(ratio * q));
+    if (p == 0) continue;
+    const double err =
+        std::fabs(static_cast<double>(p) / static_cast<double>(q) - ratio) /
+        ratio;
+    if (err < best_err) {
+      best_err = err;
+      best_p = p;
+      best_q = q;
+      if (err <= rel_tol) break;
+    }
+  }
+  return {best_p, best_q};
+}
+}  // namespace
+
+sim::Waveform upsample_record(const sim::Waveform& record, double fs_target,
+                              double rel_tol) {
+  EFF_REQUIRE(!record.empty(), "cannot upsample an empty record");
+  EFF_REQUIRE(fs_target > record.fs, "target rate must exceed the record rate");
+  const auto [up, down] = approximate_ratio(fs_target / record.fs, rel_tol);
+  auto resampled = dsp::resample_rational(record.samples, up, down);
+  const double fs_actual =
+      record.fs * static_cast<double>(up) / static_cast<double>(down);
+  return sim::Waveform(fs_actual, std::move(resampled));
+}
+
+}  // namespace efficsense::eeg

@@ -1,0 +1,45 @@
+#pragma once
+// Dataset assembly: a labelled collection of EEG segments mirroring the
+// paper's evaluation protocol (500 segments of 23.6 s). Includes the
+// paper's Step 4 upsampling path (records captured at a low rate are
+// polyphase-upsampled to a quasi-continuous rate before entering a model).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "eeg/generator.hpp"
+#include "sim/waveform.hpp"
+
+namespace efficsense::eeg {
+
+enum class SegmentClass { Normal, Seizure };
+
+struct Segment {
+  SegmentClass label = SegmentClass::Normal;
+  sim::Waveform waveform;
+  std::uint64_t seed = 0;
+  /// Ground-truth discharge span (set for seizure segments).
+  std::optional<IctalAnnotation> ictal;
+};
+
+struct Dataset {
+  std::vector<Segment> segments;
+
+  std::size_t size() const { return segments.size(); }
+  std::size_t count(SegmentClass c) const;
+};
+
+/// Deterministically synthesize a balanced-ish dataset: `n_normal` normal +
+/// `n_seizure` ictal segments, interleaved.
+Dataset make_dataset(const Generator& generator, std::size_t n_normal,
+                     std::size_t n_seizure, std::uint64_t seed);
+
+/// The paper's Step 4: take a record sampled at `fs_record` (e.g. the Bonn
+/// corpus' 173.61 Hz) and upsample it to `fs_target` (e.g. 512 Hz) with the
+/// rational polyphase resampler. Rates are approximated by the closest
+/// small rational ratio within `rel_tol`.
+sim::Waveform upsample_record(const sim::Waveform& record, double fs_target,
+                              double rel_tol = 1e-3);
+
+}  // namespace efficsense::eeg

@@ -1,0 +1,159 @@
+#include "eeg/generator.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/biquad.hpp"
+#include "dsp/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::eeg {
+
+Generator::Generator(GeneratorConfig config) : config_(config) {
+  EFF_REQUIRE(config_.fs_hz > 100.0, "synthesis rate too low for EEG content");
+  EFF_REQUIRE(config_.duration_s > 1.0, "segments must be at least 1 s");
+  EFF_REQUIRE(config_.background_rms_v > 0.0, "background level must be positive");
+  EFF_REQUIRE(config_.seizure_min_fraction > 0.0 &&
+                  config_.seizure_max_fraction <= 1.0 &&
+                  config_.seizure_min_fraction <= config_.seizure_max_fraction,
+              "invalid seizure fraction range");
+}
+
+std::vector<double> Generator::background(std::uint64_t seed,
+                                          double scale) const {
+  const auto n = static_cast<std::size_t>(config_.fs_hz * config_.duration_s);
+  Rng rng(seed);
+
+  // 1/f-like spectrum: sum of octave-spaced one-pole low-passed white
+  // noises (each contributes equal power per octave below its corner).
+  const double corners[] = {2.0, 4.0, 8.0, 16.0, 32.0};
+  std::vector<double> x(n, 0.0);
+  for (double fc : corners) {
+    const double a = std::exp(-2.0 * std::numbers::pi * fc / config_.fs_hz);
+    double state = 0.0;
+    // Per-branch gain keeps the per-octave contribution flat.
+    const double g = 1.0 / std::sqrt(fc);
+    for (std::size_t i = 0; i < n; ++i) {
+      state = a * state + (1.0 - a) * rng.gaussian();
+      x[i] += g * state;
+    }
+  }
+  // Scalp/intracranial EEG carries little power above ~45 Hz; a 4th-order
+  // low-pass gives the steep high-frequency rolloff of real recordings
+  // (and is what makes EEG compressible in the DCT domain).
+  auto lpf = dsp::butterworth_lowpass(4, 45.0, config_.fs_hz);
+  x = lpf.process(x);
+
+  // Normalize to the requested rms.
+  const double current = dsp::rms(x);
+  const double norm = (current > 0.0) ? scale / current : 0.0;
+  for (double& v : x) v *= norm;
+
+  // Amplitude-modulated alpha rhythm (waxing/waning spindles).
+  const double mod_hz = rng.uniform(0.05, 0.15);
+  const double phase0 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double mod_phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double alpha_amp =
+      config_.alpha_rms_v * std::numbers::sqrt2 * (scale / config_.background_rms_v);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / config_.fs_hz;
+    const double envelope =
+        0.5 * (1.0 + std::sin(2.0 * std::numbers::pi * mod_hz * t + mod_phase));
+    x[i] += alpha_amp * envelope *
+            std::sin(2.0 * std::numbers::pi * config_.alpha_hz * t + phase0);
+  }
+  return x;
+}
+
+void Generator::add_blinks(std::vector<double>& x, std::uint64_t seed) const {
+  if (config_.blink_rate_hz <= 0.0) return;
+  Rng rng(derive_seed(seed, 0xB11A));
+  const double blink_dur = 0.4;  // seconds
+  const auto blink_len = static_cast<std::size_t>(blink_dur * config_.fs_hz);
+  const double expected = config_.blink_rate_hz * config_.duration_s;
+  const auto count = static_cast<std::size_t>(expected + rng.uniform());
+  for (std::size_t b = 0; b < count; ++b) {
+    const double t0 = rng.uniform(0.0, config_.duration_s - blink_dur);
+    const auto start = static_cast<std::size_t>(t0 * config_.fs_hz);
+    for (std::size_t i = 0; i < blink_len && start + i < x.size(); ++i) {
+      const double u = static_cast<double>(i) / static_cast<double>(blink_len);
+      // Raised-cosine bump.
+      x[start + i] += config_.blink_amp_v * 0.5 *
+                      (1.0 - std::cos(2.0 * std::numbers::pi * u));
+    }
+  }
+}
+
+sim::Waveform Generator::normal(std::uint64_t seed) const {
+  Rng rng(derive_seed(seed, 4));
+  const double level = config_.background_rms_v *
+                       rng.uniform(config_.level_spread_lo,
+                                   config_.level_spread_hi);
+  auto x = background(derive_seed(seed, 1), level);
+
+  // Interictal confuser: a brief rhythmic delta-slowing burst that shares
+  // the discharge's frequency range but not its amplitude or persistence.
+  if (rng.chance(config_.confuser_probability)) {
+    const double f0 = rng.uniform(2.0, 3.2);
+    const double burst_dur = rng.uniform(1.5, 4.0);
+    const double start = rng.uniform(0.0, config_.duration_s - burst_dur);
+    const double amp = config_.confuser_amp_v * rng.uniform(0.6, 1.2);
+    const double phase = rng.uniform(0.0, 2.0 * std::numbers::pi);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      const double t = static_cast<double>(i) / config_.fs_hz;
+      if (t < start || t > start + burst_dur) continue;
+      const double u = (t - start) / burst_dur;
+      const double env = std::sin(std::numbers::pi * u);  // smooth burst
+      x[i] += amp * env * std::sin(2.0 * std::numbers::pi * f0 * (t - start) + phase);
+    }
+  }
+  add_blinks(x, seed);
+  return sim::Waveform(config_.fs_hz, std::move(x));
+}
+
+sim::Waveform Generator::seizure(std::uint64_t seed,
+                                 IctalAnnotation* annotation) const {
+  Rng rng(derive_seed(seed, 3));
+  // Attenuated background (ictal records are dominated by the discharge).
+  const double level = 0.6 * config_.background_rms_v *
+                       rng.uniform(config_.level_spread_lo,
+                                   config_.level_spread_hi);
+  auto x = background(derive_seed(seed, 2), level);
+
+  const double fraction = rng.uniform(config_.seizure_min_fraction,
+                                      config_.seizure_max_fraction);
+  const double sz_duration = fraction * config_.duration_s;
+  const double onset =
+      rng.uniform(0.0, config_.duration_s - sz_duration);
+  const double ramp = 1.0;  // seconds of onset/offset ramp
+  if (annotation != nullptr) {
+    annotation->onset_s = onset;
+    annotation->duration_s = sz_duration;
+  }
+
+  // Rhythmic spike-and-wave: fundamental plus 2nd/3rd harmonics with fixed
+  // phase relations produce the sharp transient followed by the slow wave.
+  const double f0 = config_.spike_wave_hz * rng.uniform(0.9, 1.1);
+  const double phase0 = rng.uniform(0.0, 2.0 * std::numbers::pi);
+  const double amp = config_.seizure_amp_v *
+                     rng.uniform(config_.seizure_amp_spread_lo,
+                                 config_.seizure_amp_spread_hi);
+
+  const auto n = x.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / config_.fs_hz;
+    if (t < onset || t > onset + sz_duration) continue;
+    double env = 1.0;
+    if (t < onset + ramp) env = (t - onset) / ramp;
+    if (t > onset + sz_duration - ramp) env = (onset + sz_duration - t) / ramp;
+    const double ph = 2.0 * std::numbers::pi * f0 * (t - onset) + phase0;
+    const double discharge = std::sin(ph) + 0.55 * std::sin(2.0 * ph + 0.7) +
+                             0.3 * std::sin(3.0 * ph + 1.1);
+    x[i] += amp * env * discharge;
+  }
+  add_blinks(x, seed);
+  return sim::Waveform(config_.fs_hz, std::move(x));
+}
+
+}  // namespace efficsense::eeg

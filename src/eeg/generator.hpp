@@ -1,0 +1,74 @@
+#pragma once
+// Synthetic EEG generator — the stand-in for the Bonn epilepsy dataset
+// (DESIGN.md §2). Two segment classes are produced:
+//
+//  * normal (interictal): 1/f-shaped background activity plus an
+//    amplitude-modulated alpha rhythm (~10 Hz), tens of uV rms;
+//  * seizure (ictal): a high-amplitude rhythmic spike-and-wave discharge
+//    (~3.5 Hz fundamental with strong harmonics) with onset/offset ramps,
+//    superposed on attenuated background.
+//
+// The two properties the paper's experiments rely on are reproduced:
+// approximate DCT-domain sparsity (both classes are narrowband-dominated)
+// and a strong amplitude/rhythmicity contrast between classes.
+
+#include <cstdint>
+
+#include "sim/waveform.hpp"
+
+namespace efficsense::eeg {
+
+struct GeneratorConfig {
+  double fs_hz = 2048.0;        ///< synthesis rate ("quasi-continuous")
+  double duration_s = 23.6;     ///< paper segment length
+  // Background (both classes). Each segment draws its own level from
+  // [background_rms_v * level_spread_lo, * level_spread_hi].
+  double background_rms_v = 35e-6;
+  double level_spread_lo = 0.75;
+  double level_spread_hi = 1.3;
+  double alpha_hz = 10.0;
+  double alpha_rms_v = 12e-6;
+  // Seizure discharge; the amplitude also draws from the spread so weak
+  // (hard-to-detect) seizures occur.
+  double spike_wave_hz = 3.5;
+  double seizure_amp_v = 140e-6;     ///< nominal fundamental amplitude
+  double seizure_amp_spread_lo = 0.22;
+  double seizure_amp_spread_hi = 1.3;
+  double seizure_min_fraction = 0.4; ///< min fraction of segment in seizure
+  double seizure_max_fraction = 0.85;
+  // Interictal confusers: brief rhythmic delta-slowing bursts that mimic a
+  // weak discharge (probability per normal segment).
+  double confuser_probability = 0.35;
+  double confuser_amp_v = 55e-6;
+  // Optional ocular artifacts (raised-cosine blinks), rate per second.
+  double blink_rate_hz = 0.0;
+  double blink_amp_v = 90e-6;
+};
+
+/// Ground-truth annotation of an ictal segment (one discharge per segment).
+struct IctalAnnotation {
+  double onset_s = 0.0;
+  double duration_s = 0.0;
+  double end_s() const { return onset_s + duration_s; }
+};
+
+class Generator {
+ public:
+  explicit Generator(GeneratorConfig config = {});
+
+  const GeneratorConfig& config() const { return config_; }
+
+  /// Interictal segment; fully determined by `seed`.
+  sim::Waveform normal(std::uint64_t seed) const;
+  /// Ictal segment; onset time, duration and discharge detail from `seed`.
+  /// The ground-truth discharge span is written to `annotation` if non-null.
+  sim::Waveform seizure(std::uint64_t seed,
+                        IctalAnnotation* annotation = nullptr) const;
+
+ private:
+  std::vector<double> background(std::uint64_t seed, double scale) const;
+  void add_blinks(std::vector<double>& x, std::uint64_t seed) const;
+  GeneratorConfig config_;
+};
+
+}  // namespace efficsense::eeg

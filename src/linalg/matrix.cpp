@@ -1,0 +1,159 @@
+#include "linalg/matrix.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace efficsense::linalg {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::from_rows(const std::vector<Vector>& rows) {
+  EFF_REQUIRE(!rows.empty(), "from_rows needs at least one row");
+  Matrix m(rows.size(), rows.front().size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    EFF_REQUIRE(rows[r].size() == m.cols(), "ragged rows in from_rows");
+    for (std::size_t c = 0; c < m.cols(); ++c) m(r, c) = rows[r][c];
+  }
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = row_ptr(r);
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+Vector Matrix::column(std::size_t c) const {
+  EFF_REQUIRE(c < cols_, "column index out of range");
+  Vector v(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) v[r] = (*this)(r, c);
+  return v;
+}
+
+void Matrix::set_column(std::size_t c, const Vector& v) {
+  EFF_REQUIRE(c < cols_ && v.size() == rows_, "set_column shape mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) (*this)(r, c) = v[r];
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  EFF_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  EFF_REQUIRE(rows_ == other.rows_ && cols_ == other.cols_, "shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double v : data_) sum += v * v;
+  return std::sqrt(sum);
+}
+
+Matrix operator+(Matrix a, const Matrix& b) { return a += b; }
+Matrix operator-(Matrix a, const Matrix& b) { return a -= b; }
+Matrix operator*(Matrix a, double s) { return a *= s; }
+Matrix operator*(double s, Matrix a) { return a *= s; }
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  EFF_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
+  Matrix c(a.rows(), b.cols());
+  // i-k-j loop order: streams through b and c rows contiguously.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    double* crow = c.row_ptr(i);
+    const double* arow = a.row_ptr(i);
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = arow[k];
+      if (aik == 0.0) continue;
+      const double* brow = b.row_ptr(k);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Vector matvec(const Matrix& a, const Vector& x) {
+  EFF_REQUIRE(a.cols() == x.size(), "matvec shape mismatch");
+  Vector y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.row_ptr(i);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) sum += row[j] * x[j];
+    y[i] = sum;
+  }
+  return y;
+}
+
+Vector matvec_transposed(const Matrix& a, const Vector& x) {
+  EFF_REQUIRE(a.rows() == x.size(), "matvec_transposed shape mismatch");
+  Vector y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.row_ptr(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  EFF_REQUIRE(a.size() == b.size(), "dot shape mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+double norm2(const Vector& a) { return std::sqrt(dot(a, a)); }
+
+double norm_inf(const Vector& a) {
+  double m = 0.0;
+  for (double v : a) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+Vector axpy(double alpha, const Vector& x, Vector y) {
+  EFF_REQUIRE(x.size() == y.size(), "axpy shape mismatch");
+  for (std::size_t i = 0; i < y.size(); ++i) y[i] += alpha * x[i];
+  return y;
+}
+
+Vector scaled(const Vector& x, double alpha) {
+  Vector y(x);
+  for (double& v : y) v *= alpha;
+  return y;
+}
+
+Vector vsub(const Vector& a, const Vector& b) {
+  EFF_REQUIRE(a.size() == b.size(), "vsub shape mismatch");
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] - b[i];
+  return y;
+}
+
+Vector vadd(const Vector& a, const Vector& b) {
+  EFF_REQUIRE(a.size() == b.size(), "vadd shape mismatch");
+  Vector y(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) y[i] = a[i] + b[i];
+  return y;
+}
+
+}  // namespace efficsense::linalg

@@ -1,0 +1,75 @@
+#pragma once
+// Dense row-major matrix and vector operations. This is the numerical
+// substrate for the compressive-sensing reconstruction algorithms (OMP, IHT,
+// ISTA), the DCT/wavelet bases and the neural-network layers. It favours
+// clarity and cache-friendly inner loops over exhaustive BLAS coverage.
+
+#include <cstddef>
+#include <vector>
+
+namespace efficsense::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  static Matrix identity(std::size_t n);
+  /// Build from nested initializer data (row major), for tests and examples.
+  static Matrix from_rows(const std::vector<Vector>& rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Raw row pointer; rows are contiguous.
+  double* row_ptr(std::size_t r) { return data_.data() + r * cols_; }
+  const double* row_ptr(std::size_t r) const { return data_.data() + r * cols_; }
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  Matrix transposed() const;
+  Vector column(std::size_t c) const;
+  void set_column(std::size_t c, const Vector& v);
+
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double s);
+
+  /// Frobenius norm.
+  double frobenius_norm() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+Matrix operator+(Matrix a, const Matrix& b);
+Matrix operator-(Matrix a, const Matrix& b);
+Matrix operator*(Matrix a, double s);
+Matrix operator*(double s, Matrix a);
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+/// y = A * x.
+Vector matvec(const Matrix& a, const Vector& x);
+/// y = A^T * x (without forming the transpose).
+Vector matvec_transposed(const Matrix& a, const Vector& x);
+
+// Vector helpers ------------------------------------------------------------
+double dot(const Vector& a, const Vector& b);
+double norm2(const Vector& a);
+double norm_inf(const Vector& a);
+Vector axpy(double alpha, const Vector& x, Vector y);  // y + alpha*x
+Vector scaled(const Vector& x, double alpha);
+Vector vsub(const Vector& a, const Vector& b);
+Vector vadd(const Vector& a, const Vector& b);
+
+}  // namespace efficsense::linalg

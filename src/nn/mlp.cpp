@@ -1,0 +1,145 @@
+#include "nn/mlp.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::nn {
+
+double apply_activation(Activation a, double x) {
+  switch (a) {
+    case Activation::Identity:
+      return x;
+    case Activation::ReLU:
+      return x > 0.0 ? x : 0.0;
+    case Activation::Tanh:
+      return std::tanh(x);
+    case Activation::Sigmoid:
+      return 1.0 / (1.0 + std::exp(-x));
+  }
+  throw Error("unknown activation");
+}
+
+double activation_derivative(Activation a, double pre, double post) {
+  switch (a) {
+    case Activation::Identity:
+      return 1.0;
+    case Activation::ReLU:
+      return pre > 0.0 ? 1.0 : 0.0;
+    case Activation::Tanh:
+      return 1.0 - post * post;
+    case Activation::Sigmoid:
+      return post * (1.0 - post);
+  }
+  throw Error("unknown activation");
+}
+
+Mlp::Mlp(const std::vector<std::size_t>& sizes, std::uint64_t seed) {
+  EFF_REQUIRE(sizes.size() >= 2, "MLP needs at least input and output sizes");
+  Rng rng(seed);
+  layers_.resize(sizes.size() - 1);
+  for (std::size_t l = 0; l + 1 < sizes.size(); ++l) {
+    const std::size_t in = sizes[l];
+    const std::size_t out = sizes[l + 1];
+    EFF_REQUIRE(in > 0 && out > 0, "layer sizes must be positive");
+    auto& layer = layers_[l];
+    layer.weights = linalg::Matrix(out, in);
+    layer.bias.assign(out, 0.0);
+    layer.activation =
+        (l + 2 == sizes.size()) ? Activation::Sigmoid : Activation::ReLU;
+    // He initialization for the ReLU layers, Xavier-ish for the head.
+    const double scale = std::sqrt(2.0 / static_cast<double>(in));
+    for (std::size_t r = 0; r < out; ++r) {
+      for (std::size_t c = 0; c < in; ++c) {
+        layer.weights(r, c) = scale * rng.gaussian();
+      }
+    }
+  }
+}
+
+std::size_t Mlp::input_size() const {
+  EFF_REQUIRE(!layers_.empty(), "uninitialized MLP");
+  return layers_.front().weights.cols();
+}
+
+std::size_t Mlp::output_size() const {
+  EFF_REQUIRE(!layers_.empty(), "uninitialized MLP");
+  return layers_.back().weights.rows();
+}
+
+linalg::Vector Mlp::forward(const linalg::Vector& x) const {
+  Trace scratch;
+  return forward_traced(x, scratch);
+}
+
+double Mlp::predict_proba(const linalg::Vector& x) const {
+  const auto out = forward(x);
+  EFF_REQUIRE(out.size() == 1, "predict_proba expects a single-output net");
+  return out[0];
+}
+
+linalg::Vector Mlp::forward_traced(const linalg::Vector& x,
+                                   Trace& trace) const {
+  EFF_REQUIRE(!layers_.empty(), "uninitialized MLP");
+  EFF_REQUIRE(x.size() == input_size(), "MLP input size mismatch");
+  trace.pre.resize(layers_.size());
+  trace.post.resize(layers_.size());
+  linalg::Vector current = x;
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const auto& layer = layers_[l];
+    linalg::Vector pre = linalg::matvec(layer.weights, current);
+    for (std::size_t i = 0; i < pre.size(); ++i) pre[i] += layer.bias[i];
+    linalg::Vector post(pre.size());
+    for (std::size_t i = 0; i < pre.size(); ++i) {
+      post[i] = apply_activation(layer.activation, pre[i]);
+    }
+    trace.pre[l] = std::move(pre);
+    trace.post[l] = post;
+    current = std::move(post);
+  }
+  return current;
+}
+
+std::string Mlp::to_blob() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << "mlp v1\n" << layers_.size() << "\n";
+  for (const auto& layer : layers_) {
+    os << layer.weights.rows() << " " << layer.weights.cols() << " "
+       << static_cast<int>(layer.activation) << "\n";
+    for (double v : layer.weights.data()) os << v << " ";
+    os << "\n";
+    for (double v : layer.bias) os << v << " ";
+    os << "\n";
+  }
+  return os.str();
+}
+
+Mlp Mlp::from_blob(const std::string& blob) {
+  std::istringstream is(blob);
+  std::string tag, version;
+  is >> tag >> version;
+  EFF_REQUIRE(tag == "mlp" && version == "v1", "unrecognized MLP blob");
+  std::size_t count = 0;
+  is >> count;
+  EFF_REQUIRE(count >= 1 && count < 64, "implausible MLP layer count");
+  Mlp net;
+  net.layers_.resize(count);
+  for (auto& layer : net.layers_) {
+    std::size_t rows = 0, cols = 0;
+    int act = 0;
+    is >> rows >> cols >> act;
+    EFF_REQUIRE(rows > 0 && cols > 0, "bad layer shape in blob");
+    layer.weights = linalg::Matrix(rows, cols);
+    layer.activation = static_cast<Activation>(act);
+    for (double& v : layer.weights.data()) is >> v;
+    layer.bias.resize(rows);
+    for (double& v : layer.bias) is >> v;
+    EFF_REQUIRE(static_cast<bool>(is), "truncated MLP blob");
+  }
+  return net;
+}
+
+}  // namespace efficsense::nn

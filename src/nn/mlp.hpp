@@ -1,0 +1,59 @@
+#pragma once
+// A small multilayer perceptron with sigmoid output for binary
+// classification. This is the substitute for the deep CNN of Ullah et al.
+// used by the paper as its seizure detector (DESIGN.md §2): the network is
+// a measurement instrument, so a compact, deterministic, dependency-free
+// implementation is preferred over a large one.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace efficsense::nn {
+
+enum class Activation { Identity, ReLU, Tanh, Sigmoid };
+
+double apply_activation(Activation a, double x);
+double activation_derivative(Activation a, double pre, double post);
+
+struct DenseLayer {
+  linalg::Matrix weights;  // out x in
+  linalg::Vector bias;     // out
+  Activation activation = Activation::ReLU;
+};
+
+class Mlp {
+ public:
+  /// `sizes` = {inputs, hidden..., outputs}; hidden layers use ReLU, the
+  /// output layer uses Sigmoid (binary classification default).
+  Mlp(const std::vector<std::size_t>& sizes, std::uint64_t seed);
+  Mlp() = default;
+
+  std::size_t input_size() const;
+  std::size_t output_size() const;
+  std::size_t layer_count() const { return layers_.size(); }
+  std::vector<DenseLayer>& layers() { return layers_; }
+  const std::vector<DenseLayer>& layers() const { return layers_; }
+
+  linalg::Vector forward(const linalg::Vector& x) const;
+  /// Convenience for binary nets: P(class 1 | x).
+  double predict_proba(const linalg::Vector& x) const;
+
+  /// Forward pass that retains pre-/post-activations for backprop.
+  struct Trace {
+    std::vector<linalg::Vector> pre;   // per layer
+    std::vector<linalg::Vector> post;  // per layer (post[last] = output)
+  };
+  linalg::Vector forward_traced(const linalg::Vector& x, Trace& trace) const;
+
+  /// Textual serialization (exact doubles), for caching trained detectors.
+  std::string to_blob() const;
+  static Mlp from_blob(const std::string& blob);
+
+ private:
+  std::vector<DenseLayer> layers_;
+};
+
+}  // namespace efficsense::nn

@@ -1,0 +1,81 @@
+#include "nn/standardizer.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace efficsense::nn {
+
+void Standardizer::fit(const linalg::Matrix& x) {
+  EFF_REQUIRE(x.rows() > 1, "need at least two rows to fit a standardizer");
+  mean_.assign(x.cols(), 0.0);
+  std_.assign(x.cols(), 0.0);
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) mean_[c] += x(r, c);
+  }
+  for (double& m : mean_) m /= static_cast<double>(x.rows());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      const double d = x(r, c) - mean_[c];
+      std_[c] += d * d;
+    }
+  }
+  for (double& s : std_) {
+    s = std::sqrt(s / static_cast<double>(x.rows()));
+    if (s < 1e-12) s = 1.0;  // constant feature: leave centred but unscaled
+  }
+}
+
+linalg::Vector Standardizer::transform(const linalg::Vector& row) const {
+  EFF_REQUIRE(fitted(), "standardizer is not fitted");
+  EFF_REQUIRE(row.size() == mean_.size(), "feature width mismatch");
+  linalg::Vector out(row.size());
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    out[c] = (row[c] - mean_[c]) / std_[c];
+  }
+  return out;
+}
+
+linalg::Matrix Standardizer::transform(const linalg::Matrix& x) const {
+  EFF_REQUIRE(fitted(), "standardizer is not fitted");
+  EFF_REQUIRE(x.cols() == mean_.size(), "feature width mismatch");
+  linalg::Matrix out(x.rows(), x.cols());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    for (std::size_t c = 0; c < x.cols(); ++c) {
+      out(r, c) = (x(r, c) - mean_[c]) / std_[c];
+    }
+  }
+  return out;
+}
+
+std::string Standardizer::to_blob() const {
+  EFF_REQUIRE(fitted(), "standardizer is not fitted");
+  std::ostringstream os;
+  os.precision(17);
+  os << "std v1\n" << mean_.size() << "\n";
+  for (double v : mean_) os << v << " ";
+  os << "\n";
+  for (double v : std_) os << v << " ";
+  os << "\n";
+  return os.str();
+}
+
+Standardizer Standardizer::from_blob(const std::string& blob) {
+  std::istringstream is(blob);
+  std::string tag, version;
+  is >> tag >> version;
+  EFF_REQUIRE(tag == "std" && version == "v1", "unrecognized standardizer blob");
+  std::size_t n = 0;
+  is >> n;
+  EFF_REQUIRE(n > 0 && n < 4096, "implausible feature count");
+  Standardizer s;
+  s.mean_.resize(n);
+  for (double& v : s.mean_) is >> v;
+  s.std_.resize(n);
+  for (double& v : s.std_) is >> v;
+  EFF_REQUIRE(static_cast<bool>(is), "truncated standardizer blob");
+  return s;
+}
+
+}  // namespace efficsense::nn

@@ -1,0 +1,31 @@
+#pragma once
+// Feature standardization (zero mean / unit variance per column), fitted on
+// the training set and frozen — the detector must see identically scaled
+// features at deployment time, even though the front-end changes.
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+
+namespace efficsense::nn {
+
+class Standardizer {
+ public:
+  void fit(const linalg::Matrix& x);
+  bool fitted() const { return !mean_.empty(); }
+
+  linalg::Vector transform(const linalg::Vector& row) const;
+  linalg::Matrix transform(const linalg::Matrix& x) const;
+
+  const linalg::Vector& mean() const { return mean_; }
+  const linalg::Vector& stddev() const { return std_; }
+
+  std::string to_blob() const;
+  static Standardizer from_blob(const std::string& blob);
+
+ private:
+  linalg::Vector mean_;
+  linalg::Vector std_;
+};
+
+}  // namespace efficsense::nn

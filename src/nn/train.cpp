@@ -1,0 +1,186 @@
+#include "nn/train.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::nn {
+
+namespace {
+
+struct AdamState {
+  std::vector<linalg::Matrix> mw, vw;
+  std::vector<linalg::Vector> mb, vb;
+
+  explicit AdamState(const Mlp& net) {
+    for (const auto& layer : net.layers()) {
+      mw.emplace_back(layer.weights.rows(), layer.weights.cols());
+      vw.emplace_back(layer.weights.rows(), layer.weights.cols());
+      mb.emplace_back(layer.bias.size(), 0.0);
+      vb.emplace_back(layer.bias.size(), 0.0);
+    }
+  }
+};
+
+struct Gradients {
+  std::vector<linalg::Matrix> w;
+  std::vector<linalg::Vector> b;
+
+  explicit Gradients(const Mlp& net) { reset(net); }
+
+  void reset(const Mlp& net) {
+    w.clear();
+    b.clear();
+    for (const auto& layer : net.layers()) {
+      w.emplace_back(layer.weights.rows(), layer.weights.cols());
+      b.emplace_back(layer.bias.size(), 0.0);
+    }
+  }
+};
+
+double clamp_proba(double p) { return std::min(std::max(p, 1e-12), 1.0 - 1e-12); }
+
+/// Accumulate gradients for one sample; returns its BCE loss.
+double backprop_sample(const Mlp& net, const linalg::Vector& x, double label,
+                       Gradients& grads) {
+  Mlp::Trace trace;
+  const auto out = net.forward_traced(x, trace);
+  const double p = clamp_proba(out[0]);
+  const double loss = -(label * std::log(p) + (1.0 - label) * std::log(1.0 - p));
+
+  const auto& layers = net.layers();
+  // delta for the sigmoid+BCE head simplifies to (p - y).
+  linalg::Vector delta{p - label};
+  for (std::size_t li = layers.size(); li-- > 0;) {
+    const auto& layer = layers[li];
+    const linalg::Vector& input =
+        (li == 0) ? x : trace.post[li - 1];
+    // If not the head, convert upstream delta through the activation.
+    if (li + 1 != layers.size()) {
+      for (std::size_t i = 0; i < delta.size(); ++i) {
+        delta[i] *= activation_derivative(layer.activation, trace.pre[li][i],
+                                          trace.post[li][i]);
+      }
+    }
+    for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+      const double d = delta[r];
+      double* grow = grads.w[li].row_ptr(r);
+      for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+        grow[c] += d * input[c];
+      }
+      grads.b[li][r] += d;
+    }
+    if (li > 0) {
+      linalg::Vector prev(layer.weights.cols(), 0.0);
+      for (std::size_t r = 0; r < layer.weights.rows(); ++r) {
+        const double d = delta[r];
+        const double* wrow = layer.weights.row_ptr(r);
+        for (std::size_t c = 0; c < layer.weights.cols(); ++c) {
+          prev[c] += d * wrow[c];
+        }
+      }
+      delta = std::move(prev);
+    }
+  }
+  return loss;
+}
+
+}  // namespace
+
+TrainResult train_binary(Mlp& net, const linalg::Matrix& x,
+                         const std::vector<double>& labels,
+                         const TrainConfig& config) {
+  EFF_REQUIRE(x.rows() == labels.size() && x.rows() > 0,
+              "training set shape mismatch");
+  EFF_REQUIRE(net.output_size() == 1, "train_binary expects one output");
+  EFF_REQUIRE(net.input_size() == x.cols(), "feature width mismatch");
+  for (double y : labels) {
+    EFF_REQUIRE(y == 0.0 || y == 1.0, "labels must be 0 or 1");
+  }
+
+  AdamState adam(net);
+  Gradients grads(net);
+  Rng rng(config.seed);
+  std::vector<std::size_t> order(x.rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  TrainResult result;
+  std::size_t step = 0;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(order);
+    double epoch_loss = 0.0;
+    std::size_t correct = 0;
+
+    for (std::size_t start = 0; start < order.size();
+         start += config.batch_size) {
+      const std::size_t end = std::min(start + config.batch_size, order.size());
+      grads.reset(net);
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t row = order[k];
+        linalg::Vector sample(x.cols());
+        for (std::size_t c = 0; c < x.cols(); ++c) sample[c] = x(row, c);
+        const double loss = backprop_sample(net, sample, labels[row], grads);
+        epoch_loss += loss;
+        const double p = net.predict_proba(sample);
+        if ((p >= 0.5) == (labels[row] >= 0.5)) ++correct;
+      }
+      const double inv_batch = 1.0 / static_cast<double>(end - start);
+      ++step;
+      const double bias1 = 1.0 - std::pow(config.beta1, static_cast<double>(step));
+      const double bias2 = 1.0 - std::pow(config.beta2, static_cast<double>(step));
+
+      auto& layers = net.layers();
+      for (std::size_t li = 0; li < layers.size(); ++li) {
+        auto& w = layers[li].weights;
+        for (std::size_t i = 0; i < w.data().size(); ++i) {
+          const double g =
+              grads.w[li].data()[i] * inv_batch + config.l2 * w.data()[i];
+          auto& m = adam.mw[li].data()[i];
+          auto& v = adam.vw[li].data()[i];
+          m = config.beta1 * m + (1.0 - config.beta1) * g;
+          v = config.beta2 * v + (1.0 - config.beta2) * g * g;
+          w.data()[i] -= config.learning_rate * (m / bias1) /
+                         (std::sqrt(v / bias2) + config.adam_eps);
+        }
+        auto& b = layers[li].bias;
+        for (std::size_t i = 0; i < b.size(); ++i) {
+          const double g = grads.b[li][i] * inv_batch;
+          auto& m = adam.mb[li][i];
+          auto& v = adam.vb[li][i];
+          m = config.beta1 * m + (1.0 - config.beta1) * g;
+          v = config.beta2 * v + (1.0 - config.beta2) * g * g;
+          b[i] -= config.learning_rate * (m / bias1) /
+                  (std::sqrt(v / bias2) + config.adam_eps);
+        }
+      }
+    }
+    result.final_loss = epoch_loss / static_cast<double>(x.rows());
+    result.final_accuracy =
+        static_cast<double>(correct) / static_cast<double>(x.rows());
+    result.epochs_run = epoch + 1;
+  }
+  return result;
+}
+
+EvalResult evaluate_binary(const Mlp& net, const linalg::Matrix& x,
+                           const std::vector<double>& labels) {
+  EFF_REQUIRE(x.rows() == labels.size() && x.rows() > 0,
+              "evaluation set shape mismatch");
+  EvalResult out;
+  std::size_t correct = 0;
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    linalg::Vector sample(x.cols());
+    for (std::size_t c = 0; c < x.cols(); ++c) sample[c] = x(r, c);
+    const double p = clamp_proba(net.predict_proba(sample));
+    out.loss += -(labels[r] * std::log(p) +
+                  (1.0 - labels[r]) * std::log(1.0 - p));
+    if ((p >= 0.5) == (labels[r] >= 0.5)) ++correct;
+  }
+  out.loss /= static_cast<double>(x.rows());
+  out.accuracy = static_cast<double>(correct) / static_cast<double>(x.rows());
+  return out;
+}
+
+}  // namespace efficsense::nn

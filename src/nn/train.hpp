@@ -1,0 +1,41 @@
+#pragma once
+// Minibatch Adam trainer for binary cross-entropy. Deterministic given the
+// seed: shuffling and initialization derive from explicit RNG streams.
+
+#include <cstdint>
+
+#include "nn/mlp.hpp"
+
+namespace efficsense::nn {
+
+struct TrainConfig {
+  std::size_t epochs = 60;
+  std::size_t batch_size = 32;
+  double learning_rate = 3e-3;
+  double l2 = 1e-5;            ///< weight decay
+  std::uint64_t seed = 1234;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double adam_eps = 1e-8;
+};
+
+struct TrainResult {
+  double final_loss = 0.0;       ///< mean BCE over the last epoch
+  double final_accuracy = 0.0;   ///< training accuracy at threshold 0.5
+  std::size_t epochs_run = 0;
+};
+
+/// Train `net` (single sigmoid output) on rows of `x` with labels in {0,1}.
+TrainResult train_binary(Mlp& net, const linalg::Matrix& x,
+                         const std::vector<double>& labels,
+                         const TrainConfig& config = {});
+
+/// Mean BCE + accuracy of `net` on a labelled set (no training).
+struct EvalResult {
+  double loss = 0.0;
+  double accuracy = 0.0;
+};
+EvalResult evaluate_binary(const Mlp& net, const linalg::Matrix& x,
+                           const std::vector<double>& labels);
+
+}  // namespace efficsense::nn

@@ -1,0 +1,42 @@
+#include "power/area.hpp"
+
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace efficsense::power {
+
+AreaBreakdown capacitor_area(const TechnologyParams& tech,
+                             const DesignParams& design) {
+  design.validate();
+  EFF_REQUIRE(tech.c_u_min_f > 0.0, "C_u,min must be positive");
+  AreaBreakdown out;
+  out.sample_hold = design.sh_cap_f(tech) / tech.c_u_min_f;
+  out.dac = std::pow(2.0, design.adc_bits) *
+            std::max(design.dac_c_unit_f, tech.c_u_min_f) / tech.c_u_min_f;
+  if (design.uses_cs()) {
+    switch (design.cs_style) {
+      case CsStyle::PassiveCharge:
+        out.cs_encoder = (design.cs_m * design.cs_c_hold_f +
+                          design.cs_sparsity * design.cs_c_sample_f) /
+                         tech.c_u_min_f;
+        break;
+      case CsStyle::ActiveIntegrator:
+        out.cs_encoder = (design.cs_m * design.cs_c_int_f +
+                          design.cs_sparsity * design.cs_c_sample_f) /
+                         tech.c_u_min_f;
+        break;
+      case CsStyle::DigitalMac:
+        out.cs_encoder = 0.0;  // the MAC is logic, not capacitors
+        break;
+    }
+  }
+  return out;
+}
+
+double area_um2(const TechnologyParams& tech, double unit_caps) {
+  EFF_REQUIRE(tech.cap_density_f_um2 > 0.0, "cap density must be positive");
+  return unit_caps * tech.c_u_min_f / tech.cap_density_f_um2;
+}
+
+}  // namespace efficsense::power

@@ -1,0 +1,30 @@
+#pragma once
+// Capacitor-area model (paper Sec. IV, Fig. 9/10): in mixed-signal designs
+// most silicon area is capacitors, so the area of a design point is scored
+// as the total capacitance expressed in multiples of the minimum technology
+// capacitor C_u,min.
+
+#include "power/tech.hpp"
+
+namespace efficsense::power {
+
+/// Per-subsystem capacitor counts (in C_u,min multiples).
+struct AreaBreakdown {
+  double sample_hold = 0.0;
+  double dac = 0.0;
+  double cs_encoder = 0.0;
+
+  double total() const { return sample_hold + dac + cs_encoder; }
+};
+
+/// Area of the design point:
+///  * S&H: its kT/C-limited capacitor,
+///  * DAC: 2^N unit capacitors of dac_c_unit_f,
+///  * CS: M hold capacitors + s sample capacitors (Fig. 5 architecture).
+AreaBreakdown capacitor_area(const TechnologyParams& tech,
+                             const DesignParams& design);
+
+/// Equivalent silicon area in um^2 using the technology cap density.
+double area_um2(const TechnologyParams& tech, double unit_caps);
+
+}  // namespace efficsense::power

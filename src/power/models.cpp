@@ -1,0 +1,209 @@
+#include "power/models.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::power {
+
+namespace {
+
+struct LnaCurrents {
+  double bandwidth;
+  double slewing;
+  double noise;
+};
+
+LnaCurrents lna_currents(double gbw_hz, double c_load_f, double gm_over_id,
+                         double v_ref, double f_clk_hz, double nef,
+                         double noise_floor_vrms, double bw_lna_hz,
+                         double v_thermal, double kT) {
+  EFF_REQUIRE(gm_over_id > 0.0, "gm/Id must be positive");
+  EFF_REQUIRE(noise_floor_vrms > 0.0, "noise floor must be positive");
+  LnaCurrents out;
+  out.bandwidth = gbw_hz * 2.0 * std::numbers::pi * c_load_f / gm_over_id;
+  out.slewing = v_ref * f_clk_hz * c_load_f;
+  const double ratio = nef / noise_floor_vrms;
+  out.noise =
+      ratio * ratio * 2.0 * std::numbers::pi * 4.0 * kT * bw_lna_hz * v_thermal;
+  return out;
+}
+
+}  // namespace
+
+double lna_power_w(double vdd, double gbw_hz, double c_load_f,
+                   double gm_over_id, double v_ref, double f_clk_hz,
+                   double nef, double noise_floor_vrms, double bw_lna_hz,
+                   double v_thermal, double kT) {
+  const auto i = lna_currents(gbw_hz, c_load_f, gm_over_id, v_ref, f_clk_hz,
+                              nef, noise_floor_vrms, bw_lna_hz, v_thermal, kT);
+  return vdd * std::max({i.bandwidth, i.slewing, i.noise});
+}
+
+LnaLimit lna_limiting_factor(double /*vdd*/, double gbw_hz, double c_load_f,
+                             double gm_over_id, double v_ref, double f_clk_hz,
+                             double nef, double noise_floor_vrms,
+                             double bw_lna_hz, double v_thermal, double kT) {
+  const auto i = lna_currents(gbw_hz, c_load_f, gm_over_id, v_ref, f_clk_hz,
+                              nef, noise_floor_vrms, bw_lna_hz, v_thermal, kT);
+  if (i.noise >= i.bandwidth && i.noise >= i.slewing) return LnaLimit::Noise;
+  if (i.bandwidth >= i.slewing) return LnaLimit::Bandwidth;
+  return LnaLimit::Slewing;
+}
+
+double sample_hold_power_w(double v_ref, double f_clk_hz, int n_bits,
+                           double v_fs, double kT) {
+  EFF_REQUIRE(n_bits >= 1, "resolution must be >= 1 bit");
+  EFF_REQUIRE(v_fs > 0.0, "full scale must be positive");
+  return v_ref * f_clk_hz * 12.0 * kT * std::pow(2.0, 2.0 * n_bits) /
+         (v_fs * v_fs);
+}
+
+double comparator_power_w(int n_bits, double f_clk_hz, double f_sample_hz,
+                          double c_load_f, double v_fs, double v_eff) {
+  EFF_REQUIRE(n_bits >= 1, "resolution must be >= 1 bit");
+  EFF_REQUIRE(f_clk_hz >= f_sample_hz, "f_clk must be >= f_sample");
+  return 2.0 * n_bits * std::log(2.0) * (f_clk_hz - f_sample_hz) * c_load_f *
+         v_fs * v_eff;
+}
+
+double sar_logic_power_w(int n_bits, double c_logic_f, double vdd,
+                         double f_clk_hz, double f_sample_hz, double alpha) {
+  EFF_REQUIRE(n_bits >= 1, "resolution must be >= 1 bit");
+  EFF_REQUIRE(f_clk_hz >= f_sample_hz, "f_clk must be >= f_sample");
+  return alpha * (2.0 * n_bits + 1.0) * c_logic_f * vdd * vdd *
+         (f_clk_hz - f_sample_hz);
+}
+
+double dac_power_w(int n_bits, double f_clk_hz, double c_unit_f, double v_ref,
+                   double v_in) {
+  EFF_REQUIRE(n_bits >= 1, "resolution must be >= 1 bit");
+  const double half_pow_n = std::pow(0.5, n_bits);
+  const double half_pow_2n = std::pow(0.5, 2.0 * n_bits);
+  const double bracket = (5.0 / 6.0 - half_pow_n - half_pow_2n / 3.0) * v_ref *
+                             v_ref -
+                         0.5 * v_in * v_in - half_pow_n * v_in * v_ref;
+  const double p = std::pow(2.0, n_bits) * f_clk_hz * c_unit_f /
+                   (n_bits + 1.0) * bracket;
+  // The closed form can go slightly negative for v_in near V_ref (outside
+  // its validity region); clamp, since switching energy cannot be negative.
+  return std::max(p, 0.0);
+}
+
+double transmitter_power_w(double f_clk_hz, int n_bits, double e_bit_j) {
+  EFF_REQUIRE(n_bits >= 1, "resolution must be >= 1 bit");
+  return f_clk_hz / (n_bits + 1.0) * n_bits * e_bit_j;
+}
+
+double cs_encoder_logic_power_w(int n_phi, double c_logic_f, double vdd,
+                                double f_clk_hz, double alpha) {
+  EFF_REQUIRE(n_phi >= 1, "N_Phi must be >= 1");
+  const double address_bits = std::ceil(std::log2(static_cast<double>(n_phi)));
+  return alpha * (address_bits + 1.0) * static_cast<double>(n_phi) * 8.0 *
+         c_logic_f * vdd * vdd * f_clk_hz;
+}
+
+double switch_leakage_power_w(std::size_t n_switches, double i_leak_a,
+                              double vdd) {
+  return static_cast<double>(n_switches) * i_leak_a * vdd;
+}
+
+double ota_integrator_power_w(int m_integrators, double vdd, double gbw_hz,
+                              double c_int_f, double gm_over_id) {
+  EFF_REQUIRE(m_integrators >= 1, "need at least one integrator");
+  EFF_REQUIRE(gm_over_id > 0.0, "gm/Id must be positive");
+  const double i_per_ota =
+      gbw_hz * 2.0 * std::numbers::pi * c_int_f / gm_over_id;
+  return static_cast<double>(m_integrators) * vdd * i_per_ota;
+}
+
+double digital_mac_power_w(int sparsity, double f_sample_hz, int acc_bits,
+                           int m_accumulators, double c_logic_f, double vdd,
+                           double alpha, double gates_per_bit) {
+  EFF_REQUIRE(sparsity >= 1 && acc_bits >= 1 && m_accumulators >= 1,
+              "bad digital MAC configuration");
+  // s adder activations per input sample ...
+  const double adder =
+      alpha * static_cast<double>(sparsity) * gates_per_bit *
+      static_cast<double>(acc_bits) * c_logic_f * vdd * vdd * f_sample_hz;
+  // ... plus the M accumulator registers, clocked once per sample each
+  // (clock-gated: only the s addressed rows toggle data, all see the clock
+  // edge through a single gating cell -> 1 gate-equivalent per register).
+  const double registers = alpha * static_cast<double>(m_accumulators) *
+                           static_cast<double>(acc_bits) * c_logic_f * vdd *
+                           vdd * f_sample_hz * 0.1;
+  return adder + registers;
+}
+
+// --- Table III-bound wrappers ------------------------------------------------
+
+double lna_power(const TechnologyParams& tech, const DesignParams& d) {
+  return lna_power_w(d.vdd, d.gbw_lna_hz(), d.lna_cload_f(tech),
+                     tech.gm_over_id, d.v_ref, d.f_clk_hz(), tech.nef,
+                     d.lna_noise_vrms, d.bw_lna_hz(), tech.v_thermal,
+                     units::kBoltzmann * tech.temperature_k);
+}
+
+LnaLimit lna_limit(const TechnologyParams& tech, const DesignParams& d) {
+  return lna_limiting_factor(d.vdd, d.gbw_lna_hz(), d.lna_cload_f(tech),
+                             tech.gm_over_id, d.v_ref, d.f_clk_hz(), tech.nef,
+                             d.lna_noise_vrms, d.bw_lna_hz(), tech.v_thermal,
+                             units::kBoltzmann * tech.temperature_k);
+}
+
+double sample_hold_power(const TechnologyParams& tech, const DesignParams& d) {
+  return sample_hold_power_w(d.v_ref, d.adc_clk_hz(), d.adc_bits, d.v_fs,
+                             units::kBoltzmann * tech.temperature_k);
+}
+
+double comparator_power(const TechnologyParams& /*tech*/, const DesignParams& d) {
+  return comparator_power_w(d.adc_bits, d.adc_clk_hz(), d.adc_rate_hz(),
+                            d.comparator_cload_f, d.v_fs, d.comparator_veff);
+}
+
+double sar_logic_power(const TechnologyParams& tech, const DesignParams& d) {
+  return sar_logic_power_w(d.adc_bits, tech.c_logic_f, d.vdd, d.adc_clk_hz(),
+                           d.adc_rate_hz());
+}
+
+double dac_power(const TechnologyParams& /*tech*/, const DesignParams& d) {
+  // Use V_FS/4 as the representative rms converter input (a full-scale
+  // signal with crest factor ~2), consistent with [15]'s average analysis.
+  return dac_power_w(d.adc_bits, d.adc_clk_hz(), d.dac_c_unit_f, d.v_ref,
+                     d.v_fs / 4.0);
+}
+
+double transmitter_power(const TechnologyParams& tech, const DesignParams& d) {
+  // bit_rate() accounts for the compressed word rate and, for the digital
+  // MAC style, the wider accumulator words.
+  return d.bit_rate() * tech.e_bit_j;
+}
+
+double cs_encoder_power(const TechnologyParams& tech, const DesignParams& d) {
+  if (!d.uses_cs()) return 0.0;
+  // The sensing-matrix shift register and switch/address drivers run
+  // synchronously with the full-rate sampling phases, i.e. at f_clk (the
+  // (N+1)*f_sample phase clock), not at the compressed ADC rate. This term
+  // is common to all three encoder styles.
+  const double logic = cs_encoder_logic_power_w(d.cs_n_phi, tech.c_logic_f,
+                                                d.vdd, d.f_clk_hz());
+  switch (d.cs_style) {
+    case CsStyle::PassiveCharge:
+      return logic;  // fully passive analog path
+    case CsStyle::ActiveIntegrator:
+      return logic + ota_integrator_power_w(
+                         d.cs_m, d.vdd, d.cs_ota_gbw_factor * d.f_sample_hz(),
+                         d.cs_c_int_f, tech.gm_over_id);
+    case CsStyle::DigitalMac:
+      return logic + digital_mac_power_w(
+                         d.cs_sparsity, d.f_sample_hz(),
+                         d.adc_bits + d.digital_acc_extra_bits(), d.cs_m,
+                         tech.c_logic_f, d.vdd);
+  }
+  return logic;
+}
+
+}  // namespace efficsense::power

@@ -1,0 +1,95 @@
+#pragma once
+// The Table II power models, implemented exactly as printed in the paper.
+// Each model is a closed-form power bound taken from the cited literature:
+// LNA [16], S&H and comparator [14], SAR logic [17], DAC [15], transmitter
+// [4][12], CS encoder logic [17]. Low-level functions take explicit physical
+// arguments so they can be unit-tested against hand calculations; the
+// `*_power(tech, design)` wrappers bind them to Table III parameters.
+
+#include "power/tech.hpp"
+
+namespace efficsense::power {
+
+// --- Raw Table II expressions ----------------------------------------------
+
+/// LNA: P = Vdd * max( GBW*2*pi*C_load / (gm/Id),
+///                     V_ref*f_clk*C_load,
+///                     (NEF/noise_floor)^2 * 2*pi*4kT*BW_LNA*V_T ).
+/// The three branches are the bandwidth-, slewing- and noise-limited supply
+/// currents of a micropower instrumentation amplifier [16].
+double lna_power_w(double vdd, double gbw_hz, double c_load_f,
+                   double gm_over_id, double v_ref, double f_clk_hz,
+                   double nef, double noise_floor_vrms, double bw_lna_hz,
+                   double v_thermal, double kT);
+
+/// Identifies which branch of the LNA max() dominates; useful for design
+/// feedback ("this design is noise limited").
+enum class LnaLimit { Bandwidth, Slewing, Noise };
+LnaLimit lna_limiting_factor(double vdd, double gbw_hz, double c_load_f,
+                             double gm_over_id, double v_ref, double f_clk_hz,
+                             double nef, double noise_floor_vrms,
+                             double bw_lna_hz, double v_thermal, double kT);
+
+/// Sample & hold: P = V_ref * f_clk * 12kT * 2^(2N) / V_FS^2  [14].
+double sample_hold_power_w(double v_ref, double f_clk_hz, int n_bits,
+                           double v_fs, double kT);
+
+/// Comparator: P = 2N ln2 (f_clk - f_sample) C_load V_FS V_eff  [14].
+double comparator_power_w(int n_bits, double f_clk_hz, double f_sample_hz,
+                          double c_load_f, double v_fs, double v_eff);
+
+/// SAR logic: P = alpha (2N+1) C_logic Vdd^2 (f_clk - f_sample), alpha=0.4 [17].
+double sar_logic_power_w(int n_bits, double c_logic_f, double vdd,
+                         double f_clk_hz, double f_sample_hz,
+                         double alpha = 0.4);
+
+/// Binary-weighted DAC switching power [15] (Saberi et al. closed form):
+/// P = 2^N f_clk C_u / (N+1) * { (5/6 - (1/2)^N - 1/3 (1/2)^(2N)) V_ref^2
+///                               - 1/2 V_in^2 - (1/2)^N V_in V_ref }.
+/// `v_in` is the (rms) converter input voltage.
+double dac_power_w(int n_bits, double f_clk_hz, double c_unit_f, double v_ref,
+                   double v_in);
+
+/// Transmitter: P = f_clk / (N+1) * N * E_bit = f_sample * N * E_bit [4][12].
+double transmitter_power_w(double f_clk_hz, int n_bits, double e_bit_j);
+
+/// CS encoder logic (shift register + switch drivers):
+/// P = alpha (ceil(log2 N_Phi) + 1) N_Phi 8 C_logic Vdd^2 f_clk, alpha=1 [17].
+double cs_encoder_logic_power_w(int n_phi, double c_logic_f, double vdd,
+                                double f_clk_hz, double alpha = 1.0);
+
+/// Static leakage of `n_switches` off switches at Vdd.
+double switch_leakage_power_w(std::size_t n_switches, double i_leak_a,
+                              double vdd);
+
+/// Active CS encoder: M parallel OTA-based integrators [2][10]. Each OTA
+/// must settle its integration cap within a sample period, so its bias
+/// current is the bandwidth-limited bound I = GBW * 2pi * C_int / (gm/Id).
+double ota_integrator_power_w(int m_integrators, double vdd, double gbw_hz,
+                              double c_int_f, double gm_over_id);
+
+/// Digital CS encoder datapath [2][12]: s additions of `acc_bits`-wide words
+/// per input sample plus the accumulator register clocking. Gate counts use
+/// the same alpha*C_logic*Vdd^2*f form as the SAR logic model [17]
+/// (`gates_per_bit` ~ 8 for a ripple-carry add + register).
+double digital_mac_power_w(int sparsity, double f_sample_hz, int acc_bits,
+                           int m_accumulators, double c_logic_f, double vdd,
+                           double alpha = 0.4, double gates_per_bit = 8.0);
+
+// --- Table III-bound wrappers ------------------------------------------------
+// These evaluate the models at the operating point implied by a DesignParams:
+// for CS designs the ADC and transmitter run at the compressed rate
+// f_sample*M/N_Phi while the LNA and CS encoder run at the full input rate.
+
+double lna_power(const TechnologyParams& tech, const DesignParams& d);
+LnaLimit lna_limit(const TechnologyParams& tech, const DesignParams& d);
+double sample_hold_power(const TechnologyParams& tech, const DesignParams& d);
+double comparator_power(const TechnologyParams& tech, const DesignParams& d);
+double sar_logic_power(const TechnologyParams& tech, const DesignParams& d);
+double dac_power(const TechnologyParams& tech, const DesignParams& d);
+double transmitter_power(const TechnologyParams& tech, const DesignParams& d);
+/// Encoder power for the configured CsStyle: passive = switch/register
+/// logic; active = logic + OTA integrators; digital = logic + MAC datapath.
+double cs_encoder_power(const TechnologyParams& tech, const DesignParams& d);
+
+}  // namespace efficsense::power

@@ -1,0 +1,127 @@
+#include "power/tech.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/constants.hpp"
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::power {
+
+double TechnologyParams::sigma_cap_mismatch(double cap_f) const {
+  EFF_REQUIRE(cap_f > 0.0, "capacitance must be positive");
+  return k_match_1f / std::sqrt(cap_f / 1e-15);
+}
+
+std::string TechnologyParams::describe() const {
+  std::ostringstream os;
+  os << "Technology parameters (Table III, gpdk045 extraction):\n"
+     << "  C_logic        = " << format_number(c_logic_f * 1e15) << " fF\n"
+     << "  gm/Id          = " << format_number(gm_over_id) << " /V\n"
+     << "  cap density    = " << format_number(cap_density_f_um2 * 1e15)
+     << " fF/um^2\n"
+     << "  C_u,min        = " << format_number(c_u_min_f * 1e15) << " fF\n"
+     << "  I_leak         = " << format_number(i_leak_a * 1e12) << " pA\n"
+     << "  E_bit          = " << format_number(e_bit_j * 1e9) << " nJ\n"
+     << "  V_T            = " << format_number(v_thermal * 1e3) << " mV\n"
+     << "  NEF (assumed)  = " << format_number(nef) << "\n"
+     << "  sigma(dC/C)@1fF= " << format_number(k_match_1f * 100.0) << " %\n";
+  return os.str();
+}
+
+double DesignParams::compression_ratio() const {
+  if (!uses_cs()) return 1.0;
+  return static_cast<double>(cs_m) / static_cast<double>(cs_n_phi);
+}
+
+int DesignParams::digital_acc_extra_bits() const {
+  if (cs_acc_headroom_bits > 0) return cs_acc_headroom_bits;
+  const double mean_row_weight =
+      static_cast<double>(cs_sparsity) * static_cast<double>(cs_n_phi) /
+      std::max(1, cs_m);
+  return static_cast<int>(std::ceil(std::log2(std::max(2.0, mean_row_weight)))) + 1;
+}
+
+int DesignParams::tx_bits() const {
+  if (uses_cs() && cs_style == CsStyle::DigitalMac) {
+    return adc_bits + digital_acc_extra_bits();
+  }
+  return adc_bits;
+}
+
+double DesignParams::sh_cap_f(const TechnologyParams& tech) const {
+  const double c_noise = 12.0 * units::kBoltzmann * tech.temperature_k *
+                         std::pow(2.0, 2.0 * adc_bits) / (v_fs * v_fs);
+  return std::max(c_noise, tech.c_u_min_f);
+}
+
+double DesignParams::lna_cload_f(const TechnologyParams& tech) const {
+  if (!uses_cs()) return sh_cap_f(tech);
+  switch (cs_style) {
+    case CsStyle::PassiveCharge:
+      return cs_c_hold_f;  // paper Sec. III: C_hold loads the LNA
+    case CsStyle::ActiveIntegrator:
+      return cs_c_sample_f;  // OTA virtual ground isolates C_int
+    case CsStyle::DigitalMac:
+      return sh_cap_f(tech);  // classical sampling front half
+  }
+  return sh_cap_f(tech);
+}
+
+void DesignParams::validate() const {
+  EFF_REQUIRE(bw_in_hz > 0.0, "BW_in must be positive");
+  EFF_REQUIRE(adc_bits >= 1 && adc_bits <= 16, "ADC resolution out of range");
+  EFF_REQUIRE(vdd > 0.0 && v_fs > 0.0 && v_ref > 0.0, "voltages must be positive");
+  EFF_REQUIRE(lna_noise_vrms > 0.0, "LNA noise floor must be positive");
+  EFF_REQUIRE(lna_gain > 0.0, "LNA gain must be positive");
+  if (uses_cs()) {
+    EFF_REQUIRE(cs_n_phi > 0, "N_Phi must be positive");
+    EFF_REQUIRE(cs_m > 0 && cs_m < cs_n_phi, "need 0 < M < N_Phi for compression");
+    EFF_REQUIRE(cs_sparsity >= 1 && cs_sparsity <= cs_m,
+                "s-SRBM sparsity out of range");
+    EFF_REQUIRE(cs_c_hold_f > 0.0 && cs_c_sample_f > 0.0,
+                "CS capacitors must be positive");
+    EFF_REQUIRE(cs_c_int_f > 0.0, "integration capacitor must be positive");
+    EFF_REQUIRE(cs_ota_gbw_factor > 0.0, "OTA GBW factor must be positive");
+  }
+}
+
+std::string DesignParams::describe() const {
+  std::ostringstream os;
+  os << "Design parameters:\n"
+     << "  BW_in     = " << format_number(bw_in_hz) << " Hz\n"
+     << "  f_sample  = " << format_number(f_sample_hz()) << " Hz\n"
+     << "  f_clk     = " << format_number(f_clk_hz()) << " Hz\n"
+     << "  N         = " << adc_bits << " bit\n"
+     << "  Vdd       = " << format_number(vdd) << " V\n"
+     << "  V_FS/V_ref= " << format_number(v_fs) << " V\n"
+     << "  LNA noise = " << format_number(lna_noise_vrms * 1e6) << " uVrms\n"
+     << "  LNA gain  = " << format_number(lna_gain) << "\n";
+  if (uses_cs()) {
+    const char* style = cs_style == CsStyle::PassiveCharge ? "passive charge-sharing"
+                        : cs_style == CsStyle::ActiveIntegrator ? "active integrator"
+                                                                : "digital MAC";
+    os << "  CS (" << style << "): M = " << cs_m << ", N_Phi = " << cs_n_phi
+       << ", s = " << cs_sparsity << ", C_hold = "
+       << format_number(cs_c_hold_f * 1e12) << " pF, C_sample = "
+       << format_number(cs_c_sample_f * 1e12) << " pF\n";
+  } else {
+    os << "  CS: disabled (baseline chain)\n";
+  }
+  return os.str();
+}
+
+std::string DesignParams::cache_key() const {
+  std::ostringstream os;
+  os << "bw=" << bw_in_hz << ";n=" << adc_bits << ";vdd=" << vdd
+     << ";vfs=" << v_fs << ";vref=" << v_ref << ";noise=" << lna_noise_vrms
+     << ";gain=" << lna_gain << ";cu=" << dac_c_unit_f << ";m=" << cs_m
+     << ";nphi=" << cs_n_phi << ";s=" << cs_sparsity << ";ch=" << cs_c_hold_f
+     << ";cs=" << cs_c_sample_f << ";style=" << static_cast<int>(cs_style)
+     << ";cint=" << cs_c_int_f;
+  return os.str();
+}
+
+}  // namespace efficsense::power

@@ -1,0 +1,120 @@
+#pragma once
+// Technology and design parameters (the paper's Table III). The technology
+// values were extracted by the authors from gpdk045 with Cadence Virtuoso;
+// here they are the defaults of TechnologyParams. Entries that are garbled
+// in the available paper text carry documented assumptions (see DESIGN.md §2).
+
+#include <string>
+
+namespace efficsense::power {
+
+/// Process-dependent constants entering the Table II power models.
+struct TechnologyParams {
+  double c_logic_f = 1e-15;        ///< minimal logic capacitance C_logic [F]
+  double gm_over_id = 20.0;        ///< weak-inversion transconductance efficiency [1/V]
+  double cap_density_f_um2 = 1.025e-15;  ///< MIM cap density [F/um^2]
+  double c_u_min_f = 1e-15;        ///< minimum technology capacitor C_u,min [F]
+  double i_leak_a = 1e-12;         ///< switch off-state leakage I_leak [A]
+  double e_bit_j = 1e-9;           ///< transmit energy per bit E_bit [J]
+  double v_thermal = 25.27e-3;     ///< thermal voltage V_T [V]
+  double nef = 2.0;                ///< LNA noise-efficiency factor (assumed; see DESIGN.md)
+  double k_match_1f = 0.01;        ///< sigma(dC/C) of a 1 fF capacitor (Pelgrom-style)
+  double temperature_k = 300.0;
+
+  /// Relative capacitor mismatch sigma for a capacitor of `cap_f` farad:
+  /// sigma = k_match_1f / sqrt(cap_f / 1 fF). Larger caps match better.
+  double sigma_cap_mismatch(double cap_f) const;
+
+  /// Human-readable dump (the technology half of Table III).
+  std::string describe() const;
+};
+
+/// CS encoder implementation style (paper Sec. III: the framework lets the
+/// designer "explore different kinds of front-ends (e.g. digital vs analog
+/// or active vs passive compressive sensing)").
+enum class CsStyle {
+  PassiveCharge,     ///< the paper's switched-capacitor charge sharing (Fig. 5)
+  ActiveIntegrator,  ///< OTA-based integrator array [2][10]
+  DigitalMac,        ///< full-rate ADC followed by a digital MAC [2][12]
+};
+
+/// Per-design parameters (the design half of Table III plus the knobs the
+/// paper sweeps). All rates derive from bw_in exactly as in the paper.
+struct DesignParams {
+  // --- Common chain parameters -------------------------------------------
+  double bw_in_hz = 256.0;       ///< input signal bandwidth BW_in
+  int adc_bits = 8;              ///< SAR resolution N (paper sweeps 6-8)
+  double vdd = 2.0;              ///< supply [V]
+  double v_fs = 2.0;             ///< ADC full scale [V]
+  double v_ref = 2.0;            ///< reference [V]
+  double lna_noise_vrms = 5e-6;  ///< input-referred LNA noise floor (paper sweeps 1-20 uV)
+  double lna_gain = 1000.0;      ///< LNA voltage gain
+  double comparator_veff = 0.1;  ///< comparator differential-pair V_eff [V]
+  double comparator_cload_f = 50e-15;  ///< comparator regeneration load [F]
+  double comparator_noise_vrms = 100e-6;  ///< input-referred comparator noise [V]
+  double dac_c_unit_f = 1e-15;   ///< DAC unit capacitor [F]
+
+  // --- Compressive sensing (cs_m == 0 disables CS) -------------------------
+  int cs_m = 0;                  ///< measurements per frame M (75/150/192)
+  int cs_n_phi = 384;            ///< frame length N_Phi
+  int cs_sparsity = 2;           ///< s of the s-SRBM sensing matrix
+  CsStyle cs_style = CsStyle::PassiveCharge;
+  double cs_c_hold_f = 0.5e-12;  ///< hold capacitor C_hold [F] (passive)
+  double cs_c_sample_f = 0.125e-12;  ///< sampling capacitor C_sample [F]
+  // Active-integrator style [2][10]:
+  double cs_c_int_f = 1e-12;     ///< integration capacitor per channel [F]
+  double cs_ota_gbw_factor = 10.0;  ///< OTA GBW = factor * f_sample
+  // Digital-MAC style [2][12]:
+  int cs_acc_headroom_bits = 0;  ///< 0 = automatic ceil(log2(s*N_Phi/M))+1
+
+  bool uses_cs() const { return cs_m > 0; }
+
+  /// Accumulator growth of the digital MAC: bits beyond N needed to hold
+  /// the largest partial sum (the mean row weight, rounded up).
+  int digital_acc_extra_bits() const;
+  /// Bits per transmitted word: N for analog styles (the SAR digitizes each
+  /// measurement), N + headroom for the digital MAC's wider sums.
+  int tx_bits() const;
+
+  // --- Derived rates (paper Table III formulas) ----------------------------
+  /// Nyquist-rate sampling frequency f_sample = 2.1 * BW_in.
+  double f_sample_hz() const { return 2.1 * bw_in_hz; }
+  /// SAR conversion clock f_clk = (N+1) * f_sample.
+  double f_clk_hz() const { return (adc_bits + 1) * f_sample_hz(); }
+  /// LNA bandwidth BW_LNA = 3 * BW_in.
+  double bw_lna_hz() const { return 3.0 * bw_in_hz; }
+  /// LNA gain-bandwidth requirement (gain * BW_LNA).
+  double gbw_lna_hz() const { return lna_gain * bw_lna_hz(); }
+
+  /// Compression ratio M / N_Phi (1.0 when CS is off).
+  double compression_ratio() const;
+  /// Rate at which words leave the front-end: f_sample * M / N_Phi with CS.
+  double tx_sample_rate_hz() const { return f_sample_hz() * compression_ratio(); }
+  /// ADC conversion rate: the analog CS styles digitize only the M
+  /// measurements per frame; the digital MAC needs every sample converted.
+  double adc_rate_hz() const {
+    if (uses_cs() && cs_style == CsStyle::DigitalMac) return f_sample_hz();
+    return tx_sample_rate_hz();
+  }
+  /// SAR clock at the conversion rate.
+  double adc_clk_hz() const { return (adc_bits + 1) * adc_rate_hz(); }
+
+  /// kT/C-limited sample-and-hold capacitor: C >= 12 kT 2^(2N) / V_FS^2,
+  /// floored at C_u,min.
+  double sh_cap_f(const TechnologyParams& tech) const;
+
+  /// LNA load capacitance: the S&H cap for the baseline and digital-CS
+  /// chains, C_hold for the passive CS chain (paper Sec. III), C_sample for
+  /// the active integrator (the OTA's virtual ground hides C_int).
+  double lna_cload_f(const TechnologyParams& tech) const;
+
+  /// Transmitted bit rate [bit/s].
+  double bit_rate() const { return tx_sample_rate_hz() * tx_bits(); }
+
+  void validate() const;  ///< throws Error on out-of-range values
+  std::string describe() const;
+  /// Stable key for caching sweep results.
+  std::string cache_key() const;
+};
+
+}  // namespace efficsense::power

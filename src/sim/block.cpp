@@ -1,0 +1,22 @@
+#include "sim/block.hpp"
+
+#include "util/error.hpp"
+
+namespace efficsense::sim {
+
+Block::Block(std::string name, std::size_t num_inputs, std::size_t num_outputs)
+    : name_(std::move(name)), num_inputs_(num_inputs), num_outputs_(num_outputs) {
+  EFF_REQUIRE(!name_.empty(), "block name must not be empty");
+}
+
+FunctionBlock::FunctionBlock(std::string name, Fn fn)
+    : Block(std::move(name), 1, 1), fn_(fn) {
+  EFF_REQUIRE(fn_ != nullptr, "FunctionBlock requires a function");
+}
+
+std::vector<Waveform> FunctionBlock::process(const std::vector<Waveform>& inputs) {
+  EFF_REQUIRE(inputs.size() == 1, "FunctionBlock expects one input");
+  return {fn_(inputs[0])};
+}
+
+}  // namespace efficsense::sim

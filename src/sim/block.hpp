@@ -1,0 +1,77 @@
+#pragma once
+// The block abstraction: the C++ equivalent of a Simulink library block.
+// A block transforms input waveforms into output waveforms (functional
+// model) and can report analytic power and capacitor-area estimates (power
+// model) — the paper's key idea of keeping both models attached to the same
+// component.
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/params.hpp"
+#include "sim/waveform.hpp"
+
+namespace efficsense::sim {
+
+class Block {
+ public:
+  Block(std::string name, std::size_t num_inputs, std::size_t num_outputs);
+  virtual ~Block() = default;
+
+  Block(const Block&) = delete;
+  Block& operator=(const Block&) = delete;
+
+  const std::string& name() const { return name_; }
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_outputs() const { return num_outputs_; }
+
+  /// Functional model: consume one waveform per input port, produce one per
+  /// output port. Called once per simulation run.
+  virtual std::vector<Waveform> process(const std::vector<Waveform>& inputs) = 0;
+
+  /// Clear internal state (filters, noise streams resume their sequence).
+  virtual void reset() {}
+
+  /// Analytic average power estimate [W] for the current configuration.
+  /// Zero for ideal/mathematical blocks.
+  virtual double power_watts() const { return 0.0; }
+
+  /// Capacitor area in multiples of C_u,min (paper Fig. 9); zero if none.
+  virtual double area_unit_caps() const { return 0.0; }
+
+  ParameterSet& params() { return params_; }
+  const ParameterSet& params() const { return params_; }
+
+ private:
+  std::string name_;
+  std::size_t num_inputs_;
+  std::size_t num_outputs_;
+  ParameterSet params_;
+};
+
+using BlockPtr = std::unique_ptr<Block>;
+
+/// Interface for blocks that accept an externally injected waveform
+/// (sources). run_chain-style drivers and CompositeBlock use it to feed
+/// data into a model without knowing the concrete source type.
+class WaveformSettable {
+ public:
+  virtual ~WaveformSettable() = default;
+  virtual void set_waveform(Waveform w) = 0;
+};
+
+/// Adapter for stateless single-input single-output transformations, used
+/// by examples/tests to drop ad-hoc math into a model without subclassing.
+class FunctionBlock final : public Block {
+ public:
+  using Fn = Waveform (*)(const Waveform&);
+  FunctionBlock(std::string name, Fn fn);
+  std::vector<Waveform> process(const std::vector<Waveform>& inputs) override;
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace efficsense::sim

@@ -1,0 +1,202 @@
+#include "sim/model.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+#include "util/error.hpp"
+
+namespace efficsense::sim {
+
+BlockId Model::add(BlockPtr block) {
+  EFF_REQUIRE(block != nullptr, "cannot add a null block");
+  EFF_REQUIRE(by_name_.count(block->name()) == 0,
+              "duplicate block name: " + block->name());
+  const BlockId id = blocks_.size();
+  by_name_[block->name()] = id;
+  blocks_.push_back(std::move(block));
+  return id;
+}
+
+Block& Model::block(BlockId id) {
+  EFF_REQUIRE(id < blocks_.size(), "block id out of range");
+  return *blocks_[id];
+}
+
+const Block& Model::block(BlockId id) const {
+  EFF_REQUIRE(id < blocks_.size(), "block id out of range");
+  return *blocks_[id];
+}
+
+BlockId Model::id_of(const std::string& name) const {
+  auto it = by_name_.find(name);
+  EFF_REQUIRE(it != by_name_.end(), "unknown block: " + name);
+  return it->second;
+}
+
+bool Model::has_block(const std::string& name) const {
+  return by_name_.count(name) != 0;
+}
+
+Block& Model::block(const std::string& name) { return block(id_of(name)); }
+const Block& Model::block(const std::string& name) const {
+  return block(id_of(name));
+}
+
+void Model::connect(BlockId src, std::size_t src_port, BlockId dst,
+                    std::size_t dst_port) {
+  EFF_REQUIRE(src < blocks_.size() && dst < blocks_.size(), "bad block id");
+  EFF_REQUIRE(src_port < blocks_[src]->num_outputs(),
+              "source port out of range on " + blocks_[src]->name());
+  EFF_REQUIRE(dst_port < blocks_[dst]->num_inputs(),
+              "destination port out of range on " + blocks_[dst]->name());
+  const PortRef in{dst, dst_port};
+  EFF_REQUIRE(input_driver_.count(in) == 0,
+              "input already driven on " + blocks_[dst]->name());
+  const PortRef out{src, src_port};
+  input_driver_[in] = out;
+  fanout_[out].push_back(in);
+}
+
+void Model::connect(const std::string& src, const std::string& dst) {
+  connect(id_of(src), 0, id_of(dst), 0);
+}
+
+void Model::chain(const std::vector<BlockId>& ids) {
+  for (std::size_t i = 1; i < ids.size(); ++i) {
+    connect(ids[i - 1], 0, ids[i], 0);
+  }
+}
+
+std::vector<BlockId> Model::topological_order() const {
+  std::vector<std::size_t> indegree(blocks_.size(), 0);
+  for (const auto& [in, out] : input_driver_) {
+    (void)out;
+    ++indegree[in.block];
+  }
+  // A block is ready once all its driven inputs' sources have run. We track
+  // remaining *edges* per block; blocks with undriven inputs are an error,
+  // detected below.
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    std::size_t driven = 0;
+    for (std::size_t p = 0; p < blocks_[id]->num_inputs(); ++p) {
+      if (input_driver_.count(PortRef{id, p})) ++driven;
+    }
+    EFF_REQUIRE(driven == blocks_[id]->num_inputs(),
+                "undriven input port on block " + blocks_[id]->name());
+  }
+
+  std::queue<BlockId> ready;
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    if (indegree[id] == 0) ready.push(id);
+  }
+  std::vector<BlockId> order;
+  order.reserve(blocks_.size());
+  while (!ready.empty()) {
+    const BlockId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (std::size_t p = 0; p < blocks_[id]->num_outputs(); ++p) {
+      auto it = fanout_.find(PortRef{id, p});
+      if (it == fanout_.end()) continue;
+      for (const PortRef& in : it->second) {
+        if (--indegree[in.block] == 0) ready.push(in.block);
+      }
+    }
+  }
+  EFF_REQUIRE(order.size() == blocks_.size(), "model graph contains a cycle");
+  return order;
+}
+
+std::vector<Waveform> Model::run() {
+  last_outputs_.clear();
+  const auto order = topological_order();
+
+  for (const BlockId id : order) {
+    Block& b = *blocks_[id];
+    std::vector<Waveform> inputs;
+    inputs.reserve(b.num_inputs());
+    for (std::size_t p = 0; p < b.num_inputs(); ++p) {
+      const PortRef src = input_driver_.at(PortRef{id, p});
+      inputs.push_back(last_outputs_.at(src));
+    }
+    auto outputs = b.process(inputs);
+    EFF_REQUIRE(outputs.size() == b.num_outputs(),
+                "block " + b.name() + " produced wrong number of outputs");
+    for (std::size_t p = 0; p < outputs.size(); ++p) {
+      last_outputs_[PortRef{id, p}] = std::move(outputs[p]);
+    }
+  }
+
+  std::vector<Waveform> model_outputs;
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    for (std::size_t p = 0; p < blocks_[id]->num_outputs(); ++p) {
+      const PortRef out{id, p};
+      if (fanout_.count(out) == 0) {
+        model_outputs.push_back(last_outputs_.at(out));
+      }
+    }
+  }
+  return model_outputs;
+}
+
+const Waveform& Model::probe(const std::string& block_name,
+                             std::size_t port) const {
+  const BlockId id = id_of(block_name);
+  auto it = last_outputs_.find(PortRef{id, port});
+  EFF_REQUIRE(it != last_outputs_.end(),
+              "no recorded output for " + block_name + " (run the model first)");
+  return it->second;
+}
+
+void Model::reset() {
+  for (auto& b : blocks_) b->reset();
+  last_outputs_.clear();
+}
+
+PowerReport Model::power_report() const {
+  PowerReport report;
+  for (const auto& b : blocks_) {
+    const double w = b->power_watts();
+    if (w != 0.0) report.add(b->name(), w);
+  }
+  return report;
+}
+
+std::string Model::to_dot() const {
+  std::ostringstream os;
+  os << "digraph model {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    const auto& b = *blocks_[id];
+    os << "  b" << id << " [label=\"" << b.name();
+    if (b.power_watts() != 0.0) {
+      os << "\\n" << format_power(b.power_watts());
+    }
+    os << "\"];\n";
+  }
+  for (const auto& [out, targets] : fanout_) {
+    for (const PortRef& in : targets) {
+      os << "  b" << out.block << " -> b" << in.block;
+      if (blocks_[out.block]->num_outputs() > 1 ||
+          blocks_[in.block]->num_inputs() > 1) {
+        os << " [label=\"" << out.port << "->" << in.port << "\"]";
+      }
+      os << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+AreaReport Model::area_report() const {
+  AreaReport report;
+  for (const auto& b : blocks_) {
+    const double a = b->area_unit_caps();
+    if (a != 0.0) report.add(b->name(), a);
+  }
+  return report;
+}
+
+}  // namespace efficsense::sim

@@ -1,0 +1,94 @@
+#pragma once
+// The model graph: blocks wired port-to-port, scheduled topologically and
+// executed once per run. Unconnected output ports become the model outputs
+// (scopes); blocks without inputs are sources.
+
+#include <cstddef>
+#include <string>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/block.hpp"
+#include "sim/report.hpp"
+#include "sim/waveform.hpp"
+
+namespace efficsense::sim {
+
+using BlockId = std::size_t;
+
+struct PortRef {
+  BlockId block = 0;
+  std::size_t port = 0;
+  friend bool operator<(const PortRef& a, const PortRef& b) {
+    return a.block != b.block ? a.block < b.block : a.port < b.port;
+  }
+  friend bool operator==(const PortRef& a, const PortRef& b) {
+    return a.block == b.block && a.port == b.port;
+  }
+};
+
+class Model {
+ public:
+  /// Takes ownership; block names must be unique within the model.
+  BlockId add(BlockPtr block);
+
+  /// Convenience: construct the block in place and return a typed reference.
+  template <typename T, typename... Args>
+  T& emplace(Args&&... args) {
+    auto ptr = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *ptr;
+    add(std::move(ptr));
+    return ref;
+  }
+
+  std::size_t num_blocks() const { return blocks_.size(); }
+  Block& block(BlockId id);
+  const Block& block(BlockId id) const;
+  /// Lookup by unique name; throws if absent.
+  Block& block(const std::string& name);
+  const Block& block(const std::string& name) const;
+  BlockId id_of(const std::string& name) const;
+  bool has_block(const std::string& name) const;
+
+  /// Wire src output port -> dst input port. Each input accepts exactly one
+  /// driver; outputs may fan out.
+  void connect(BlockId src, std::size_t src_port, BlockId dst, std::size_t dst_port);
+  /// Shorthand for single-port blocks.
+  void connect(BlockId src, BlockId dst) { connect(src, 0, dst, 0); }
+  void connect(const std::string& src, const std::string& dst);
+
+  /// Chain a sequence of single-port blocks in order.
+  void chain(const std::vector<BlockId>& ids);
+
+  /// Execute the model. Every input port must be driven; returns the
+  /// waveforms of all unconnected output ports in (block-id, port) order.
+  std::vector<Waveform> run();
+
+  /// Waveform observed on a specific output port during the last run()
+  /// (tap / scope support, also for connected ports).
+  const Waveform& probe(const std::string& block_name, std::size_t port = 0) const;
+
+  /// Reset all block state (does not clear wiring).
+  void reset();
+
+  /// Aggregate analytic power / area of all blocks.
+  PowerReport power_report() const;
+  AreaReport area_report() const;
+
+  /// Graphviz DOT rendering of the block diagram (nodes annotated with the
+  /// analytic power), for documentation and debugging.
+  std::string to_dot() const;
+
+ private:
+  std::vector<BlockPtr> blocks_;
+  std::map<std::string, BlockId> by_name_;
+  std::map<PortRef, PortRef> input_driver_;           // dst input -> src output
+  std::map<PortRef, std::vector<PortRef>> fanout_;    // src output -> dst inputs
+  std::map<PortRef, Waveform> last_outputs_;          // populated by run()
+
+  std::vector<BlockId> topological_order() const;
+};
+
+}  // namespace efficsense::sim

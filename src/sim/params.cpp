@@ -1,0 +1,100 @@
+#include "sim/params.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::sim {
+
+void ParameterSet::set(const std::string& name, double v) { values_[name] = v; }
+void ParameterSet::set(const std::string& name, std::int64_t v) { values_[name] = v; }
+void ParameterSet::set(const std::string& name, bool v) { values_[name] = v; }
+void ParameterSet::set(const std::string& name, std::string v) {
+  values_[name] = std::move(v);
+}
+
+bool ParameterSet::has(const std::string& name) const {
+  return values_.count(name) != 0;
+}
+
+const ParamValue* ParameterSet::find(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? nullptr : &it->second;
+}
+
+double ParameterSet::get_double(const std::string& name) const {
+  const ParamValue* v = find(name);
+  EFF_REQUIRE(v != nullptr, "missing parameter: " + name);
+  if (const auto* d = std::get_if<double>(v)) return *d;
+  if (const auto* i = std::get_if<std::int64_t>(v)) return static_cast<double>(*i);
+  throw Error("parameter is not numeric: " + name);
+}
+
+std::int64_t ParameterSet::get_int(const std::string& name) const {
+  const ParamValue* v = find(name);
+  EFF_REQUIRE(v != nullptr, "missing parameter: " + name);
+  if (const auto* i = std::get_if<std::int64_t>(v)) return *i;
+  throw Error("parameter is not an integer: " + name);
+}
+
+bool ParameterSet::get_bool(const std::string& name) const {
+  const ParamValue* v = find(name);
+  EFF_REQUIRE(v != nullptr, "missing parameter: " + name);
+  if (const auto* b = std::get_if<bool>(v)) return *b;
+  throw Error("parameter is not a bool: " + name);
+}
+
+const std::string& ParameterSet::get_string(const std::string& name) const {
+  const ParamValue* v = find(name);
+  EFF_REQUIRE(v != nullptr, "missing parameter: " + name);
+  if (const auto* s = std::get_if<std::string>(v)) return *s;
+  throw Error("parameter is not a string: " + name);
+}
+
+double ParameterSet::get_double(const std::string& name, double fallback) const {
+  return has(name) ? get_double(name) : fallback;
+}
+
+std::int64_t ParameterSet::get_int(const std::string& name,
+                                   std::int64_t fallback) const {
+  return has(name) ? get_int(name) : fallback;
+}
+
+bool ParameterSet::get_bool(const std::string& name, bool fallback) const {
+  return has(name) ? get_bool(name) : fallback;
+}
+
+std::string ParameterSet::get_string(const std::string& name,
+                                     const std::string& fallback) const {
+  return has(name) ? get_string(name) : fallback;
+}
+
+std::vector<std::string> ParameterSet::names() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+std::string ParameterSet::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [k, v] : values_) {
+    if (!first) os << ";";
+    first = false;
+    os << k << "=";
+    if (const auto* d = std::get_if<double>(&v)) {
+      os << format_number(*d);
+    } else if (const auto* i = std::get_if<std::int64_t>(&v)) {
+      os << *i;
+    } else if (const auto* b = std::get_if<bool>(&v)) {
+      os << (*b ? "true" : "false");
+    } else {
+      os << std::get<std::string>(v);
+    }
+  }
+  return os.str();
+}
+
+}  // namespace efficsense::sim

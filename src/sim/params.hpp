@@ -1,0 +1,48 @@
+#pragma once
+// Typed, named block parameters. Mirrors the Simulink mask-parameter idea:
+// every block exposes its knobs through this registry so that the sweep
+// engine and the examples can configure blocks generically by name.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace efficsense::sim {
+
+using ParamValue = std::variant<double, std::int64_t, bool, std::string>;
+
+class ParameterSet {
+ public:
+  void set(const std::string& name, double v);
+  void set(const std::string& name, std::int64_t v);
+  void set(const std::string& name, int v) { set(name, static_cast<std::int64_t>(v)); }
+  void set(const std::string& name, bool v);
+  void set(const std::string& name, std::string v);
+  void set(const std::string& name, const char* v) { set(name, std::string(v)); }
+
+  bool has(const std::string& name) const;
+
+  /// Throws Error if absent or of the wrong type (int promotes to double).
+  double get_double(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  const std::string& get_string(const std::string& name) const;
+
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  std::string get_string(const std::string& name, const std::string& fallback) const;
+
+  std::vector<std::string> names() const;
+
+  /// Stable textual form, used for cache keys and experiment logs.
+  std::string to_string() const;
+
+ private:
+  const ParamValue* find(const std::string& name) const;
+  std::map<std::string, ParamValue> values_;
+};
+
+}  // namespace efficsense::sim

@@ -1,0 +1,73 @@
+#include "sim/report.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace efficsense::sim {
+
+void PowerReport::add(std::string block, double watts) {
+  for (auto& [name, w] : entries_) {
+    if (name == block) {
+      w += watts;
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(block), watts);
+}
+
+double PowerReport::total_watts() const {
+  double total = 0.0;
+  for (const auto& [_, w] : entries_) total += w;
+  return total;
+}
+
+double PowerReport::watts_of(const std::string& block) const {
+  for (const auto& [name, w] : entries_) {
+    if (name == block) return w;
+  }
+  return 0.0;
+}
+
+void PowerReport::merge(const PowerReport& other) {
+  for (const auto& [name, w] : other.entries_) add(name, w);
+}
+
+std::string PowerReport::to_string() const {
+  std::ostringstream os;
+  const double total = total_watts();
+  os << "total: " << format_power(total) << "\n";
+  for (const auto& [name, w] : entries_) {
+    os << "  " << name << ": " << format_power(w);
+    if (total > 0.0) {
+      os << " (" << format_number(100.0 * w / total) << " %)";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void AreaReport::add(std::string block, double unit_caps) {
+  for (auto& [name, a] : entries_) {
+    if (name == block) {
+      a += unit_caps;
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(block), unit_caps);
+}
+
+double AreaReport::total_unit_caps() const {
+  double total = 0.0;
+  for (const auto& [_, a] : entries_) total += a;
+  return total;
+}
+
+double AreaReport::caps_of(const std::string& block) const {
+  for (const auto& [name, a] : entries_) {
+    if (name == block) return a;
+  }
+  return 0.0;
+}
+
+}  // namespace efficsense::sim

@@ -1,0 +1,47 @@
+#pragma once
+// Power / area reporting structures produced by a simulated model. These are
+// the numbers behind Fig. 4 (bottom), Fig. 8 and Fig. 9 of the paper.
+
+#include <string>
+#include <vector>
+
+namespace efficsense::sim {
+
+/// Ordered per-block power contributions [W].
+class PowerReport {
+ public:
+  void add(std::string block, double watts);
+
+  double total_watts() const;
+  /// Contribution of one block (0 if absent). Names match Block::name().
+  double watts_of(const std::string& block) const;
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+  /// Merge another report (summing same-named entries).
+  void merge(const PowerReport& other);
+
+  /// Human-readable multi-line summary with percentages.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+/// Capacitor-area bookkeeping, expressed in multiples of the technology's
+/// minimum capacitor C_u,min as in the paper's Fig. 9.
+class AreaReport {
+ public:
+  void add(std::string block, double unit_caps);
+  double total_unit_caps() const;
+  double caps_of(const std::string& block) const;
+  const std::vector<std::pair<std::string, double>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
+}  // namespace efficsense::sim

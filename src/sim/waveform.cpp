@@ -1,0 +1,25 @@
+#include "sim/waveform.hpp"
+
+#include "util/error.hpp"
+
+namespace efficsense::sim {
+
+Waveform::Waveform(double rate, std::vector<double> data)
+    : fs(rate), samples(std::move(data)) {
+  EFF_REQUIRE(fs > 0.0, "waveform sample rate must be positive");
+}
+
+double Waveform::duration_s() const {
+  return fs > 0.0 ? static_cast<double>(samples.size()) / fs : 0.0;
+}
+
+std::vector<double> time_axis(const Waveform& w) {
+  EFF_REQUIRE(w.fs > 0.0, "waveform has no sample rate");
+  std::vector<double> t(w.size());
+  for (std::size_t k = 0; k < t.size(); ++k) {
+    t[k] = static_cast<double>(k) / w.fs;
+  }
+  return t;
+}
+
+}  // namespace efficsense::sim

@@ -1,0 +1,29 @@
+#pragma once
+// The signal type flowing between blocks: a uniformly sampled record tagged
+// with its sample rate. Blocks may change the rate (S&H, CS encoder), which
+// is how the engine models the multi-rate nature of the acquisition chain.
+
+#include <cstddef>
+#include <vector>
+
+namespace efficsense::sim {
+
+struct Waveform {
+  double fs = 0.0;               ///< sample rate [Hz]
+  std::vector<double> samples;   ///< sample values (volts unless noted)
+
+  Waveform() = default;
+  Waveform(double rate, std::vector<double> data);
+
+  std::size_t size() const { return samples.size(); }
+  bool empty() const { return samples.empty(); }
+  double duration_s() const;
+
+  double& operator[](std::size_t i) { return samples[i]; }
+  double operator[](std::size_t i) const { return samples[i]; }
+};
+
+/// Uniform time axis of the waveform (t[k] = k / fs).
+std::vector<double> time_axis(const Waveform& w);
+
+}  // namespace efficsense::sim

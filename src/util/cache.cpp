@@ -1,0 +1,58 @@
+#include "util/cache.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace fs = std::filesystem;
+
+namespace efficsense {
+
+std::uint64_t fnv1a(const std::string& data) {
+  std::uint64_t hash = 0xCBF29CE484222325ULL;
+  for (unsigned char c : data) {
+    hash ^= c;
+    hash *= 0x100000001B3ULL;
+  }
+  return hash;
+}
+
+FileCache::FileCache(std::string dir) : dir_(std::move(dir)) {}
+
+std::string FileCache::path_for(const std::string& key) const {
+  char name[32];
+  std::snprintf(name, sizeof name, "%016llx.blob",
+                static_cast<unsigned long long>(fnv1a(key)));
+  return dir_ + "/" + name;
+}
+
+std::optional<std::string> FileCache::load(const std::string& key) const {
+  std::ifstream in(path_for(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream blob;
+  blob << in.rdbuf();
+  return blob.str();
+}
+
+void FileCache::store(const std::string& key, const std::string& blob) const {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const std::string final_path = path_for(key);
+  const std::string tmp_path = final_path + ".tmp";
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    out << blob;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);  // best effort; cache is advisory
+}
+
+void FileCache::erase(const std::string& key) const {
+  std::error_code ec;
+  fs::remove(path_for(key), ec);
+}
+
+FileCache default_cache() { return FileCache(".cache"); }
+
+}  // namespace efficsense

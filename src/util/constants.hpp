@@ -1,0 +1,25 @@
+#pragma once
+// Physical constants and unit helpers used by the power and noise models.
+
+namespace efficsense::units {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Default simulation temperature [K] (about 27 C, the usual SPICE default).
+inline constexpr double kRoomTemperature = 300.0;
+
+/// kT at room temperature [J]; the quantity entering every kT/C expression.
+inline constexpr double kT = kBoltzmann * kRoomTemperature;
+
+// Metric prefixes, so parameter tables read like the paper's Table III.
+inline constexpr double femto = 1e-15;
+inline constexpr double pico = 1e-12;
+inline constexpr double nano = 1e-9;
+inline constexpr double micro = 1e-6;
+inline constexpr double milli = 1e-3;
+inline constexpr double kilo = 1e3;
+inline constexpr double mega = 1e6;
+inline constexpr double giga = 1e9;
+
+}  // namespace efficsense::units

@@ -1,0 +1,126 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace efficsense {
+
+std::string csv_escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string escaped = "\"";
+  for (char c : cell) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+std::string format_number(double v) {
+  if (v == 0.0) return "0";
+  char buf[64];
+  const double mag = std::fabs(v);
+  if (mag >= 1e-3 && mag < 1e6) {
+    std::snprintf(buf, sizeof buf, "%.6g", v);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.4e", v);
+  }
+  return buf;
+}
+
+std::string format_power(double watts) {
+  struct Scale {
+    double factor;
+    const char* suffix;
+  };
+  static constexpr Scale scales[] = {
+      {1.0, "W"}, {1e-3, "mW"}, {1e-6, "uW"}, {1e-9, "nW"}, {1e-12, "pW"}};
+  char buf[64];
+  for (const auto& s : scales) {
+    if (std::fabs(watts) >= s.factor || s.factor == 1e-12) {
+      std::snprintf(buf, sizeof buf, "%.3g %s", watts / s.factor, s.suffix);
+      return buf;
+    }
+  }
+  return "0 W";
+}
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(out) {}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  EFF_REQUIRE(columns_ == 0, "CSV header already written");
+  EFF_REQUIRE(!columns.empty(), "CSV header needs at least one column");
+  columns_ = columns.size();
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(columns[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  EFF_REQUIRE(columns_ == 0 || cells.size() == columns_,
+              "CSV row width does not match header");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(cells[i]);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_number(v));
+  row(formatted);
+}
+
+TablePrinter::TablePrinter(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {
+  EFF_REQUIRE(!columns_.empty(), "table needs at least one column");
+}
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  EFF_REQUIRE(cells.size() == columns_.size(),
+              "table row width does not match header");
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::add_row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (double v : cells) formatted.push_back(format_number(v));
+  add_row(std::move(formatted));
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << (i ? "  " : "");
+      out << row[i];
+      for (std::size_t pad = row[i].size(); pad < widths[i]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  std::string rule;
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    if (i) rule += "  ";
+    rule.append(widths[i], '-');
+  }
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace efficsense

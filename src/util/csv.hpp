@@ -1,0 +1,55 @@
+#pragma once
+// CSV emission and aligned console tables for bench / experiment output.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace efficsense {
+
+/// Streams rows of named columns as CSV. The header is emitted on the first
+/// row; all subsequent rows must supply the same number of cells.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out);
+
+  void header(const std::vector<std::string>& columns);
+  void row(const std::vector<std::string>& cells);
+  /// Convenience: format doubles with enough digits to round-trip trends.
+  void row(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t columns_ = 0;
+  std::size_t rows_ = 0;
+};
+
+/// Escape a cell per RFC 4180 (quote when it contains comma/quote/newline).
+std::string csv_escape(const std::string& cell);
+
+/// Collects rows and prints a column-aligned ASCII table, the console-facing
+/// twin of CsvWriter used by the figure benches.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void add_row(const std::vector<double>& cells);
+  void print(std::ostream& out) const;
+
+  std::size_t size() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double compactly ("1.23e-06" style only when needed).
+std::string format_number(double v);
+
+/// Format a power value with an adaptive SI suffix, e.g. "2.44 uW".
+std::string format_power(double watts);
+
+}  // namespace efficsense

@@ -1,0 +1,40 @@
+#include "util/env.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace efficsense {
+
+namespace {
+const char* raw(const std::string& name) { return std::getenv(name.c_str()); }
+}  // namespace
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const char* v = raw(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const long long parsed = std::strtoll(v, &end, 10);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+double env_double(const std::string& name, double fallback) {
+  const char* v = raw(name);
+  if (!v || !*v) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v, &end);
+  return (end && *end == '\0') ? parsed : fallback;
+}
+
+bool env_bool(const std::string& name, bool fallback) {
+  const char* v = raw(name);
+  if (!v || !*v) return fallback;
+  std::string s(v);
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  return fallback;
+}
+
+}  // namespace efficsense

@@ -1,0 +1,19 @@
+#pragma once
+// Environment-variable knobs. The figure benches default to a scale that
+// finishes quickly on a small machine; these knobs restore paper scale.
+
+#include <cstdint>
+#include <string>
+
+namespace efficsense {
+
+/// Read an integer env var, falling back to `fallback` when unset/invalid.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Read a floating-point env var.
+double env_double(const std::string& name, double fallback);
+
+/// Read a boolean env var (accepts 1/0, true/false, yes/no).
+bool env_bool(const std::string& name, bool fallback);
+
+}  // namespace efficsense

@@ -1,0 +1,27 @@
+#pragma once
+// Error handling primitives shared by all efficsense modules.
+
+#include <stdexcept>
+#include <string>
+
+namespace efficsense {
+
+/// Base exception for all errors raised by the framework. Conditions that
+/// indicate misuse of the API (bad dimensions, unknown parameter names,
+/// unsatisfiable configurations) throw this rather than asserting, so that
+/// sweeps can skip infeasible design points gracefully.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Precondition check that survives release builds.
+#define EFF_REQUIRE(cond, msg)                                        \
+  do {                                                                \
+    if (!(cond)) {                                                    \
+      throw ::efficsense::Error(std::string("requirement failed: ") + \
+                                (msg) + " [" #cond "]");              \
+    }                                                                 \
+  } while (false)
+
+}  // namespace efficsense

@@ -1,0 +1,96 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "util/error.hpp"
+
+namespace efficsense {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
+  std::uint64_t state = parent ^ (0xA0761D6478BD642FULL * (stream + 1));
+  std::uint64_t s = splitmix64(state);
+  return splitmix64(state) ^ s;
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
+  std::uint64_t state = seed;
+  for (auto& s : s_) s = splitmix64(state);
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0,1).
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  EFF_REQUIRE(n > 0, "Rng::below requires n > 0");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = max() - max() % n;
+  std::uint64_t x;
+  do {
+    x = (*this)();
+  } while (x >= limit);
+  return x % n;
+}
+
+double Rng::gaussian() {
+  if (has_cached_gauss_) {
+    has_cached_gauss_ = false;
+    return cached_gauss_;
+  }
+  double u1 = 0.0;
+  while (u1 == 0.0) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  cached_gauss_ = r * std::sin(theta);
+  has_cached_gauss_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = static_cast<std::size_t>(below(i));
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+Rng Rng::split(std::uint64_t stream) const {
+  return Rng(derive_seed(seed_, stream));
+}
+
+}  // namespace efficsense

@@ -1,0 +1,98 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace efficsense {
+
+ThreadPool::ThreadPool(std::size_t n) {
+  if (n == 0) {
+    n = std::thread::hardware_concurrency();
+    if (n == 0) n = 1;
+  }
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+// Heap-allocated so that helper tasks still queued when parallel_for returns
+// (because the calling thread drained all indices itself) stay valid.
+struct ParallelState {
+  explicit ParallelState(std::size_t n, std::function<void(std::size_t)> f)
+      : count(n), fn(std::move(f)) {}
+  const std::size_t count;
+  const std::function<void(std::size_t)> fn;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= count) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1) + 1 == count) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  auto state = std::make_shared<ParallelState>(count, fn);
+  {
+    std::lock_guard lock(mutex_);
+    // One helper task per worker; each task drains the shared index counter.
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      tasks_.push([state] { state->drain(); });
+    }
+  }
+  cv_.notify_all();
+  state->drain();  // the calling thread participates too
+
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] { return state->done.load() >= count; });
+  }
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+}  // namespace efficsense

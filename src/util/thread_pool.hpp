@@ -1,0 +1,41 @@
+#pragma once
+// Fixed-size thread pool used by the sweep engine. Design points are
+// embarrassingly parallel (each carries its own RNG stream), so the sweeper
+// just maps an index range over the pool.
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace efficsense {
+
+class ThreadPool {
+ public:
+  /// n == 0 selects hardware_concurrency() (min 1).
+  explicit ThreadPool(std::size_t n = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for i in [0, count) across the pool and wait for completion.
+  /// Exceptions from tasks are captured; the first one is rethrown here.
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace efficsense

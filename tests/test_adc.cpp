@@ -1,0 +1,167 @@
+// SAR ADC behavioural model: quantization accuracy, saturation, mismatch
+// (INL) and comparator-noise effects, resolution scaling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "blocks/sar_adc.hpp"
+#include "blocks/sources.hpp"
+#include "dsp/metrics.hpp"
+#include "power/models.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+using sim::Waveform;
+
+namespace {
+
+power::TechnologyParams quiet_tech() {
+  power::TechnologyParams t;
+  t.k_match_1f = 0.0;  // no mismatch
+  return t;
+}
+
+power::DesignParams quiet_design(int bits = 8) {
+  power::DesignParams d;
+  d.adc_bits = bits;
+  d.comparator_noise_vrms = 0.0;
+  return d;
+}
+
+Waveform dc(double v, std::size_t n = 1) {
+  return Waveform(537.6, std::vector<double>(n, v));
+}
+
+}  // namespace
+
+TEST(SarAdc, IdealQuantizationErrorBounded) {
+  blocks::SarAdcBlock adc("adc", quiet_tech(), quiet_design(), 1, 2);
+  const double lsb = adc.lsb();
+  for (double v = -0.99; v < 0.99; v += 0.013) {
+    const auto out = adc.process({dc(v)})[0];
+    EXPECT_NEAR(out[0], v, lsb * 0.5 + 1e-12) << "v=" << v;
+  }
+}
+
+TEST(SarAdc, SaturatesOutsideFullScale) {
+  blocks::SarAdcBlock adc("adc", quiet_tech(), quiet_design(), 1, 2);
+  const auto lo = adc.process({dc(-5.0)})[0][0];
+  const auto hi = adc.process({dc(5.0)})[0][0];
+  EXPECT_NEAR(lo, -1.0, adc.lsb());
+  EXPECT_NEAR(hi, 1.0, adc.lsb());
+}
+
+TEST(SarAdc, MonotonicWithoutMismatch) {
+  blocks::SarAdcBlock adc("adc", quiet_tech(), quiet_design(), 1, 2);
+  double prev = -10.0;
+  for (double v = -1.0; v <= 1.0; v += 1e-3) {
+    const double q = adc.process({dc(v)})[0][0];
+    EXPECT_GE(q, prev - 1e-12);
+    prev = q;
+  }
+}
+
+class SarAdcEnob : public ::testing::TestWithParam<int> {};
+
+TEST_P(SarAdcEnob, CleanSineReachesResolution) {
+  const int bits = GetParam();
+  blocks::SarAdcBlock adc("adc", quiet_tech(), quiet_design(bits), 1, 2);
+  blocks::SineSource tone("t", 537.6, 60.0, 13.7, 0.999);
+  const auto in = tone.process({}).front();
+  const auto out = adc.process({in})[0];
+  const auto a = dsp::analyze_tone(out.samples, out.fs);
+  EXPECT_NEAR(a.enob, bits, 0.4);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, SarAdcEnob, ::testing::Values(6, 7, 8, 10));
+
+TEST(SarAdc, ComparatorNoiseDegradesEnob) {
+  auto d = quiet_design(8);
+  d.comparator_noise_vrms = 10e-3;  // ~1.3 LSB of decision noise
+  blocks::SarAdcBlock adc("adc", quiet_tech(), d, 1, 2);
+  blocks::SineSource tone("t", 537.6, 60.0, 13.7, 0.999);
+  const auto in = tone.process({}).front();
+  const auto out = adc.process({in})[0];
+  const auto a = dsp::analyze_tone(out.samples, out.fs);
+  EXPECT_LT(a.enob, 7.0);
+  EXPECT_GT(a.enob, 4.0);
+}
+
+TEST(SarAdc, MismatchCreatesStaticNonlinearity) {
+  power::TechnologyParams rough;
+  rough.k_match_1f = 0.05;  // 5 % unit-cap sigma: severe mismatch
+  auto d = quiet_design(8);
+  blocks::SarAdcBlock adc_rough("a", rough, d, 7, 2);
+  blocks::SarAdcBlock adc_clean("b", quiet_tech(), d, 7, 2);
+  // Conversion is deterministic (no comparator noise); compare transfer
+  // curves.
+  double max_dev = 0.0;
+  std::size_t moved = 0, total = 0;
+  for (double v = -0.9; v <= 0.9; v += 0.004) {
+    const double q1 = adc_rough.process({dc(v)})[0][0];
+    const double q2 = adc_clean.process({dc(v)})[0][0];
+    max_dev = std::max(max_dev, std::fabs(q1 - q2));
+    if (q1 != q2) ++moved;
+    ++total;
+  }
+  EXPECT_GE(max_dev, adc_clean.lsb());     // code boundaries shifted
+  EXPECT_GT(moved, total / 20);            // ... for a sizeable input range
+}
+
+TEST(SarAdc, MismatchIsFrozenPerInstance) {
+  power::TechnologyParams rough;
+  rough.k_match_1f = 0.02;
+  auto d = quiet_design(8);
+  blocks::SarAdcBlock a("a", rough, d, 77, 2);
+  blocks::SarAdcBlock b("b", rough, d, 77, 2);
+  blocks::SarAdcBlock c("c", rough, d, 78, 2);
+  EXPECT_EQ(a.actual_weights(), b.actual_weights());  // same fabrication seed
+  EXPECT_NE(a.actual_weights(), c.actual_weights());
+}
+
+TEST(SarAdc, WeightsSumBelowOne) {
+  blocks::SarAdcBlock adc("adc", power::TechnologyParams{}, quiet_design(8), 3, 4);
+  double sum = 0.0;
+  for (double w : adc.actual_weights()) sum += w;
+  // Total of bit weights: (2^N - 1) / (2^N) of full scale (dummy cap).
+  EXPECT_NEAR(sum, 255.0 / 256.0, 0.02);
+}
+
+TEST(SarAdc, PowerIsSumOfTableIIComponents) {
+  power::TechnologyParams tech;
+  power::DesignParams d;
+  blocks::SarAdcBlock adc("adc", tech, d, 1, 2);
+  const double expected = power::comparator_power(tech, d) +
+                          power::sar_logic_power(tech, d) +
+                          power::dac_power(tech, d);
+  EXPECT_DOUBLE_EQ(adc.power_watts(), expected);
+
+  blocks::SarAdcBlock adc_sh("adc2", tech, d, 1, 2,
+                             /*include_sampling_network=*/true);
+  EXPECT_DOUBLE_EQ(adc_sh.power_watts(),
+                   expected + power::sample_hold_power(tech, d));
+}
+
+TEST(SarAdc, AreaIsDacArray) {
+  power::TechnologyParams tech;
+  power::DesignParams d;
+  d.adc_bits = 8;
+  d.dac_c_unit_f = 4e-15;
+  blocks::SarAdcBlock adc("adc", tech, d, 1, 2);
+  EXPECT_DOUBLE_EQ(adc.area_unit_caps(), 256.0 * 4.0);
+}
+
+TEST(SarAdc, NoiseStreamAdvancesAndResets) {
+  auto d = quiet_design(8);
+  d.comparator_noise_vrms = 5e-3;
+  blocks::SarAdcBlock adc("adc", quiet_tech(), d, 1, 99);
+  const auto in = dc(0.31, 200);
+  const auto r1 = adc.process({in})[0];
+  const auto r2 = adc.process({in})[0];
+  EXPECT_NE(r1.samples, r2.samples);
+  adc.reset();
+  const auto r3 = adc.process({in})[0];
+  EXPECT_EQ(r1.samples, r3.samples);
+}

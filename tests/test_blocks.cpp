@@ -1,0 +1,410 @@
+// Circuit-block functional models: sources, math blocks, the LNA of Fig. 3,
+// S&H, CS encoder, transmitter and the digital filter block.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "blocks/basic.hpp"
+#include "blocks/cs_encoder.hpp"
+#include "blocks/digital_filter.hpp"
+#include "blocks/lna.hpp"
+#include "blocks/sample_hold.hpp"
+#include "blocks/sources.hpp"
+#include "blocks/transmitter.hpp"
+#include "cs/effective.hpp"
+#include "dsp/metrics.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+using sim::Waveform;
+
+namespace {
+
+power::TechnologyParams default_tech() { return {}; }
+
+power::DesignParams default_design() {
+  power::DesignParams d;
+  return d;
+}
+
+Waveform sine_wave(double fs, double f, double amp, double dur) {
+  blocks::SineSource s("s", fs, dur, f, amp);
+  return s.process({}).front();
+}
+
+}  // namespace
+
+TEST(Sources, SineHasRequestedToneAndLength) {
+  const auto w = sine_wave(2048.0, 64.0, 0.5, 2.0);
+  EXPECT_EQ(w.size(), 4096u);
+  EXPECT_DOUBLE_EQ(w.fs, 2048.0);
+  const auto a = dsp::analyze_tone(w.samples, w.fs);
+  EXPECT_NEAR(a.fundamental_hz, 64.0, 0.6);
+  EXPECT_NEAR(dsp::rms(w.samples), 0.5 / std::numbers::sqrt2, 1e-3);
+}
+
+TEST(Sources, SineRejectsAboveNyquist) {
+  EXPECT_THROW(blocks::SineSource("s", 100.0, 1.0, 60.0, 1.0), Error);
+}
+
+TEST(Sources, WaveformSourceEmitsWhatWasSet) {
+  blocks::WaveformSource src("src");
+  EXPECT_THROW(src.process({}), Error);  // nothing set yet
+  src.set_waveform(Waveform(10.0, {1, 2, 3}));
+  const auto out = src.process({});
+  EXPECT_EQ(out[0].samples, (std::vector<double>{1, 2, 3}));
+}
+
+TEST(BasicBlocks, GainClipAdderCubic) {
+  const Waveform w(10.0, {-2.0, 0.5, 2.0});
+  blocks::GainBlock g("g", 3.0);
+  EXPECT_DOUBLE_EQ(g.process({w})[0][1], 1.5);
+
+  blocks::ClipBlock c("c", -1.0, 1.0);
+  const auto clipped = c.process({w})[0];
+  EXPECT_DOUBLE_EQ(clipped[0], -1.0);
+  EXPECT_DOUBLE_EQ(clipped[1], 0.5);
+  EXPECT_DOUBLE_EQ(clipped[2], 1.0);
+  EXPECT_THROW(blocks::ClipBlock("bad", 1.0, -1.0), Error);
+
+  blocks::AdderBlock add("a");
+  const auto sum = add.process({w, w})[0];
+  EXPECT_DOUBLE_EQ(sum[2], 4.0);
+  EXPECT_THROW(add.process({w, Waveform(99.0, {1.0})}), Error);  // rate mismatch
+
+  blocks::CubicNonlinearityBlock nl("n", 0.1);
+  EXPECT_DOUBLE_EQ(nl.process({w})[0][2], 2.0 - 0.1 * 8.0);
+}
+
+TEST(BasicBlocks, NoiseAdderStatistics) {
+  blocks::NoiseAdderBlock n("n", 0.1, 42);
+  const Waveform w(100.0, std::vector<double>(50000, 0.0));
+  const auto out = n.process({w})[0];
+  EXPECT_NEAR(dsp::rms(out.samples), 0.1, 0.005);
+}
+
+TEST(BasicBlocks, NoiseAdderDeterministicAcrossReset) {
+  blocks::NoiseAdderBlock n("n", 1.0, 7);
+  const Waveform w(100.0, std::vector<double>(100, 0.0));
+  const auto a = n.process({w})[0];
+  const auto b = n.process({w})[0];
+  EXPECT_NE(a.samples, b.samples);  // consecutive runs see fresh noise
+  n.reset();
+  const auto a2 = n.process({w})[0];
+  EXPECT_EQ(a.samples, a2.samples);  // reset rewinds the stream
+}
+
+TEST(Lna, AppliesGain) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.lna_noise_vrms = 0.1e-6;  // negligible noise
+  blocks::LnaBlock lna("lna", tech, design, 1);
+  const auto in = sine_wave(8192.0, 50.0, 100e-6, 2.0);
+  const auto out = lna.process({in})[0];
+  const std::vector<double> tail(out.samples.begin() + 4096, out.samples.end());
+  // 100 uV * 1000 = 0.1 V amplitude.
+  EXPECT_NEAR(dsp::rms(tail) * std::numbers::sqrt2, 0.1, 0.003);
+}
+
+TEST(Lna, InBandNoiseMatchesSpec) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.lna_noise_vrms = 5e-6;
+  blocks::LnaBlock lna("lna", tech, design, 2);
+  const Waveform silence(8192.0, std::vector<double>(8192 * 8, 0.0));
+  const auto out = lna.process({silence})[0];
+  // Input-referred noise over BW_LNA should be ~5 uVrms; at the output it is
+  // gain * 5 uV (the LPF confines the white noise to ~BW_LNA).
+  const double measured = dsp::rms(out.samples) / design.lna_gain;
+  EXPECT_NEAR(measured, 5e-6, 1.2e-6);
+}
+
+TEST(Lna, ClipsAtHalfFullScale) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.lna_noise_vrms = 0.1e-6;
+  blocks::LnaBlock lna("lna", tech, design, 3);
+  const auto in = sine_wave(8192.0, 50.0, 5e-3, 1.0);  // would be 5 V out
+  const auto out = lna.process({in})[0];
+  double max_abs = 0.0;
+  for (double v : out.samples) max_abs = std::max(max_abs, std::fabs(v));
+  EXPECT_LE(max_abs, design.v_fs / 2.0 + 1e-12);
+  EXPECT_NEAR(max_abs, design.v_fs / 2.0, 1e-6);
+}
+
+TEST(Lna, BandwidthLimitsHighFrequencies) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.lna_noise_vrms = 0.1e-6;
+  blocks::LnaBlock lna("lna", tech, design, 4);
+  // BW_LNA = 768 Hz; an in-band and a far out-of-band tone.
+  const auto in_band = lna.process({sine_wave(16384.0, 100.0, 50e-6, 1.0)})[0];
+  lna.reset();
+  const auto out_band = lna.process({sine_wave(16384.0, 3072.0, 50e-6, 1.0)})[0];
+  const std::vector<double> t1(in_band.samples.begin() + 8192, in_band.samples.end());
+  const std::vector<double> t2(out_band.samples.begin() + 8192, out_band.samples.end());
+  // 2nd-order LP at 768 Hz: 3072 Hz (2 octaves up) is ~24 dB down.
+  EXPECT_GT(dsp::rms(t1) / dsp::rms(t2), 10.0);
+}
+
+TEST(Lna, DistortionMatchesHd3Spec) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.lna_noise_vrms = 0.05e-6;
+  blocks::LnaBlock lna("lna", tech, design, 5, /*hd3_db=*/-40.0);
+  // Full-swing output tone: HD3 should appear near -40 dB.
+  const auto in = sine_wave(16384.0, 40.0, 1e-3, 4.0);  // 1 V out = full swing
+  const auto out = lna.process({in})[0];
+  const std::vector<double> tail(out.samples.begin() + 16384, out.samples.end());
+  const auto a = dsp::analyze_tone(tail, 16384.0);
+  EXPECT_NEAR(a.thd_db, -40.0, 3.0);
+}
+
+TEST(Lna, PowerMatchesTableII) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::LnaBlock lna("lna", tech, design, 6);
+  EXPECT_DOUBLE_EQ(lna.power_watts(), power::lna_power(tech, design));
+  EXPECT_GT(lna.power_watts(), 0.0);
+}
+
+TEST(SampleHold, OutputsAtFsample) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::SampleHoldBlock sh("sh", tech, design, 1);
+  const auto in = sine_wave(2048.0, 10.0, 0.5, 2.0);
+  const auto out = sh.process({in})[0];
+  EXPECT_DOUBLE_EQ(out.fs, design.f_sample_hz());
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(2.0 * design.f_sample_hz()));
+}
+
+TEST(SampleHold, PreservesInBandTone) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::SampleHoldBlock sh("sh", tech, design, 2);
+  const auto in = sine_wave(8192.0, 20.0, 0.5, 4.0);
+  const auto out = sh.process({in})[0];
+  const auto a = dsp::analyze_tone(out.samples, out.fs);
+  EXPECT_NEAR(a.fundamental_hz, 20.0, 0.5);
+}
+
+TEST(SampleHold, KtCNoiseLevel) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::SampleHoldBlock sh("sh", tech, design, 3);
+  const double expected =
+      std::sqrt(units::kT / design.sh_cap_f(tech));
+  EXPECT_NEAR(sh.kt_c_noise_vrms(), expected, 1e-9);
+  // Measure on a silent input.
+  const Waveform silence(2048.0, std::vector<double>(2048 * 30, 0.0));
+  const auto out = sh.process({silence})[0];
+  EXPECT_NEAR(dsp::rms(out.samples), expected, 0.1 * expected);
+}
+
+TEST(SampleHold, AreaIsItsCapacitor) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::SampleHoldBlock sh("sh", tech, design, 4);
+  EXPECT_NEAR(sh.area_unit_caps(), design.sh_cap_f(tech) / tech.c_u_min_f, 1e-9);
+}
+
+TEST(Transmitter, CountsBits) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::TransmitterBlock tx("tx", tech, design, 1);
+  // A mid-tread-aligned value (what a SAR ADC actually emits).
+  const double v = (160.0 + 0.5) / 256.0 * 2.0 - 1.0;
+  const Waveform w(537.6, std::vector<double>(1000, v));
+  const auto out = tx.process({w})[0];
+  EXPECT_EQ(out.samples, w.samples);  // lossless by default
+  EXPECT_EQ(tx.last_bits_sent(), 1000u * 8u);
+}
+
+TEST(Transmitter, BitErrorsCorruptSamples) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::TransmitterBlock tx("tx", tech, design, 2, /*ber=*/0.05);
+  const double v = (160.0 + 0.5) / 256.0 * 2.0 - 1.0;
+  const Waveform w(537.6, std::vector<double>(2000, v));
+  const auto out = tx.process({w})[0];
+  std::size_t changed = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (out[i] != w[i]) ++changed;
+  }
+  // P(sample unchanged) = (1-0.05)^8 ~ 0.66 -> expect ~680 corrupted.
+  EXPECT_GT(changed, 400u);
+  EXPECT_LT(changed, 1000u);
+}
+
+TEST(Transmitter, PowerScalesWithRateAndBits) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::TransmitterBlock tx8("tx8", tech, design, 3);
+  auto design6 = design;
+  design6.adc_bits = 6;
+  blocks::TransmitterBlock tx6("tx6", tech, design6, 3);
+  EXPECT_GT(tx8.power_watts(), tx6.power_watts());
+  // Paper sanity: 537.6 Hz * 8 bit * 1 nJ = 4.3 uW.
+  EXPECT_NEAR(tx8.power_watts(), 4.3e-6, 0.01e-6);
+}
+
+TEST(DigitalFilter, FiltersAndReportsPower) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::DigitalFilterBlock f("dsp", tech, design,
+                               dsp::rbj_notch(50.0, 8.0, 537.6));
+  const auto in = sine_wave(537.6, 50.0, 1.0, 4.0);
+  const auto out = f.process({in})[0];
+  const std::vector<double> tail(out.samples.begin() + 1000, out.samples.end());
+  EXPECT_LT(dsp::rms(tail), 0.05);  // notched away
+  EXPECT_GT(f.power_watts(), 0.0);
+  EXPECT_LT(f.power_watts(), 1e-6);  // digital conditioning is cheap
+}
+
+TEST(CsEncoder, OutputRateAndFrameCount) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.cs_m = 96;
+  auto phi = cs::SparseBinaryMatrix::generate(96, 384, 2, 5);
+  blocks::CsEncoderBlock enc("enc", tech, design, phi, 1, 2);
+  const auto in = sine_wave(2048.0, 10.0, 0.1, 4.0);
+  const auto out = enc.process({in})[0];
+  // 4 s at 537.6 Hz = 2150 samples -> 5 full frames of 384 -> 5*96 outputs.
+  EXPECT_EQ(out.size(), 5u * 96u);
+  EXPECT_NEAR(out.fs, design.adc_rate_hz(), 1e-9);
+}
+
+TEST(CsEncoder, IdealModeMatchesEffectiveMatrix) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.cs_m = 32;
+  design.cs_n_phi = 64;
+  auto phi = cs::SparseBinaryMatrix::generate(32, 64, 2, 9);
+  blocks::CsEncoderOptions opts;
+  opts.enable_mismatch = false;
+  opts.enable_noise = false;
+  opts.enable_leakage = false;
+  blocks::CsEncoderBlock enc("enc", tech, design, phi, 1, 2, opts);
+
+  // One exact frame at f_sample so interpolation is trivial: input already
+  // at f_sample.
+  const double f_sample = design.f_sample_hz();
+  std::vector<double> x(64);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(0.15 * static_cast<double>(i));
+  }
+  const Waveform in(f_sample, x);
+  const auto out = enc.process({in})[0];
+
+  const auto gains = enc.nominal_gains();
+  const auto eff = cs::effective_matrix(phi, gains.a, gains.b);
+  const auto expected = linalg::matvec(eff, x);
+  ASSERT_EQ(out.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(out[i], expected[i], 1e-12) << "measurement " << i;
+  }
+}
+
+TEST(CsEncoder, NoiseAndMismatchPerturbMeasurements) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.cs_m = 32;
+  design.cs_n_phi = 64;
+  auto phi = cs::SparseBinaryMatrix::generate(32, 64, 2, 9);
+
+  blocks::CsEncoderOptions ideal;
+  ideal.enable_mismatch = false;
+  ideal.enable_noise = false;
+  blocks::CsEncoderBlock enc_ideal("a", tech, design, phi, 1, 2, ideal);
+  blocks::CsEncoderBlock enc_real("b", tech, design, phi, 1, 2, {});
+
+  const Waveform in(design.f_sample_hz(), std::vector<double>(64, 0.3));
+  const auto y0 = enc_ideal.process({in})[0];
+  const auto y1 = enc_real.process({in})[0];
+  double diff = 0.0;
+  for (std::size_t i = 0; i < y0.size(); ++i) diff += std::fabs(y0[i] - y1[i]);
+  EXPECT_GT(diff, 0.0);
+  // ... but only slightly (sub-mV scale errors on ~0.1 V measurements).
+  EXPECT_LT(diff / static_cast<double>(y0.size()), 2e-3);
+}
+
+TEST(CsEncoder, LeakageDroopsHeldValues) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.cs_m = 32;
+  design.cs_n_phi = 64;
+  auto phi = cs::SparseBinaryMatrix::generate(32, 64, 2, 9);
+  blocks::CsEncoderOptions leaky;
+  leaky.enable_mismatch = false;
+  leaky.enable_noise = false;
+  leaky.enable_leakage = true;
+  leaky.i_leak_override_a = 1e-13;  // mild leak for a measurable droop
+  blocks::CsEncoderBlock enc_leak("a", tech, design, phi, 1, 2, leaky);
+  blocks::CsEncoderOptions ideal = leaky;
+  ideal.enable_leakage = false;
+  blocks::CsEncoderBlock enc_ideal("b", tech, design, phi, 1, 2, ideal);
+
+  const Waveform in(design.f_sample_hz(), std::vector<double>(64, 0.5));
+  const auto y_leak = enc_leak.process({in})[0];
+  const auto y_ideal = enc_ideal.process({in})[0];
+  double leaked = 0.0, held = 0.0;
+  for (std::size_t i = 0; i < y_leak.size(); ++i) {
+    leaked += y_leak[i];
+    held += y_ideal[i];
+  }
+  EXPECT_LT(leaked, held);  // droop discharges toward ground
+}
+
+TEST(CsEncoder, AreaCountsAllCapacitors) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.cs_m = 75;
+  auto phi = cs::SparseBinaryMatrix::generate(75, 384, 2, 5);
+  blocks::CsEncoderBlock enc("enc", tech, design, phi, 1, 2);
+  const double expected =
+      (75.0 * design.cs_c_hold_f + 2.0 * design.cs_c_sample_f) / tech.c_u_min_f;
+  EXPECT_NEAR(enc.area_unit_caps(), expected, 1e-9);
+}
+
+TEST(CsEncoder, RejectsMismatchedMatrix) {
+  auto tech = default_tech();
+  auto design = default_design();
+  design.cs_m = 75;
+  auto phi = cs::SparseBinaryMatrix::generate(50, 384, 2, 5);  // wrong M
+  EXPECT_THROW(blocks::CsEncoderBlock("enc", tech, design, phi, 1, 2), Error);
+}
+
+TEST(SampleHold, ApertureJitterMatchesSlewNoiseBound) {
+  // For a full-scale tone at f, rms jitter sigma_t bounds the SNR at
+  // -20 log10(2 pi f sigma_t). Use a fast tone so jitter dominates kT/C.
+  auto tech = default_tech();
+  auto design = default_design();
+  const double f_tone = 200.0;
+  const double sigma_t = 2e-5;  // 20 us rms (exaggerated, for a clear floor)
+  blocks::SampleHoldBlock sh("sh", tech, design, 5, sigma_t);
+  const auto in = sine_wave(16384.0, f_tone, 0.9, 30.0);
+  const auto out = sh.process({in})[0];
+  const auto a = dsp::analyze_tone(out.samples, out.fs);
+  const double expected_snr =
+      -20.0 * std::log10(2.0 * std::numbers::pi * f_tone * sigma_t);
+  EXPECT_NEAR(a.sndr_db, expected_snr, 1.5);
+}
+
+TEST(SampleHold, ZeroJitterIsDefaultAndHarmless) {
+  auto tech = default_tech();
+  auto design = default_design();
+  blocks::SampleHoldBlock plain("a", tech, design, 5);
+  blocks::SampleHoldBlock zero("b", tech, design, 5, 0.0);
+  const auto in = sine_wave(8192.0, 20.0, 0.5, 2.0);
+  EXPECT_EQ(plain.process({in})[0].samples, zero.process({in})[0].samples);
+}
+
+TEST(SampleHold, RejectsAbsurdJitter) {
+  auto tech = default_tech();
+  auto design = default_design();
+  EXPECT_THROW(blocks::SampleHoldBlock("sh", tech, design, 5, -1e-6), Error);
+  EXPECT_THROW(blocks::SampleHoldBlock("sh", tech, design, 5, 1.0), Error);
+}

@@ -1,0 +1,251 @@
+// Feature extraction and the epilepsy detector.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "classify/detector.hpp"
+#include "classify/features.hpp"
+#include "eeg/dataset.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+using classify::FeatureExtractor;
+
+namespace {
+
+std::vector<double> sine(double fs, double f, double amp, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * f *
+                          static_cast<double>(i) / fs);
+  }
+  return x;
+}
+
+}  // namespace
+
+TEST(Features, NamesMatchCount) {
+  EXPECT_EQ(FeatureExtractor::epoch_feature_names().size(),
+            FeatureExtractor::kEpochFeatures);
+  EXPECT_EQ(FeatureExtractor::kSegmentFeatures,
+            2 * FeatureExtractor::kEpochFeatures);
+}
+
+TEST(Features, EpochVectorShapeAndFiniteness) {
+  const FeatureExtractor fx;
+  const auto f = fx.epoch_features(sine(512.0, 10.0, 1e-4, 1024), 512.0);
+  EXPECT_EQ(f.size(), FeatureExtractor::kEpochFeatures);
+  for (double v : f) EXPECT_TRUE(std::isfinite(v));
+}
+
+TEST(Features, DominantFrequencyOfSine) {
+  const FeatureExtractor fx;
+  const auto f = fx.epoch_features(sine(512.0, 10.0, 1e-4, 2048), 512.0);
+  const auto names = FeatureExtractor::epoch_feature_names();
+  const auto idx = static_cast<std::size_t>(
+      std::find(names.begin(), names.end(), "dominant_hz") - names.begin());
+  EXPECT_NEAR(f[idx], 10.0, 2.5);
+}
+
+TEST(Features, RelativeBandPowersSumBelowOne) {
+  const FeatureExtractor fx;
+  Rng rng(5);
+  std::vector<double> noise(2048);
+  for (auto& v : noise) v = rng.gaussian(0.0, 1e-5);
+  const auto f = fx.epoch_features(noise, 512.0);
+  double sum = 0.0;
+  for (std::size_t i = 4; i <= 8; ++i) sum += f[i];  // the 5 band features
+  EXPECT_LE(sum, 1.0 + 1e-9);
+  EXPECT_GT(sum, 0.5);
+}
+
+TEST(Features, AmplitudeFeatureTracksScale) {
+  const FeatureExtractor fx;
+  const auto quiet = fx.epoch_features(sine(512.0, 7.0, 1e-5, 1024), 512.0);
+  const auto loud = fx.epoch_features(sine(512.0, 7.0, 1e-3, 1024), 512.0);
+  EXPECT_NEAR(loud[0] - quiet[0], 2.0, 1e-6);  // log10 rms: x100 -> +2
+}
+
+TEST(Features, SeizureVsNormalSeparation) {
+  const eeg::Generator gen{eeg::GeneratorConfig{}};
+  const FeatureExtractor fx;
+  // Weak seizures are amplitude-comparable to background by design, so the
+  // robust discriminator is rhythmicity: relative delta-band power. The
+  // *max*-aggregated log-rms still separates (the discharge peak sticks out).
+  double max_rms_n = 0.0, max_rms_s = 0.0, delta_n = 0.0, delta_s = 0.0;
+  const int trials = 10;
+  for (int i = 0; i < trials; ++i) {
+    const auto n = gen.normal(i).samples;
+    const auto s = gen.seizure(i).samples;
+    const auto fn = fx.segment_features(n, 2048.0);
+    const auto fs = fx.segment_features(s, 2048.0);
+    const std::size_t k = classify::FeatureExtractor::kEpochFeatures;
+    max_rms_n += fn[k + 0];  // max over epochs of log-rms
+    max_rms_s += fs[k + 0];
+    delta_n += fn[4];  // mean relative delta-band power
+    delta_s += fs[4];
+  }
+  EXPECT_GT(max_rms_s / trials, max_rms_n / trials + 0.1);
+  // The spike-wave discharge concentrates energy in the delta band.
+  EXPECT_GT(delta_s / trials, delta_n / trials + 0.1);
+}
+
+TEST(Features, EpochMatrixShape) {
+  const FeatureExtractor fx({.epoch_s = 2.0});
+  const auto m = fx.epoch_matrix(sine(512.0, 9.0, 1e-4, 512 * 11), 512.0);
+  EXPECT_EQ(m.rows(), 5u);  // 11 s -> 5 full 2 s epochs
+  EXPECT_EQ(m.cols(), FeatureExtractor::kEpochFeatures);
+}
+
+TEST(Features, TooShortThrows) {
+  const FeatureExtractor fx;
+  EXPECT_THROW(fx.epoch_features(std::vector<double>(32, 0.0), 512.0), Error);
+  EXPECT_THROW(fx.epoch_matrix(std::vector<double>(100, 0.0), 512.0), Error);
+}
+
+TEST(EpochLabels, NormalSegmentAllZero) {
+  const auto labels = classify::epoch_labels(std::nullopt, 10, 2.0);
+  ASSERT_EQ(labels.size(), 10u);
+  for (const auto& l : labels) {
+    ASSERT_TRUE(l.has_value());
+    EXPECT_DOUBLE_EQ(*l, 0.0);
+  }
+}
+
+TEST(EpochLabels, DischargeSpanLabelsAndBoundaries) {
+  // Discharge from 4.0 s to 12.0 s; 2 s epochs.
+  eeg::IctalAnnotation ictal;
+  ictal.onset_s = 4.0;
+  ictal.duration_s = 8.0;
+  const auto labels = classify::epoch_labels(ictal, 10, 2.0);
+  // Epochs [0,2),[2,4): normal. [4..12): seizure. [12..): normal.
+  EXPECT_DOUBLE_EQ(labels[0].value(), 0.0);
+  EXPECT_DOUBLE_EQ(labels[1].value(), 0.0);
+  for (int e = 2; e <= 5; ++e) EXPECT_DOUBLE_EQ(labels[e].value(), 1.0) << e;
+  EXPECT_DOUBLE_EQ(labels[6].value(), 0.0);
+  EXPECT_DOUBLE_EQ(labels[9].value(), 0.0);
+}
+
+TEST(EpochLabels, AmbiguousBoundaryExcluded) {
+  // Onset mid-epoch: overlap 0.5 lies between the thresholds -> nullopt.
+  eeg::IctalAnnotation ictal;
+  ictal.onset_s = 3.0;
+  ictal.duration_s = 10.0;
+  const auto labels = classify::epoch_labels(ictal, 8, 2.0);
+  EXPECT_FALSE(labels[1].has_value());  // epoch [2,4): 50 % overlap
+  EXPECT_DOUBLE_EQ(labels[0].value(), 0.0);
+  EXPECT_DOUBLE_EQ(labels[2].value(), 1.0);
+}
+
+TEST(EpochLabels, ThresholdsConfigurable) {
+  eeg::IctalAnnotation ictal;
+  ictal.onset_s = 3.0;
+  ictal.duration_s = 10.0;
+  const auto strict = classify::epoch_labels(ictal, 8, 2.0, 0.6, 0.6);
+  EXPECT_TRUE(strict[1].has_value());  // 50 % overlap <= 0.6 -> normal
+  EXPECT_DOUBLE_EQ(strict[1].value(), 0.0);
+}
+
+TEST(Detector, EpochScoringOnCleanSeizure) {
+  const eeg::Generator gen{eeg::GeneratorConfig{}};
+  const auto train = eeg::make_dataset(gen, 16, 16, 909);
+  classify::DetectorConfig cfg;
+  cfg.augment.enabled = false;
+  cfg.train.epochs = 40;
+  const auto det = classify::EpilepsyDetector::train(train, cfg);
+
+  eeg::IctalAnnotation ictal;
+  const auto w = gen.seizure(12345, &ictal);
+  const auto sampled = classify::ideal_resample(w, cfg.fs_hz);
+  const auto score = det.score_epochs(sampled, cfg.fs_hz, ictal);
+  EXPECT_GT(score.scored, 6u);
+  EXPECT_GE(static_cast<double>(score.correct) /
+                static_cast<double>(score.scored),
+            0.8);
+  // Epoch probabilities must rise inside the discharge.
+  const auto probs = det.epoch_probabilities(sampled, cfg.fs_hz);
+  const auto labels = classify::epoch_labels(ictal, probs.size(), 2.0);
+  double in_sum = 0.0, out_sum = 0.0;
+  std::size_t in_n = 0, out_n = 0;
+  for (std::size_t e = 0; e < probs.size(); ++e) {
+    if (!labels[e].has_value()) continue;
+    if (*labels[e] > 0.5) {
+      in_sum += probs[e];
+      ++in_n;
+    } else {
+      out_sum += probs[e];
+      ++out_n;
+    }
+  }
+  if (in_n > 0 && out_n > 0) {
+    EXPECT_GT(in_sum / in_n, out_sum / out_n);
+  }
+}
+
+TEST(Detector, TrainsAndGeneralizesOnCleanEeg) {
+  const eeg::Generator gen{eeg::GeneratorConfig{}};
+  const auto train = eeg::make_dataset(gen, 20, 20, 101);
+  classify::DetectorConfig cfg;
+  cfg.augment.enabled = false;  // clean-only for speed here
+  cfg.train.epochs = 40;
+  const auto det = classify::EpilepsyDetector::train(train, cfg);
+  EXPECT_GT(det.training_accuracy(), 0.95);
+
+  // Held-out segments.
+  const auto test = eeg::make_dataset(gen, 10, 10, 202);
+  std::size_t correct = 0;
+  for (const auto& seg : test.segments) {
+    const auto sampled = classify::ideal_resample(seg.waveform, cfg.fs_hz);
+    const bool hit = det.detect(sampled, cfg.fs_hz) ==
+                     (seg.label == eeg::SegmentClass::Seizure);
+    if (hit) ++correct;
+  }
+  EXPECT_GE(correct, 18u);  // >= 90 % held-out accuracy
+}
+
+TEST(Detector, ProbabilitiesAreCalibratedOrdering) {
+  const eeg::Generator gen{eeg::GeneratorConfig{}};
+  const auto train = eeg::make_dataset(gen, 16, 16, 303);
+  classify::DetectorConfig cfg;
+  cfg.augment.enabled = false;
+  cfg.train.epochs = 40;
+  const auto det = classify::EpilepsyDetector::train(train, cfg);
+  const auto sn = classify::ideal_resample(gen.normal(999), cfg.fs_hz);
+  const auto ss = classify::ideal_resample(gen.seizure(999), cfg.fs_hz);
+  EXPECT_LT(det.seizure_probability(sn, cfg.fs_hz),
+            det.seizure_probability(ss, cfg.fs_hz));
+}
+
+TEST(Detector, BlobRoundTripPreservesBehaviour) {
+  const eeg::Generator gen{eeg::GeneratorConfig{}};
+  const auto train = eeg::make_dataset(gen, 8, 8, 404);
+  classify::DetectorConfig cfg;
+  cfg.augment.enabled = false;
+  cfg.train.epochs = 15;
+  const auto det = classify::EpilepsyDetector::train(train, cfg);
+  const auto copy = classify::EpilepsyDetector::from_blob(det.to_blob());
+  const auto x = classify::ideal_resample(gen.seizure(31), cfg.fs_hz);
+  EXPECT_DOUBLE_EQ(det.seizure_probability(x, cfg.fs_hz),
+                   copy.seizure_probability(x, cfg.fs_hz));
+  EXPECT_DOUBLE_EQ(det.training_accuracy(), copy.training_accuracy());
+}
+
+TEST(Detector, RejectsDegenerateTrainingSets) {
+  const eeg::Generator gen{eeg::GeneratorConfig{}};
+  const auto only_normal = eeg::make_dataset(gen, 6, 0, 505);
+  EXPECT_THROW(classify::EpilepsyDetector::train(only_normal), Error);
+  const auto tiny = eeg::make_dataset(gen, 1, 1, 506);
+  EXPECT_THROW(classify::EpilepsyDetector::train(tiny), Error);
+}
+
+TEST(Detector, AugmentedTrainingStillSeparatesClasses) {
+  const eeg::Generator gen{eeg::GeneratorConfig{}};
+  const auto train = eeg::make_dataset(gen, 10, 10, 606);
+  classify::DetectorConfig cfg;
+  cfg.train.epochs = 40;  // augmentation on by default
+  const auto det = classify::EpilepsyDetector::train(train, cfg);
+  EXPECT_GT(det.training_accuracy(), 0.9);
+}

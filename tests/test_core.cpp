@@ -1,0 +1,249 @@
+// Core pathfinding framework: design spaces, Pareto analysis, chain
+// construction and sweep serialization.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "core/chain.hpp"
+#include "core/design_space.hpp"
+#include "core/pareto.hpp"
+#include "core/sweep.hpp"
+#include "core/study.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+using namespace efficsense::core;
+
+TEST(DesignSpace, CartesianEnumeration) {
+  DesignSpace space;
+  space.add_axis("a", {1, 2, 3}).add_axis("b", {10, 20});
+  EXPECT_EQ(space.axis_count(), 2u);
+  EXPECT_EQ(space.size(), 6u);
+  std::set<std::pair<double, double>> seen;
+  for (std::size_t i = 0; i < space.size(); ++i) {
+    const auto p = space.point(i);
+    seen.insert({p.at("a"), p.at("b")});
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_THROW(space.point(6), Error);
+}
+
+TEST(DesignSpace, EmptySpaceHasOnePoint) {
+  DesignSpace space;
+  EXPECT_EQ(space.size(), 1u);
+  EXPECT_TRUE(space.point(0).empty());
+}
+
+TEST(DesignSpace, DuplicateAxisRejected) {
+  DesignSpace space;
+  space.add_axis("a", {1});
+  EXPECT_THROW(space.add_axis("a", {2}), Error);
+  EXPECT_THROW(space.add_axis("b", {}), Error);
+}
+
+TEST(ApplyAxis, MapsAllSupportedNames) {
+  power::DesignParams d;
+  apply_axis(d, "lna_noise_vrms", 5e-6);
+  apply_axis(d, "adc_bits", 6);
+  apply_axis(d, "cs_m", 75);
+  apply_axis(d, "cs_c_hold_f", 1e-12);
+  apply_axis(d, "dac_c_unit_f", 4e-15);
+  apply_axis(d, "cs_sparsity", 3);
+  apply_axis(d, "lna_gain", 500);
+  EXPECT_DOUBLE_EQ(d.lna_noise_vrms, 5e-6);
+  EXPECT_EQ(d.adc_bits, 6);
+  EXPECT_EQ(d.cs_m, 75);
+  EXPECT_DOUBLE_EQ(d.cs_c_hold_f, 1e-12);
+  EXPECT_EQ(d.cs_sparsity, 3);
+  EXPECT_THROW(apply_axis(d, "not_a_knob", 1.0), Error);
+}
+
+TEST(ApplyPoint, OverridesOnlyNamedFields) {
+  power::DesignParams base;
+  const auto d = apply_point(base, {{"adc_bits", 6.0}});
+  EXPECT_EQ(d.adc_bits, 6);
+  EXPECT_DOUBLE_EQ(d.lna_noise_vrms, base.lna_noise_vrms);
+}
+
+TEST(PointString, RoundTrip) {
+  const PointValues p{{"a", 1.5}, {"b", 2e-12}};
+  const auto parsed = parse_point(point_to_string(p));
+  ASSERT_EQ(parsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.at("a"), 1.5);
+  EXPECT_NEAR(parsed.at("b"), 2e-12, 1e-18);
+  EXPECT_TRUE(parse_point("").empty());
+  EXPECT_THROW(parse_point("malformed"), Error);
+}
+
+TEST(Pareto, FrontIsNonDominatedAndSorted) {
+  std::vector<Candidate> cands = {
+      {1.0, 5.0, 0}, {2.0, 4.0, 1},  // dominated by 0
+      {2.0, 7.0, 2}, {3.0, 7.0, 3},  // 3 dominated by 2
+      {4.0, 9.0, 4},
+  };
+  const auto front = pareto_front(cands);
+  ASSERT_EQ(front.size(), 3u);
+  EXPECT_EQ(front[0].tag, 0u);
+  EXPECT_EQ(front[1].tag, 2u);
+  EXPECT_EQ(front[2].tag, 4u);
+  for (std::size_t i = 1; i < front.size(); ++i) {
+    EXPECT_GT(front[i].cost, front[i - 1].cost);
+    EXPECT_GT(front[i].merit, front[i - 1].merit);
+  }
+}
+
+TEST(Pareto, PropertyNoFrontMemberDominated) {
+  // Pseudo-random candidate cloud; verify the front's invariant.
+  std::vector<Candidate> cands;
+  std::uint64_t s = 12345;
+  for (std::size_t i = 0; i < 200; ++i) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double cost = static_cast<double>((s >> 33) % 1000) / 10.0;
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    const double merit = static_cast<double>((s >> 33) % 1000) / 10.0;
+    cands.push_back({cost, merit, i});
+  }
+  const auto front = pareto_front(cands);
+  for (const auto& f : front) {
+    for (const auto& c : cands) {
+      const bool dominates = (c.cost <= f.cost && c.merit >= f.merit) &&
+                             (c.cost < f.cost || c.merit > f.merit);
+      EXPECT_FALSE(dominates) << "front member " << f.tag << " dominated by "
+                              << c.tag;
+    }
+  }
+}
+
+TEST(Pareto, CheapestWithMerit) {
+  const std::vector<Candidate> cands = {
+      {10.0, 0.99, 0}, {5.0, 0.985, 1}, {2.0, 0.97, 2}};
+  const auto best = cheapest_with_merit(cands, 0.98);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->tag, 1u);
+  EXPECT_FALSE(cheapest_with_merit(cands, 0.999).has_value());
+}
+
+TEST(Pareto, BestMeritWhere) {
+  const std::vector<Candidate> cands = {
+      {10.0, 0.99, 0}, {5.0, 0.95, 1}, {2.0, 0.97, 2}};
+  const auto best = best_merit_where(
+      cands, [](const Candidate& c) { return c.cost < 6.0; });
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->tag, 2u);
+  const auto none = best_merit_where(
+      cands, [](const Candidate& c) { return c.cost < 0.0; });
+  EXPECT_FALSE(none.has_value());
+}
+
+TEST(Chain, BaselineStructure) {
+  const power::TechnologyParams tech;
+  power::DesignParams d;
+  const auto chain = build_baseline_chain(tech, d, {});
+  EXPECT_EQ(chain->num_blocks(), 5u);
+  for (const char* name : {kSourceBlock, kLnaBlock, kSampleHoldBlock,
+                           kAdcBlock, kTxBlock}) {
+    EXPECT_TRUE(chain->has_block(name)) << name;
+  }
+  EXPECT_FALSE(chain->has_block(kCsEncoderBlock));
+}
+
+TEST(Chain, CsStructure) {
+  const power::TechnologyParams tech;
+  power::DesignParams d;
+  d.cs_m = 75;
+  const auto chain = build_cs_chain(tech, d, {});
+  EXPECT_TRUE(chain->has_block(kCsEncoderBlock));
+  EXPECT_FALSE(chain->has_block(kSampleHoldBlock));
+  // build_chain dispatches on uses_cs().
+  EXPECT_TRUE(build_chain(tech, d, {})->has_block(kCsEncoderBlock));
+  d.cs_m = 0;
+  EXPECT_FALSE(build_chain(tech, d, {})->has_block(kCsEncoderBlock));
+  d.cs_m = 75;
+  d.cs_m = 0;
+  EXPECT_THROW(build_cs_chain(tech, d, {}), Error);
+}
+
+TEST(Chain, RunProducesSampledOutput) {
+  const power::TechnologyParams tech;
+  power::DesignParams d;
+  auto chain = build_baseline_chain(tech, d, {});
+  const sim::Waveform input(2048.0, std::vector<double>(2048 * 2, 1e-4));
+  const auto out = run_chain(*chain, input);
+  EXPECT_DOUBLE_EQ(out.fs, d.f_sample_hz());
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(2.0 * d.f_sample_hz()));
+}
+
+TEST(Chain, MatchedReconstructorDimensions) {
+  power::DesignParams d;
+  d.cs_m = 96;
+  const auto rec = make_matched_reconstructor(d, {});
+  EXPECT_EQ(rec.measurements_per_frame(), 96u);
+  EXPECT_EQ(rec.frame_length(), 384u);
+  d.cs_m = 0;
+  EXPECT_THROW(make_matched_reconstructor(d, {}), Error);
+}
+
+TEST(SweepCsv, RoundTrip) {
+  SweepResult r;
+  r.point = {{"adc_bits", 8.0}, {"lna_noise_vrms", 3e-6}};
+  r.design = apply_point(power::DesignParams{}, r.point);
+  r.metrics.snr_db = 21.5;
+  r.metrics.accuracy = 0.975;
+  r.metrics.power_w = 4.2e-6;
+  r.metrics.area_unit_caps = 1234.0;
+  r.metrics.segments_evaluated = 40;
+  r.metrics.power_breakdown.add("lna", 1e-6);
+  r.metrics.power_breakdown.add("tx", 3.2e-6);
+  r.metrics.area_breakdown.add("adc", 1234.0);
+
+  const auto csv = sweep_to_csv({r});
+  const auto back = sweep_from_csv(csv, power::DesignParams{});
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].design.adc_bits, 8);
+  EXPECT_DOUBLE_EQ(back[0].metrics.snr_db, 21.5);
+  EXPECT_DOUBLE_EQ(back[0].metrics.accuracy, 0.975);
+  EXPECT_DOUBLE_EQ(back[0].metrics.power_breakdown.watts_of("tx"), 3.2e-6);
+  EXPECT_DOUBLE_EQ(back[0].metrics.area_breakdown.caps_of("adc"), 1234.0);
+  EXPECT_EQ(back[0].metrics.segments_evaluated, 40u);
+}
+
+TEST(SweepCsv, RejectsGarbage) {
+  EXPECT_THROW(sweep_from_csv("", power::DesignParams{}), Error);
+  EXPECT_THROW(sweep_from_csv("wrong,header\n", power::DesignParams{}), Error);
+}
+
+TEST(StudyConfig, CacheKeyDependsOnEverything) {
+  StudyConfig a, b;
+  EXPECT_EQ(a.cache_key("x"), b.cache_key("x"));
+  EXPECT_NE(a.cache_key("x"), a.cache_key("y"));
+  b.eval_segments += 1;
+  EXPECT_NE(a.cache_key("x"), b.cache_key("x"));
+  b = a;
+  b.noise_grid_uv.push_back(25.0);
+  EXPECT_NE(a.cache_key("x"), b.cache_key("x"));
+}
+
+TEST(MakeCandidates, SelectsMerit) {
+  SweepResult r;
+  r.metrics.snr_db = 12.0;
+  r.metrics.accuracy = 0.9;
+  r.metrics.power_w = 1e-6;
+  const auto snr = make_candidates({r}, Merit::Snr);
+  const auto acc = make_candidates({r}, Merit::Accuracy);
+  EXPECT_DOUBLE_EQ(snr[0].merit, 12.0);
+  EXPECT_DOUBLE_EQ(acc[0].merit, 0.9);
+  EXPECT_DOUBLE_EQ(snr[0].cost, 1e-6);
+}
+
+#include "core/monte_carlo.hpp"
+
+TEST(MonteCarloStats, HandComputed) {
+  const auto s = compute_stats({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
+  EXPECT_THROW(compute_stats({}), Error);
+}

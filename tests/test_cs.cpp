@@ -1,0 +1,254 @@
+// Compressive-sensing substrate: s-SRBM matrices, DCT/Haar bases and the
+// charge-sharing effective-matrix construction (paper Eq. 1).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "cs/basis.hpp"
+#include "cs/effective.hpp"
+#include "cs/srbm.hpp"
+#include "linalg/decompositions.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+using cs::SparseBinaryMatrix;
+
+class SrbmProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(SrbmProperty, ExactlySOnesPerColumn) {
+  const auto [m, n, s] = GetParam();
+  const auto phi = SparseBinaryMatrix::generate(m, n, s, 123);
+  EXPECT_EQ(phi.rows(), static_cast<std::size_t>(m));
+  EXPECT_EQ(phi.cols(), static_cast<std::size_t>(n));
+  for (std::size_t j = 0; j < phi.cols(); ++j) {
+    const auto& sup = phi.column_support(j);
+    EXPECT_EQ(sup.size(), static_cast<std::size_t>(s));
+    // Strictly increasing => distinct rows.
+    for (std::size_t i = 1; i < sup.size(); ++i) EXPECT_LT(sup[i - 1], sup[i]);
+    for (std::size_t r : sup) EXPECT_LT(r, phi.rows());
+  }
+}
+
+TEST_P(SrbmProperty, RowLoadIsBalanced) {
+  const auto [m, n, s] = GetParam();
+  const auto phi = SparseBinaryMatrix::generate(m, n, s, 321);
+  const double mean_weight = static_cast<double>(n * s) / m;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < phi.rows(); ++i) {
+    total += phi.row_weight(i);
+    EXPECT_LE(phi.row_weight(i), static_cast<std::size_t>(3.0 * mean_weight + 4));
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(n * s));
+}
+
+TEST_P(SrbmProperty, ApplyMatchesDenseMatvec) {
+  const auto [m, n, s] = GetParam();
+  const auto phi = SparseBinaryMatrix::generate(m, n, s, 55);
+  Rng rng(5);
+  linalg::Vector x(n);
+  for (auto& v : x) v = rng.gaussian();
+  const auto fast = phi.apply(x);
+  const auto dense = linalg::matvec(phi.to_dense(), x);
+  for (std::size_t i = 0; i < fast.size(); ++i) {
+    EXPECT_NEAR(fast[i], dense[i], 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SrbmProperty,
+                         ::testing::Values(std::tuple{75, 384, 2},
+                                           std::tuple{150, 384, 2},
+                                           std::tuple{192, 384, 4},
+                                           std::tuple{32, 64, 1},
+                                           std::tuple{16, 16, 8}));
+
+TEST(Srbm, DeterministicPerSeed) {
+  const auto a = SparseBinaryMatrix::generate(40, 100, 2, 9);
+  const auto b = SparseBinaryMatrix::generate(40, 100, 2, 9);
+  const auto c = SparseBinaryMatrix::generate(40, 100, 2, 10);
+  bool same_ab = true, same_ac = true;
+  for (std::size_t j = 0; j < 100; ++j) {
+    if (a.column_support(j) != b.column_support(j)) same_ab = false;
+    if (a.column_support(j) != c.column_support(j)) same_ac = false;
+  }
+  EXPECT_TRUE(same_ab);
+  EXPECT_FALSE(same_ac);
+}
+
+TEST(Srbm, RejectsBadArguments) {
+  EXPECT_THROW(SparseBinaryMatrix::generate(0, 10, 1, 1), Error);
+  EXPECT_THROW(SparseBinaryMatrix::generate(10, 10, 0, 1), Error);
+  EXPECT_THROW(SparseBinaryMatrix::generate(10, 10, 11, 1), Error);
+}
+
+TEST(Basis, DctIsOrthonormal) {
+  const auto psi = cs::dct_synthesis_matrix(32);
+  const auto gram = linalg::matmul(psi.transposed(), psi);
+  for (std::size_t i = 0; i < 32; ++i) {
+    for (std::size_t j = 0; j < 32; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Basis, ForwardInverseRoundTrip) {
+  Rng rng(8);
+  linalg::Vector x(50);
+  for (auto& v : x) v = rng.gaussian();
+  const auto back = cs::dct_inverse(cs::dct_forward(x));
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST(Basis, ForwardMatchesMatrixForm) {
+  Rng rng(9);
+  linalg::Vector x(24);
+  for (auto& v : x) v = rng.gaussian();
+  const auto psi = cs::dct_synthesis_matrix(24);
+  const auto c1 = cs::dct_forward(x);
+  const auto c2 = linalg::matvec_transposed(psi, x);  // Psi^T x
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(c1[i], c2[i], 1e-10);
+}
+
+TEST(Basis, CosineIsSparseInDct) {
+  const std::size_t n = 128;
+  linalg::Vector x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    // DCT-II basis function k=10 exactly.
+    x[t] = std::cos(std::numbers::pi * (t + 0.5) * 10.0 / n);
+  }
+  const auto c = cs::dct_forward(x);
+  EXPECT_GT(cs::energy_in_top_k(c, 1), 0.999999);
+}
+
+TEST(Basis, HaarOrthonormalAndLocal) {
+  const auto h = cs::haar_synthesis_matrix(16);
+  const auto gram = linalg::matmul(h.transposed(), h);
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t j = 0; j < 16; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-12);
+    }
+  }
+  EXPECT_THROW(cs::haar_synthesis_matrix(12), Error);
+}
+
+TEST(Basis, EnergyInTopKEdgeCases) {
+  EXPECT_DOUBLE_EQ(cs::energy_in_top_k({0.0, 0.0}, 1), 1.0);  // zero signal
+  EXPECT_DOUBLE_EQ(cs::energy_in_top_k({3.0, 4.0}, 2), 1.0);
+  EXPECT_NEAR(cs::energy_in_top_k({3.0, 4.0}, 1), 16.0 / 25.0, 1e-12);
+  EXPECT_THROW(cs::energy_in_top_k({}, 1), Error);
+}
+
+TEST(ChargeSharing, GainsFromCapacitors) {
+  const auto g = cs::charge_sharing_gains(1e-12, 3e-12);
+  EXPECT_DOUBLE_EQ(g.a, 0.25);
+  EXPECT_DOUBLE_EQ(g.b, 0.75);
+  EXPECT_NEAR(g.a + g.b, 1.0, 1e-15);
+  EXPECT_THROW(cs::charge_sharing_gains(0.0, 1e-12), Error);
+}
+
+TEST(EffectiveMatrix, MatchesEq1OnHandExample) {
+  // 1 row, 3 columns, all ones: V = a*x3 + a*b*x2 + a*b^2*x1 (Eq. 1).
+  SparseBinaryMatrix phi = SparseBinaryMatrix::generate(1, 3, 1, 1);
+  const double a = 0.2, b = 0.8;
+  const auto w = cs::effective_matrix(phi, a, b);
+  EXPECT_NEAR(w(0, 2), a, 1e-15);
+  EXPECT_NEAR(w(0, 1), a * b, 1e-15);
+  EXPECT_NEAR(w(0, 0), a * b * b, 1e-15);
+}
+
+TEST(EffectiveMatrix, SupportMatchesPhi) {
+  const auto phi = SparseBinaryMatrix::generate(20, 60, 2, 3);
+  const auto w = cs::effective_matrix(phi, 0.3, 0.7);
+  const auto dense = phi.to_dense();
+  for (std::size_t i = 0; i < 20; ++i) {
+    for (std::size_t j = 0; j < 60; ++j) {
+      if (dense(i, j) == 0.0) {
+        EXPECT_DOUBLE_EQ(w(i, j), 0.0);
+      } else {
+        EXPECT_GT(w(i, j), 0.0);
+      }
+    }
+  }
+}
+
+TEST(EffectiveMatrix, LaterSamplesWeighMore) {
+  const auto phi = SparseBinaryMatrix::generate(10, 100, 2, 7);
+  const auto w = cs::effective_matrix(phi, 0.25, 0.75);
+  // Within each row, weights must increase with the column index (newer
+  // samples decay through fewer subsequent shares).
+  for (std::size_t i = 0; i < 10; ++i) {
+    double prev = -1.0;
+    for (std::size_t j = 0; j < 100; ++j) {
+      if (w(i, j) == 0.0) continue;
+      EXPECT_GT(w(i, j), prev);
+      prev = w(i, j);
+    }
+    // The newest sample of each row always carries weight exactly `a`.
+    EXPECT_NEAR(prev, 0.25, 1e-15);
+  }
+}
+
+TEST(EffectiveMatrix, IdealMatrixIsBinary) {
+  const auto phi = SparseBinaryMatrix::generate(10, 30, 2, 4);
+  const auto ideal = cs::ideal_matrix(phi);
+  for (double v : ideal.data()) EXPECT_TRUE(v == 0.0 || v == 1.0);
+}
+
+TEST(EffectiveMatrix, RejectsBadGains) {
+  const auto phi = SparseBinaryMatrix::generate(4, 8, 1, 2);
+  EXPECT_THROW(cs::effective_matrix(phi, 0.0, 0.5), Error);
+  EXPECT_THROW(cs::effective_matrix(phi, 0.5, 1.5), Error);
+}
+
+TEST(Basis, Db4IsOrthonormal) {
+  for (std::size_t n : {16u, 32u, 48u}) {
+    const auto psi = cs::db4_synthesis_matrix(n);
+    const auto gram = linalg::matmul(psi.transposed(), psi);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-10) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(Basis, Db4PerfectReconstruction) {
+  const std::size_t n = 384;  // the paper's frame length
+  const auto psi = cs::db4_synthesis_matrix(n);
+  Rng rng(17);
+  linalg::Vector x(n);
+  for (auto& v : x) v = rng.gaussian();
+  // coeffs = Psi^T x; x_hat = Psi coeffs.
+  const auto coeffs = linalg::matvec_transposed(psi, x);
+  const auto back = linalg::matvec(psi, coeffs);
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(back[i], x[i], 1e-10);
+}
+
+TEST(Basis, Db4CompressesSmoothSignals) {
+  // A slow sine concentrates in the coarse (leading) atoms.
+  const std::size_t n = 384;
+  const auto psi = cs::db4_synthesis_matrix(n);
+  linalg::Vector x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * std::numbers::pi * 3.0 * static_cast<double>(t) /
+                    static_cast<double>(n));
+  }
+  const auto coeffs = linalg::matvec_transposed(psi, x);
+  EXPECT_GT(cs::energy_in_top_k(coeffs, 40), 0.99);
+  // ... and the energy sits in the leading (coarse) third.
+  double head = 0.0, total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += coeffs[i] * coeffs[i];
+    if (i < n / 3) head += coeffs[i] * coeffs[i];
+  }
+  EXPECT_GT(head / total, 0.95);
+}
+
+TEST(Basis, Db4RejectsBadLengths) {
+  EXPECT_THROW(cs::db4_synthesis_matrix(6), Error);
+  EXPECT_THROW(cs::db4_synthesis_matrix(15), Error);
+  EXPECT_THROW(cs::db4_synthesis_matrix(16, 3), Error);  // 16/8 = 2 < 4
+}

@@ -1,0 +1,164 @@
+// FFT correctness: impulse/sine spectra, Parseval, round trips, Bluestein
+// (arbitrary length) against a naive DFT reference.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/fft.hpp"
+#include "dsp/windows.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+using dsp::Complex;
+
+namespace {
+
+std::vector<Complex> naive_dft(const std::vector<Complex>& x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex sum(0, 0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * std::numbers::pi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      sum += x[t] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = sum;
+  }
+  return out;
+}
+
+std::vector<Complex> random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Complex> x(n);
+  for (auto& v : x) v = Complex(rng.gaussian(), rng.gaussian());
+  return x;
+}
+
+}  // namespace
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(dsp::is_pow2(1));
+  EXPECT_TRUE(dsp::is_pow2(256));
+  EXPECT_FALSE(dsp::is_pow2(0));
+  EXPECT_FALSE(dsp::is_pow2(384));
+}
+
+TEST(Fft, ImpulseIsFlat) {
+  std::vector<Complex> x(64, Complex(0, 0));
+  x[0] = Complex(1, 0);
+  const auto spec = dsp::fft(x);
+  for (const auto& v : spec) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SinePeaksAtItsBin) {
+  const std::size_t n = 256;
+  std::vector<Complex> x(n);
+  const int bin = 17;
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = Complex(std::sin(2.0 * std::numbers::pi * bin *
+                            static_cast<double>(t) / static_cast<double>(n)),
+                   0.0);
+  }
+  const auto spec = dsp::fft(x);
+  EXPECT_NEAR(std::abs(spec[bin]), n / 2.0, 1e-9);
+  // All other bins (except the conjugate) are ~0.
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k == bin || k == n - bin) continue;
+    EXPECT_NEAR(std::abs(spec[k]), 0.0, 1e-8);
+  }
+}
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const auto n = GetParam();
+  const auto x = random_signal(n, n);
+  const auto back = dsp::ifft(dsp::fft(x));
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+TEST_P(FftRoundTrip, ParsevalHolds) {
+  const auto n = GetParam();
+  const auto x = random_signal(n, 1000 + n);
+  const auto spec = dsp::fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy,
+              1e-8 * time_energy);
+}
+
+TEST_P(FftRoundTrip, MatchesNaiveDft) {
+  const auto n = GetParam();
+  if (n > 600) GTEST_SKIP() << "naive DFT too slow";
+  const auto x = random_signal(n, 7 * n);
+  const auto fast = dsp::fft(x);
+  const auto slow = naive_dft(x);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-7);
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(8, 64, 100, 384, 173, 512, 1000));
+
+TEST(Fft, AmplitudeSpectrumScaling) {
+  const std::size_t n = 512;
+  const double amp = 0.75;
+  const int bin = 20;
+  std::vector<double> x(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    x[t] = amp * std::cos(2.0 * std::numbers::pi * bin *
+                          static_cast<double>(t) / static_cast<double>(n));
+  }
+  const auto spec = dsp::amplitude_spectrum(x);
+  EXPECT_EQ(spec.size(), n / 2 + 1);
+  EXPECT_NEAR(spec[bin], amp, 1e-9);
+}
+
+TEST(Fft, EmptyThrows) {
+  EXPECT_THROW(dsp::fft({}), Error);
+  EXPECT_THROW(dsp::ifft({}), Error);
+}
+
+TEST(Windows, CoherentGainOfRectIsOne) {
+  const auto w = dsp::make_window(dsp::WindowKind::Rectangular, 128);
+  EXPECT_DOUBLE_EQ(dsp::window_coherent_gain(w), 1.0);
+  EXPECT_DOUBLE_EQ(dsp::window_noise_gain(w), 1.0);
+}
+
+TEST(Windows, HannProperties) {
+  const auto w = dsp::make_window(dsp::WindowKind::Hann, 256);
+  EXPECT_NEAR(dsp::window_coherent_gain(w), 0.5, 1e-12);
+  EXPECT_NEAR(dsp::window_noise_gain(w), 0.375, 1e-12);
+  // Periodic Hann starts at 0 and peaks mid-window.
+  EXPECT_NEAR(w[0], 0.0, 1e-12);
+  EXPECT_NEAR(w[128], 1.0, 1e-12);
+}
+
+TEST(Windows, AllKindsHavePositiveGain) {
+  for (auto kind : {dsp::WindowKind::Rectangular, dsp::WindowKind::Hann,
+                    dsp::WindowKind::Hamming, dsp::WindowKind::BlackmanHarris,
+                    dsp::WindowKind::FlatTop}) {
+    const auto w = dsp::make_window(kind, 64);
+    EXPECT_GT(dsp::window_coherent_gain(w), 0.0);
+    EXPECT_GT(dsp::window_noise_gain(w), 0.0);
+  }
+}
+
+TEST(Windows, FromName) {
+  EXPECT_EQ(dsp::window_from_name("hann"), dsp::WindowKind::Hann);
+  EXPECT_EQ(dsp::window_from_name("bh"), dsp::WindowKind::BlackmanHarris);
+  EXPECT_THROW(dsp::window_from_name("nope"), Error);
+}

@@ -1,0 +1,205 @@
+// Filters and resampling: Butterworth magnitude responses, RBJ notch /
+// bandpass, FIR design, rational resampling and fractional-delay sampling.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/biquad.hpp"
+#include "dsp/fir.hpp"
+#include "dsp/metrics.hpp"
+#include "dsp/resample.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+
+namespace {
+
+std::vector<double> sine(double fs, double f, double amp, std::size_t n) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * f *
+                          static_cast<double>(i) / fs);
+  }
+  return x;
+}
+
+/// Steady-state output amplitude of a filter for a tone (skips the
+/// transient half of the record).
+double tone_gain(dsp::BiquadCascade& filt, double fs, double f) {
+  const auto x = sine(fs, f, 1.0, 8192);
+  filt.reset();
+  const auto y = filt.process(x);
+  const std::vector<double> tail(y.begin() + 4096, y.end());
+  return dsp::rms(tail) * std::numbers::sqrt2;
+}
+
+}  // namespace
+
+TEST(Butterworth, LowpassDcGainIsUnity) {
+  auto f = dsp::butterworth_lowpass(4, 100.0, 2048.0);
+  EXPECT_NEAR(f.magnitude(0.0, 2048.0), 1.0, 1e-9);
+}
+
+TEST(Butterworth, LowpassCutoffIsMinus3dB) {
+  for (std::size_t order : {2u, 4u, 6u}) {
+    auto f = dsp::butterworth_lowpass(order, 200.0, 4096.0);
+    const double mag = f.magnitude(200.0, 4096.0);
+    EXPECT_NEAR(20.0 * std::log10(mag), -3.01, 0.15) << "order " << order;
+  }
+}
+
+TEST(Butterworth, RolloffMatchesOrder) {
+  // An order-n Butterworth falls ~6n dB per octave above cutoff.
+  auto f = dsp::butterworth_lowpass(4, 100.0, 8192.0);
+  const double m1 = f.magnitude(400.0, 8192.0);
+  const double m2 = f.magnitude(800.0, 8192.0);
+  const double octave_db = 20.0 * std::log10(m1 / m2);
+  EXPECT_NEAR(octave_db, 24.0, 1.5);
+}
+
+TEST(Butterworth, HighpassBlocksDcPassesHigh) {
+  auto f = dsp::butterworth_highpass(4, 50.0, 4096.0);
+  EXPECT_NEAR(f.magnitude(0.0, 4096.0), 0.0, 1e-9);
+  EXPECT_NEAR(f.magnitude(1000.0, 4096.0), 1.0, 0.02);
+}
+
+TEST(Butterworth, TimeDomainMatchesMagnitudeResponse) {
+  auto f = dsp::butterworth_lowpass(2, 300.0, 8192.0);
+  for (double freq : {50.0, 300.0, 1200.0}) {
+    const double measured = tone_gain(f, 8192.0, freq);
+    const double predicted = f.magnitude(freq, 8192.0);
+    EXPECT_NEAR(measured, predicted, 0.02) << "f=" << freq;
+  }
+}
+
+TEST(Butterworth, RejectsBadParameters) {
+  EXPECT_THROW(dsp::butterworth_lowpass(3, 100.0, 1000.0), Error);  // odd order
+  EXPECT_THROW(dsp::butterworth_lowpass(2, 600.0, 1000.0), Error);  // > Nyquist
+  EXPECT_THROW(dsp::butterworth_lowpass(2, 0.0, 1000.0), Error);
+}
+
+TEST(Rbj, NotchKillsCentreKeepsNeighbours) {
+  auto f = dsp::rbj_notch(50.0, 10.0, 1024.0);
+  EXPECT_LT(f.magnitude(50.0, 1024.0), 1e-6);
+  EXPECT_GT(f.magnitude(20.0, 1024.0), 0.95);
+  EXPECT_GT(f.magnitude(120.0, 1024.0), 0.95);
+}
+
+TEST(Rbj, BandpassPeaksAtCentre) {
+  auto f = dsp::rbj_bandpass(100.0, 5.0, 4096.0);
+  const double centre = f.magnitude(100.0, 4096.0);
+  EXPECT_NEAR(centre, 1.0, 0.01);
+  EXPECT_LT(f.magnitude(10.0, 4096.0), 0.2);
+  EXPECT_LT(f.magnitude(1000.0, 4096.0), 0.2);
+}
+
+TEST(Biquad, ResetClearsState) {
+  auto f = dsp::butterworth_lowpass(2, 100.0, 1024.0);
+  const auto x = sine(1024.0, 30.0, 1.0, 256);
+  const auto y1 = f.process(x);
+  f.reset();
+  const auto y2 = f.process(x);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_DOUBLE_EQ(y1[i], y2[i]);
+}
+
+TEST(Fir, LowpassDesignUnityDc) {
+  const auto h = dsp::design_lowpass_fir(63, 100.0, 1000.0);
+  double sum = 0.0;
+  for (double v : h) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(Fir, LinearPhaseSymmetry) {
+  const auto h = dsp::design_lowpass_fir(63, 100.0, 1000.0);
+  for (std::size_t i = 0; i < h.size() / 2; ++i) {
+    EXPECT_NEAR(h[i], h[h.size() - 1 - i], 1e-12);
+  }
+}
+
+TEST(Fir, FilterPassesLowBlocksHigh) {
+  const auto h = dsp::design_lowpass_fir(101, 50.0, 1000.0);
+  const auto low = dsp::fir_filter_same(h, sine(1000.0, 10.0, 1.0, 2000));
+  const auto high = dsp::fir_filter_same(h, sine(1000.0, 300.0, 1.0, 2000));
+  const std::vector<double> low_tail(low.begin() + 500, low.end() - 500);
+  const std::vector<double> high_tail(high.begin() + 500, high.end() - 500);
+  EXPECT_GT(dsp::rms(low_tail), 0.69);
+  EXPECT_LT(dsp::rms(high_tail), 0.01);
+}
+
+TEST(Fir, ConvolveMatchesHandComputed) {
+  const auto y = dsp::convolve({1, 2}, {1, 0, 3});
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 2.0);
+  EXPECT_DOUBLE_EQ(y[2], 3.0);
+  EXPECT_DOUBLE_EQ(y[3], 6.0);
+}
+
+class ResampleProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(ResampleProperty, PreservesToneFrequencyAndAmplitude) {
+  const auto [up, down] = GetParam();
+  const double fs = 1000.0;
+  const double tone = 40.0;
+  const auto x = sine(fs, tone, 1.0, 4000);
+  const auto y = dsp::resample_rational(x, up, down);
+  const double fs2 = fs * static_cast<double>(up) / static_cast<double>(down);
+  ASSERT_GT(y.size(), 200u);
+  const auto analysis = dsp::analyze_tone(
+      std::vector<double>(y.begin() + 100, y.end() - 100), fs2);
+  EXPECT_NEAR(analysis.fundamental_hz, tone, 1.0);
+  EXPECT_GT(analysis.sndr_db, 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ratios, ResampleProperty,
+                         ::testing::Values(std::pair<std::size_t, std::size_t>{2, 1},
+                                           std::pair<std::size_t, std::size_t>{3, 1},
+                                           std::pair<std::size_t, std::size_t>{3, 2},
+                                           std::pair<std::size_t, std::size_t>{147, 50},
+                                           std::pair<std::size_t, std::size_t>{1, 2}));
+
+TEST(Resample, IdentityWhenRatioIsOne) {
+  const auto x = sine(100.0, 7.0, 1.0, 50);
+  EXPECT_EQ(dsp::resample_rational(x, 5, 5), x);
+}
+
+TEST(SampleAtTimes, LinearInterpolatesExactly) {
+  const std::vector<double> ramp{0, 1, 2, 3, 4};
+  const auto y = dsp::sample_at_times(ramp, 1.0, {0.5, 2.25, 3.75});
+  EXPECT_DOUBLE_EQ(y[0], 0.5);
+  EXPECT_DOUBLE_EQ(y[1], 2.25);
+  EXPECT_DOUBLE_EQ(y[2], 3.75);
+}
+
+TEST(SampleAtTimes, ClampsOutsideRecord) {
+  const std::vector<double> x{1, 2, 3};
+  const auto y = dsp::sample_at_times(x, 1.0, {-5.0, 99.0});
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+  EXPECT_DOUBLE_EQ(y[1], 3.0);
+}
+
+TEST(SampleAtTimes, SincBeatsLinearOnSmoothSignal) {
+  const double fs = 200.0;
+  const auto x = sine(fs, 30.0, 1.0, 400);
+  std::vector<double> times;
+  for (int i = 0; i < 300; ++i) times.push_back(0.3 + i * 0.0031);
+  const auto lin = dsp::sample_at_times(x, fs, times, dsp::Interp::Linear);
+  const auto snc = dsp::sample_at_times(x, fs, times, dsp::Interp::Sinc8);
+  double err_lin = 0.0, err_sinc = 0.0;
+  for (std::size_t i = 0; i < times.size(); ++i) {
+    const double truth = std::sin(2.0 * std::numbers::pi * 30.0 * times[i]);
+    err_lin += std::pow(lin[i] - truth, 2);
+    err_sinc += std::pow(snc[i] - truth, 2);
+  }
+  EXPECT_LT(err_sinc, err_lin);
+}
+
+TEST(UniformTimes, SpacingMatchesRate) {
+  const auto t = dsp::uniform_times(5, 250.0);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[4], 4.0 / 250.0);
+}

@@ -1,0 +1,175 @@
+// Signal-quality metrics: SNR against a reference, single-tone SNDR / ENOB
+// / THD, Welch PSD calibration and band powers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+
+namespace {
+
+std::vector<double> sine(double fs, double f, double amp, std::size_t n,
+                         double phase = 0.0) {
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = amp * std::sin(2.0 * std::numbers::pi * f *
+                              static_cast<double>(i) / fs +
+                          phase);
+  }
+  return x;
+}
+
+std::vector<double> white_noise(double sigma, std::size_t n,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.gaussian(0.0, sigma);
+  return x;
+}
+
+}  // namespace
+
+TEST(BasicStats, MeanRmsVariance) {
+  const std::vector<double> x{1, 2, 3, 4};
+  EXPECT_DOUBLE_EQ(dsp::mean(x), 2.5);
+  EXPECT_DOUBLE_EQ(dsp::rms(x), std::sqrt(30.0 / 4.0));
+  EXPECT_DOUBLE_EQ(dsp::variance(x), 1.25);
+  EXPECT_THROW(dsp::mean({}), Error);
+}
+
+TEST(SnrVsReference, PerfectMatchIsInfinite) {
+  const auto x = sine(1000.0, 50.0, 1.0, 1000);
+  EXPECT_TRUE(std::isinf(dsp::snr_vs_reference_db(x, x)));
+}
+
+TEST(SnrVsReference, ScaleInvariant) {
+  const auto ref = sine(1000.0, 50.0, 1.0, 2000);
+  auto noisy = ref;
+  Rng rng(4);
+  for (auto& v : noisy) v += rng.gaussian(0.0, 0.01);
+  const double snr1 = dsp::snr_vs_reference_db(ref, noisy);
+  auto scaled = noisy;
+  for (auto& v : scaled) v *= 123.0;
+  const double snr2 = dsp::snr_vs_reference_db(ref, scaled);
+  EXPECT_NEAR(snr1, snr2, 1e-9);
+}
+
+class SnrLevels : public ::testing::TestWithParam<double> {};
+
+TEST_P(SnrLevels, MatchesInjectedNoise) {
+  const double target_snr_db = GetParam();
+  const double amp = 1.0;
+  const double signal_power = amp * amp / 2.0;
+  const double noise_power = signal_power / std::pow(10.0, target_snr_db / 10.0);
+  const auto ref = sine(2000.0, 100.0, amp, 20000);
+  auto test = ref;
+  const auto noise = white_noise(std::sqrt(noise_power), ref.size(), 9);
+  for (std::size_t i = 0; i < test.size(); ++i) test[i] += noise[i];
+  EXPECT_NEAR(dsp::snr_vs_reference_db(ref, test), target_snr_db, 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, SnrLevels,
+                         ::testing::Values(0.0, 10.0, 20.0, 40.0, 60.0));
+
+TEST(AnalyzeTone, FindsFundamental) {
+  const auto x = sine(4096.0, 130.0, 0.9, 8192);
+  const auto a = dsp::analyze_tone(x, 4096.0);
+  EXPECT_NEAR(a.fundamental_hz, 130.0, 1.0);
+  EXPECT_GT(a.sndr_db, 100.0);  // clean double-precision sine
+}
+
+TEST(AnalyzeTone, SndrOfNoisySine) {
+  const double fs = 4096.0;
+  auto x = sine(fs, 100.0, 1.0, 32768);
+  const double sigma = 0.01;  // SNR = 10 log10(0.5 / 1e-4) = 37 dB
+  const auto noise = white_noise(sigma, x.size(), 17);
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += noise[i];
+  const auto a = dsp::analyze_tone(x, fs);
+  EXPECT_NEAR(a.sndr_db, 37.0, 1.0);
+}
+
+TEST(AnalyzeTone, EnobOfIdealQuantizer) {
+  // A full-scale sine quantized to N bits should show ENOB ~= N.
+  const double fs = 4096.0;
+  const int bits = 8;
+  auto x = sine(fs, 93.7, 1.0, 65536);  // non-coherent tone frequency
+  const double lsb = 2.0 / (1 << bits);
+  for (auto& v : x) v = std::round(v / lsb) * lsb;
+  const auto a = dsp::analyze_tone(x, fs);
+  EXPECT_NEAR(a.enob, bits, 0.35);
+}
+
+TEST(AnalyzeTone, ThdOfDistortedSine) {
+  // y = x + 0.01 x^2 creates HD2 at -46 dB for a unit sine (a2*A/2).
+  const double fs = 8192.0;
+  auto x = sine(fs, 200.0, 1.0, 32768);
+  for (auto& v : x) v = v + 0.01 * v * v;
+  const auto a = dsp::analyze_tone(x, fs);
+  EXPECT_NEAR(a.thd_db, -46.0, 1.5);
+}
+
+TEST(AnalyzeTone, RequiresMinimumLength) {
+  EXPECT_THROW(dsp::analyze_tone(std::vector<double>(10, 0.0), 100.0), Error);
+}
+
+TEST(WelchPsd, WhiteNoiseLevelCalibrated) {
+  // White noise of variance sigma^2 at rate fs has one-sided PSD
+  // 2 sigma^2 / fs (V^2/Hz).
+  const double fs = 1000.0;
+  const double sigma = 0.5;
+  const auto x = white_noise(sigma, 200000, 23);
+  const auto psd = dsp::welch_psd(x, fs, 512);
+  double mean_level = 0.0;
+  std::size_t count = 0;
+  for (std::size_t k = 5; k + 5 < psd.density.size(); ++k) {
+    mean_level += psd.density[k];
+    ++count;
+  }
+  mean_level /= static_cast<double>(count);
+  EXPECT_NEAR(mean_level, 2.0 * sigma * sigma / fs,
+              0.1 * 2.0 * sigma * sigma / fs);
+}
+
+TEST(WelchPsd, TotalPowerMatchesVariance) {
+  const auto x = white_noise(1.0, 100000, 31);
+  const auto psd = dsp::welch_psd(x, 2000.0, 256);
+  const double total = dsp::band_power(psd, 0.0, 1000.0);
+  EXPECT_NEAR(total, 1.0, 0.1);
+}
+
+TEST(WelchPsd, SineShowsAtItsFrequency) {
+  const double fs = 2048.0;
+  const auto x = sine(fs, 128.0, 1.0, 32768);
+  const auto psd = dsp::welch_psd(x, fs, 1024);
+  const double in_band = dsp::band_power(psd, 120.0, 136.0);
+  const double out_band = dsp::band_power(psd, 300.0, 1000.0);
+  EXPECT_NEAR(in_band, 0.5, 0.05);  // sine power A^2/2
+  EXPECT_LT(out_band, 1e-6);
+}
+
+TEST(WelchPsd, RejectsBadArguments) {
+  const auto x = white_noise(1.0, 100, 1);
+  EXPECT_THROW(dsp::welch_psd(x, 100.0, 4), Error);
+  EXPECT_THROW(dsp::welch_psd(x, 100.0, 512), Error);  // record too short
+  EXPECT_THROW(dsp::welch_psd(x, 100.0, 64, 1.5), Error);
+}
+
+TEST(BandPower, DirectOverloadAgrees) {
+  const double fs = 1024.0;
+  const auto x = sine(fs, 50.0, 1.0, 16384);
+  const double p = dsp::band_power(x, fs, 40.0, 60.0);
+  EXPECT_NEAR(p, 0.5, 0.05);
+}
+
+TEST(BandPower, EmptyBandIsZero) {
+  const auto x = sine(1024.0, 50.0, 1.0, 4096);
+  const auto psd = dsp::welch_psd(x, 1024.0, 256);
+  EXPECT_NEAR(dsp::band_power(psd, 400.0, 400.0), 0.0, 1e-9);
+  EXPECT_THROW(dsp::band_power(psd, 10.0, 5.0), Error);
+}

@@ -1,0 +1,223 @@
+// Synthetic EEG substrate: determinism, class separability, spectral
+// content, dataset assembly and the Step 4 upsampling path.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cs/basis.hpp"
+#include "dsp/metrics.hpp"
+#include "dsp/resample.hpp"
+#include "eeg/dataset.hpp"
+#include "eeg/generator.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+
+namespace {
+eeg::Generator default_gen() { return eeg::Generator(eeg::GeneratorConfig{}); }
+}  // namespace
+
+TEST(Generator, SegmentShape) {
+  const auto gen = default_gen();
+  const auto w = gen.normal(1);
+  EXPECT_DOUBLE_EQ(w.fs, 2048.0);
+  EXPECT_EQ(w.size(), static_cast<std::size_t>(2048.0 * 23.6));
+}
+
+TEST(Generator, DeterministicPerSeed) {
+  const auto gen = default_gen();
+  EXPECT_EQ(gen.normal(7).samples, gen.normal(7).samples);
+  EXPECT_NE(gen.normal(7).samples, gen.normal(8).samples);
+  EXPECT_EQ(gen.seizure(7).samples, gen.seizure(7).samples);
+  EXPECT_NE(gen.normal(7).samples, gen.seizure(7).samples);
+}
+
+TEST(Generator, BackgroundLevelMatchesConfig) {
+  eeg::GeneratorConfig cfg;
+  const eeg::Generator gen(cfg);
+  const auto w = gen.normal(3);
+  const double r = dsp::rms(w.samples);
+  // Background + alpha: rms near (but above) the configured background.
+  EXPECT_GT(r, cfg.background_rms_v * 0.8);
+  EXPECT_LT(r, cfg.background_rms_v * 2.0);
+}
+
+TEST(Generator, SeizureHasHigherAmplitude) {
+  // Per-segment levels vary (weak seizures and loud backgrounds exist by
+  // design), so the amplitude gap is a distributional property.
+  const auto gen = default_gen();
+  double ratio_sum = 0.0;
+  const int trials = 12;
+  for (std::uint64_t seed = 0; seed < trials; ++seed) {
+    const double rn = dsp::rms(gen.normal(seed).samples);
+    const double rs = dsp::rms(gen.seizure(seed).samples);
+    EXPECT_GT(rs, 0.9 * rn) << "seed " << seed;  // never dramatically quieter
+    ratio_sum += rs / rn;
+  }
+  EXPECT_GT(ratio_sum / trials, 1.5);  // clearly louder on average
+}
+
+TEST(Generator, SeizureAnnotationMatchesDischarge) {
+  const auto gen = default_gen();
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    eeg::IctalAnnotation a;
+    const auto w = gen.seizure(seed, &a);
+    ASSERT_GT(a.duration_s, 0.0);
+    ASSERT_LE(a.end_s(), w.duration_s() + 1e-9);
+    // The annotated span must be substantially louder than the rest.
+    const auto i0 = static_cast<std::size_t>(a.onset_s * w.fs);
+    const auto i1 = static_cast<std::size_t>(a.end_s() * w.fs);
+    const std::vector<double> inside(w.samples.begin() + i0,
+                                     w.samples.begin() + i1);
+    std::vector<double> outside;
+    outside.insert(outside.end(), w.samples.begin(), w.samples.begin() + i0);
+    outside.insert(outside.end(), w.samples.begin() + i1, w.samples.end());
+    if (outside.size() > w.fs) {  // need enough context to compare
+      EXPECT_GT(dsp::rms(inside), 1.2 * dsp::rms(outside)) << "seed " << seed;
+    }
+  }
+}
+
+TEST(Dataset, SeizureSegmentsCarryAnnotations) {
+  const auto gen = default_gen();
+  const auto ds = eeg::make_dataset(gen, 3, 3, 77);
+  for (const auto& seg : ds.segments) {
+    if (seg.label == eeg::SegmentClass::Seizure) {
+      ASSERT_TRUE(seg.ictal.has_value());
+      EXPECT_GT(seg.ictal->duration_s, 0.0);
+    } else {
+      EXPECT_FALSE(seg.ictal.has_value());
+    }
+  }
+}
+
+TEST(Generator, SeizureEnergyConcentratedInSpikeWaveBand) {
+  const auto gen = default_gen();
+  const auto w = gen.seizure(11);
+  const auto psd = dsp::welch_psd(w.samples, w.fs, 4096);
+  const double discharge = dsp::band_power(psd, 2.5, 12.0);  // f0 + harmonics
+  const double high = dsp::band_power(psd, 30.0, 100.0);
+  EXPECT_GT(discharge, 20.0 * high);
+}
+
+TEST(Generator, NormalShowsAlphaRhythm) {
+  eeg::GeneratorConfig cfg;
+  cfg.alpha_rms_v = 25e-6;  // pronounced alpha for a clear test
+  const eeg::Generator gen(cfg);
+  const auto w = gen.normal(13);
+  const auto psd = dsp::welch_psd(w.samples, w.fs, 8192);
+  const double alpha = dsp::band_power(psd, 8.0, 12.0);
+  const double beta = dsp::band_power(psd, 16.0, 24.0);
+  EXPECT_GT(alpha, 2.0 * beta);
+}
+
+TEST(Generator, BandlimitedAboveFortyFiveHz) {
+  const auto gen = default_gen();
+  for (auto w : {gen.normal(2), gen.seizure(2)}) {
+    const auto psd = dsp::welch_psd(w.samples, w.fs, 4096);
+    const double in_band = dsp::band_power(psd, 0.5, 45.0);
+    const double out_band = dsp::band_power(psd, 90.0, 500.0);
+    EXPECT_GT(in_band, 100.0 * out_band);
+  }
+}
+
+TEST(Generator, FramesAreCompressibleInDct) {
+  // The property the CS experiments rely on (DESIGN.md): most frame energy
+  // in few low-frequency DCT coefficients.
+  const auto gen = default_gen();
+  const auto w = gen.seizure(21);
+  const auto sampled =
+      dsp::sample_at_times(w.samples, w.fs, dsp::uniform_times(384, 537.6));
+  const auto coeffs = cs::dct_forward(sampled);
+  EXPECT_GT(cs::energy_in_top_k(coeffs, 60), 0.97);
+}
+
+TEST(Generator, BlinksAddTransients) {
+  eeg::GeneratorConfig with;
+  with.blink_rate_hz = 0.5;
+  eeg::GeneratorConfig without = with;
+  without.blink_rate_hz = 0.0;
+  const auto w1 = eeg::Generator(with).normal(5);
+  const auto w0 = eeg::Generator(without).normal(5);
+  double max1 = 0.0, max0 = 0.0;
+  for (double v : w1.samples) max1 = std::max(max1, std::fabs(v));
+  for (double v : w0.samples) max0 = std::max(max0, std::fabs(v));
+  EXPECT_GT(max1, max0 + 50e-6);  // blink bumps stick out
+}
+
+TEST(Generator, RejectsBadConfig) {
+  eeg::GeneratorConfig cfg;
+  cfg.fs_hz = 50.0;
+  EXPECT_THROW(eeg::Generator{cfg}, Error);
+  cfg = {};
+  cfg.seizure_min_fraction = 0.9;
+  cfg.seizure_max_fraction = 0.5;
+  EXPECT_THROW(eeg::Generator{cfg}, Error);
+}
+
+TEST(Dataset, BalancedAndInterleaved) {
+  const auto gen = default_gen();
+  const auto ds = eeg::make_dataset(gen, 6, 6, 1);
+  EXPECT_EQ(ds.size(), 12u);
+  EXPECT_EQ(ds.count(eeg::SegmentClass::Normal), 6u);
+  EXPECT_EQ(ds.count(eeg::SegmentClass::Seizure), 6u);
+  // Any prefix stays roughly balanced (interleaving property).
+  std::size_t seizures_in_first_half = 0;
+  for (std::size_t i = 0; i < 6; ++i) {
+    if (ds.segments[i].label == eeg::SegmentClass::Seizure) {
+      ++seizures_in_first_half;
+    }
+  }
+  EXPECT_GE(seizures_in_first_half, 2u);
+  EXPECT_LE(seizures_in_first_half, 4u);
+}
+
+TEST(Dataset, UnbalancedCountsHonoured) {
+  const auto gen = default_gen();
+  const auto ds = eeg::make_dataset(gen, 5, 2, 3);
+  EXPECT_EQ(ds.count(eeg::SegmentClass::Normal), 5u);
+  EXPECT_EQ(ds.count(eeg::SegmentClass::Seizure), 2u);
+}
+
+TEST(Dataset, DeterministicPerSeed) {
+  const auto gen = default_gen();
+  const auto a = eeg::make_dataset(gen, 3, 3, 42);
+  const auto b = eeg::make_dataset(gen, 3, 3, 42);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.segments[i].label, b.segments[i].label);
+    EXPECT_EQ(a.segments[i].waveform.samples, b.segments[i].waveform.samples);
+  }
+}
+
+TEST(Upsample, PaperRateConversion) {
+  // The paper's Step 4: 173.61 Hz records upsampled to 512 Hz.
+  eeg::GeneratorConfig cfg;
+  cfg.fs_hz = 173.61;
+  cfg.duration_s = 23.6;
+  const eeg::Generator gen(cfg);
+  const auto record = gen.normal(2);
+  const auto up = eeg::upsample_record(record, 512.0);
+  EXPECT_NEAR(up.fs, 512.0, 0.5);
+  EXPECT_NEAR(up.duration_s(), record.duration_s(), 0.1);
+}
+
+TEST(Upsample, PreservesToneContent) {
+  // A pure tone must survive the polyphase upsampling unharmed.
+  const double fs = 173.61;
+  std::vector<double> x(4096);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = std::sin(2.0 * std::numbers::pi * 20.0 * static_cast<double>(i) / fs);
+  }
+  const auto up = eeg::upsample_record(sim::Waveform(fs, x), 512.0);
+  const std::vector<double> tail(up.samples.begin() + 1000,
+                                 up.samples.end() - 1000);
+  const auto a = dsp::analyze_tone(tail, up.fs);
+  EXPECT_NEAR(a.fundamental_hz, 20.0, 0.3);
+  EXPECT_GT(a.sndr_db, 30.0);
+}
+
+TEST(Upsample, RejectsDownsampling) {
+  const auto gen = default_gen();
+  EXPECT_THROW(eeg::upsample_record(gen.normal(1), 100.0), Error);
+}

@@ -1,0 +1,139 @@
+// Level-crossing ADC: event generation, reconstruction quality, timer
+// quantization and the signal-dependent power model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "blocks/lc_adc.hpp"
+#include "blocks/sources.hpp"
+#include "dsp/metrics.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+using sim::Waveform;
+
+namespace {
+
+power::TechnologyParams tech;
+
+Waveform sine_wave(double fs, double f, double amp, double dur) {
+  blocks::SineSource s("s", fs, dur, f, amp);
+  return s.process({}).front();
+}
+
+}  // namespace
+
+TEST(LcAdc, DcInputProducesNoEvents) {
+  power::DesignParams d;
+  blocks::LcAdcBlock lc("lc", tech, d);
+  const Waveform w(2048.0, std::vector<double>(4096, 0.2));
+  const auto out = lc.process({w})[0];
+  EXPECT_EQ(lc.last_event_count(), 0u);
+  // Reconstruction holds the initial level.
+  for (double v : out.samples) EXPECT_NEAR(v, 0.203125, 1e-9);  // nearest 8-bit level (26 * LSB)
+}
+
+TEST(LcAdc, RampCrossesExpectedLevelCount) {
+  power::DesignParams d;
+  blocks::LcAdcConfig cfg;
+  cfg.levels_bits = 6;  // LSB = 2/64 = 31.25 mV
+  blocks::LcAdcBlock lc("lc", tech, d, cfg);
+  // Ramp from -0.5 V to +0.5 V: crosses ~ 1.0 / 0.03125 = 32 levels.
+  std::vector<double> ramp(4096);
+  for (std::size_t i = 0; i < ramp.size(); ++i) {
+    ramp[i] = -0.5 + static_cast<double>(i) / 4095.0;
+  }
+  lc.process({Waveform(2048.0, ramp)});
+  EXPECT_NEAR(static_cast<double>(lc.last_event_count()), 32.0, 2.0);
+}
+
+TEST(LcAdc, EventRateScalesWithAmplitudeAndFrequency) {
+  power::DesignParams d;
+  blocks::LcAdcBlock lc("lc", tech, d);
+  lc.process({sine_wave(8192.0, 10.0, 0.3, 4.0)});
+  const double rate_low = lc.last_event_rate_hz();
+  lc.process({sine_wave(8192.0, 10.0, 0.6, 4.0)});
+  const double rate_big = lc.last_event_rate_hz();
+  lc.process({sine_wave(8192.0, 40.0, 0.3, 4.0)});
+  const double rate_fast = lc.last_event_rate_hz();
+  EXPECT_GT(rate_big, 1.5 * rate_low);   // double amplitude -> ~2x crossings
+  EXPECT_GT(rate_fast, 3.0 * rate_low);  // 4x frequency -> ~4x crossings
+}
+
+TEST(LcAdc, ReconstructionQualityImprovesWithLevels) {
+  power::DesignParams d;
+  const auto tone = sine_wave(8192.0, 20.0, 0.8, 4.0);
+  double prev_snr = -100.0;
+  for (int bits : {4, 6, 8}) {
+    blocks::LcAdcConfig cfg;
+    cfg.levels_bits = bits;
+    blocks::LcAdcBlock lc("lc", tech, d, cfg);
+    const auto out = lc.process({tone})[0];
+    const auto a = dsp::analyze_tone(out.samples, out.fs);
+    EXPECT_GT(a.sndr_db, prev_snr) << bits << " bits";
+    prev_snr = a.sndr_db;
+  }
+  EXPECT_GT(prev_snr, 30.0);  // 8-bit levels on a full-scale sine
+}
+
+TEST(LcAdc, OutputOnUniformGrid) {
+  power::DesignParams d;
+  blocks::LcAdcBlock lc("lc", tech, d);
+  const auto out = lc.process({sine_wave(2048.0, 5.0, 0.5, 2.0)})[0];
+  EXPECT_DOUBLE_EQ(out.fs, d.f_sample_hz());
+  EXPECT_EQ(out.size(), static_cast<std::size_t>(2.0 * d.f_sample_hz()));
+}
+
+TEST(LcAdc, PowerGrowsWithEventRate) {
+  power::DesignParams d;
+  blocks::LcAdcBlock lc("lc", tech, d);
+  lc.process({Waveform(2048.0, std::vector<double>(4096, 0.0))});
+  const double p_idle = lc.power_watts();
+  const double tx_idle = lc.tx_power_watts();
+  lc.process({sine_wave(8192.0, 30.0, 0.9, 4.0)});
+  const double p_busy = lc.power_watts();
+  EXPECT_GT(p_busy, p_idle);
+  EXPECT_DOUBLE_EQ(tx_idle, 0.0);
+  EXPECT_GT(lc.tx_power_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(lc.tx_power_watts(),
+                   lc.last_event_rate_hz() * lc.bits_per_event() * tech.e_bit_j);
+}
+
+TEST(LcAdc, SaturatesAtFullScale) {
+  power::DesignParams d;
+  blocks::LcAdcBlock lc("lc", tech, d);
+  const auto out = lc.process({sine_wave(8192.0, 5.0, 3.0, 2.0)})[0];
+  for (double v : out.samples) {
+    EXPECT_LE(std::fabs(v), d.v_fs / 2.0 + 1e-12);
+  }
+}
+
+TEST(LcAdc, ResetClearsCounters) {
+  power::DesignParams d;
+  blocks::LcAdcBlock lc("lc", tech, d);
+  lc.process({sine_wave(8192.0, 10.0, 0.5, 1.0)});
+  EXPECT_GT(lc.last_event_count(), 0u);
+  lc.reset();
+  EXPECT_EQ(lc.last_event_count(), 0u);
+  EXPECT_DOUBLE_EQ(lc.last_event_rate_hz(), 0.0);
+}
+
+TEST(LcAdc, RejectsBadConfig) {
+  power::DesignParams d;
+  blocks::LcAdcConfig bad;
+  bad.levels_bits = 1;
+  EXPECT_THROW(blocks::LcAdcBlock("lc", tech, d, bad), Error);
+  bad = {};
+  bad.timer_bits = 1;
+  EXPECT_THROW(blocks::LcAdcBlock("lc", tech, d, bad), Error);
+}
+
+TEST(LcAdc, AreaIsLevelDac) {
+  power::DesignParams d;
+  blocks::LcAdcConfig cfg;
+  cfg.levels_bits = 6;
+  blocks::LcAdcBlock lc("lc", tech, d, cfg);
+  EXPECT_DOUBLE_EQ(lc.area_unit_caps(), 64.0);
+}

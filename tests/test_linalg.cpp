@@ -1,0 +1,240 @@
+// Unit and property tests for the dense linear-algebra substrate.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/decompositions.hpp"
+#include "linalg/matrix.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+using linalg::Matrix;
+using linalg::Vector;
+
+namespace {
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix m(r, c);
+  for (auto& v : m.data()) v = rng.gaussian();
+  return m;
+}
+
+Vector random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Vector v(n);
+  for (auto& x : v) x = rng.gaussian();
+  return v;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  double m = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    m = std::max(m, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return m;
+}
+
+}  // namespace
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 1) = -2.0;
+  EXPECT_DOUBLE_EQ(m(0, 1), -2.0);
+}
+
+TEST(Matrix, IdentityAndMatmul) {
+  const auto a = random_matrix(5, 5, 1);
+  const auto i = Matrix::identity(5);
+  EXPECT_LT(max_abs_diff(linalg::matmul(a, i), a), 1e-14);
+  EXPECT_LT(max_abs_diff(linalg::matmul(i, a), a), 1e-14);
+}
+
+TEST(Matrix, FromRowsAndRagged) {
+  const auto m = Matrix::from_rows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW(Matrix::from_rows({{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  const auto a = random_matrix(4, 7, 2);
+  EXPECT_LT(max_abs_diff(a.transposed().transposed(), a), 1e-15);
+}
+
+TEST(Matrix, MatmulAgainstHandComputed) {
+  const auto a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto b = Matrix::from_rows({{5, 6}, {7, 8}});
+  const auto c = linalg::matmul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MatvecTransposedMatchesExplicitTranspose) {
+  const auto a = random_matrix(6, 9, 3);
+  const auto x = random_vector(6, 4);
+  const auto y1 = linalg::matvec_transposed(a, x);
+  const auto y2 = linalg::matvec(a.transposed(), x);
+  for (std::size_t i = 0; i < y1.size(); ++i) EXPECT_NEAR(y1[i], y2[i], 1e-12);
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  const auto a = random_matrix(3, 4, 5);
+  EXPECT_THROW(linalg::matvec(a, Vector(3)), Error);
+  EXPECT_THROW(linalg::matmul(a, a), Error);
+  Matrix b(2, 2);
+  EXPECT_THROW(b += a, Error);
+}
+
+TEST(Matrix, ColumnRoundTrip) {
+  auto a = random_matrix(4, 3, 6);
+  const Vector c{9, 8, 7, 6};
+  a.set_column(1, c);
+  EXPECT_EQ(a.column(1), c);
+}
+
+TEST(Matrix, ArithmeticOperators) {
+  const auto a = Matrix::from_rows({{1, 2}, {3, 4}});
+  const auto b = Matrix::from_rows({{4, 3}, {2, 1}});
+  const auto s = a + b;
+  EXPECT_DOUBLE_EQ(s(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(s(1, 1), 5.0);
+  const auto d = a - b;
+  EXPECT_DOUBLE_EQ(d(0, 0), -3.0);
+  const auto m = a * 2.0;
+  EXPECT_DOUBLE_EQ(m(1, 0), 6.0);
+}
+
+TEST(Vector, DotAndNorms) {
+  const Vector a{3, 4};
+  EXPECT_DOUBLE_EQ(linalg::dot(a, a), 25.0);
+  EXPECT_DOUBLE_EQ(linalg::norm2(a), 5.0);
+  EXPECT_DOUBLE_EQ(linalg::norm_inf(Vector{-7, 2}), 7.0);
+}
+
+TEST(Vector, AxpyAndElementwise) {
+  const Vector x{1, 2, 3};
+  const Vector y{10, 10, 10};
+  const auto z = linalg::axpy(2.0, x, y);
+  EXPECT_DOUBLE_EQ(z[2], 16.0);
+  EXPECT_DOUBLE_EQ(linalg::vsub(y, x)[0], 9.0);
+  EXPECT_DOUBLE_EQ(linalg::vadd(y, x)[1], 12.0);
+  EXPECT_DOUBLE_EQ(linalg::scaled(x, -1.0)[0], -1.0);
+}
+
+// --- Decompositions ----------------------------------------------------------
+
+class QrProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(QrProperty, ReconstructsAndOrthogonal) {
+  const auto [m, n] = GetParam();
+  const auto a = random_matrix(m, n, 100 + m * 31 + n);
+  const auto qr = linalg::qr_decompose(a);
+  // A = Q R
+  const auto rec = linalg::matmul(qr.q, qr.r);
+  EXPECT_LT(max_abs_diff(rec, a), 1e-10);
+  // Q^T Q = I
+  const auto qtq = linalg::matmul(qr.q.transposed(), qr.q);
+  EXPECT_LT(max_abs_diff(qtq, Matrix::identity(n)), 1e-10);
+  // R upper triangular
+  for (std::size_t i = 0; i < qr.r.rows(); ++i) {
+    for (std::size_t j = 0; j < i; ++j) EXPECT_DOUBLE_EQ(qr.r(i, j), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, QrProperty,
+                         ::testing::Values(std::pair{3, 3}, std::pair{8, 3},
+                                           std::pair{16, 16}, std::pair{40, 12},
+                                           std::pair{5, 1}));
+
+TEST(Cholesky, FactorsSpdMatrix) {
+  const auto b = random_matrix(6, 6, 9);
+  auto spd = linalg::matmul(b, b.transposed());
+  for (std::size_t i = 0; i < 6; ++i) spd(i, i) += 1.0;
+  const auto l = linalg::cholesky(spd);
+  EXPECT_LT(max_abs_diff(linalg::matmul(l, l.transposed()), spd), 1e-10);
+}
+
+TEST(Cholesky, RejectsIndefinite) {
+  auto m = Matrix::identity(3);
+  m(2, 2) = -1.0;
+  EXPECT_THROW(linalg::cholesky(m), Error);
+}
+
+TEST(Solvers, TriangularSolves) {
+  const auto l = Matrix::from_rows({{2, 0}, {1, 3}});
+  const auto y = linalg::solve_lower(l, {4, 7});
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+  EXPECT_DOUBLE_EQ(y[1], 5.0 / 3.0);
+  const auto u = Matrix::from_rows({{2, 1}, {0, 3}});
+  const auto x = linalg::solve_upper(u, {5, 6});
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+  EXPECT_DOUBLE_EQ(x[0], 1.5);
+}
+
+TEST(Solvers, SquareSolveRecovers) {
+  const auto a = random_matrix(10, 10, 21);
+  const auto x_true = random_vector(10, 22);
+  const auto b = linalg::matvec(a, x_true);
+  const auto x = linalg::solve(a, b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-8);
+}
+
+TEST(Lstsq, OverdeterminedExactWhenConsistent) {
+  const auto a = random_matrix(20, 5, 31);
+  const auto x_true = random_vector(5, 32);
+  const auto b = linalg::matvec(a, x_true);
+  const auto x = linalg::lstsq(a, b);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Lstsq, ResidualOrthogonalToColumns) {
+  const auto a = random_matrix(12, 4, 41);
+  const auto b = random_vector(12, 42);
+  const auto x = linalg::lstsq(a, b);
+  const auto r = linalg::vsub(b, linalg::matvec(a, x));
+  const auto atr = linalg::matvec_transposed(a, r);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-9);
+}
+
+TEST(CholeskyAppend, MatchesBatchSolve) {
+  const std::size_t m = 30, k = 6;
+  const auto a = random_matrix(m, k, 51);
+  const auto b = random_vector(m, 52);
+
+  linalg::CholeskyAppend inc(k);
+  Vector atb;
+  for (std::size_t j = 0; j < k; ++j) {
+    const auto col = a.column(j);
+    Vector cross(j);
+    for (std::size_t i = 0; i < j; ++i) cross[i] = linalg::dot(a.column(i), col);
+    ASSERT_TRUE(inc.append(cross, linalg::dot(col, col)));
+    atb.push_back(linalg::dot(col, b));
+  }
+  const auto x_inc = inc.solve(atb);
+  const auto x_ls = linalg::lstsq(a, b);
+  for (std::size_t i = 0; i < k; ++i) EXPECT_NEAR(x_inc[i], x_ls[i], 1e-8);
+}
+
+TEST(CholeskyAppend, RejectsDuplicateColumn) {
+  const auto a = random_matrix(10, 1, 61);
+  const auto col = a.column(0);
+  const double g = linalg::dot(col, col);
+  linalg::CholeskyAppend inc(3);
+  ASSERT_TRUE(inc.append({}, g));
+  // Appending a numerically identical column must be refused.
+  EXPECT_FALSE(inc.append({g}, g));
+  EXPECT_EQ(inc.size(), 1u);
+}
+
+TEST(CholeskyAppend, CapacityEnforced) {
+  linalg::CholeskyAppend inc(1);
+  ASSERT_TRUE(inc.append({}, 2.0));
+  EXPECT_THROW(inc.append({0.0}, 2.0), Error);
+}

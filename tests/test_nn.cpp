@@ -1,0 +1,200 @@
+// Neural-network substrate: forward pass, gradients (numeric check),
+// training convergence, serialization and the feature standardizer.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/mlp.hpp"
+#include "nn/standardizer.hpp"
+#include "nn/train.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+using nn::Activation;
+using nn::Mlp;
+
+TEST(Activations, Values) {
+  EXPECT_DOUBLE_EQ(nn::apply_activation(Activation::Identity, -2.0), -2.0);
+  EXPECT_DOUBLE_EQ(nn::apply_activation(Activation::ReLU, -2.0), 0.0);
+  EXPECT_DOUBLE_EQ(nn::apply_activation(Activation::ReLU, 3.0), 3.0);
+  EXPECT_NEAR(nn::apply_activation(Activation::Sigmoid, 0.0), 0.5, 1e-12);
+  EXPECT_NEAR(nn::apply_activation(Activation::Tanh, 100.0), 1.0, 1e-9);
+}
+
+class ActivationDerivative : public ::testing::TestWithParam<Activation> {};
+
+TEST_P(ActivationDerivative, MatchesNumericGradient) {
+  const auto act = GetParam();
+  for (double x : {-1.3, -0.2, 0.4, 2.1}) {
+    const double h = 1e-6;
+    const double fp = nn::apply_activation(act, x + h);
+    const double fm = nn::apply_activation(act, x - h);
+    const double numeric = (fp - fm) / (2.0 * h);
+    const double post = nn::apply_activation(act, x);
+    const double analytic = nn::activation_derivative(act, x, post);
+    EXPECT_NEAR(analytic, numeric, 1e-5) << "x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, ActivationDerivative,
+                         ::testing::Values(Activation::Identity,
+                                           Activation::Sigmoid,
+                                           Activation::Tanh));
+
+TEST(Mlp, ForwardWithKnownWeights) {
+  Mlp net({2, 2, 1}, 1);
+  auto& layers = net.layers();
+  // Hand-set: hidden = ReLU(W x + b), out = sigmoid(w . hidden).
+  layers[0].weights = linalg::Matrix::from_rows({{1, 0}, {0, 1}});
+  layers[0].bias = {0.0, -1.0};
+  layers[1].weights = linalg::Matrix::from_rows({{1, 1}});
+  layers[1].bias = {0.0};
+  const auto out = net.forward({2.0, 3.0});
+  // hidden = {2, 2}; logit = 4 -> sigmoid(4).
+  EXPECT_NEAR(out[0], 1.0 / (1.0 + std::exp(-4.0)), 1e-12);
+}
+
+TEST(Mlp, ShapeChecks) {
+  Mlp net({3, 4, 1}, 2);
+  EXPECT_EQ(net.input_size(), 3u);
+  EXPECT_EQ(net.output_size(), 1u);
+  EXPECT_EQ(net.layer_count(), 2u);
+  EXPECT_THROW(net.forward({1.0, 2.0}), Error);
+  EXPECT_THROW(Mlp({5}, 1), Error);
+}
+
+TEST(Mlp, DeterministicInitialization) {
+  Mlp a({4, 8, 1}, 7), b({4, 8, 1}, 7), c({4, 8, 1}, 8);
+  EXPECT_EQ(a.layers()[0].weights.data(), b.layers()[0].weights.data());
+  EXPECT_NE(a.layers()[0].weights.data(), c.layers()[0].weights.data());
+}
+
+TEST(Mlp, BlobRoundTripExact) {
+  Mlp net({3, 5, 1}, 77);
+  const auto blob = net.to_blob();
+  const Mlp copy = Mlp::from_blob(blob);
+  const linalg::Vector x{0.3, -1.2, 2.0};
+  EXPECT_DOUBLE_EQ(net.predict_proba(x), copy.predict_proba(x));
+}
+
+TEST(Mlp, FromBlobRejectsGarbage) {
+  EXPECT_THROW(Mlp::from_blob("not a net"), Error);
+  EXPECT_THROW(Mlp::from_blob("mlp v1\n1\n2 2 1\n0.5"), Error);  // truncated
+}
+
+TEST(Train, LearnsXor) {
+  // XOR: the classic non-linearly-separable toy problem.
+  linalg::Matrix x(4, 2);
+  x(0, 0) = 0; x(0, 1) = 0;
+  x(1, 0) = 0; x(1, 1) = 1;
+  x(2, 0) = 1; x(2, 1) = 0;
+  x(3, 0) = 1; x(3, 1) = 1;
+  const std::vector<double> y{0, 1, 1, 0};
+
+  Mlp net({2, 8, 1}, 7);
+  nn::TrainConfig cfg;
+  cfg.epochs = 2500;
+  cfg.batch_size = 4;
+  cfg.learning_rate = 0.05;
+  cfg.l2 = 0.0;
+  const auto result = nn::train_binary(net, x, y, cfg);
+  EXPECT_EQ(result.final_accuracy, 1.0);
+  EXPECT_LT(result.final_loss, 0.1);
+}
+
+TEST(Train, SeparableBlobsReachHighAccuracy) {
+  Rng rng(9);
+  const std::size_t n = 200;
+  linalg::Matrix x(n, 3);
+  std::vector<double> y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool pos = i % 2 == 0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      x(i, c) = rng.gaussian(pos ? 1.5 : -1.5, 1.0);
+    }
+    y[i] = pos ? 1.0 : 0.0;
+  }
+  Mlp net({3, 8, 1}, 6);
+  nn::TrainConfig cfg;
+  cfg.epochs = 40;
+  const auto result = nn::train_binary(net, x, y, cfg);
+  EXPECT_GT(result.final_accuracy, 0.95);
+  const auto eval = nn::evaluate_binary(net, x, y);
+  EXPECT_GT(eval.accuracy, 0.95);
+  EXPECT_NEAR(eval.accuracy, result.final_accuracy, 0.05);
+}
+
+TEST(Train, DeterministicGivenSeed) {
+  linalg::Matrix x(10, 2);
+  std::vector<double> y(10);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 10; ++i) {
+    x(i, 0) = rng.gaussian();
+    x(i, 1) = rng.gaussian();
+    y[i] = (i % 2) ? 1.0 : 0.0;
+  }
+  Mlp a({2, 4, 1}, 11), b({2, 4, 1}, 11);
+  nn::TrainConfig cfg;
+  cfg.epochs = 5;
+  nn::train_binary(a, x, y, cfg);
+  nn::train_binary(b, x, y, cfg);
+  EXPECT_EQ(a.layers()[0].weights.data(), b.layers()[0].weights.data());
+}
+
+TEST(Train, InputValidation) {
+  Mlp net({2, 3, 1}, 1);
+  linalg::Matrix x(4, 2);
+  EXPECT_THROW(nn::train_binary(net, x, {0, 1}, {}), Error);       // size mismatch
+  EXPECT_THROW(nn::train_binary(net, x, {0, 1, 2, 1}, {}), Error);  // bad label
+  linalg::Matrix wrong(4, 3);
+  EXPECT_THROW(nn::train_binary(net, wrong, {0, 1, 0, 1}, {}), Error);
+}
+
+TEST(Standardizer, NormalizesColumns) {
+  linalg::Matrix x(4, 2);
+  x(0, 0) = 1; x(1, 0) = 2; x(2, 0) = 3; x(3, 0) = 4;
+  x(0, 1) = 10; x(1, 1) = 10; x(2, 1) = 10; x(3, 1) = 10;  // constant
+  nn::Standardizer s;
+  s.fit(x);
+  const auto t = s.transform(x);
+  // Column 0: mean 2.5, population std sqrt(1.25).
+  EXPECT_NEAR(t(0, 0), (1.0 - 2.5) / std::sqrt(1.25), 1e-12);
+  double col_sum = 0.0;
+  for (std::size_t r = 0; r < 4; ++r) col_sum += t(r, 0);
+  EXPECT_NEAR(col_sum, 0.0, 1e-12);
+  // Constant column: centred, left unscaled (std -> 1).
+  EXPECT_DOUBLE_EQ(t(2, 1), 0.0);
+}
+
+TEST(Standardizer, RowTransformMatchesMatrix) {
+  Rng rng(21);
+  linalg::Matrix x(20, 3);
+  for (auto& v : x.data()) v = rng.gaussian(5.0, 2.0);
+  nn::Standardizer s;
+  s.fit(x);
+  const auto m = s.transform(x);
+  const auto row = s.transform(x.column(0).empty() ? linalg::Vector{} :
+                               linalg::Vector{x(7, 0), x(7, 1), x(7, 2)});
+  for (std::size_t c = 0; c < 3; ++c) EXPECT_NEAR(row[c], m(7, c), 1e-12);
+}
+
+TEST(Standardizer, BlobRoundTrip) {
+  Rng rng(22);
+  linalg::Matrix x(10, 4);
+  for (auto& v : x.data()) v = rng.gaussian();
+  nn::Standardizer s;
+  s.fit(x);
+  const auto copy = nn::Standardizer::from_blob(s.to_blob());
+  const linalg::Vector probe{0.1, -0.5, 1.2, 3.3};
+  const auto a = s.transform(probe);
+  const auto b = copy.transform(probe);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+}
+
+TEST(Standardizer, UnfittedThrows) {
+  nn::Standardizer s;
+  EXPECT_THROW(s.transform(linalg::Vector{1.0}), Error);
+  EXPECT_THROW(s.to_blob(), Error);
+}

@@ -1,0 +1,226 @@
+// Reconstruction algorithms: OMP exact/noisy recovery, IHT/ISTA baselines,
+// and the frame-wise Reconstructor facade with charge-sharing compensation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "cs/basis.hpp"
+#include "cs/effective.hpp"
+#include "cs/iterative.hpp"
+#include "cs/omp.hpp"
+#include "cs/reconstructor.hpp"
+#include "dsp/metrics.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+
+namespace {
+
+linalg::Matrix gaussian_dict(std::size_t m, std::size_t k, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Matrix d(m, k);
+  for (auto& v : d.data()) v = rng.gaussian() / std::sqrt(static_cast<double>(m));
+  return d;
+}
+
+linalg::Vector sparse_vector(std::size_t k, std::size_t nnz,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Vector x(k, 0.0);
+  std::size_t placed = 0;
+  while (placed < nnz) {
+    const auto idx = static_cast<std::size_t>(rng.below(k));
+    if (x[idx] != 0.0) continue;
+    x[idx] = rng.gaussian() + (rng.chance(0.5) ? 2.0 : -2.0);
+    ++placed;
+  }
+  return x;
+}
+
+double rel_err(const linalg::Vector& a, const linalg::Vector& b) {
+  return linalg::norm2(linalg::vsub(a, b)) / linalg::norm2(b);
+}
+
+/// A band-limited test frame: a few low-frequency DCT atoms.
+linalg::Vector bandlimited_frame(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  linalg::Vector coeffs(n, 0.0);
+  for (std::size_t k = 1; k < 20 && k < n; ++k) {
+    coeffs[k] = rng.gaussian() / (1.0 + 0.3 * static_cast<double>(k));
+  }
+  return cs::dct_inverse(coeffs);
+}
+
+}  // namespace
+
+class OmpRecovery : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(OmpRecovery, ExactOnNoiselessSparseProblems) {
+  const auto [m, k, nnz] = GetParam();
+  const auto dict = gaussian_dict(m, k, 100 + m);
+  const auto x0 = sparse_vector(k, nnz, 200 + nnz);
+  const auto y = linalg::matvec(dict, x0);
+  const auto r = cs::omp_solve(dict, y, {.max_atoms = static_cast<std::size_t>(2 * nnz),
+                                         .residual_tol = 1e-10});
+  EXPECT_LT(rel_err(r.coefficients, x0), 1e-8);
+  EXPECT_LE(r.support.size(), static_cast<std::size_t>(2 * nnz));
+}
+
+INSTANTIATE_TEST_SUITE_P(Problems, OmpRecovery,
+                         ::testing::Values(std::tuple{40, 120, 5},
+                                           std::tuple{64, 256, 8},
+                                           std::tuple{30, 60, 4},
+                                           std::tuple{96, 384, 12}));
+
+TEST(Omp, StopsAtResidualTolerance) {
+  const auto dict = gaussian_dict(50, 200, 3);
+  const auto x0 = sparse_vector(200, 6, 4);
+  auto y = linalg::matvec(dict, x0);
+  Rng rng(5);
+  for (auto& v : y) v += rng.gaussian(0.0, 0.01);
+  const auto r = cs::omp_solve(dict, y, {.max_atoms = 25, .residual_tol = 0.1});
+  EXPECT_LT(r.iterations, 25u);  // tolerance reached before the cap
+  EXPECT_LE(r.residual_norm, 0.1 * linalg::norm2(y) + 1e-12);
+}
+
+TEST(Omp, ZeroMeasurementGivesZero) {
+  const auto dict = gaussian_dict(20, 50, 7);
+  const auto r = cs::omp_solve(dict, linalg::Vector(20, 0.0));
+  for (double v : r.coefficients) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_EQ(r.iterations, 0u);
+}
+
+TEST(Omp, HandlesDuplicateAtomsGracefully) {
+  // Two identical atoms: OMP must not crash on the singular Gram update.
+  linalg::Matrix dict(10, 3);
+  Rng rng(11);
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double v = rng.gaussian();
+    dict(i, 0) = v;
+    dict(i, 1) = v;  // duplicate
+    dict(i, 2) = rng.gaussian();
+  }
+  const auto y = dict.column(0);
+  const auto r = cs::omp_solve(dict, y, {.max_atoms = 3, .residual_tol = 1e-12});
+  EXPECT_LT(r.residual_norm, 1e-10);
+}
+
+TEST(Omp, WrongSizeThrows) {
+  const auto dict = gaussian_dict(20, 50, 7);
+  EXPECT_THROW(cs::omp_solve(dict, linalg::Vector(19, 0.0)), Error);
+}
+
+TEST(Iht, RecoversSparseVector) {
+  const auto dict = gaussian_dict(60, 150, 21);
+  const auto x0 = sparse_vector(150, 5, 22);
+  const auto y = linalg::matvec(dict, x0);
+  const auto x = cs::iht_solve(dict, y, {.sparsity = 5, .max_iters = 500});
+  EXPECT_LT(rel_err(x, x0), 0.05);
+}
+
+TEST(Ista, ShrinksTowardSparseSolution) {
+  const auto dict = gaussian_dict(60, 150, 31);
+  const auto x0 = sparse_vector(150, 5, 32);
+  const auto y = linalg::matvec(dict, x0);
+  const auto x = cs::ista_solve(dict, y, {.max_iters = 800});
+  // ISTA is biased; just require substantial recovery.
+  EXPECT_LT(rel_err(x, x0), 0.5);
+  std::size_t nnz = 0;
+  for (double v : x) {
+    if (v != 0.0) ++nnz;
+  }
+  EXPECT_LT(nnz, 100u);  // sparsity-inducing
+}
+
+TEST(Iterative, ShapeChecks) {
+  const auto dict = gaussian_dict(10, 20, 41);
+  EXPECT_THROW(cs::iht_solve(dict, linalg::Vector(9, 0.0)), Error);
+  EXPECT_THROW(cs::ista_solve(dict, linalg::Vector(9, 0.0)), Error);
+}
+
+// --- Reconstructor facade ----------------------------------------------------
+
+TEST(Reconstructor, RecoversBandlimitedFrameFromIdealMeasurements) {
+  const std::size_t n = 384, m = 96;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 77);
+  const auto x = bandlimited_frame(n, 5);
+  const auto y = phi.apply(x);
+  cs::ReconstructorConfig cfg;
+  cfg.compensate_decay = false;
+  const cs::Reconstructor rec(phi, {1.0, 0.0}, cfg);
+  const auto xr = rec.reconstruct_frame(y);
+  EXPECT_GT(dsp::snr_vs_reference_db(x, xr), 20.0);
+}
+
+TEST(Reconstructor, CompensatesChargeSharingDecay) {
+  const std::size_t n = 384, m = 96;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 78);
+  const auto gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
+  const auto eff = cs::effective_matrix(phi, gains.a, gains.b);
+  const auto x = bandlimited_frame(n, 6);
+  const auto y = linalg::matvec(eff, x);
+
+  cs::ReconstructorConfig with;  // compensate_decay = true
+  const cs::Reconstructor rec_comp(phi, gains, with);
+  cs::ReconstructorConfig without = with;
+  without.compensate_decay = false;
+  const cs::Reconstructor rec_naive(phi, gains, without);
+
+  const double snr_comp = dsp::snr_vs_reference_db(x, rec_comp.reconstruct_frame(y));
+  const double snr_naive = dsp::snr_vs_reference_db(x, rec_naive.reconstruct_frame(y));
+  EXPECT_GT(snr_comp, 15.0);
+  EXPECT_GT(snr_comp, snr_naive + 6.0);  // compensation matters a lot
+}
+
+TEST(Reconstructor, AutoTruncationUsesLowBand) {
+  const auto phi = cs::SparseBinaryMatrix::generate(100, 384, 2, 79);
+  const cs::Reconstructor rec(phi, {1.0, 0.0});
+  EXPECT_EQ(rec.active_atoms(), 85u);  // 0.85 * M
+  cs::ReconstructorConfig full;
+  full.basis_atoms = 384;
+  const cs::Reconstructor rec_full(phi, {1.0, 0.0}, full);
+  EXPECT_EQ(rec_full.active_atoms(), 384u);
+}
+
+TEST(Reconstructor, StreamProcessesWholeFrames) {
+  const std::size_t n = 64, m = 16;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 80);
+  cs::ReconstructorConfig cfg;
+  cfg.compensate_decay = false;
+  const cs::Reconstructor rec(phi, {1.0, 0.0}, cfg);
+  // 2 full frames + 5 stray measurements -> 2*64 output samples.
+  std::vector<double> meas(2 * m + 5, 0.1);
+  const auto out = rec.reconstruct_stream(meas);
+  EXPECT_EQ(out.size(), 2 * n);
+}
+
+TEST(Reconstructor, FrameSizeMismatchThrows) {
+  const auto phi = cs::SparseBinaryMatrix::generate(16, 64, 2, 81);
+  const cs::Reconstructor rec(phi, {1.0, 0.0});
+  EXPECT_THROW(rec.reconstruct_frame(linalg::Vector(15, 0.0)), Error);
+}
+
+class ReconAlgos : public ::testing::TestWithParam<cs::ReconAlgorithm> {};
+
+TEST_P(ReconAlgos, AllAlgorithmsRecoverSomething) {
+  const std::size_t n = 256, m = 128;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 90);
+  const auto x = bandlimited_frame(n, 9);
+  const auto y = phi.apply(x);
+  cs::ReconstructorConfig cfg;
+  cfg.algorithm = GetParam();
+  cfg.compensate_decay = false;
+  cfg.max_iters = 300;
+  const cs::Reconstructor rec(phi, {1.0, 0.0}, cfg);
+  const auto xr = rec.reconstruct_frame(y);
+  EXPECT_GT(dsp::snr_vs_reference_db(x, xr), 5.0)
+      << "algorithm " << static_cast<int>(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, ReconAlgos,
+                         ::testing::Values(cs::ReconAlgorithm::Omp,
+                                           cs::ReconAlgorithm::Iht,
+                                           cs::ReconAlgorithm::Ista));

@@ -1,0 +1,263 @@
+// The Table II power models and Table III parameters: regression against
+// hand-computed values, limiting-factor logic, monotonicity properties and
+// the capacitor-area model.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "power/area.hpp"
+#include "power/models.hpp"
+#include "power/tech.hpp"
+#include "util/constants.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+using namespace efficsense::power;
+
+namespace {
+const double kT = units::kT;
+}
+
+TEST(TechnologyParams, DefaultsMatchTableIII) {
+  TechnologyParams t;
+  EXPECT_DOUBLE_EQ(t.c_logic_f, 1e-15);
+  EXPECT_DOUBLE_EQ(t.gm_over_id, 20.0);
+  EXPECT_DOUBLE_EQ(t.c_u_min_f, 1e-15);
+  EXPECT_DOUBLE_EQ(t.i_leak_a, 1e-12);
+  EXPECT_DOUBLE_EQ(t.e_bit_j, 1e-9);
+  EXPECT_DOUBLE_EQ(t.v_thermal, 25.27e-3);
+}
+
+TEST(TechnologyParams, MismatchSigmaScalesAsInverseSqrtC) {
+  TechnologyParams t;
+  EXPECT_DOUBLE_EQ(t.sigma_cap_mismatch(1e-15), 0.01);
+  EXPECT_NEAR(t.sigma_cap_mismatch(100e-15), 0.001, 1e-12);
+  EXPECT_GT(t.sigma_cap_mismatch(1e-15), t.sigma_cap_mismatch(4e-15));
+  EXPECT_THROW(t.sigma_cap_mismatch(0.0), Error);
+}
+
+TEST(DesignParams, DerivedRatesMatchTableIII) {
+  DesignParams d;
+  EXPECT_DOUBLE_EQ(d.f_sample_hz(), 2.1 * 256.0);
+  EXPECT_DOUBLE_EQ(d.f_clk_hz(), 9.0 * 2.1 * 256.0);
+  EXPECT_DOUBLE_EQ(d.bw_lna_hz(), 768.0);
+  EXPECT_DOUBLE_EQ(d.compression_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(d.adc_rate_hz(), d.f_sample_hz());
+}
+
+TEST(DesignParams, CsRatesScaleWithCompression) {
+  DesignParams d;
+  d.cs_m = 96;  // N_Phi = 384 -> ratio 0.25
+  EXPECT_DOUBLE_EQ(d.compression_ratio(), 0.25);
+  EXPECT_DOUBLE_EQ(d.adc_rate_hz(), d.f_sample_hz() / 4.0);
+  EXPECT_DOUBLE_EQ(d.bit_rate(), d.f_sample_hz() / 4.0 * 8.0);
+}
+
+TEST(DesignParams, ShCapFromKtcNoise) {
+  TechnologyParams t;
+  DesignParams d;
+  // At N = 8 the kT/C requirement (~0.81 fF) is below C_u,min: floored.
+  d.adc_bits = 8;
+  EXPECT_DOUBLE_EQ(d.sh_cap_f(t), t.c_u_min_f);
+  // At N = 10 the noise requirement dominates.
+  d.adc_bits = 10;
+  const double expected = 12.0 * kT * std::pow(2.0, 20.0) / 4.0;
+  EXPECT_NEAR(d.sh_cap_f(t), expected, 1e-19);
+  // Lower resolution wants a smaller cap, floored at C_u,min.
+  d.adc_bits = 1;
+  EXPECT_DOUBLE_EQ(d.sh_cap_f(t), t.c_u_min_f);
+}
+
+TEST(DesignParams, LnaLoadSwitchesWithCs) {
+  TechnologyParams t;
+  DesignParams d;
+  EXPECT_DOUBLE_EQ(d.lna_cload_f(t), d.sh_cap_f(t));
+  d.cs_m = 75;
+  EXPECT_DOUBLE_EQ(d.lna_cload_f(t), d.cs_c_hold_f);
+}
+
+TEST(DesignParams, ValidateCatchesBadConfigs) {
+  DesignParams d;
+  d.validate();  // defaults are fine
+  d.adc_bits = 0;
+  EXPECT_THROW(d.validate(), Error);
+  d = DesignParams{};
+  d.cs_m = 500;  // >= N_Phi
+  EXPECT_THROW(d.validate(), Error);
+  d = DesignParams{};
+  d.cs_m = 75;
+  d.cs_sparsity = 0;
+  EXPECT_THROW(d.validate(), Error);
+  d = DesignParams{};
+  d.lna_noise_vrms = -1.0;
+  EXPECT_THROW(d.validate(), Error);
+}
+
+// --- Raw Table II expressions -------------------------------------------------
+
+TEST(LnaModel, NoiseLimitedHandComputed) {
+  // I_noise = (NEF/v_n)^2 * 2pi * 4kT * BW * V_T.
+  const double vdd = 2.0, nef = 2.0, vn = 3e-6, bw = 768.0, vt = 25.27e-3;
+  const double expected_current =
+      std::pow(nef / vn, 2.0) * 2.0 * std::numbers::pi * 4.0 * kT * bw * vt;
+  const double p = lna_power_w(vdd, /*gbw=*/1.0, /*cload=*/1e-18, 20.0, 2.0,
+                               /*fclk=*/1.0, nef, vn, bw, vt, kT);
+  EXPECT_NEAR(p, vdd * expected_current, 1e-12);
+  // Regression: at 3 uV this is ~1.8 uW.
+  EXPECT_NEAR(p, 1.8e-6, 0.05e-6);
+}
+
+TEST(LnaModel, BandwidthLimitedHandComputed) {
+  // Huge noise allowance: first branch dominates. I = GBW*2pi*C/(gm/Id).
+  const double p = lna_power_w(2.0, 768e3, 2e-12, 20.0, 2.0, 4838.4, 2.0,
+                               1.0 /* 1 Vrms allowed */, 768.0, 25.27e-3, kT);
+  const double expected = 2.0 * 768e3 * 2.0 * std::numbers::pi * 2e-12 / 20.0;
+  EXPECT_NEAR(p, expected, 1e-12);
+}
+
+TEST(LnaModel, LimitSelectionConsistent) {
+  TechnologyParams t;
+  DesignParams d;
+  d.lna_noise_vrms = 1e-6;
+  EXPECT_EQ(lna_limit(t, d), LnaLimit::Noise);
+  d.lna_noise_vrms = 100e-6;
+  d.cs_m = 75;
+  d.cs_c_hold_f = 10e-12;  // heavy load -> bandwidth limited
+  EXPECT_EQ(lna_limit(t, d), LnaLimit::Bandwidth);
+}
+
+TEST(LnaModel, PowerDecreasesWithAllowedNoise) {
+  TechnologyParams t;
+  DesignParams d;
+  double prev = 1e9;
+  for (double uv : {1.0, 2.0, 5.0, 10.0, 20.0}) {
+    d.lna_noise_vrms = uv * 1e-6;
+    const double p = lna_power(t, d);
+    EXPECT_LE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SampleHoldModel, HandComputed) {
+  // P = V_ref * f_clk * 12kT * 2^(2N) / V_FS^2.
+  const double p = sample_hold_power_w(2.0, 4838.4, 8, 2.0, kT);
+  EXPECT_NEAR(p, 2.0 * 4838.4 * 12.0 * kT * 65536.0 / 4.0, 1e-18);
+  EXPECT_NEAR(p, 7.88e-12, 0.1e-12);  // regression: ~7.9 pW
+}
+
+TEST(SampleHoldModel, ExponentialInBits) {
+  const double p8 = sample_hold_power_w(2.0, 4838.4, 8, 2.0, kT);
+  const double p6 = sample_hold_power_w(2.0, 4838.4, 6, 2.0, kT);
+  EXPECT_NEAR(p8 / p6, 16.0, 1e-9);
+}
+
+TEST(ComparatorModel, HandComputed) {
+  // P = 2N ln2 (fclk - fs) C V_FS V_eff.
+  const double p = comparator_power_w(8, 4838.4, 537.6, 50e-15, 2.0, 0.1);
+  EXPECT_NEAR(p, 2.0 * 8.0 * std::log(2.0) * 4300.8 * 50e-15 * 0.2, 1e-18);
+  EXPECT_THROW(comparator_power_w(8, 100.0, 200.0, 1e-15, 2.0, 0.1), Error);
+}
+
+TEST(SarLogicModel, HandComputed) {
+  // P = 0.4 * 17 * 1fF * 4 V^2 * (fclk - fs).
+  const double p = sar_logic_power_w(8, 1e-15, 2.0, 4838.4, 537.6);
+  EXPECT_NEAR(p, 0.4 * 17.0 * 1e-15 * 4.0 * 4300.8, 1e-18);
+}
+
+TEST(DacModel, HandComputedAndClamped) {
+  // At v_in = 0 the bracket is (5/6 - 2^-N - 2^-2N/3) Vref^2.
+  const int n = 8;
+  const double bracket =
+      (5.0 / 6.0 - std::pow(0.5, n) - std::pow(0.5, 2 * n) / 3.0) * 4.0;
+  const double expected = 256.0 * 4838.4 * 1e-15 / 9.0 * bracket;
+  EXPECT_NEAR(dac_power_w(n, 4838.4, 1e-15, 2.0, 0.0), expected, 1e-18);
+  // Large v_in can push the closed form negative; the model clamps at 0.
+  EXPECT_GE(dac_power_w(2, 1000.0, 1e-15, 1.0, 5.0), 0.0);
+}
+
+TEST(TransmitterModel, HandComputed) {
+  // P = fclk/(N+1) * N * E_bit = f_sample * N * E_bit.
+  EXPECT_NEAR(transmitter_power_w(4838.4, 8, 1e-9), 537.6 * 8.0 * 1e-9, 1e-15);
+  EXPECT_NEAR(transmitter_power_w(4838.4, 8, 1e-9), 4.3e-6, 0.01e-6);
+}
+
+TEST(CsEncoderModel, HandComputed) {
+  // ceil(log2(384)) = 9; P = (9+1) * 384 * 8 * C_logic * Vdd^2 * fclk.
+  const double p = cs_encoder_logic_power_w(384, 1e-15, 2.0, 4838.4);
+  EXPECT_NEAR(p, 10.0 * 384.0 * 8.0 * 1e-15 * 4.0 * 4838.4, 1e-15);
+  EXPECT_NEAR(p, 5.94e-7, 0.01e-7);  // regression: ~0.59 uW
+}
+
+TEST(CsEncoderModel, ZeroWhenCsDisabled) {
+  TechnologyParams t;
+  DesignParams d;  // cs_m = 0
+  EXPECT_DOUBLE_EQ(cs_encoder_power(t, d), 0.0);
+}
+
+TEST(SwitchLeakage, Linear) {
+  EXPECT_DOUBLE_EQ(switch_leakage_power_w(100, 1e-12, 2.0), 2e-10);
+}
+
+TEST(Wrappers, CsReducesAdcAndTxPower) {
+  TechnologyParams t;
+  DesignParams base;
+  DesignParams cs = base;
+  cs.cs_m = 96;  // 4x compression
+  EXPECT_NEAR(transmitter_power(t, cs), transmitter_power(t, base) / 4.0,
+              1e-12);
+  EXPECT_LT(sar_logic_power(t, cs), sar_logic_power(t, base));
+  EXPECT_LT(comparator_power(t, cs), comparator_power(t, base));
+  EXPECT_LT(sample_hold_power(t, cs), sample_hold_power(t, base));
+}
+
+TEST(Wrappers, PowerIncreasesWithBits) {
+  TechnologyParams t;
+  DesignParams d;
+  for (auto fn : {transmitter_power, sample_hold_power, sar_logic_power}) {
+    d.adc_bits = 6;
+    const double p6 = fn(t, d);
+    d.adc_bits = 8;
+    const double p8 = fn(t, d);
+    EXPECT_GT(p8, p6);
+  }
+}
+
+// --- Area model ---------------------------------------------------------------
+
+TEST(AreaModel, BaselineCountsShAndDac) {
+  TechnologyParams t;
+  DesignParams d;
+  const auto a = capacitor_area(t, d);
+  EXPECT_DOUBLE_EQ(a.cs_encoder, 0.0);
+  EXPECT_NEAR(a.dac, 256.0, 1e-9);
+  EXPECT_NEAR(a.sample_hold, d.sh_cap_f(t) / t.c_u_min_f, 1e-9);
+  EXPECT_NEAR(a.total(), a.dac + a.sample_hold, 1e-9);
+}
+
+TEST(AreaModel, CsDominatedByHoldCaps) {
+  TechnologyParams t;
+  DesignParams d;
+  d.cs_m = 75;
+  d.cs_c_hold_f = 0.5e-12;
+  const auto a = capacitor_area(t, d);
+  EXPECT_NEAR(a.cs_encoder, (75.0 * 0.5e-12 + 2.0 * 0.125e-12) / 1e-15, 1.0);
+  EXPECT_GT(a.cs_encoder, 100.0 * a.dac);  // Fig. 9: CS costs far more area
+}
+
+TEST(AreaModel, AreaInUm2) {
+  TechnologyParams t;
+  // 1025 unit caps of 1 fF at 1.025 fF/um^2 -> 1000 um^2.
+  EXPECT_NEAR(area_um2(t, 1025.0), 1000.0, 1e-6);
+}
+
+TEST(AreaModel, MoreBitsMoreArea) {
+  TechnologyParams t;
+  DesignParams d;
+  d.adc_bits = 6;
+  const double a6 = capacitor_area(t, d).total();
+  d.adc_bits = 8;
+  const double a8 = capacitor_area(t, d).total();
+  EXPECT_GT(a8, a6);
+}

@@ -1,0 +1,229 @@
+// Cross-cutting property sweeps: monotonicities and invariants of the power
+// models, the reconstruction pipeline and the feature extraction, checked
+// over parameter grids rather than single points.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "classify/features.hpp"
+#include "cs/basis.hpp"
+#include "cs/effective.hpp"
+#include "cs/omp.hpp"
+#include "cs/reconstructor.hpp"
+#include "dsp/metrics.hpp"
+#include "power/area.hpp"
+#include "power/models.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+using power::CsStyle;
+using power::DesignParams;
+using power::TechnologyParams;
+
+// --- Power-model monotonicity over grids -------------------------------------
+
+class BitsSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsSweep, AllAdcComponentsGrowWithResolution) {
+  const TechnologyParams tech;
+  const int n = GetParam();
+  DesignParams lo, hi;
+  lo.adc_bits = n;
+  hi.adc_bits = n + 1;
+  EXPECT_LT(power::sample_hold_power(tech, lo), power::sample_hold_power(tech, hi));
+  EXPECT_LT(power::comparator_power(tech, lo), power::comparator_power(tech, hi));
+  EXPECT_LT(power::sar_logic_power(tech, lo), power::sar_logic_power(tech, hi));
+  EXPECT_LT(power::transmitter_power(tech, lo), power::transmitter_power(tech, hi));
+  EXPECT_LT(power::capacitor_area(tech, lo).total(),
+            power::capacitor_area(tech, hi).total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, BitsSweep, ::testing::Values(4, 6, 8, 10, 12));
+
+class BandwidthSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BandwidthSweep, EveryBlockPowerScalesUpWithRate) {
+  const TechnologyParams tech;
+  DesignParams lo, hi;
+  lo.bw_in_hz = GetParam();
+  hi.bw_in_hz = 2.0 * GetParam();
+  for (auto fn : {power::sample_hold_power, power::comparator_power,
+                  power::sar_logic_power, power::dac_power,
+                  power::transmitter_power}) {
+    EXPECT_LT(fn(tech, lo), fn(tech, hi)) << "bw " << GetParam();
+  }
+  // The LNA noise branch also scales with BW_LNA = 3 BW_in.
+  EXPECT_LT(power::lna_power(tech, lo), power::lna_power(tech, hi));
+}
+
+INSTANTIATE_TEST_SUITE_P(Bandwidths, BandwidthSweep,
+                         ::testing::Values(256.0, 1e3, 1e4, 1e5));
+
+class CompressionSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressionSweep, TxPowerProportionalToM) {
+  const TechnologyParams tech;
+  DesignParams d;
+  d.cs_m = GetParam();
+  const double expected =
+      DesignParams{}.bit_rate() * tech.e_bit_j * d.compression_ratio();
+  EXPECT_NEAR(power::transmitter_power(tech, d), expected, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(Measurements, CompressionSweep,
+                         ::testing::Values(48, 75, 96, 150, 192, 300));
+
+TEST(AreaModelStyles, CountsTheRightCapacitors) {
+  const TechnologyParams tech;
+  DesignParams d;
+  d.cs_m = 75;
+  d.cs_c_hold_f = 0.5e-12;
+  d.cs_c_int_f = 2e-12;
+
+  d.cs_style = CsStyle::PassiveCharge;
+  const double passive = power::capacitor_area(tech, d).cs_encoder;
+  d.cs_style = CsStyle::ActiveIntegrator;
+  const double active = power::capacitor_area(tech, d).cs_encoder;
+  d.cs_style = CsStyle::DigitalMac;
+  const double digital = power::capacitor_area(tech, d).cs_encoder;
+
+  EXPECT_NEAR(passive, (75.0 * 0.5e-12 + 2.0 * 0.125e-12) / 1e-15, 1.0);
+  EXPECT_NEAR(active, (75.0 * 2e-12 + 2.0 * 0.125e-12) / 1e-15, 1.0);
+  EXPECT_DOUBLE_EQ(digital, 0.0);
+  EXPECT_GT(active, passive);  // C_int > C_hold here
+}
+
+// --- Reconstruction properties ------------------------------------------------
+
+namespace {
+
+linalg::Vector bandlimited_frame(std::size_t n, std::uint64_t seed,
+                                 std::size_t richness = 24) {
+  Rng rng(seed);
+  linalg::Vector coeffs(n, 0.0);
+  for (std::size_t k = 1; k < richness && k < n; ++k) {
+    coeffs[k] = rng.gaussian() / (1.0 + 0.2 * static_cast<double>(k));
+  }
+  return cs::dct_inverse(coeffs);
+}
+
+double recon_snr(std::size_t m, std::uint64_t seed, double noise_sigma,
+                 std::size_t richness = 24) {
+  const std::size_t n = 384;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, seed);
+  const auto x = bandlimited_frame(n, seed + 1, richness);
+  auto y = phi.apply(x);
+  Rng rng(seed + 2);
+  for (auto& v : y) v += rng.gaussian(0.0, noise_sigma);
+  cs::ReconstructorConfig cfg;
+  cfg.compensate_decay = false;
+  cfg.residual_tol = 0.01;
+  const cs::Reconstructor rec(phi, {1.0, 0.0}, cfg);
+  return dsp::snr_vs_reference_db(x, rec.reconstruct_frame(y));
+}
+
+}  // namespace
+
+class MeasurementSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MeasurementSweep, MoreMeasurementsNeverHurtMuch) {
+  // A rich frame (more active coefficients than the smallest M can model):
+  // SNR should broadly improve with M.
+  const auto seed = GetParam();
+  const double snr75 = recon_snr(75, seed, 0.0, 90);
+  const double snr150 = recon_snr(150, seed, 0.0, 90);
+  const double snr192 = recon_snr(192, seed, 0.0, 90);
+  EXPECT_GT(snr150, snr75 - 1.0);
+  EXPECT_GT(snr192, snr150 - 1.0);
+  EXPECT_GT(snr192, snr75 + 3.0);  // clear net gain over the full range
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MeasurementSweep, ::testing::Values(11, 22, 33));
+
+TEST(ReconNoise, SnrDegradesWithMeasurementNoise) {
+  double prev = 1e9;
+  for (double sigma : {0.0, 0.01, 0.05, 0.2}) {
+    const double snr = recon_snr(128, 7, sigma);
+    EXPECT_LT(snr, prev + 1.0) << sigma;
+    prev = snr;
+  }
+}
+
+TEST(DecaySweep, HarsherDecayHurtsReconstruction) {
+  // Same matrix and frame; sweep the capacitor ratio (a, b) from gentle to
+  // harsh decay and reconstruct with full compensation: conditioning alone
+  // should degrade the result.
+  const std::size_t n = 384, m = 96;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 5);
+  const auto x = bandlimited_frame(n, 6);
+  double prev = 1e9;
+  for (double ratio : {16.0, 8.0, 4.0, 1.0}) {  // C_hold / C_sample
+    const auto gains = cs::charge_sharing_gains(1.0, ratio);
+    const auto eff = cs::effective_matrix(phi, gains.a, gains.b);
+    const auto y = linalg::matvec(eff, x);
+    cs::ReconstructorConfig cfg;
+    cfg.residual_tol = 1e-4;
+    const cs::Reconstructor rec(phi, gains, cfg);
+    const double snr = dsp::snr_vs_reference_db(x, rec.reconstruct_frame(y));
+    EXPECT_LT(snr, prev + 3.0) << "ratio " << ratio;
+    prev = snr;
+  }
+}
+
+// --- Feature extraction invariances -------------------------------------------
+
+TEST(FeatureInvariance, BandPowersScaleInvariant) {
+  const classify::FeatureExtractor fx;
+  Rng rng(3);
+  std::vector<double> x(2048);
+  for (auto& v : x) v = rng.gaussian(0.0, 1e-5);
+  const auto f1 = fx.epoch_features(x, 512.0);
+  for (auto& v : x) v *= 250.0;
+  const auto f2 = fx.epoch_features(x, 512.0);
+  // Relative band powers, Hjorth, entropy, crest, ZCR are scale-invariant.
+  for (std::size_t i : {2u, 3u, 4u, 5u, 6u, 7u, 8u, 9u, 11u, 12u}) {
+    EXPECT_NEAR(f1[i], f2[i], 1e-9) << "feature " << i;
+  }
+  // log-rms shifts by log10(250).
+  EXPECT_NEAR(f2[0] - f1[0], std::log10(250.0), 1e-9);
+}
+
+TEST(FeatureInvariance, DcOffsetIgnored) {
+  const classify::FeatureExtractor fx;
+  Rng rng(4);
+  std::vector<double> x(2048);
+  for (auto& v : x) v = rng.gaussian(0.0, 1e-5);
+  const auto f1 = fx.epoch_features(x, 512.0);
+  for (auto& v : x) v += 0.37;
+  const auto f2 = fx.epoch_features(x, 512.0);
+  for (std::size_t i = 0; i < f1.size(); ++i) {
+    EXPECT_NEAR(f1[i], f2[i], 1e-6) << "feature " << i;
+  }
+}
+
+// --- Transmitter / rates consistency ------------------------------------------
+
+TEST(RateConsistency, CompressionNeverIncreasesAnyRate) {
+  for (int m : {48, 96, 192}) {
+    DesignParams cs;
+    cs.cs_m = m;
+    const DesignParams base;
+    EXPECT_LE(cs.tx_sample_rate_hz(), base.tx_sample_rate_hz());
+    EXPECT_LE(cs.adc_rate_hz(), base.adc_rate_hz());
+    EXPECT_LE(cs.bit_rate(), base.bit_rate());
+  }
+}
+
+TEST(RateConsistency, DigitalStyleBitRateStillBelowBaseline) {
+  // The wider MAC words must not erase the compression gain at the paper's
+  // operating points.
+  for (int m : {75, 96, 150, 192}) {
+    DesignParams d;
+    d.cs_m = m;
+    d.cs_style = CsStyle::DigitalMac;
+    EXPECT_LT(d.bit_rate(), DesignParams{}.bit_rate()) << "M=" << m;
+  }
+}

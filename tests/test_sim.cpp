@@ -1,0 +1,357 @@
+// The block-diagram engine: parameters, waveforms, graph wiring, scheduling,
+// probes, reports and error handling.
+
+#include <gtest/gtest.h>
+
+#include "sim/block.hpp"
+#include "sim/model.hpp"
+#include "sim/params.hpp"
+#include "sim/report.hpp"
+#include "sim/waveform.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+using sim::Waveform;
+
+namespace {
+
+/// Multiplies by a constant; reports fixed power/area for report tests.
+class TestGain final : public sim::Block {
+ public:
+  TestGain(std::string name, double g, double watts = 0.0, double caps = 0.0)
+      : Block(std::move(name), 1, 1), g_(g), watts_(watts), caps_(caps) {}
+  std::vector<Waveform> process(const std::vector<Waveform>& in) override {
+    Waveform out = in.at(0);
+    for (double& v : out.samples) v *= g_;
+    ++calls_;
+    return {out};
+  }
+  void reset() override { calls_ = 0; }
+  double power_watts() const override { return watts_; }
+  double area_unit_caps() const override { return caps_; }
+  int calls() const { return calls_; }
+
+ private:
+  double g_;
+  double watts_, caps_;
+  int calls_ = 0;
+};
+
+class TestSource final : public sim::Block {
+ public:
+  TestSource(std::string name, Waveform w)
+      : Block(std::move(name), 0, 1), w_(std::move(w)) {}
+  std::vector<Waveform> process(const std::vector<Waveform>&) override {
+    return {w_};
+  }
+
+ private:
+  Waveform w_;
+};
+
+/// Two outputs: the input and its negation.
+class TestSplit final : public sim::Block {
+ public:
+  explicit TestSplit(std::string name) : Block(std::move(name), 1, 2) {}
+  std::vector<Waveform> process(const std::vector<Waveform>& in) override {
+    Waveform neg = in.at(0);
+    for (double& v : neg.samples) v = -v;
+    return {in.at(0), neg};
+  }
+};
+
+/// Sums two inputs.
+class TestSum final : public sim::Block {
+ public:
+  explicit TestSum(std::string name) : Block(std::move(name), 2, 1) {}
+  std::vector<Waveform> process(const std::vector<Waveform>& in) override {
+    Waveform out = in.at(0);
+    for (std::size_t i = 0; i < out.size(); ++i) out[i] += in.at(1)[i];
+    return {out};
+  }
+};
+
+Waveform ramp(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = static_cast<double>(i);
+  return Waveform(100.0, std::move(v));
+}
+
+}  // namespace
+
+TEST(Params, TypedAccess) {
+  sim::ParameterSet p;
+  p.set("gain", 2.5);
+  p.set("bits", 8);
+  p.set("enabled", true);
+  p.set("mode", "fast");
+  EXPECT_DOUBLE_EQ(p.get_double("gain"), 2.5);
+  EXPECT_EQ(p.get_int("bits"), 8);
+  EXPECT_TRUE(p.get_bool("enabled"));
+  EXPECT_EQ(p.get_string("mode"), "fast");
+  EXPECT_DOUBLE_EQ(p.get_double("bits"), 8.0);  // int promotes to double
+}
+
+TEST(Params, MissingAndWrongTypeThrow) {
+  sim::ParameterSet p;
+  p.set("mode", "fast");
+  EXPECT_THROW(p.get_double("nope"), Error);
+  EXPECT_THROW(p.get_double("mode"), Error);
+  EXPECT_THROW(p.get_int("mode"), Error);
+  EXPECT_THROW(p.get_bool("mode"), Error);
+}
+
+TEST(Params, Fallbacks) {
+  sim::ParameterSet p;
+  EXPECT_DOUBLE_EQ(p.get_double("x", 3.0), 3.0);
+  EXPECT_EQ(p.get_int("x", 7), 7);
+  EXPECT_TRUE(p.get_bool("x", true));
+  EXPECT_EQ(p.get_string("x", "def"), "def");
+}
+
+TEST(Params, NamesAndToString) {
+  sim::ParameterSet p;
+  p.set("b", 1.0);
+  p.set("a", 2);
+  const auto names = p.names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "a");  // sorted (map order)
+  EXPECT_NE(p.to_string().find("a=2"), std::string::npos);
+}
+
+TEST(Waveform, DurationAndTimeAxis) {
+  const auto w = ramp(200);
+  EXPECT_DOUBLE_EQ(w.duration_s(), 2.0);
+  const auto t = sim::time_axis(w);
+  EXPECT_DOUBLE_EQ(t[0], 0.0);
+  EXPECT_DOUBLE_EQ(t[100], 1.0);
+  EXPECT_THROW(Waveform(0.0, {1.0}), Error);
+}
+
+TEST(Model, LinearChainComputes) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(10)));
+  const auto g1 = m.add(std::make_unique<TestGain>("g1", 2.0));
+  const auto g2 = m.add(std::make_unique<TestGain>("g2", 3.0));
+  m.chain({src, g1, g2});
+  const auto out = m.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0][4], 24.0);  // 4 * 2 * 3
+}
+
+TEST(Model, FanOutAndMultiInput) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(8)));
+  const auto split = m.add(std::make_unique<TestSplit>("split"));
+  const auto sum = m.add(std::make_unique<TestSum>("sum"));
+  m.connect(src, 0, split, 0);
+  m.connect(split, 0, sum, 0);
+  m.connect(split, 1, sum, 1);
+  const auto out = m.run();
+  ASSERT_EQ(out.size(), 1u);
+  for (double v : out[0].samples) EXPECT_DOUBLE_EQ(v, 0.0);  // x + (-x)
+}
+
+TEST(Model, MultipleUnconnectedOutputsAreModelOutputs) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(4)));
+  const auto split = m.add(std::make_unique<TestSplit>("split"));
+  m.connect(src, 0, split, 0);
+  const auto out = m.run();
+  EXPECT_EQ(out.size(), 2u);  // both split outputs are free
+}
+
+TEST(Model, ProbeObservesInnerSignals) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(5)));
+  const auto g1 = m.add(std::make_unique<TestGain>("g1", 2.0));
+  const auto g2 = m.add(std::make_unique<TestGain>("g2", 5.0));
+  m.chain({src, g1, g2});
+  m.run();
+  EXPECT_DOUBLE_EQ(m.probe("g1")[3], 6.0);
+  EXPECT_DOUBLE_EQ(m.probe("src")[3], 3.0);
+  EXPECT_THROW(m.probe("nope"), Error);
+}
+
+TEST(Model, ProbeBeforeRunThrows) {
+  sim::Model m;
+  m.add(std::make_unique<TestSource>("src", ramp(5)));
+  EXPECT_THROW(m.probe("src"), Error);
+}
+
+TEST(Model, UndrivenInputThrows) {
+  sim::Model m;
+  m.add(std::make_unique<TestGain>("lonely", 1.0));
+  EXPECT_THROW(m.run(), Error);
+}
+
+TEST(Model, DoubleDrivingInputThrows) {
+  sim::Model m;
+  const auto s1 = m.add(std::make_unique<TestSource>("s1", ramp(3)));
+  const auto s2 = m.add(std::make_unique<TestSource>("s2", ramp(3)));
+  const auto g = m.add(std::make_unique<TestGain>("g", 1.0));
+  m.connect(s1, 0, g, 0);
+  EXPECT_THROW(m.connect(s2, 0, g, 0), Error);
+}
+
+TEST(Model, DuplicateNamesRejected) {
+  sim::Model m;
+  m.add(std::make_unique<TestGain>("same", 1.0));
+  EXPECT_THROW(m.add(std::make_unique<TestGain>("same", 2.0)), Error);
+}
+
+TEST(Model, BadPortsRejected) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(3)));
+  const auto g = m.add(std::make_unique<TestGain>("g", 1.0));
+  EXPECT_THROW(m.connect(src, 1, g, 0), Error);
+  EXPECT_THROW(m.connect(src, 0, g, 5), Error);
+}
+
+TEST(Model, TopologicalOrderIndependentOfInsertion) {
+  // Insert downstream block first; scheduling must still work.
+  sim::Model m;
+  const auto g = m.add(std::make_unique<TestGain>("g", 10.0));
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(3)));
+  m.connect(src, 0, g, 0);
+  const auto out = m.run();
+  EXPECT_DOUBLE_EQ(out[0][2], 20.0);
+}
+
+TEST(Model, LookupByName) {
+  sim::Model m;
+  m.add(std::make_unique<TestGain>("alpha", 1.0));
+  EXPECT_TRUE(m.has_block("alpha"));
+  EXPECT_FALSE(m.has_block("beta"));
+  EXPECT_EQ(m.block("alpha").name(), "alpha");
+  EXPECT_THROW(m.id_of("beta"), Error);
+}
+
+TEST(Model, ResetPropagatesToBlocks) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(3)));
+  auto gain = std::make_unique<TestGain>("g", 1.0);
+  TestGain* raw = gain.get();
+  const auto g = m.add(std::move(gain));
+  m.connect(src, 0, g, 0);
+  m.run();
+  m.run();
+  EXPECT_EQ(raw->calls(), 2);
+  m.reset();
+  EXPECT_EQ(raw->calls(), 0);
+}
+
+TEST(Model, EmplaceReturnsTypedReference) {
+  sim::Model m;
+  auto& src = m.emplace<TestSource>("src", ramp(3));
+  auto& g = m.emplace<TestGain>("g", 4.0);
+  m.connect(m.id_of(src.name()), 0, m.id_of(g.name()), 0);
+  const auto out = m.run();
+  EXPECT_DOUBLE_EQ(out[0][1], 4.0);
+}
+
+TEST(Model, PowerAndAreaReports) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(3)));
+  const auto a = m.add(std::make_unique<TestGain>("a", 1.0, 2e-6, 100.0));
+  const auto b = m.add(std::make_unique<TestGain>("b", 1.0, 3e-6, 50.0));
+  m.chain({src, a, b});
+  const auto power = m.power_report();
+  EXPECT_DOUBLE_EQ(power.total_watts(), 5e-6);
+  EXPECT_DOUBLE_EQ(power.watts_of("a"), 2e-6);
+  EXPECT_DOUBLE_EQ(power.watts_of("missing"), 0.0);
+  const auto area = m.area_report();
+  EXPECT_DOUBLE_EQ(area.total_unit_caps(), 150.0);
+  EXPECT_DOUBLE_EQ(area.caps_of("b"), 50.0);
+}
+
+TEST(Report, MergeAndToString) {
+  sim::PowerReport r1, r2;
+  r1.add("lna", 1e-6);
+  r2.add("lna", 2e-6);
+  r2.add("tx", 3e-6);
+  r1.merge(r2);
+  EXPECT_DOUBLE_EQ(r1.watts_of("lna"), 3e-6);
+  EXPECT_DOUBLE_EQ(r1.total_watts(), 6e-6);
+  EXPECT_NE(r1.to_string().find("lna"), std::string::npos);
+}
+
+TEST(FunctionBlock, WrapsFreeFunction) {
+  sim::Model m;
+  m.add(std::make_unique<TestSource>("src", ramp(4)));
+  m.add(std::make_unique<sim::FunctionBlock>("sq", [](const Waveform& w) {
+    Waveform out = w;
+    for (double& v : out.samples) v *= v;
+    return out;
+  }));
+  m.connect("src", "sq");
+  const auto out = m.run();
+  EXPECT_DOUBLE_EQ(out[0][3], 9.0);
+}
+
+#include "blocks/sources.hpp"
+#include "sim/composite.hpp"
+
+TEST(Composite, WrapsInnerChain) {
+  auto inner = std::make_unique<sim::Model>();
+  const auto src = inner->add(std::make_unique<efficsense::blocks::WaveformSource>("in"));
+  const auto g = inner->add(std::make_unique<TestGain>("g", 3.0, 2e-6, 10.0));
+  inner->connect(src, 0, g, 0);
+
+  sim::Model outer;
+  const auto osrc = outer.add(std::make_unique<TestSource>("src", ramp(5)));
+  const auto comp = outer.add(
+      std::make_unique<sim::CompositeBlock>("frontend", std::move(inner), "in"));
+  const auto post = outer.add(std::make_unique<TestGain>("post", 2.0));
+  outer.chain({osrc, comp, post});
+
+  const auto out = outer.run();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0][4], 24.0);  // 4 * 3 (inner) * 2 (outer)
+  // Power and area aggregate through the hierarchy.
+  EXPECT_DOUBLE_EQ(outer.power_report().watts_of("frontend"), 2e-6);
+  EXPECT_DOUBLE_EQ(outer.area_report().caps_of("frontend"), 10.0);
+}
+
+TEST(Composite, RunsRepeatedlyWithFreshInputs) {
+  auto inner = std::make_unique<sim::Model>();
+  const auto src = inner->add(std::make_unique<efficsense::blocks::WaveformSource>("in"));
+  const auto g = inner->add(std::make_unique<TestGain>("g", 10.0));
+  inner->connect(src, 0, g, 0);
+  sim::CompositeBlock comp("c", std::move(inner), "in");
+
+  const auto y1 = comp.process({ramp(3)})[0];
+  EXPECT_DOUBLE_EQ(y1[2], 20.0);
+  sim::Waveform other(100.0, {5.0});
+  const auto y2 = comp.process({other})[0];
+  EXPECT_DOUBLE_EQ(y2[0], 50.0);
+}
+
+TEST(Composite, ValidatesEntryBlock) {
+  {
+    auto inner = std::make_unique<sim::Model>();
+    inner->add(std::make_unique<TestGain>("notasource", 1.0));
+    EXPECT_THROW(
+        sim::CompositeBlock("c", std::move(inner), "notasource"), Error);
+  }
+  {
+    auto inner = std::make_unique<sim::Model>();
+    inner->add(std::make_unique<TestSource>("src", ramp(3)));
+    // TestSource is 0-in/1-out but does not implement WaveformSettable.
+    sim::CompositeBlock comp("c", std::move(inner), "src");
+    EXPECT_THROW(comp.process({ramp(3)}), Error);
+  }
+}
+
+TEST(ModelDot, RendersNodesAndEdges) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(4)));
+  const auto g = m.add(std::make_unique<TestGain>("amp", 2.0, 1e-6));
+  m.connect(src, 0, g, 0);
+  const auto dot = m.to_dot();
+  EXPECT_NE(dot.find("digraph model"), std::string::npos);
+  EXPECT_NE(dot.find("src"), std::string::npos);
+  EXPECT_NE(dot.find("amp"), std::string::npos);
+  EXPECT_NE(dot.find("1 uW"), std::string::npos);  // power annotation
+  EXPECT_NE(dot.find("b0 -> b1"), std::string::npos);
+}
