@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_recon.dir/bench_ablation_recon.cpp.o"
+  "CMakeFiles/bench_ablation_recon.dir/bench_ablation_recon.cpp.o.d"
+  "bench_ablation_recon"
+  "bench_ablation_recon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_recon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eventdriven.dir/bench_eventdriven.cpp.o"
+  "CMakeFiles/bench_eventdriven.dir/bench_eventdriven.cpp.o.d"
+  "bench_eventdriven"
+  "bench_eventdriven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eventdriven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_area.dir/bench_fig09_area.cpp.o"
+  "CMakeFiles/bench_fig09_area.dir/bench_fig09_area.cpp.o.d"
+  "bench_fig09_area"
+  "bench_fig09_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

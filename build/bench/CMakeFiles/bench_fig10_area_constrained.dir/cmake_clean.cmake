@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_area_constrained.dir/bench_fig10_area_constrained.cpp.o"
+  "CMakeFiles/bench_fig10_area_constrained.dir/bench_fig10_area_constrained.cpp.o.d"
+  "bench_fig10_area_constrained"
+  "bench_fig10_area_constrained.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_area_constrained.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

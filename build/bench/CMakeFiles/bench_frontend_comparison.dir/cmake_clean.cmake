@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontend_comparison.dir/bench_frontend_comparison.cpp.o"
+  "CMakeFiles/bench_frontend_comparison.dir/bench_frontend_comparison.cpp.o.d"
+  "bench_frontend_comparison"
+  "bench_frontend_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontend_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

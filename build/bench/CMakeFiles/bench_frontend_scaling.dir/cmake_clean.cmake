@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_frontend_scaling.dir/bench_frontend_scaling.cpp.o"
+  "CMakeFiles/bench_frontend_scaling.dir/bench_frontend_scaling.cpp.o.d"
+  "bench_frontend_scaling"
+  "bench_frontend_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_frontend_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

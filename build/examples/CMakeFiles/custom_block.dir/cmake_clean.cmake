@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_block.dir/custom_block.cpp.o"
+  "CMakeFiles/custom_block.dir/custom_block.cpp.o.d"
+  "custom_block"
+  "custom_block.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

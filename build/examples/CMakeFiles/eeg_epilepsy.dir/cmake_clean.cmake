@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eeg_epilepsy.dir/eeg_epilepsy.cpp.o"
+  "CMakeFiles/eeg_epilepsy.dir/eeg_epilepsy.cpp.o.d"
+  "eeg_epilepsy"
+  "eeg_epilepsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eeg_epilepsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_introspection.dir/model_introspection.cpp.o"
+  "CMakeFiles/model_introspection.dir/model_introspection.cpp.o.d"
+  "model_introspection"
+  "model_introspection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_introspection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pathfinding_steps.dir/pathfinding_steps.cpp.o"
+  "CMakeFiles/pathfinding_steps.dir/pathfinding_steps.cpp.o.d"
+  "pathfinding_steps"
+  "pathfinding_steps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pathfinding_steps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

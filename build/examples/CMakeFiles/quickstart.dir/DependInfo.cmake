@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/efficsense_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blocks/CMakeFiles/efficsense_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/efficsense_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/eeg/CMakeFiles/efficsense_eeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/efficsense_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/efficsense_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/efficsense_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/efficsense_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/efficsense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/efficsense_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/efficsense_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("linalg")
+subdirs("dsp")
+subdirs("sim")
+subdirs("power")
+subdirs("cs")
+subdirs("blocks")
+subdirs("eeg")
+subdirs("nn")
+subdirs("classify")
+subdirs("core")

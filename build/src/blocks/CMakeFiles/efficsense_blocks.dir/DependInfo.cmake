@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blocks/basic.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/basic.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/basic.cpp.o.d"
+  "/root/repo/src/blocks/cs_encoder.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/cs_encoder.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/cs_encoder.cpp.o.d"
+  "/root/repo/src/blocks/cs_encoder_active.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/cs_encoder_active.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/cs_encoder_active.cpp.o.d"
+  "/root/repo/src/blocks/cs_encoder_digital.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/cs_encoder_digital.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/cs_encoder_digital.cpp.o.d"
+  "/root/repo/src/blocks/digital_filter.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/digital_filter.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/digital_filter.cpp.o.d"
+  "/root/repo/src/blocks/lc_adc.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/lc_adc.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/lc_adc.cpp.o.d"
+  "/root/repo/src/blocks/lna.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/lna.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/lna.cpp.o.d"
+  "/root/repo/src/blocks/sample_hold.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/sample_hold.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/sample_hold.cpp.o.d"
+  "/root/repo/src/blocks/sar_adc.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/sar_adc.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/sar_adc.cpp.o.d"
+  "/root/repo/src/blocks/sources.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/sources.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/sources.cpp.o.d"
+  "/root/repo/src/blocks/transmitter.cpp" "src/blocks/CMakeFiles/efficsense_blocks.dir/transmitter.cpp.o" "gcc" "src/blocks/CMakeFiles/efficsense_blocks.dir/transmitter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/efficsense_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/efficsense_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/efficsense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/efficsense_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/efficsense_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/efficsense_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_blocks.dir/basic.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/basic.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/cs_encoder.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/cs_encoder.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/cs_encoder_active.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/cs_encoder_active.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/cs_encoder_digital.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/cs_encoder_digital.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/digital_filter.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/digital_filter.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/lc_adc.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/lc_adc.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/lna.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/lna.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/sample_hold.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/sample_hold.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/sar_adc.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/sar_adc.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/sources.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/sources.cpp.o.d"
+  "CMakeFiles/efficsense_blocks.dir/transmitter.cpp.o"
+  "CMakeFiles/efficsense_blocks.dir/transmitter.cpp.o.d"
+  "libefficsense_blocks.a"
+  "libefficsense_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_classify.dir/detector.cpp.o"
+  "CMakeFiles/efficsense_classify.dir/detector.cpp.o.d"
+  "CMakeFiles/efficsense_classify.dir/features.cpp.o"
+  "CMakeFiles/efficsense_classify.dir/features.cpp.o.d"
+  "libefficsense_classify.a"
+  "libefficsense_classify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/chain.cpp" "src/core/CMakeFiles/efficsense_core.dir/chain.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/chain.cpp.o.d"
+  "/root/repo/src/core/design_space.cpp" "src/core/CMakeFiles/efficsense_core.dir/design_space.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/design_space.cpp.o.d"
+  "/root/repo/src/core/evaluator.cpp" "src/core/CMakeFiles/efficsense_core.dir/evaluator.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/evaluator.cpp.o.d"
+  "/root/repo/src/core/monte_carlo.cpp" "src/core/CMakeFiles/efficsense_core.dir/monte_carlo.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/core/optimizer.cpp" "src/core/CMakeFiles/efficsense_core.dir/optimizer.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/optimizer.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/efficsense_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/study.cpp" "src/core/CMakeFiles/efficsense_core.dir/study.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/study.cpp.o.d"
+  "/root/repo/src/core/sweep.cpp" "src/core/CMakeFiles/efficsense_core.dir/sweep.cpp.o" "gcc" "src/core/CMakeFiles/efficsense_core.dir/sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blocks/CMakeFiles/efficsense_blocks.dir/DependInfo.cmake"
+  "/root/repo/build/src/cs/CMakeFiles/efficsense_cs.dir/DependInfo.cmake"
+  "/root/repo/build/src/eeg/CMakeFiles/efficsense_eeg.dir/DependInfo.cmake"
+  "/root/repo/build/src/classify/CMakeFiles/efficsense_classify.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/efficsense_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/efficsense_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/efficsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/efficsense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/efficsense_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/efficsense_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

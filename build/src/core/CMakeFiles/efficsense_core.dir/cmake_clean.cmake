@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_core.dir/chain.cpp.o"
+  "CMakeFiles/efficsense_core.dir/chain.cpp.o.d"
+  "CMakeFiles/efficsense_core.dir/design_space.cpp.o"
+  "CMakeFiles/efficsense_core.dir/design_space.cpp.o.d"
+  "CMakeFiles/efficsense_core.dir/evaluator.cpp.o"
+  "CMakeFiles/efficsense_core.dir/evaluator.cpp.o.d"
+  "CMakeFiles/efficsense_core.dir/monte_carlo.cpp.o"
+  "CMakeFiles/efficsense_core.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/efficsense_core.dir/optimizer.cpp.o"
+  "CMakeFiles/efficsense_core.dir/optimizer.cpp.o.d"
+  "CMakeFiles/efficsense_core.dir/pareto.cpp.o"
+  "CMakeFiles/efficsense_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/efficsense_core.dir/study.cpp.o"
+  "CMakeFiles/efficsense_core.dir/study.cpp.o.d"
+  "CMakeFiles/efficsense_core.dir/sweep.cpp.o"
+  "CMakeFiles/efficsense_core.dir/sweep.cpp.o.d"
+  "libefficsense_core.a"
+  "libefficsense_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cs/basis.cpp" "src/cs/CMakeFiles/efficsense_cs.dir/basis.cpp.o" "gcc" "src/cs/CMakeFiles/efficsense_cs.dir/basis.cpp.o.d"
+  "/root/repo/src/cs/effective.cpp" "src/cs/CMakeFiles/efficsense_cs.dir/effective.cpp.o" "gcc" "src/cs/CMakeFiles/efficsense_cs.dir/effective.cpp.o.d"
+  "/root/repo/src/cs/iterative.cpp" "src/cs/CMakeFiles/efficsense_cs.dir/iterative.cpp.o" "gcc" "src/cs/CMakeFiles/efficsense_cs.dir/iterative.cpp.o.d"
+  "/root/repo/src/cs/omp.cpp" "src/cs/CMakeFiles/efficsense_cs.dir/omp.cpp.o" "gcc" "src/cs/CMakeFiles/efficsense_cs.dir/omp.cpp.o.d"
+  "/root/repo/src/cs/reconstructor.cpp" "src/cs/CMakeFiles/efficsense_cs.dir/reconstructor.cpp.o" "gcc" "src/cs/CMakeFiles/efficsense_cs.dir/reconstructor.cpp.o.d"
+  "/root/repo/src/cs/srbm.cpp" "src/cs/CMakeFiles/efficsense_cs.dir/srbm.cpp.o" "gcc" "src/cs/CMakeFiles/efficsense_cs.dir/srbm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/efficsense_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/efficsense_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_cs.dir/basis.cpp.o"
+  "CMakeFiles/efficsense_cs.dir/basis.cpp.o.d"
+  "CMakeFiles/efficsense_cs.dir/effective.cpp.o"
+  "CMakeFiles/efficsense_cs.dir/effective.cpp.o.d"
+  "CMakeFiles/efficsense_cs.dir/iterative.cpp.o"
+  "CMakeFiles/efficsense_cs.dir/iterative.cpp.o.d"
+  "CMakeFiles/efficsense_cs.dir/omp.cpp.o"
+  "CMakeFiles/efficsense_cs.dir/omp.cpp.o.d"
+  "CMakeFiles/efficsense_cs.dir/reconstructor.cpp.o"
+  "CMakeFiles/efficsense_cs.dir/reconstructor.cpp.o.d"
+  "CMakeFiles/efficsense_cs.dir/srbm.cpp.o"
+  "CMakeFiles/efficsense_cs.dir/srbm.cpp.o.d"
+  "libefficsense_cs.a"
+  "libefficsense_cs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

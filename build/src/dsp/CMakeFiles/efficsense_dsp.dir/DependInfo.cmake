@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/biquad.cpp" "src/dsp/CMakeFiles/efficsense_dsp.dir/biquad.cpp.o" "gcc" "src/dsp/CMakeFiles/efficsense_dsp.dir/biquad.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/efficsense_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/efficsense_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fir.cpp" "src/dsp/CMakeFiles/efficsense_dsp.dir/fir.cpp.o" "gcc" "src/dsp/CMakeFiles/efficsense_dsp.dir/fir.cpp.o.d"
+  "/root/repo/src/dsp/metrics.cpp" "src/dsp/CMakeFiles/efficsense_dsp.dir/metrics.cpp.o" "gcc" "src/dsp/CMakeFiles/efficsense_dsp.dir/metrics.cpp.o.d"
+  "/root/repo/src/dsp/resample.cpp" "src/dsp/CMakeFiles/efficsense_dsp.dir/resample.cpp.o" "gcc" "src/dsp/CMakeFiles/efficsense_dsp.dir/resample.cpp.o.d"
+  "/root/repo/src/dsp/windows.cpp" "src/dsp/CMakeFiles/efficsense_dsp.dir/windows.cpp.o" "gcc" "src/dsp/CMakeFiles/efficsense_dsp.dir/windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/efficsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/efficsense_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_dsp.dir/biquad.cpp.o"
+  "CMakeFiles/efficsense_dsp.dir/biquad.cpp.o.d"
+  "CMakeFiles/efficsense_dsp.dir/fft.cpp.o"
+  "CMakeFiles/efficsense_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/efficsense_dsp.dir/fir.cpp.o"
+  "CMakeFiles/efficsense_dsp.dir/fir.cpp.o.d"
+  "CMakeFiles/efficsense_dsp.dir/metrics.cpp.o"
+  "CMakeFiles/efficsense_dsp.dir/metrics.cpp.o.d"
+  "CMakeFiles/efficsense_dsp.dir/resample.cpp.o"
+  "CMakeFiles/efficsense_dsp.dir/resample.cpp.o.d"
+  "CMakeFiles/efficsense_dsp.dir/windows.cpp.o"
+  "CMakeFiles/efficsense_dsp.dir/windows.cpp.o.d"
+  "libefficsense_dsp.a"
+  "libefficsense_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eeg/dataset.cpp" "src/eeg/CMakeFiles/efficsense_eeg.dir/dataset.cpp.o" "gcc" "src/eeg/CMakeFiles/efficsense_eeg.dir/dataset.cpp.o.d"
+  "/root/repo/src/eeg/generator.cpp" "src/eeg/CMakeFiles/efficsense_eeg.dir/generator.cpp.o" "gcc" "src/eeg/CMakeFiles/efficsense_eeg.dir/generator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/efficsense_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/efficsense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/efficsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/efficsense_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_eeg.dir/dataset.cpp.o"
+  "CMakeFiles/efficsense_eeg.dir/dataset.cpp.o.d"
+  "CMakeFiles/efficsense_eeg.dir/generator.cpp.o"
+  "CMakeFiles/efficsense_eeg.dir/generator.cpp.o.d"
+  "libefficsense_eeg.a"
+  "libefficsense_eeg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_eeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for efficsense_eeg.
+# This may be replaced when dependencies are built.

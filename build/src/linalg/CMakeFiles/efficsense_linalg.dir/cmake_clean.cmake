@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_linalg.dir/decompositions.cpp.o"
+  "CMakeFiles/efficsense_linalg.dir/decompositions.cpp.o.d"
+  "CMakeFiles/efficsense_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/efficsense_linalg.dir/matrix.cpp.o.d"
+  "libefficsense_linalg.a"
+  "libefficsense_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_nn.dir/mlp.cpp.o"
+  "CMakeFiles/efficsense_nn.dir/mlp.cpp.o.d"
+  "CMakeFiles/efficsense_nn.dir/standardizer.cpp.o"
+  "CMakeFiles/efficsense_nn.dir/standardizer.cpp.o.d"
+  "CMakeFiles/efficsense_nn.dir/train.cpp.o"
+  "CMakeFiles/efficsense_nn.dir/train.cpp.o.d"
+  "libefficsense_nn.a"
+  "libefficsense_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

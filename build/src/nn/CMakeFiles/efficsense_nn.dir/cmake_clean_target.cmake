@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libefficsense_nn.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_power.dir/area.cpp.o"
+  "CMakeFiles/efficsense_power.dir/area.cpp.o.d"
+  "CMakeFiles/efficsense_power.dir/models.cpp.o"
+  "CMakeFiles/efficsense_power.dir/models.cpp.o.d"
+  "CMakeFiles/efficsense_power.dir/tech.cpp.o"
+  "CMakeFiles/efficsense_power.dir/tech.cpp.o.d"
+  "libefficsense_power.a"
+  "libefficsense_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block.cpp" "src/sim/CMakeFiles/efficsense_sim.dir/block.cpp.o" "gcc" "src/sim/CMakeFiles/efficsense_sim.dir/block.cpp.o.d"
+  "/root/repo/src/sim/composite.cpp" "src/sim/CMakeFiles/efficsense_sim.dir/composite.cpp.o" "gcc" "src/sim/CMakeFiles/efficsense_sim.dir/composite.cpp.o.d"
+  "/root/repo/src/sim/model.cpp" "src/sim/CMakeFiles/efficsense_sim.dir/model.cpp.o" "gcc" "src/sim/CMakeFiles/efficsense_sim.dir/model.cpp.o.d"
+  "/root/repo/src/sim/params.cpp" "src/sim/CMakeFiles/efficsense_sim.dir/params.cpp.o" "gcc" "src/sim/CMakeFiles/efficsense_sim.dir/params.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/efficsense_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/efficsense_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/waveform.cpp" "src/sim/CMakeFiles/efficsense_sim.dir/waveform.cpp.o" "gcc" "src/sim/CMakeFiles/efficsense_sim.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/efficsense_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/efficsense_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/efficsense_linalg.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_sim.dir/block.cpp.o"
+  "CMakeFiles/efficsense_sim.dir/block.cpp.o.d"
+  "CMakeFiles/efficsense_sim.dir/composite.cpp.o"
+  "CMakeFiles/efficsense_sim.dir/composite.cpp.o.d"
+  "CMakeFiles/efficsense_sim.dir/model.cpp.o"
+  "CMakeFiles/efficsense_sim.dir/model.cpp.o.d"
+  "CMakeFiles/efficsense_sim.dir/params.cpp.o"
+  "CMakeFiles/efficsense_sim.dir/params.cpp.o.d"
+  "CMakeFiles/efficsense_sim.dir/report.cpp.o"
+  "CMakeFiles/efficsense_sim.dir/report.cpp.o.d"
+  "CMakeFiles/efficsense_sim.dir/waveform.cpp.o"
+  "CMakeFiles/efficsense_sim.dir/waveform.cpp.o.d"
+  "libefficsense_sim.a"
+  "libefficsense_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/efficsense_util.dir/cache.cpp.o"
+  "CMakeFiles/efficsense_util.dir/cache.cpp.o.d"
+  "CMakeFiles/efficsense_util.dir/csv.cpp.o"
+  "CMakeFiles/efficsense_util.dir/csv.cpp.o.d"
+  "CMakeFiles/efficsense_util.dir/env.cpp.o"
+  "CMakeFiles/efficsense_util.dir/env.cpp.o.d"
+  "CMakeFiles/efficsense_util.dir/rng.cpp.o"
+  "CMakeFiles/efficsense_util.dir/rng.cpp.o.d"
+  "CMakeFiles/efficsense_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/efficsense_util.dir/thread_pool.cpp.o.d"
+  "libefficsense_util.a"
+  "libefficsense_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/efficsense_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

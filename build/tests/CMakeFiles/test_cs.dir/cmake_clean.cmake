@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cs.dir/test_cs.cpp.o"
+  "CMakeFiles/test_cs.dir/test_cs.cpp.o.d"
+  "test_cs"
+  "test_cs.pdb"
+  "test_cs[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dsp_metrics.dir/test_dsp_metrics.cpp.o"
+  "CMakeFiles/test_dsp_metrics.dir/test_dsp_metrics.cpp.o.d"
+  "test_dsp_metrics"
+  "test_dsp_metrics.pdb"
+  "test_dsp_metrics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dsp_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

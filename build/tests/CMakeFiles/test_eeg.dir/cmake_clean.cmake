@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eeg.dir/test_eeg.cpp.o"
+  "CMakeFiles/test_eeg.dir/test_eeg.cpp.o.d"
+  "test_eeg"
+  "test_eeg.pdb"
+  "test_eeg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eeg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lc_adc.dir/test_lc_adc.cpp.o"
+  "CMakeFiles/test_lc_adc.dir/test_lc_adc.cpp.o.d"
+  "test_lc_adc"
+  "test_lc_adc.pdb"
+  "test_lc_adc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lc_adc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

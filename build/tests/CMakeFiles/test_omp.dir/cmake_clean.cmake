@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_omp.dir/test_omp.cpp.o"
+  "CMakeFiles/test_omp.dir/test_omp.cpp.o.d"
+  "test_omp"
+  "test_omp.pdb"
+  "test_omp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_omp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
