@@ -10,6 +10,7 @@
 #include "dsp/metrics.hpp"
 #include "dsp/resample.hpp"
 #include "eeg/dataset.hpp"
+#include "obs/obs.hpp"
 #include "util/env.hpp"
 
 namespace efficsense::bench {
@@ -30,6 +31,7 @@ inline AblationScore score_cs_pipeline(sim::Model& chain,
                                        const cs::Reconstructor& recon,
                                        const power::DesignParams& design,
                                        const eeg::Dataset& dataset) {
+  EFFICSENSE_SPAN("ablation/variant");
   const auto start = std::chrono::steady_clock::now();
   double snr_sum = 0.0;
   for (const auto& segment : dataset.segments) {

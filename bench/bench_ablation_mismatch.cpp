@@ -13,6 +13,7 @@ using namespace efficsense;
 using namespace efficsense::bench;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_ablation_mismatch");
   const power::TechnologyParams tech;
   power::DesignParams design;
   design.cs_m = 96;

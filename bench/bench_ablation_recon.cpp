@@ -12,6 +12,7 @@ using namespace efficsense;
 using namespace efficsense::bench;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_ablation_recon");
   const power::TechnologyParams tech;
   power::DesignParams design;
   design.cs_m = 96;

@@ -3,6 +3,8 @@
 // is evaluation-bound, so finding the constrained optimum in a fraction of
 // the evaluations is a direct framework speedup.
 
+#include "obs/obs.hpp"
+
 #include <chrono>
 #include <iostream>
 
@@ -17,6 +19,7 @@ using namespace efficsense;
 using namespace efficsense::core;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_ablation_search");
   const power::TechnologyParams tech;
   const auto n = static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 8));
   const eeg::Generator gen{eeg::GeneratorConfig{}};
@@ -58,6 +61,7 @@ int main() {
   const PathfindingOptimizer optimizer(&evaluator, base, space);
   const auto t2 = std::chrono::steady_clock::now();
   const auto found = optimizer.run(oo);
+  obs_run.set_points(grid.size() + found.evaluations());
   const auto t3 = std::chrono::steady_clock::now();
 
   TablePrinter t({"strategy", "evaluations", "time [s]", "best power",

@@ -13,6 +13,7 @@ using namespace efficsense;
 using namespace efficsense::bench;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_ablation_sparsity");
   const power::TechnologyParams tech;
   const auto dataset = ablation_dataset();
   std::cout << "Ablation: s-SRBM sparsity (CS chain, M=96, " << dataset.size()

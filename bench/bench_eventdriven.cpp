@@ -4,6 +4,8 @@
 // events; seizures burst), which this bench makes visible by reporting the
 // two classes separately.
 
+#include "obs/obs.hpp"
+
 #include <iostream>
 
 #include "blocks/lc_adc.hpp"
@@ -20,6 +22,7 @@
 using namespace efficsense;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_eventdriven");
   const power::TechnologyParams tech;
   const auto n = static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 12));
   const eeg::Generator gen{eeg::GeneratorConfig{}};

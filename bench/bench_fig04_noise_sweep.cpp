@@ -15,6 +15,7 @@
 using namespace efficsense;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_fig04_noise_sweep");
   const power::TechnologyParams tech;
   const double duration_s = env_double("EFFICSENSE_FIG4_DURATION", 16.0);
   const double fs_analog = 8192.0;

@@ -45,6 +45,7 @@ void print_front(const std::vector<SweepResult>& results, Merit merit,
 }  // namespace
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_fig07_pareto");
   Study study;
   std::cout << "Fig. 7 reproduction: search-space sweep over "
             << study.config().eval_segments
@@ -52,6 +53,7 @@ int main() {
                "rescale)\n\n";
   const auto result =
       study.run([](const std::string& line) { std::cout << "  [" << line << "]\n"; });
+  obs_run.set_points(result.baseline.size() + result.cs.size());
 
   {
     auto csv_file = efficsense::bench::open_results("fig07_search_space.csv");

@@ -2,6 +2,8 @@
 // CS) selected from the shared Fig. 7 sweep under the paper's >= 98 %
 // accuracy constraint, plus the headline power-saving factor.
 
+#include "obs/obs.hpp"
+
 #include <iostream>
 
 #include "core/study.hpp"
@@ -11,10 +13,12 @@ using namespace efficsense;
 using namespace efficsense::core;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_fig08_breakdown");
   Study study;
   std::cout << "Fig. 8 reproduction: power breakdown of the optimal designs\n\n";
   const auto result =
       study.run([](const std::string& line) { std::cout << "  [" << line << "]\n"; });
+  obs_run.set_points(result.baseline.size() + result.cs.size());
 
   const double min_acc = study.config().min_accuracy;
   const auto best_base =

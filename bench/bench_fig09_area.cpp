@@ -1,6 +1,8 @@
 // Fig. 9: detection accuracy vs total capacitor count (in C_u,min units)
 // for every evaluated design point of the shared sweep.
 
+#include "obs/obs.hpp"
+
 #include <algorithm>
 #include <iostream>
 
@@ -11,10 +13,12 @@ using namespace efficsense;
 using namespace efficsense::core;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_fig09_area");
   Study study;
   std::cout << "Fig. 9 reproduction: accuracy vs capacitor area\n\n";
   const auto result =
       study.run([](const std::string& line) { std::cout << "  [" << line << "]\n"; });
+  obs_run.set_points(result.baseline.size() + result.cs.size());
 
   TablePrinter t({"arch", "area [x Cu,min]", "acc [%]", "power", "design point"});
   auto add = [&](const std::vector<SweepResult>& results, const char* arch) {

@@ -3,6 +3,8 @@
 // shared sweep (both architectures pooled, as in the paper's figure), and
 // the best reachable accuracy under each cap is reported.
 
+#include "obs/obs.hpp"
+
 #include <cmath>
 #include <iostream>
 #include <limits>
@@ -14,10 +16,12 @@ using namespace efficsense;
 using namespace efficsense::core;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_fig10_area_constrained");
   Study study;
   std::cout << "Fig. 10 reproduction: area-constrained accuracy/power fronts\n\n";
   const auto result =
       study.run([](const std::string& line) { std::cout << "  [" << line << "]\n"; });
+  obs_run.set_points(result.baseline.size() + result.cs.size());
 
   // Pool both architectures; remember which is which via the tag offset.
   std::vector<SweepResult> pooled = result.baseline;

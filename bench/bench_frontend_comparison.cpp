@@ -4,6 +4,8 @@
 // sensing)"). Runs all four architectures on the same EEG dataset with the
 // same detector and reports quality, power and area side by side.
 
+#include "obs/obs.hpp"
+
 #include <iostream>
 
 #include "core/evaluator.hpp"
@@ -16,6 +18,7 @@ using namespace efficsense;
 using namespace efficsense::core;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_frontend_comparison");
   const power::TechnologyParams tech;
   const auto n = static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 16));
   const eeg::Generator gen{eeg::GeneratorConfig{}};

@@ -5,6 +5,8 @@
 // converter and amplifier terms start to dominate over the transmitter —
 // the kind of system-level question the framework exists to answer.
 
+#include "obs/obs.hpp"
+
 #include <iostream>
 
 #include "power/area.hpp"
@@ -36,6 +38,7 @@ DesignParams with_style(DesignParams base, CsStyle style) {
 }  // namespace
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_frontend_scaling");
   const TechnologyParams tech;
   std::cout << "Analytic front-end power vs input bandwidth (Table II "
                "models, N = 8, 6 uV floor)\n\n";

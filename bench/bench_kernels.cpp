@@ -11,11 +11,16 @@
 #include "dsp/fft.hpp"
 #include "dsp/metrics.hpp"
 #include "linalg/matrix.hpp"
+#include "obs/sidecar.hpp"
 #include "util/rng.hpp"
 
 using namespace efficsense;
 
 namespace {
+
+// google-benchmark owns main(); a static BenchRun still writes the
+// results/bench_kernels_obs.json sidecar when the process exits.
+obs::BenchRun obs_run("bench_kernels");
 
 std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);

@@ -4,6 +4,8 @@
 // re-scores the design; the yield is the fraction of instances meeting the
 // paper's 98 % accuracy constraint.
 
+#include "obs/obs.hpp"
+
 #include <iostream>
 
 #include "core/monte_carlo.hpp"
@@ -16,6 +18,7 @@ using namespace efficsense;
 using namespace efficsense::core;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_montecarlo");
   const power::TechnologyParams tech;
   const auto n = static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 10));
   const auto runs = static_cast<std::size_t>(env_int("EFFICSENSE_MC_RUNS", 12));
@@ -35,6 +38,7 @@ int main() {
 
   MonteCarloOptions mc;
   mc.instances = runs;
+  obs_run.set_points(runs);
   mc.min_accuracy = 0.95;
 
   struct Candidate {

@@ -3,6 +3,8 @@
 // its relevant parameter range, so the numbers behind all other figures can
 // be audited directly.
 
+#include "obs/obs.hpp"
+
 #include <iostream>
 
 #include "power/area.hpp"
@@ -13,6 +15,7 @@ using namespace efficsense;
 using namespace efficsense::power;
 
 int main() {
+  efficsense::obs::BenchRun obs_run("bench_table2_power_models");
   const TechnologyParams tech;
   std::cout << "=== Table III: parameters ===\n" << tech.describe() << "\n";
   DesignParams nominal;

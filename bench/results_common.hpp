@@ -1,12 +1,16 @@
 #pragma once
 // Shared helper for the figure benches: next to the console tables, each
 // bench drops a machine-readable CSV under results/ so the figures can be
-// re-plotted without re-running the sweep.
+// re-plotted without re-running the sweep, and an obs::BenchRun declared at
+// the top of main() writes the results/<name>_obs.json run-metadata sidecar
+// (duration, points/s, cache hits, hottest blocks) on exit.
 
 #include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <string>
+
+#include "obs/obs.hpp"
 
 namespace efficsense::bench {
 

@@ -61,6 +61,9 @@ int main() {
   std::cout << "top-level power report (the subsystem appears as one entry):\n"
             << top.power_report().to_string() << "\n";
 
+  // The runtime twin: where the *simulation* wall time went, per block.
+  std::cout << "top-level run stats:\n" << top.run_stats().to_string() << "\n";
+
   // Probe the subsystem's internal nodes.
   auto& inner = dynamic_cast<sim::CompositeBlock&>(top.block("analog_front_end")).inner();
   const auto& lna_out = inner.probe("lna");

@@ -1,9 +1,12 @@
 #include "core/evaluator.hpp"
 
+#include <chrono>
 #include <cmath>
 
 #include "dsp/metrics.hpp"
 #include "dsp/resample.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace efficsense::core {
@@ -51,6 +54,8 @@ Evaluator::SegmentOutcome Evaluator::process_segment(
 }
 
 EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
+  EFFICSENSE_SPAN("eval/point");
+  const auto eval_start = std::chrono::steady_clock::now();
   design.validate();
 
   auto chain = build_chain(tech_, design, options_.seeds);
@@ -90,6 +95,12 @@ EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
   metrics.snr_db = snr_sum / static_cast<double>(limit);
   EFF_REQUIRE(scored > 0, "no scorable epochs in the dataset");
   metrics.accuracy = static_cast<double>(correct) / static_cast<double>(scored);
+  obs::counter("eval/points").inc();
+  obs::counter("eval/segments").inc(limit);
+  obs::histogram("eval/point_seconds")
+      .observe(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - eval_start)
+                   .count());
   return metrics;
 }
 

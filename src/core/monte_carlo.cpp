@@ -1,7 +1,10 @@
 #include "core/monte_carlo.hpp"
 
+#include <chrono>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -35,7 +38,10 @@ MonteCarloResult monte_carlo(
   result.instances.reserve(options.instances);
   std::vector<double> snrs, accs;
 
+  auto& instance_hist = obs::histogram("mc/instance_seconds");
   for (std::size_t i = 0; i < options.instances; ++i) {
+    EFFICSENSE_SPAN("mc/instance");
+    const auto start = std::chrono::steady_clock::now();
     // Same chain topology, fresh fabrication: only the mismatch seed moves
     // (and the sensing-matrix draw stays fixed — it is programmed, not
     // fabricated).
@@ -51,6 +57,10 @@ MonteCarloResult monte_carlo(
     accs.push_back(metrics.accuracy);
     if (metrics.accuracy >= options.min_accuracy) result.yield += 1.0;
     result.instances.push_back(std::move(metrics));
+    obs::counter("mc/instances").inc();
+    instance_hist.observe(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - start)
+                              .count());
     if (progress) progress(i + 1, options.instances);
   }
   result.yield /= static_cast<double>(options.instances);

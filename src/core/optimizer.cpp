@@ -3,6 +3,9 @@
 #include <map>
 #include <sstream>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -50,6 +53,7 @@ bool better(const EvalMetrics& a, const EvalMetrics& b, Merit merit,
 OptimizerResult PathfindingOptimizer::run(
     const OptimizerOptions& options,
     const std::function<void(const std::string&)>& log) const {
+  EFFICSENSE_SPAN("optimizer/run");
   EFF_REQUIRE(options.budget >= 2, "budget too small");
 
   const auto& axes = space_.axes();
@@ -74,7 +78,12 @@ OptimizerResult PathfindingOptimizer::run(
     if (result.evaluated.size() >= options.budget) return std::nullopt;
     const auto point = point_from(idx);
     const auto key = point_to_string(point);
-    if (auto it = seen.find(key); it != seen.end()) return it->second;
+    if (auto it = seen.find(key); it != seen.end()) {
+      obs::counter("optimizer/dedup_hits").inc();
+      return it->second;
+    }
+    EFFICSENSE_SPAN("optimizer/eval");
+    obs::counter("optimizer/evals").inc();
     SweepResult r;
     r.point = point;
     r.design = apply_point(base_, point);
@@ -146,6 +155,9 @@ OptimizerResult PathfindingOptimizer::run(
   result.best = best;
   result.feasible = merit_of(result.evaluated[best].metrics, options.merit) >=
                     options.min_merit;
+  EFFICSENSE_LOG_DEBUG("optimizer finished",
+                       {{"evals", obs::logv(result.evaluated.size())},
+                        {"feasible", result.feasible ? "yes" : "no"}});
   return result;
 }
 

@@ -1,7 +1,11 @@
 #include "core/study.hpp"
 
+#include <algorithm>
 #include <sstream>
 
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/error.hpp"
@@ -69,9 +73,11 @@ classify::EpilepsyDetector Study::train_or_load_detector(
     const std::function<void(const std::string&)>& log) {
   const std::string key = config_.cache_key("detector");
   if (auto blob = cache_.load(key)) {
+    obs::counter("detector_cache/hits").inc();
     if (log) log("detector: loaded from cache");
     return classify::EpilepsyDetector::from_blob(*blob);
   }
+  obs::counter("detector_cache/misses").inc();
   if (log) log("detector: training on clean EEG");
   eeg::GeneratorConfig gen_cfg;
   gen_cfg.fs_hz = config_.synth_fs_hz;
@@ -94,6 +100,7 @@ classify::EpilepsyDetector Study::train_or_load_detector(
 }
 
 StudyResult Study::run(const std::function<void(const std::string&)>& log) {
+  EFFICSENSE_SPAN("study/run");
   StudyResult result;
   result.config = config_;
 
@@ -104,16 +111,50 @@ StudyResult Study::run(const std::function<void(const std::string&)>& log) {
 
   detector_ = train_or_load_detector(log);
 
+  DesignSpace baseline_space;
+  std::vector<double> noise_v;
+  for (double uv : config_.noise_grid_uv) noise_v.push_back(uv * 1e-6);
+  baseline_space.add_axis("lna_noise_vrms", noise_v)
+      .add_axis("adc_bits", config_.bits_grid)
+      .add_axis("dac_c_unit_f", config_.dac_cu_grid_f);
+  DesignSpace cs_space;
+  cs_space.add_axis("lna_noise_vrms", noise_v)
+      .add_axis("adc_bits", config_.bits_grid)
+      .add_axis("cs_m", config_.cs_m_grid)
+      .add_axis("cs_c_hold_f", config_.cs_c_hold_grid_f);
+
   const std::string key_base = config_.cache_key("sweep-baseline");
   const std::string key_cs = config_.cache_key("sweep-cs");
   const auto cached_base = cache_.load(key_base);
   const auto cached_cs = cache_.load(key_cs);
   if (cached_base && cached_cs) {
-    if (log) log("sweeps: loaded from cache");
-    result.baseline = sweep_from_csv(*cached_base, result.base_baseline);
-    result.cs = sweep_from_csv(*cached_cs, result.base_cs);
-    return result;
+    // A corrupted or truncated cache (sweep_from_csv skips bad rows) must
+    // not silently shrink the search space — fall back to recomputing.
+    try {
+      auto baseline = sweep_from_csv(*cached_base, result.base_baseline);
+      auto cs = sweep_from_csv(*cached_cs, result.base_cs);
+      if (baseline.size() == baseline_space.size() &&
+          cs.size() == cs_space.size()) {
+        obs::counter("sweep_cache/hits").inc(2);
+        EFFICSENSE_LOG_INFO("sweeps loaded from cache",
+                            {{"points", obs::logv(baseline.size() + cs.size())}});
+        if (log) log("sweeps: loaded from cache");
+        result.baseline = std::move(baseline);
+        result.cs = std::move(cs);
+        return result;
+      }
+      EFFICSENSE_LOG_WARN(
+          "cached sweep is incomplete; recomputing",
+          {{"baseline_rows", obs::logv(baseline.size())},
+           {"baseline_expected", obs::logv(baseline_space.size())},
+           {"cs_rows", obs::logv(cs.size())},
+           {"cs_expected", obs::logv(cs_space.size())}});
+    } catch (const std::exception& e) {
+      EFFICSENSE_LOG_WARN("cached sweep unreadable; recomputing",
+                          {{"error", e.what()}});
+    }
   }
+  obs::counter("sweep_cache/misses").inc(2);
 
   // Dataset (shared by both sweeps).
   eeg::GeneratorConfig gen_cfg;
@@ -141,24 +182,19 @@ StudyResult Study::run(const std::function<void(const std::string&)>& log) {
     };
   };
 
-  DesignSpace baseline_space;
-  std::vector<double> noise_v;
-  for (double uv : config_.noise_grid_uv) noise_v.push_back(uv * 1e-6);
-  baseline_space.add_axis("lna_noise_vrms", noise_v)
-      .add_axis("adc_bits", config_.bits_grid)
-      .add_axis("dac_c_unit_f", config_.dac_cu_grid_f);
+  // Points are independent and deterministically seeded, so the sweep maps
+  // over a pool. EFFICSENSE_THREADS=1 forces the sequential path; 0 (the
+  // default) selects hardware concurrency.
+  ThreadPool pool(static_cast<std::size_t>(
+      std::max<std::int64_t>(0, env_int("EFFICSENSE_THREADS", 0))));
+
   if (log) log("sweep baseline: " + format_number(double(baseline_space.size())) + " points");
-  result.baseline = sweeper.run(result.base_baseline, baseline_space, nullptr,
+  result.baseline = sweeper.run(result.base_baseline, baseline_space, &pool,
                                 progress("baseline"));
   cache_.store(key_base, sweep_to_csv(result.baseline));
 
-  DesignSpace cs_space;
-  cs_space.add_axis("lna_noise_vrms", noise_v)
-      .add_axis("adc_bits", config_.bits_grid)
-      .add_axis("cs_m", config_.cs_m_grid)
-      .add_axis("cs_c_hold_f", config_.cs_c_hold_grid_f);
   if (log) log("sweep CS: " + format_number(double(cs_space.size())) + " points");
-  result.cs = sweeper.run(result.base_cs, cs_space, nullptr, progress("cs"));
+  result.cs = sweeper.run(result.base_cs, cs_space, &pool, progress("cs"));
   cache_.store(key_cs, sweep_to_csv(result.cs));
 
   return result;

@@ -26,7 +26,9 @@ class Sweeper {
 
   /// Evaluate the full grid (base design + each point's overrides).
   /// `progress` (optional) is invoked after each finished point with
-  /// (done, total) — from worker threads when a pool is used.
+  /// (done, total) — from worker threads when a pool is used, serialized
+  /// and with strictly increasing `done` (the same count feeds the
+  /// "sweep/progress" obs gauge).
   std::vector<SweepResult> run(
       const power::DesignParams& base, const DesignSpace& space,
       ThreadPool* pool = nullptr,
@@ -40,6 +42,9 @@ class Sweeper {
 /// metrics (including the power/area breakdowns); `base` reconstructs the
 /// full DesignParams on load.
 std::string sweep_to_csv(const std::vector<SweepResult>& results);
+/// Malformed or truncated rows are skipped with an obs::log warning (and
+/// counted in the "sweep_csv/rows_skipped" counter) rather than discarding
+/// the whole sweep; an unrecognized header still throws.
 std::vector<SweepResult> sweep_from_csv(const std::string& csv,
                                         const power::DesignParams& base);
 

@@ -1,0 +1,102 @@
+#include "obs/log.hpp"
+
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/env.hpp"
+
+namespace efficsense::obs {
+
+namespace detail {
+std::atomic<int> g_log_level{-1};
+
+int log_init_slow() {
+  // Accept names and bare numbers: EFFICSENSE_LOG=debug or EFFICSENSE_LOG=4.
+  const std::string s = env_string("EFFICSENSE_LOG", "");
+  int level = static_cast<int>(LogLevel::Warn);
+  if (!s.empty()) {
+    std::string lower;
+    for (char c : s) lower.push_back(static_cast<char>(std::tolower(c)));
+    if (lower == "off" || lower == "none") level = 0;
+    else if (lower == "error") level = 1;
+    else if (lower == "warn" || lower == "warning") level = 2;
+    else if (lower == "info") level = 3;
+    else if (lower == "debug") level = 4;
+    else if (lower == "trace") level = 5;
+    else {
+      const auto n = env_int("EFFICSENSE_LOG", -1);
+      if (n >= 0 && n <= 5) level = static_cast<int>(n);
+    }
+  }
+  g_log_level.store(level, std::memory_order_relaxed);
+  return level;
+}
+}  // namespace detail
+
+void set_log_level(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level),
+                            std::memory_order_relaxed);
+}
+
+std::string logv(double v) { return format_number(v); }
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Error: return "error";
+    case LogLevel::Warn: return "warn ";
+    case LogLevel::Info: return "info ";
+    case LogLevel::Debug: return "debug";
+    case LogLevel::Trace: return "trace";
+    default: return "off  ";
+  }
+}
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::function<void(const std::string&)>& sink_slot() {
+  static std::function<void(const std::string&)> sink;
+  return sink;
+}
+
+double elapsed_s() {
+  static const auto start = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+void set_log_sink(std::function<void(const std::string&)> sink) {
+  std::lock_guard lock(sink_mutex());
+  sink_slot() = std::move(sink);
+}
+
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogKv> kv) {
+  if (!log_enabled(level)) return;
+  std::ostringstream os;
+  char stamp[32];
+  std::snprintf(stamp, sizeof stamp, "[%9.3fs]", elapsed_s());
+  os << stamp << " " << level_name(level) << " " << message;
+  for (const auto& [key, value] : kv) os << " " << key << "=" << value;
+  const std::string line = os.str();
+  std::lock_guard lock(sink_mutex());
+  if (sink_slot()) {
+    sink_slot()(line);
+  } else {
+    std::cerr << line << "\n";
+  }
+}
+
+}  // namespace efficsense::obs

@@ -1,0 +1,77 @@
+#pragma once
+// Structured leveled logging. Level filtering comes from the EFFICSENSE_LOG
+// env var (error|warn|info|debug|trace, or 0..5); the default is warn so
+// library code can warn about recoverable problems without polluting bench
+// tables. `log_enabled()` is a relaxed atomic load, and the EFFICSENSE_LOG_*
+// macros skip argument evaluation entirely when the level is filtered, so a
+// disabled log line costs one predictable branch.
+
+#include <atomic>
+#include <functional>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <utility>
+
+namespace efficsense::obs {
+
+enum class LogLevel : int {
+  Off = 0,
+  Error = 1,
+  Warn = 2,
+  Info = 3,
+  Debug = 4,
+  Trace = 5,
+};
+
+namespace detail {
+extern std::atomic<int> g_log_level;  // -1 = uninitialized
+int log_init_slow();
+}  // namespace detail
+
+inline LogLevel log_level() noexcept {
+  const int l = detail::g_log_level.load(std::memory_order_relaxed);
+  return static_cast<LogLevel>(l >= 0 ? l : detail::log_init_slow());
+}
+
+inline bool log_enabled(LogLevel level) noexcept {
+  return static_cast<int>(level) <= static_cast<int>(log_level());
+}
+
+/// Override the env-derived level (tests, benches).
+void set_log_level(LogLevel level);
+
+/// One key=value attachment; values are preformatted strings.
+using LogKv = std::pair<std::string_view, std::string>;
+
+/// Number-to-string shorthand for kv values.
+std::string logv(double v);
+template <typename T, std::enable_if_t<std::is_integral_v<T>, int> = 0>
+std::string logv(T v) {
+  return std::to_string(v);
+}
+
+/// Emit one line: "[ 12.345s] warn  message key=value ...". No-op when the
+/// level is filtered (callers on hot paths should still guard with
+/// log_enabled() or the macros to avoid building arguments).
+void log(LogLevel level, std::string_view message,
+         std::initializer_list<LogKv> kv = {});
+
+/// Redirect log lines (tests); nullptr restores the default stderr sink.
+void set_log_sink(std::function<void(const std::string&)> sink);
+
+#define EFFICSENSE_LOG_AT(level, ...)                                   \
+  do {                                                                  \
+    if (::efficsense::obs::log_enabled(level)) {                        \
+      ::efficsense::obs::log(level, __VA_ARGS__);                       \
+    }                                                                   \
+  } while (0)
+#define EFFICSENSE_LOG_WARN(...) \
+  EFFICSENSE_LOG_AT(::efficsense::obs::LogLevel::Warn, __VA_ARGS__)
+#define EFFICSENSE_LOG_INFO(...) \
+  EFFICSENSE_LOG_AT(::efficsense::obs::LogLevel::Info, __VA_ARGS__)
+#define EFFICSENSE_LOG_DEBUG(...) \
+  EFFICSENSE_LOG_AT(::efficsense::obs::LogLevel::Debug, __VA_ARGS__)
+
+}  // namespace efficsense::obs

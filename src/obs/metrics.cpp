@@ -1,0 +1,139 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  EFF_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+  EFF_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+              "histogram bounds must be ascending");
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double v) noexcept {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + v, std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::mean() const noexcept {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.bounds = bounds_;
+  s.buckets.resize(bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    s.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  s.count = count();
+  s.sum = sum();
+  return s;
+}
+
+const std::vector<double>& default_latency_bounds_s() {
+  // 1 us .. 100 s, four bins per decade.
+  static const std::vector<double> bounds = [] {
+    std::vector<double> b;
+    for (double decade = 1e-6; decade < 100.0; decade *= 10.0) {
+      for (double m : {1.0, 2.0, 5.0}) b.push_back(decade * m);
+    }
+    b.push_back(100.0);
+    return b;
+  }();
+  return bounds;
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::vector<double>* bounds) {
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) {
+    slot = std::make_unique<Histogram>(bounds ? *bounds
+                                              : default_latency_bounds_s());
+  }
+  return *slot;
+}
+
+Registry::Snapshot Registry::snapshot() const {
+  Snapshot s;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) s.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    s.histograms.emplace_back(name, h->snapshot());
+  }
+  return s;
+}
+
+std::string Registry::to_string() const {
+  const Snapshot s = snapshot();
+  std::ostringstream os;
+  for (const auto& [name, v] : s.counters) {
+    os << "counter " << name << " = " << v << "\n";
+  }
+  for (const auto& [name, v] : s.gauges) {
+    os << "gauge " << name << " = " << format_number(v) << "\n";
+  }
+  for (const auto& [name, h] : s.histograms) {
+    os << "histogram " << name << " count=" << h.count
+       << " sum=" << format_number(h.sum);
+    if (h.count > 0) {
+      os << " mean=" << format_number(h.sum / static_cast<double>(h.count));
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+void Registry::reset() {
+  std::lock_guard lock(mutex_);
+  counters_.clear();
+  gauges_.clear();
+  histograms_.clear();
+}
+
+Counter& counter(const std::string& name) {
+  return Registry::instance().counter(name);
+}
+Gauge& gauge(const std::string& name) {
+  return Registry::instance().gauge(name);
+}
+Histogram& histogram(const std::string& name,
+                     const std::vector<double>* bounds) {
+  return Registry::instance().histogram(name, bounds);
+}
+
+}  // namespace efficsense::obs

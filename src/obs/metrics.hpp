@@ -1,0 +1,127 @@
+#pragma once
+// Lock-cheap metrics registry: counters, gauges and fixed-bucket histograms
+// addressable by name from any thread. Instrument lookups take a mutex once;
+// the returned reference is stable for the process lifetime and every
+// update on it is a relaxed atomic, so hot paths cache the reference and
+// never contend.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace efficsense::obs {
+
+/// Monotonic event counter.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept {
+    v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return v_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written value (queue depth, progress, utilization).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+  }
+  /// Raise to `v` if larger (monotonic progress under concurrency).
+  void set_max(double v) noexcept {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !v_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Fixed-bucket histogram. Bucket i counts observations <= bounds[i]; one
+/// implicit overflow bucket collects the rest. Also tracks count and sum so
+/// mean/total fall out without scanning buckets.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double v) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  double mean() const noexcept;
+
+  struct Snapshot {
+    std::vector<double> bounds;          ///< bucket upper bounds
+    std::vector<std::uint64_t> buckets;  ///< bounds.size() + 1 (overflow last)
+    std::uint64_t count = 0;
+    double sum = 0.0;
+  };
+  Snapshot snapshot() const;
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+/// Default latency bins [s]: log-spaced 1 us .. 100 s.
+const std::vector<double>& default_latency_bounds_s();
+
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// Created with `default_latency_bounds_s()` unless bounds are given on
+  /// first use; later calls with the same name return the existing one.
+  Histogram& histogram(const std::string& name,
+                       const std::vector<double>* bounds = nullptr);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+  /// Name-sorted copy of every instrument's current value.
+  Snapshot snapshot() const;
+
+  /// Human-readable dump of the snapshot (one instrument per line).
+  std::string to_string() const;
+
+  /// Drop every instrument (test isolation; invalidates held references).
+  void reset();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-global shorthands.
+Counter& counter(const std::string& name);
+Gauge& gauge(const std::string& name);
+Histogram& histogram(const std::string& name,
+                     const std::vector<double>* bounds = nullptr);
+
+}  // namespace efficsense::obs

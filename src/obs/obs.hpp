@@ -1,0 +1,10 @@
+#pragma once
+// Umbrella header for the observability layer: metrics registry, trace
+// spans, structured logging and the bench sidecar writer. See DESIGN.md
+// ("Observability") for the env vars (EFFICSENSE_LOG, EFFICSENSE_TRACE)
+// and the trace/sidecar workflows.
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sidecar.hpp"
+#include "obs/trace.hpp"

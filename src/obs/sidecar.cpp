@@ -1,0 +1,171 @@
+#include "obs/sidecar.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace efficsense::obs {
+
+namespace {
+constexpr const char* kBlockTimePrefix = "time/block/";
+
+void append_number(std::ostringstream& os, double v) {
+  // JSON has no inf/nan; clamp to null.
+  if (!(v == v) || v > 1e308 || v < -1e308) {
+    os << "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  os << buf;
+}
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+BenchRun::BenchRun(std::string name)
+    : name_(std::move(name)),
+      path_("results/" + name_ + "_obs.json"),
+      start_(std::chrono::steady_clock::now()) {}
+
+BenchRun::~BenchRun() { write(); }
+
+void BenchRun::add_field(const std::string& key, double value) {
+  extra_.emplace_back(key, value);
+}
+
+double BenchRun::elapsed_s() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_)
+      .count();
+}
+
+std::string BenchRun::to_json() const {
+  const auto snap = Registry::instance().snapshot();
+  const double duration = elapsed_s();
+
+  std::ostringstream os;
+  os << "{\n  \"bench\": \"" << json_escape(name_) << "\",\n";
+  os << "  \"duration_s\": ";
+  append_number(os, duration);
+  os << ",\n";
+  if (points_ > 0) {
+    os << "  \"points\": " << points_ << ",\n  \"points_per_s\": ";
+    append_number(os, duration > 0.0 ? static_cast<double>(points_) / duration
+                                     : 0.0);
+    os << ",\n";
+  }
+
+  // Sweep cache effectiveness (0/0 when the bench never touches the cache).
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& [name, v] : snap.counters) {
+    if (name == "sweep_cache/hits") hits = v;
+    if (name == "sweep_cache/misses") misses = v;
+  }
+  os << "  \"cache\": {\"sweep_hits\": " << hits
+     << ", \"sweep_misses\": " << misses << "},\n";
+
+  // Top-5 hottest blocks by accumulated simulation wall time. sim::Model
+  // feeds time/block/<name> histograms unconditionally, so this works with
+  // tracing off.
+  std::vector<std::pair<std::string, Histogram::Snapshot>> blocks;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name.rfind(kBlockTimePrefix, 0) == 0 && h.count > 0) {
+      blocks.emplace_back(name.substr(std::string(kBlockTimePrefix).size()), h);
+    }
+  }
+  std::sort(blocks.begin(), blocks.end(), [](const auto& a, const auto& b) {
+    return a.second.sum > b.second.sum;
+  });
+  if (blocks.size() > 5) blocks.resize(5);
+  os << "  \"hottest_blocks\": [";
+  for (std::size_t i = 0; i < blocks.size(); ++i) {
+    if (i) os << ", ";
+    os << "{\"block\": \"" << json_escape(blocks[i].first)
+       << "\", \"seconds\": ";
+    append_number(os, blocks[i].second.sum);
+    os << ", \"runs\": " << blocks[i].second.count << "}";
+  }
+  os << "],\n";
+
+  if (!extra_.empty()) {
+    os << "  \"extra\": {";
+    for (std::size_t i = 0; i < extra_.size(); ++i) {
+      if (i) os << ", ";
+      os << "\"" << json_escape(extra_[i].first) << "\": ";
+      append_number(os, extra_[i].second);
+    }
+    os << "},\n";
+  }
+
+  os << "  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(snap.counters[i].first)
+       << "\": " << snap.counters[i].second;
+  }
+  os << "},\n  \"gauges\": {";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(snap.gauges[i].first) << "\": ";
+    append_number(os, snap.gauges[i].second);
+  }
+  os << "},\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    if (i) os << ", ";
+    os << "\"" << json_escape(name) << "\": {\"count\": " << h.count
+       << ", \"sum\": ";
+    append_number(os, h.sum);
+    os << ", \"mean\": ";
+    append_number(os, h.count ? h.sum / static_cast<double>(h.count) : 0.0);
+    os << "}";
+  }
+  os << "}\n}\n";
+  return os.str();
+}
+
+void BenchRun::write() const {
+  std::error_code ec;
+  std::filesystem::create_directories("results", ec);
+  {
+    std::ofstream out(path_, std::ios::trunc);
+    if (out) {
+      out << to_json();
+    } else {
+      EFFICSENSE_LOG_WARN("could not write obs sidecar",
+                          {{"path", path_}});
+    }
+  }
+  // Keep the Chrome trace fresh too; cheap when EFFICSENSE_TRACE is unset.
+  Tracer::instance().write_if_configured();
+}
+
+}  // namespace efficsense::obs

@@ -1,0 +1,52 @@
+#pragma once
+// Per-bench run metadata sidecar. A BenchRun constructed at the top of a
+// bench's main() (or as a file-scope static when the framework owns main,
+// e.g. google-benchmark) writes results/<name>_obs.json on destruction:
+// wall duration, evaluated points and points/s, sweep-cache hit/miss
+// counts, the top-5 hottest blocks by accumulated simulation time, and a
+// dump of every registry counter/gauge. It also flushes the Chrome trace
+// file when EFFICSENSE_TRACE is set, so traces survive abnormal exits of
+// later code.
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace efficsense::obs {
+
+class BenchRun {
+ public:
+  /// `name` names the sidecar file: results/<name>_obs.json.
+  explicit BenchRun(std::string name);
+  ~BenchRun();
+
+  BenchRun(const BenchRun&) = delete;
+  BenchRun& operator=(const BenchRun&) = delete;
+
+  /// Points evaluated this run (enables the points/s rate in the sidecar).
+  void set_points(std::uint64_t points) { points_ = points; }
+  /// Attach an extra numeric field to the sidecar's "extra" object.
+  void add_field(const std::string& key, double value);
+
+  double elapsed_s() const;
+  /// The sidecar JSON as it would be written now.
+  std::string to_json() const;
+  /// Write results/<name>_obs.json (+ the trace file); the destructor calls
+  /// this, a test can call it directly.
+  void write() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string name_;
+  std::string path_;
+  std::chrono::steady_clock::time_point start_;
+  std::uint64_t points_ = 0;
+  std::vector<std::pair<std::string, double>> extra_;
+};
+
+/// Escape a string for embedding in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+}  // namespace efficsense::obs

@@ -1,0 +1,197 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace efficsense::obs {
+
+namespace detail {
+std::atomic<int> g_trace_state{-1};
+
+bool trace_init_slow() {
+  // Constructing the tracer reads EFFICSENSE_TRACE and publishes the state.
+  Tracer::instance();
+  return g_trace_state.load(std::memory_order_relaxed) > 0;
+}
+}  // namespace detail
+
+namespace {
+
+std::int64_t steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+// Per-thread span buffer; hands its events to the tracer when the thread
+// exits or the buffer grows large. The tracer singleton is constructed
+// before any buffer (Span checks trace_enabled() first, which constructs
+// it), so it outlives every buffer's destructor on the main thread and all
+// joined workers.
+struct ThreadBuffer {
+  std::vector<TraceEvent> events;
+  std::uint32_t tid;
+
+  ThreadBuffer() : tid(Tracer::instance().next_tid()) {}
+  ~ThreadBuffer() { flush(); }
+
+  void push(TraceEvent&& e) {
+    events.push_back(std::move(e));
+    if (events.size() >= 4096) flush();
+  }
+  void flush() {
+    if (!events.empty()) Tracer::instance().absorb(std::move(events));
+    events.clear();
+  }
+};
+
+ThreadBuffer& thread_buffer() {
+  thread_local ThreadBuffer buffer;
+  return buffer;
+}
+
+}  // namespace
+
+Tracer::Tracer() {
+  const char* path = std::getenv("EFFICSENSE_TRACE");
+  if (path && *path) path_ = path;
+  epoch_ns_ = steady_ns();
+  detail::g_trace_state.store(path_.empty() ? 0 : 1,
+                              std::memory_order_relaxed);
+}
+
+Tracer::~Tracer() { write_if_configured(); }
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_enabled(bool enabled) {
+  detail::g_trace_state.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  thread_buffer().events.clear();
+  std::lock_guard lock(mutex_);
+  events_.clear();
+}
+
+std::int64_t Tracer::now_ns() const { return steady_ns() - epoch_ns_; }
+
+std::uint32_t Tracer::next_tid() {
+  return tid_counter_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+void Tracer::absorb(std::vector<TraceEvent>&& events) {
+  std::lock_guard lock(mutex_);
+  if (events_.empty()) {
+    events_ = std::move(events);
+  } else {
+    events_.insert(events_.end(), std::make_move_iterator(events.begin()),
+                   std::make_move_iterator(events.end()));
+  }
+}
+
+std::vector<TraceEvent> Tracer::events() const {
+  thread_buffer().flush();
+  std::lock_guard lock(mutex_);
+  return events_;
+}
+
+std::string Tracer::to_chrome_json() const {
+  const auto events = this->events();
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) os << ",";
+    first = false;
+    // Span names are metric-style identifiers; escape the JSON specials
+    // anyway so arbitrary block names stay valid.
+    os << "{\"name\":\"";
+    for (char c : e.name) {
+      if (c == '"' || c == '\\') os << '\\';
+      os << c;
+    }
+    os << "\",\"cat\":\"efficsense\",\"ph\":\"X\",\"ts\":"
+       << static_cast<double>(e.start_ns) / 1000.0
+       << ",\"dur\":" << static_cast<double>(e.dur_ns) / 1000.0
+       << ",\"pid\":1,\"tid\":" << e.tid << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+std::vector<Tracer::Aggregate> Tracer::aggregate() const {
+  const auto events = this->events();
+  std::map<std::string, Aggregate> by_name;
+  for (const auto& e : events) {
+    auto& agg = by_name[e.name];
+    agg.name = e.name;
+    agg.count += 1;
+    agg.total_s += static_cast<double>(e.dur_ns) * 1e-9;
+  }
+  std::vector<Aggregate> out;
+  out.reserve(by_name.size());
+  for (auto& [_, agg] : by_name) out.push_back(std::move(agg));
+  std::sort(out.begin(), out.end(), [](const Aggregate& a, const Aggregate& b) {
+    return a.total_s > b.total_s;
+  });
+  return out;
+}
+
+std::string Tracer::summary() const {
+  auto aggs = aggregate();
+  // Hierarchical listing: sort by path so "block" precedes "block/lna",
+  // indent by the number of '/' segments.
+  std::sort(aggs.begin(), aggs.end(),
+            [](const Aggregate& a, const Aggregate& b) { return a.name < b.name; });
+  std::ostringstream os;
+  os << "trace summary (" << aggs.size() << " span names):\n";
+  for (const auto& a : aggs) {
+    const auto depth = static_cast<std::size_t>(
+        std::count(a.name.begin(), a.name.end(), '/'));
+    const auto leaf = a.name.substr(a.name.find_last_of('/') + 1);
+    os << std::string(2 * (depth + 1), ' ') << leaf << ": " << a.count
+       << " spans, " << format_number(a.total_s) << " s total, "
+       << format_number(a.total_s / static_cast<double>(a.count) * 1e3)
+       << " ms mean\n";
+  }
+  return os.str();
+}
+
+void Tracer::write_if_configured() const {
+  if (path_.empty()) return;
+  std::ofstream out(path_, std::ios::trunc);
+  if (out) out << to_chrome_json();
+}
+
+void Span::begin(std::string_view name) {
+  begin_owned(std::string(name));
+}
+
+void Span::begin_owned(std::string&& name) {
+  name_ = std::move(name);
+  start_ns_ = Tracer::instance().now_ns();
+  active_ = true;
+}
+
+void Span::end() {
+  const std::int64_t stop = Tracer::instance().now_ns();
+  TraceEvent e;
+  e.name = std::move(name_);
+  e.tid = thread_buffer().tid;
+  e.start_ns = start_ns_;
+  e.dur_ns = stop - start_ns_;
+  thread_buffer().push(std::move(e));
+  active_ = false;
+}
+
+}  // namespace efficsense::obs

@@ -1,0 +1,134 @@
+#pragma once
+// RAII trace spans. `EFFICSENSE_SPAN("block/lna")` records the enclosing
+// scope's wall time with its thread id into a thread-local buffer; the
+// collected spans export as Chrome trace_event JSON (load the file in
+// chrome://tracing or https://ui.perfetto.dev) and as a hierarchical text
+// summary where span names nest on '/' separators.
+//
+// Tracing is off unless the EFFICSENSE_TRACE env var names an output file
+// (written at process exit and by obs::BenchRun) or a test enables capture
+// programmatically. When off, a Span is a relaxed atomic load and nothing
+// else — no allocation, no clock read.
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace efficsense::obs {
+
+namespace detail {
+// -1 = uninitialized, 0 = disabled, 1 = enabled.
+extern std::atomic<int> g_trace_state;
+bool trace_init_slow();
+}  // namespace detail
+
+/// Cheap global check, safe from any thread at any time.
+inline bool trace_enabled() noexcept {
+  const int s = detail::g_trace_state.load(std::memory_order_relaxed);
+  if (s >= 0) return s > 0;
+  return detail::trace_init_slow();
+}
+
+struct TraceEvent {
+  std::string name;
+  std::uint32_t tid = 0;   ///< small per-process thread index
+  std::int64_t start_ns = 0;  ///< since tracer start
+  std::int64_t dur_ns = 0;
+};
+
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Enable/disable capture programmatically (tests; overrides the env var).
+  void set_enabled(bool enabled);
+  /// Drop all collected events (test isolation).
+  void clear();
+
+  /// Path from EFFICSENSE_TRACE ("" when unset).
+  const std::string& output_path() const { return path_; }
+
+  /// All events collected so far (flushes thread-local buffers of finished
+  /// spans on the calling thread; other threads flush on exit or when their
+  /// buffer fills).
+  std::vector<TraceEvent> events() const;
+
+  /// Chrome trace_event JSON (the {"traceEvents":[...]} object form).
+  std::string to_chrome_json() const;
+
+  /// Aggregate by span name: (name, count, total seconds), heaviest first.
+  struct Aggregate {
+    std::string name;
+    std::uint64_t count = 0;
+    double total_s = 0.0;
+  };
+  std::vector<Aggregate> aggregate() const;
+
+  /// Hierarchical text summary: names nest on '/' path segments.
+  std::string summary() const;
+
+  /// Write to_chrome_json() to EFFICSENSE_TRACE if set; idempotent per
+  /// content (rewrites with the latest events each call). Called from the
+  /// tracer's destructor so plain `EFFICSENSE_TRACE=x ./bench` works.
+  void write_if_configured() const;
+
+  // Internal: called by span/thread-buffer machinery.
+  void absorb(std::vector<TraceEvent>&& events);
+  std::uint32_t next_tid();
+  std::int64_t now_ns() const;
+
+  ~Tracer();
+
+ private:
+  Tracer();
+
+  std::string path_;
+  std::int64_t epoch_ns_ = 0;
+  std::atomic<std::uint32_t> tid_counter_{0};
+  mutable std::mutex mutex_;
+  std::vector<TraceEvent> events_;
+};
+
+class Span {
+ public:
+  explicit Span(std::string_view name) {
+    if (trace_enabled()) begin(name);
+  }
+  /// Concatenating form: the string is only built when tracing is on, so
+  /// dynamic names ("block/" + name) cost nothing when disabled.
+  Span(std::string_view prefix, std::string_view name) {
+    if (trace_enabled()) {
+      std::string full;
+      full.reserve(prefix.size() + name.size());
+      full.append(prefix);
+      full.append(name);
+      begin_owned(std::move(full));
+    }
+  }
+  ~Span() {
+    if (active_) end();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void begin(std::string_view name);
+  void begin_owned(std::string&& name);
+  void end();
+
+  bool active_ = false;
+  std::string name_;
+  std::int64_t start_ns_ = 0;
+};
+
+#define EFF_OBS_CONCAT_INNER(a, b) a##b
+#define EFF_OBS_CONCAT(a, b) EFF_OBS_CONCAT_INNER(a, b)
+/// Trace the enclosing scope under `name` (string or string expression).
+#define EFFICSENSE_SPAN(...) \
+  ::efficsense::obs::Span EFF_OBS_CONCAT(eff_span_, __COUNTER__)(__VA_ARGS__)
+
+}  // namespace efficsense::obs

@@ -1,9 +1,12 @@
 #include "sim/model.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <queue>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/csv.hpp"
 
 #include "util/error.hpp"
@@ -111,8 +114,17 @@ std::vector<BlockId> Model::topological_order() const {
 }
 
 std::vector<Waveform> Model::run() {
+  using clock = std::chrono::steady_clock;
+  EFFICSENSE_SPAN("sim/run");
+  const auto run_start = clock::now();
   last_outputs_.clear();
   const auto order = topological_order();
+  if (run_stats_.blocks.size() != blocks_.size()) {
+    run_stats_.blocks.resize(blocks_.size());
+    for (std::size_t id = 0; id < blocks_.size(); ++id) {
+      run_stats_.blocks[id].name = blocks_[id]->name();
+    }
+  }
 
   for (const BlockId id : order) {
     Block& b = *blocks_[id];
@@ -122,13 +134,25 @@ std::vector<Waveform> Model::run() {
       const PortRef src = input_driver_.at(PortRef{id, p});
       inputs.push_back(last_outputs_.at(src));
     }
+    obs::Span span("block/", b.name());
+    const auto block_start = clock::now();
     auto outputs = b.process(inputs);
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - block_start).count();
     EFF_REQUIRE(outputs.size() == b.num_outputs(),
                 "block " + b.name() + " produced wrong number of outputs");
+    auto& bs = run_stats_.blocks[id];
+    bs.runs += 1;
+    bs.seconds += seconds;
+    obs::histogram("time/block/" + b.name()).observe(seconds);
     for (std::size_t p = 0; p < outputs.size(); ++p) {
+      bs.samples_out += outputs[p].samples.size();
       last_outputs_[PortRef{id, p}] = std::move(outputs[p]);
     }
   }
+  run_stats_.runs += 1;
+  run_stats_.total_seconds +=
+      std::chrono::duration<double>(clock::now() - run_start).count();
 
   std::vector<Waveform> model_outputs;
   for (std::size_t id = 0; id < blocks_.size(); ++id) {
@@ -154,6 +178,24 @@ const Waveform& Model::probe(const std::string& block_name,
 void Model::reset() {
   for (auto& b : blocks_) b->reset();
   last_outputs_.clear();
+}
+
+void Model::reset_run_stats() { run_stats_ = RunStats{}; }
+
+std::string RunStats::to_string() const {
+  std::ostringstream os;
+  os << "runs: " << runs << ", total: " << format_number(total_seconds)
+     << " s\n";
+  for (const auto& b : blocks) {
+    if (b.runs == 0) continue;
+    os << "  " << b.name << ": " << format_number(b.seconds) << " s over "
+       << b.runs << " runs, " << b.samples_out << " samples out";
+    if (total_seconds > 0.0) {
+      os << " (" << format_number(100.0 * b.seconds / total_seconds) << " %)";
+    }
+    os << "\n";
+  }
+  return os.str();
 }
 
 PowerReport Model::power_report() const {

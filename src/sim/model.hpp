@@ -18,6 +18,25 @@ namespace efficsense::sim {
 
 using BlockId = std::size_t;
 
+/// Per-block execution accounting accumulated across run() calls: how many
+/// times each block ran, how many samples it emitted and how much wall time
+/// it took. The runtime twin of PowerReport — where the *simulation* cost
+/// goes, next to where the modeled energy goes.
+struct RunStats {
+  struct BlockStats {
+    std::string name;
+    std::uint64_t runs = 0;
+    std::uint64_t samples_out = 0;
+    double seconds = 0.0;
+  };
+  std::uint64_t runs = 0;       ///< completed Model::run() calls
+  double total_seconds = 0.0;   ///< wall time inside run()
+  std::vector<BlockStats> blocks;  ///< in block-id order
+
+  /// Aligned per-block table with time shares (mirrors PowerReport::to_string).
+  std::string to_string() const;
+};
+
 struct PortRef {
   BlockId block = 0;
   std::size_t port = 0;
@@ -77,6 +96,11 @@ class Model {
   PowerReport power_report() const;
   AreaReport area_report() const;
 
+  /// Execution accounting accumulated over every run() since construction
+  /// (or the last reset_run_stats()).
+  const RunStats& run_stats() const { return run_stats_; }
+  void reset_run_stats();
+
   /// Graphviz DOT rendering of the block diagram (nodes annotated with the
   /// analytic power), for documentation and debugging.
   std::string to_dot() const;
@@ -87,6 +111,7 @@ class Model {
   std::map<PortRef, PortRef> input_driver_;           // dst input -> src output
   std::map<PortRef, std::vector<PortRef>> fanout_;    // src output -> dst inputs
   std::map<PortRef, Waveform> last_outputs_;          // populated by run()
+  RunStats run_stats_;
 
   std::vector<BlockId> topological_order() const;
 };

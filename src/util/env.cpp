@@ -37,4 +37,9 @@ bool env_bool(const std::string& name, bool fallback) {
   return fallback;
 }
 
+std::string env_string(const std::string& name, const std::string& fallback) {
+  const char* v = raw(name);
+  return v ? std::string(v) : fallback;
+}
+
 }  // namespace efficsense

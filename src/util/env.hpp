@@ -16,4 +16,7 @@ double env_double(const std::string& name, double fallback);
 /// Read a boolean env var (accepts 1/0, true/false, yes/no).
 bool env_bool(const std::string& name, bool fallback);
 
+/// Read a string env var (fallback when unset; empty values count as set).
+std::string env_string(const std::string& name, const std::string& fallback);
+
 }  // namespace efficsense

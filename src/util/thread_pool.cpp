@@ -1,6 +1,6 @@
 #include "util/thread_pool.hpp"
 
-#include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
@@ -12,8 +12,12 @@ ThreadPool::ThreadPool(std::size_t n) {
     if (n == 0) n = 1;
   }
   workers_.reserve(n);
+  worker_stats_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    worker_stats_.push_back(std::make_unique<WorkerStats>());
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -26,7 +30,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  using clock = std::chrono::steady_clock;
+  WorkerStats& stats = *worker_stats_[worker_index];
   for (;;) {
     std::function<void()> task;
     {
@@ -35,9 +41,42 @@ void ThreadPool::worker_loop() {
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop();
+      queue_depth_.fetch_sub(1, std::memory_order_relaxed);
     }
+    busy_workers_.fetch_add(1, std::memory_order_relaxed);
+    const auto start = clock::now();
     task();
+    const auto busy = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          clock::now() - start)
+                          .count();
+    stats.busy_ns.fetch_add(static_cast<std::uint64_t>(busy),
+                            std::memory_order_relaxed);
+    stats.tasks.fetch_add(1, std::memory_order_relaxed);
+    tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+    busy_workers_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  s.queue_depth = queue_depth();
+  s.busy_workers = busy_workers();
+  s.tasks_completed = tasks_completed_.load(std::memory_order_relaxed);
+  s.worker_tasks.reserve(worker_stats_.size());
+  s.worker_busy_s.reserve(worker_stats_.size());
+  for (const auto& w : worker_stats_) {
+    s.worker_tasks.push_back(w->tasks.load(std::memory_order_relaxed));
+    s.worker_busy_s.push_back(
+        static_cast<double>(w->busy_ns.load(std::memory_order_relaxed)) * 1e-9);
+  }
+  return s;
+}
+
+double ThreadPool::Stats::utilization(double wall_s) const {
+  if (wall_s <= 0.0 || worker_busy_s.empty()) return 0.0;
+  double busy = 0.0;
+  for (double b : worker_busy_s) busy += b;
+  return busy / (wall_s * static_cast<double>(worker_busy_s.size()));
 }
 
 namespace {
@@ -83,6 +122,7 @@ void ThreadPool::parallel_for(std::size_t count,
     // One helper task per worker; each task drains the shared index counter.
     for (std::size_t w = 0; w < workers_.size(); ++w) {
       tasks_.push([state] { state->drain(); });
+      queue_depth_.fetch_add(1, std::memory_order_relaxed);
     }
   }
   cv_.notify_all();

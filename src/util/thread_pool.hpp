@@ -2,10 +2,18 @@
 // Fixed-size thread pool used by the sweep engine. Design points are
 // embarrassingly parallel (each carries its own RNG stream), so the sweeper
 // just maps an index range over the pool.
+//
+// The pool keeps its own lock-free execution statistics (queue depth, busy
+// workers, per-worker task counts and busy time). util/ sits below obs/ in
+// the layering, so callers that want these in the metrics registry mirror
+// them into gauges — core::Sweeper::run does.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <queue>
 #include <thread>
@@ -28,14 +36,42 @@ class ThreadPool {
   /// Exceptions from tasks are captured; the first one is rethrown here.
   void parallel_for(std::size_t count, const std::function<void(std::size_t)>& fn);
 
+  /// Point-in-time execution statistics (all counters are cumulative).
+  struct Stats {
+    std::size_t queue_depth = 0;   ///< tasks waiting for a worker
+    std::size_t busy_workers = 0;  ///< workers currently inside a task
+    std::uint64_t tasks_completed = 0;
+    std::vector<std::uint64_t> worker_tasks;  ///< per-worker completed tasks
+    std::vector<double> worker_busy_s;        ///< per-worker time inside tasks
+    /// Mean fraction of workers busy, weighted by busy time vs wall time
+    /// since construction. 1.0 = perfectly utilized.
+    double utilization(double wall_s) const;
+  };
+  Stats stats() const;
+  std::size_t queue_depth() const {
+    return queue_depth_.load(std::memory_order_relaxed);
+  }
+  std::size_t busy_workers() const {
+    return busy_workers_.load(std::memory_order_relaxed);
+  }
+
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
+
+  struct WorkerStats {
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> busy_ns{0};
+  };
 
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<WorkerStats>> worker_stats_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stop_ = false;
+  std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::size_t> busy_workers_{0};
+  std::atomic<std::uint64_t> tasks_completed_{0};
 };
 
 }  // namespace efficsense

@@ -5,12 +5,14 @@
 
 #include <cmath>
 #include <set>
+#include <sstream>
 
 #include "core/chain.hpp"
 #include "core/design_space.hpp"
 #include "core/pareto.hpp"
 #include "core/sweep.hpp"
 #include "core/study.hpp"
+#include "obs/metrics.hpp"
 #include "util/error.hpp"
 
 using namespace efficsense;
@@ -212,6 +214,42 @@ TEST(SweepCsv, RoundTrip) {
 TEST(SweepCsv, RejectsGarbage) {
   EXPECT_THROW(sweep_from_csv("", power::DesignParams{}), Error);
   EXPECT_THROW(sweep_from_csv("wrong,header\n", power::DesignParams{}), Error);
+}
+
+TEST(SweepCsv, SkipsMalformedRows) {
+  // A cache file corrupted mid-write (truncated row) or bit-flipped
+  // (non-numeric field) must not take the whole sweep down: good rows
+  // load, bad rows are skipped with a warning.
+  std::vector<SweepResult> results(3);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    auto& r = results[i];
+    r.point = {{"adc_bits", 6.0 + double(i)}};
+    r.design = apply_point(power::DesignParams{}, r.point);
+    r.metrics.snr_db = 10.0 + double(i);
+    r.metrics.accuracy = 0.9;
+    r.metrics.power_w = 1e-6;
+    r.metrics.segments_evaluated = 4;
+  }
+  const auto csv = sweep_to_csv(results);
+  std::vector<std::string> lines;
+  std::istringstream in(csv);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 4u);  // header + 3 rows
+
+  // Corrupt row 2 with garbage and truncate row 3 (as a torn write would).
+  const auto comma = lines[2].find(',');
+  lines[2] = "not_a_number" + lines[2].substr(comma);
+  lines[3] = lines[3].substr(0, lines[3].size() / 2);
+  std::string corrupted;
+  for (const auto& line : lines) corrupted += line + "\n";
+
+  const auto before = efficsense::obs::counter("sweep_csv/rows_skipped").value();
+  const auto back = sweep_from_csv(corrupted, power::DesignParams{});
+  ASSERT_EQ(back.size(), 1u);
+  EXPECT_EQ(back[0].design.adc_bits, 6);
+  EXPECT_DOUBLE_EQ(back[0].metrics.snr_db, 10.0);
+  EXPECT_EQ(efficsense::obs::counter("sweep_csv/rows_skipped").value(),
+            before + 2);
 }
 
 TEST(StudyConfig, CacheKeyDependsOnEverything) {

@@ -9,6 +9,7 @@
 #include "util/cache.hpp"
 #include "dsp/metrics.hpp"
 #include "eeg/dataset.hpp"
+#include "obs/metrics.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace efficsense;
@@ -178,6 +179,31 @@ TEST(EndToEnd, ProgressCallbackCoversAllPoints) {
               });
   EXPECT_EQ(last_done, 3u);
   EXPECT_EQ(last_total, 3u);
+}
+
+TEST(EndToEnd, ProgressMonotonicUnderPool) {
+  EvalOptions opts;
+  opts.max_segments = 1;
+  const Evaluator eval(world().tech, &world().dataset, &world().detector, opts);
+  const Sweeper sweeper(&eval);
+  DesignSpace space;
+  space.add_axis("adc_bits", {6, 7, 8});
+  space.add_axis("lna_noise_vrms", {2e-6, 6e-6, 12e-6});
+  ThreadPool pool(4);
+  // Progress callbacks are serialized and strictly increasing even with
+  // workers finishing out of order; the final call always reports total.
+  std::size_t prev = 0;
+  bool strictly_increasing = true;
+  sweeper.run(power::DesignParams{}, space, &pool,
+              [&](std::size_t done, std::size_t total) {
+                EXPECT_EQ(total, 9u);
+                if (done <= prev) strictly_increasing = false;
+                prev = done;
+              });
+  EXPECT_TRUE(strictly_increasing);
+  EXPECT_EQ(prev, 9u);
+  // The sweep/progress gauge mirrors the high-water mark.
+  EXPECT_GE(obs::gauge("sweep/progress").value(), 9.0);
 }
 
 TEST(EndToEnd, HigherResolutionCostsMorePower) {

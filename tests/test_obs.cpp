@@ -1,0 +1,269 @@
+// Unit tests for the observability layer: metrics registry, trace spans,
+// structured logging and the bench sidecar.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+
+namespace {
+
+/// Minimal structural JSON check: balanced braces/brackets outside strings.
+bool json_balanced(const std::string& s) {
+  int braces = 0, brackets = 0;
+  bool in_string = false, escaped = false;
+  for (char c : s) {
+    if (escaped) {
+      escaped = false;
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') escaped = true;
+      if (c == '"') in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++braces; break;
+      case '}': --braces; break;
+      case '[': ++brackets; break;
+      case ']': --brackets; break;
+      default: break;
+    }
+    if (braces < 0 || brackets < 0) return false;
+  }
+  return braces == 0 && brackets == 0 && !in_string;
+}
+
+}  // namespace
+
+TEST(Metrics, CounterGaugeBasics) {
+  auto& c = obs::counter("test/counter_basics");
+  const auto before = c.value();
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), before + 5);
+
+  auto& g = obs::gauge("test/gauge_basics");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(1.0);  // lower: ignored
+  EXPECT_DOUBLE_EQ(g.value(), 3.0);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Metrics, SameNameSameInstrument) {
+  auto& a = obs::counter("test/same_name");
+  auto& b = obs::counter("test/same_name");
+  EXPECT_EQ(&a, &b);
+  // Different kinds may share a name without clashing.
+  obs::gauge("test/same_name").set(1.0);
+  EXPECT_EQ(&a, &obs::counter("test/same_name"));
+}
+
+TEST(Metrics, HistogramBucketsAndMoments) {
+  const std::vector<double> bounds{1.0, 10.0, 100.0};
+  auto& h = obs::histogram("test/hist_buckets", &bounds);
+  for (double v : {0.5, 0.7, 5.0, 50.0, 500.0}) h.observe(v);
+  const auto s = h.snapshot();
+  ASSERT_EQ(s.buckets.size(), 4u);
+  EXPECT_EQ(s.buckets[0], 2u);  // <= 1
+  EXPECT_EQ(s.buckets[1], 1u);  // <= 10
+  EXPECT_EQ(s.buckets[2], 1u);  // <= 100
+  EXPECT_EQ(s.buckets[3], 1u);  // overflow
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.sum, 556.2);
+  EXPECT_DOUBLE_EQ(h.mean(), 556.2 / 5.0);
+}
+
+TEST(Metrics, HistogramRejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), Error);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), Error);
+}
+
+TEST(Metrics, ThreadedUpdatesAreLossless) {
+  auto& c = obs::counter("test/threaded_counter");
+  const std::vector<double> bounds{0.5};
+  auto& h = obs::histogram("test/threaded_hist", &bounds);
+  const auto h_before = h.count();
+  const auto c_before = c.value();
+  constexpr int kThreads = 8, kIters = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        c.inc();
+        h.observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value() - c_before, kThreads * kIters);
+  EXPECT_EQ(h.count() - h_before, kThreads * kIters);
+}
+
+TEST(Metrics, SnapshotListsEveryKind) {
+  obs::counter("test/snap_counter").inc();
+  obs::gauge("test/snap_gauge").set(4.0);
+  obs::histogram("test/snap_hist").observe(1e-3);
+  const auto snap = obs::Registry::instance().snapshot();
+  auto has = [](const auto& entries, const std::string& name) {
+    for (const auto& [n, v] : entries) {
+      if (n == name) return true;
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(snap.counters, "test/snap_counter"));
+  EXPECT_TRUE(has(snap.gauges, "test/snap_gauge"));
+  EXPECT_TRUE(has(snap.histograms, "test/snap_hist"));
+  const auto text = obs::Registry::instance().to_string();
+  EXPECT_NE(text.find("test/snap_counter"), std::string::npos);
+  EXPECT_NE(text.find("test/snap_gauge"), std::string::npos);
+}
+
+TEST(Trace, SpansRecordNameThreadAndDuration) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.clear();
+  {
+    EFFICSENSE_SPAN("test/outer");
+    EFFICSENSE_SPAN("test/", std::string("inner"));
+  }
+  std::thread([] { EFFICSENSE_SPAN("test/worker"); }).join();
+  tracer.set_enabled(false);
+
+  const auto events = tracer.events();
+  ASSERT_EQ(events.size(), 3u);
+  // Buffers flush per thread, so look events up by name rather than order.
+  auto find = [&](const std::string& n) -> const obs::TraceEvent* {
+    for (const auto& e : events) {
+      if (e.name == n) return &e;
+    }
+    return nullptr;
+  };
+  const auto* inner = find("test/inner");
+  const auto* outer = find("test/outer");
+  const auto* worker = find("test/worker");
+  ASSERT_TRUE(inner && outer && worker);
+  EXPECT_GE(outer->dur_ns, inner->dur_ns);  // outer encloses inner
+  EXPECT_GE(outer->start_ns, 0);
+  EXPECT_LE(outer->start_ns, inner->start_ns);
+  EXPECT_NE(worker->tid, inner->tid);
+  EXPECT_EQ(inner->tid, outer->tid);
+  tracer.clear();
+}
+
+TEST(Trace, SpansAreFreeWhenDisabled) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+  { EFFICSENSE_SPAN("test/disabled"); }
+  EXPECT_TRUE(tracer.events().empty());
+}
+
+TEST(Trace, ChromeJsonIsStructurallyValid) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.clear();
+  { EFFICSENSE_SPAN("json/a"); }
+  { EFFICSENSE_SPAN("json/\"quoted\""); }
+  tracer.set_enabled(false);
+  const auto json = tracer.to_chrome_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("json/a"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Trace, SummaryAggregatesByName) {
+  auto& tracer = obs::Tracer::instance();
+  tracer.set_enabled(true);
+  tracer.clear();
+  for (int i = 0; i < 3; ++i) {
+    EFFICSENSE_SPAN("agg/block");
+  }
+  tracer.set_enabled(false);
+  const auto aggs = tracer.aggregate();
+  ASSERT_EQ(aggs.size(), 1u);
+  EXPECT_EQ(aggs[0].name, "agg/block");
+  EXPECT_EQ(aggs[0].count, 3u);
+  const auto text = tracer.summary();
+  EXPECT_NE(text.find("block"), std::string::npos);
+  EXPECT_NE(text.find("3 spans"), std::string::npos);
+  tracer.clear();
+}
+
+TEST(Log, LevelFilteringAndKv) {
+  std::vector<std::string> lines;
+  obs::set_log_sink([&](const std::string& line) { lines.push_back(line); });
+  obs::set_log_level(obs::LogLevel::Warn);
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Error));
+  EXPECT_TRUE(obs::log_enabled(obs::LogLevel::Warn));
+  EXPECT_FALSE(obs::log_enabled(obs::LogLevel::Info));
+
+  EFFICSENSE_LOG_WARN("something happened", {{"rows", obs::logv(7)}});
+  EFFICSENSE_LOG_INFO("filtered out");
+  EFFICSENSE_LOG_DEBUG("also filtered");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("something happened"), std::string::npos);
+  EXPECT_NE(lines[0].find("rows=7"), std::string::npos);
+  EXPECT_NE(lines[0].find("warn"), std::string::npos);
+
+  obs::set_log_level(obs::LogLevel::Debug);
+  EFFICSENSE_LOG_DEBUG("now visible", {{"x", obs::logv(1.5)}});
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[1].find("x=1.5"), std::string::npos);
+
+  obs::set_log_sink(nullptr);
+  obs::set_log_level(obs::LogLevel::Warn);
+}
+
+TEST(Sidecar, WritesValidJsonWithExpectedFields) {
+  // Populate the registry with the fields the sidecar summarizes.
+  obs::counter("sweep_cache/hits").inc(2);
+  obs::histogram("time/block/lna").observe(0.25);
+  obs::histogram("time/block/adc").observe(0.125);
+
+  obs::BenchRun run("obs_selftest");
+  run.set_points(42);
+  run.add_field("snr_db", 12.5);
+  const auto json = run.to_json();
+  EXPECT_TRUE(json_balanced(json)) << json;
+  EXPECT_NE(json.find("\"bench\": \"obs_selftest\""), std::string::npos);
+  EXPECT_NE(json.find("\"duration_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"points\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"points_per_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"sweep_hits\""), std::string::npos);
+  EXPECT_NE(json.find("\"hottest_blocks\""), std::string::npos);
+  EXPECT_NE(json.find("\"block\": \"lna\""), std::string::npos);
+  EXPECT_NE(json.find("\"snr_db\": 12.5"), std::string::npos);
+
+  run.write();
+  std::ifstream in(run.path());
+  ASSERT_TRUE(in.good());
+  std::ostringstream blob;
+  blob << in.rdbuf();
+  EXPECT_TRUE(json_balanced(blob.str()));
+  in.close();
+  std::filesystem::remove(run.path());
+}
+
+TEST(Sidecar, JsonEscape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+}

@@ -276,6 +276,84 @@ TEST(Report, MergeAndToString) {
   EXPECT_NE(r1.to_string().find("lna"), std::string::npos);
 }
 
+TEST(Report, EmptyReports) {
+  const sim::PowerReport empty;
+  EXPECT_DOUBLE_EQ(empty.total_watts(), 0.0);
+  EXPECT_DOUBLE_EQ(empty.watts_of("anything"), 0.0);
+  EXPECT_TRUE(empty.entries().empty());
+  // to_string must not divide by the zero total.
+  EXPECT_NE(empty.to_string().find("total"), std::string::npos);
+
+  const sim::AreaReport area;
+  EXPECT_DOUBLE_EQ(area.total_unit_caps(), 0.0);
+  EXPECT_DOUBLE_EQ(area.caps_of("adc"), 0.0);
+
+  sim::PowerReport target;
+  target.add("lna", 1e-6);
+  target.merge(empty);  // merging an empty report is a no-op
+  EXPECT_DOUBLE_EQ(target.total_watts(), 1e-6);
+}
+
+TEST(Report, DuplicateBlockNamesAccumulate) {
+  sim::PowerReport r;
+  r.add("adc", 1e-6);
+  r.add("adc", 2e-6);
+  r.add("adc", 0.5e-6);
+  // Same-named adds collapse into one entry — merge() relies on this.
+  ASSERT_EQ(r.entries().size(), 1u);
+  EXPECT_DOUBLE_EQ(r.watts_of("adc"), 3.5e-6);
+  EXPECT_DOUBLE_EQ(r.total_watts(), 3.5e-6);
+
+  sim::AreaReport a;
+  a.add("cs_enc", 100.0);
+  a.add("cs_enc", 50.0);
+  a.add("adc", 25.0);
+  ASSERT_EQ(a.entries().size(), 2u);
+  EXPECT_DOUBLE_EQ(a.caps_of("cs_enc"), 150.0);
+  EXPECT_DOUBLE_EQ(a.total_unit_caps(), 175.0);
+}
+
+TEST(Report, MergeIsCommutativeOnTotals) {
+  sim::PowerReport a, b;
+  a.add("lna", 1e-6);
+  a.add("adc", 2e-6);
+  b.add("adc", 3e-6);
+  b.add("tx", 4e-6);
+  sim::PowerReport ab = a, ba = b;
+  ab.merge(b);
+  ba.merge(a);
+  EXPECT_DOUBLE_EQ(ab.total_watts(), ba.total_watts());
+  EXPECT_DOUBLE_EQ(ab.watts_of("adc"), 5e-6);
+  EXPECT_DOUBLE_EQ(ba.watts_of("adc"), 5e-6);
+  // Percentages in the summary come from the merged total.
+  EXPECT_NE(ab.to_string().find("%"), std::string::npos);
+}
+
+TEST(Model, RunStatsAccumulateAcrossRuns) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(8)));
+  const auto g = m.add(std::make_unique<TestGain>("g", 2.0));
+  m.connect(src, 0, g, 0);
+  m.run();
+  m.run();
+  const auto& stats = m.run_stats();
+  EXPECT_EQ(stats.runs, 2u);
+  ASSERT_EQ(stats.blocks.size(), 2u);
+  EXPECT_GE(stats.total_seconds, 0.0);
+  for (const auto& b : stats.blocks) {
+    EXPECT_EQ(b.runs, 2u);
+    EXPECT_EQ(b.samples_out, 16u);  // 8 samples per run, 2 runs
+    EXPECT_GE(b.seconds, 0.0);
+  }
+  const auto text = stats.to_string();
+  EXPECT_NE(text.find("src"), std::string::npos);
+  EXPECT_NE(text.find("g"), std::string::npos);
+
+  m.reset_run_stats();
+  EXPECT_EQ(m.run_stats().runs, 0u);
+  EXPECT_TRUE(m.run_stats().blocks.empty());
+}
+
 TEST(FunctionBlock, WrapsFreeFunction) {
   sim::Model m;
   m.add(std::make_unique<TestSource>("src", ramp(4)));

@@ -3,11 +3,14 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <filesystem>
 #include <set>
 #include <sstream>
+#include <thread>
 
 #include "util/cache.hpp"
 #include "util/constants.hpp"
@@ -224,6 +227,17 @@ TEST(Env, FallsBackOnMissingOrInvalid) {
   ::unsetenv("EFF_TEST_BAD");
 }
 
+TEST(Env, StringValues) {
+  ::setenv("EFF_TEST_STR", "trace.json", 1);
+  EXPECT_EQ(env_string("EFF_TEST_STR", ""), "trace.json");
+  ::unsetenv("EFF_TEST_STR");
+  EXPECT_EQ(env_string("EFF_TEST_STR", "fallback"), "fallback");
+  // An empty value is a present-but-empty string, not a fallback.
+  ::setenv("EFF_TEST_STR", "", 1);
+  EXPECT_EQ(env_string("EFF_TEST_STR", "fallback"), "");
+  ::unsetenv("EFF_TEST_STR");
+}
+
 TEST(ThreadPool, RunsAllIndices) {
   ThreadPool pool(4);
   std::vector<int> hits(1000, 0);
@@ -252,6 +266,44 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     pool.parallel_for(100, [&](std::size_t) { count.fetch_add(1); });
     EXPECT_EQ(count.load(), 100);
   }
+}
+
+TEST(ThreadPool, StatsAccountForAllTasks) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  pool.parallel_for(64, [&](std::size_t) {
+    ran.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  });
+  EXPECT_EQ(ran.load(), 64);
+
+  // parallel_for queues one helper task per worker; the workers may finish
+  // draining them just after the call returns, so poll briefly for the
+  // steady state: empty queue, idle workers, 3 completed helper tasks.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  ThreadPool::Stats stats;
+  for (;;) {
+    stats = pool.stats();
+    const bool settled = stats.queue_depth == 0 && stats.busy_workers == 0 &&
+                         stats.tasks_completed == 3u;
+    if (settled || std::chrono::steady_clock::now() > deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.busy_workers, 0u);
+  EXPECT_EQ(stats.tasks_completed, 3u);
+  ASSERT_EQ(stats.worker_tasks.size(), 3u);
+  ASSERT_EQ(stats.worker_busy_s.size(), 3u);
+  std::uint64_t sum = 0;
+  for (auto t : stats.worker_tasks) sum += t;
+  EXPECT_EQ(sum, stats.tasks_completed);
+  for (double s : stats.worker_busy_s) EXPECT_GE(s, 0.0);
+  // Utilization is busy time over worker-count x wall time: well-defined
+  // and zero for degenerate wall times.
+  EXPECT_GE(stats.utilization(10.0), 0.0);
+  EXPECT_LE(stats.utilization(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(stats.utilization(0.0), 0.0);
 }
 
 TEST(Constants, PhysicallyPlausible) {
