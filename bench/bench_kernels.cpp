@@ -1,26 +1,34 @@
 // google-benchmark microbenchmarks of the numerical kernels that dominate
-// sweep runtime: FFT, Welch PSD, matrix multiply, OMP reconstruction and
-// the charge-sharing encoder loop.
+// sweep runtime: FFT, Welch PSD, matrix multiply, Gram build, OMP
+// reconstruction (Batch vs naive), the sparse-vs-dense charge-sharing
+// encode, and the dictionary build. Owns its own main() so the obs
+// sidecar captures real counters and the per-kernel timings land in the
+// BENCH_kernels.json trajectory file at the working directory root.
 
 #include <benchmark/benchmark.h>
 
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
 #include "blocks/cs_encoder.hpp"
 #include "cs/basis.hpp"
+#include "cs/effective.hpp"
 #include "cs/omp.hpp"
 #include "cs/reconstructor.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/metrics.hpp"
 #include "linalg/matrix.hpp"
-#include "obs/sidecar.hpp"
+#include "linalg/sparse.hpp"
+#include "obs/obs.hpp"
+#include "results_common.hpp"
 #include "util/rng.hpp"
 
 using namespace efficsense;
 
 namespace {
-
-// google-benchmark owns main(); a static BenchRun still writes the
-// results/bench_kernels_obs.json sidecar when the process exits.
-obs::BenchRun obs_run("bench_kernels");
 
 std::vector<double> random_signal(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
@@ -34,6 +42,40 @@ linalg::Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
   linalg::Matrix m(r, c);
   for (auto& v : m.data()) v = rng.gaussian();
   return m;
+}
+
+/// One CS frame at the paper's dimensions: s-SRBM Phi, charge-sharing
+/// gains, a band-limited test signal and its encoded measurement vector.
+struct OmpProblem {
+  cs::SparseBinaryMatrix phi;
+  cs::ChargeSharingGains gains;
+  linalg::Vector x;
+  linalg::Vector y;
+};
+
+OmpProblem make_omp_problem(std::size_t m) {
+  OmpProblem p;
+  p.phi = cs::SparseBinaryMatrix::generate(m, 384, 2, 9);
+  p.gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
+  linalg::Vector coeffs(384, 0.0);
+  Rng rng(10);
+  for (std::size_t k = 1; k < 30; ++k) coeffs[k] = rng.gaussian();
+  p.x = cs::dct_inverse(coeffs);
+  const auto w = cs::effective_entry_weights(p.phi, p.gains.a, p.gains.b);
+  p.y = p.phi.csr().apply(p.x, w);
+  return p;
+}
+
+void omp_frame_bench(benchmark::State& state, cs::OmpMode mode) {
+  const auto p = make_omp_problem(static_cast<std::size_t>(state.range(0)));
+  cs::ReconstructorConfig cfg;
+  cfg.residual_tol = 0.02;
+  cfg.omp_mode = mode;
+  const cs::Reconstructor rec(p.phi, p.gains, cfg);
+  for (auto _ : state) {
+    auto xr = rec.reconstruct_frame(p.y);
+    benchmark::DoNotOptimize(xr.data());
+  }
 }
 
 }  // namespace
@@ -84,27 +126,71 @@ static void BM_Matmul(benchmark::State& state) {
 }
 BENCHMARK(BM_Matmul)->Arg(96)->Arg(192)->Arg(384);
 
-static void BM_OmpFrame(benchmark::State& state) {
-  // One CS frame reconstruction at the paper's dimensions.
-  const auto m = static_cast<std::size_t>(state.range(0));
-  const auto phi = cs::SparseBinaryMatrix::generate(m, 384, 2, 9);
-  const auto gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
-  cs::ReconstructorConfig cfg;
-  cfg.residual_tol = 0.02;
-  const cs::Reconstructor rec(phi, gains, cfg);
-  // A representative band-limited frame.
-  linalg::Vector coeffs(384, 0.0);
-  Rng rng(10);
-  for (std::size_t k = 1; k < 30; ++k) coeffs[k] = rng.gaussian();
-  const auto x = cs::dct_inverse(coeffs);
-  const auto eff = cs::effective_matrix(phi, gains.a, gains.b);
-  const auto y = linalg::matvec(eff, x);
+static void BM_Gram(benchmark::State& state) {
+  // G = A^T A of an M x K dictionary (the Batch-OMP setup cost).
+  const auto k = static_cast<std::size_t>(state.range(0));
+  const auto a = random_matrix(150, k, 6);
   for (auto _ : state) {
-    auto xr = rec.reconstruct_frame(y);
-    benchmark::DoNotOptimize(xr.data());
+    auto g = linalg::gram(a);
+    benchmark::DoNotOptimize(g.data().data());
   }
 }
-BENCHMARK(BM_OmpFrame)->Arg(75)->Arg(150)->Arg(192);
+BENCHMARK(BM_Gram)->Arg(96)->Arg(192)->Arg(384);
+
+static void BM_OmpFrameBatch(benchmark::State& state) {
+  omp_frame_bench(state, cs::OmpMode::Batch);
+}
+BENCHMARK(BM_OmpFrameBatch)->Arg(75)->Arg(150)->Arg(192);
+
+static void BM_OmpFrameNaive(benchmark::State& state) {
+  omp_frame_bench(state, cs::OmpMode::Naive);
+}
+BENCHMARK(BM_OmpFrameNaive)->Arg(75)->Arg(150)->Arg(192);
+
+static void BM_PhiApplySparse(benchmark::State& state) {
+  // y = Phi_eff * x through the CSR operator: O(nnz) per frame.
+  const auto p = make_omp_problem(static_cast<std::size_t>(state.range(0)));
+  const auto w = cs::effective_entry_weights(p.phi, p.gains.a, p.gains.b);
+  for (auto _ : state) {
+    auto y = p.phi.csr().apply(p.x, w);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_PhiApplySparse)->Arg(75)->Arg(150)->Arg(192);
+
+static void BM_PhiApplyDense(benchmark::State& state) {
+  // The pre-optimization encode: dense M x N matvec against Phi_eff.
+  const auto p = make_omp_problem(static_cast<std::size_t>(state.range(0)));
+  const auto eff = cs::effective_matrix(p.phi, p.gains.a, p.gains.b);
+  for (auto _ : state) {
+    auto y = linalg::matvec(eff, p.x);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_PhiApplyDense)->Arg(75)->Arg(150)->Arg(192);
+
+static void BM_DictBuildSparse(benchmark::State& state) {
+  // A = Phi_eff * Psi via the CSR operator: O(nnz * K).
+  const auto p = make_omp_problem(static_cast<std::size_t>(state.range(0)));
+  const auto psi = cs::dct_synthesis_matrix(384);
+  for (auto _ : state) {
+    auto a = cs::effective_dictionary(p.phi, p.gains.a, p.gains.b, psi);
+    benchmark::DoNotOptimize(a.data().data());
+  }
+}
+BENCHMARK(BM_DictBuildSparse)->Arg(75)->Arg(192);
+
+static void BM_DictBuildDense(benchmark::State& state) {
+  // The pre-optimization dictionary build: dense M x N by N x K matmul.
+  const auto p = make_omp_problem(static_cast<std::size_t>(state.range(0)));
+  const auto psi = cs::dct_synthesis_matrix(384);
+  for (auto _ : state) {
+    auto eff = cs::effective_matrix(p.phi, p.gains.a, p.gains.b);
+    auto a = linalg::matmul(eff, psi);
+    benchmark::DoNotOptimize(a.data().data());
+  }
+}
+BENCHMARK(BM_DictBuildDense)->Arg(75)->Arg(192);
 
 static void BM_ChargeSharingEncode(benchmark::State& state) {
   power::TechnologyParams tech;
@@ -131,3 +217,89 @@ static void BM_SnrMetric(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SnrMetric);
+
+namespace {
+
+/// Console reporter that additionally records every per-iteration real
+/// time, so main() can write the BENCH_kernels.json trajectory file.
+class KernelReporter : public benchmark::ConsoleReporter {
+ public:
+  // Name-keyed ns/iteration, in registration order.
+  std::vector<std::pair<std::string, double>> timings;
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const double iters =
+          r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      timings.emplace_back(r.benchmark_name(),
+                           r.real_accumulated_time / iters * 1e9);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+double lookup_ns(const std::vector<std::pair<std::string, double>>& timings,
+                 const std::string& name) {
+  for (const auto& [n, ns] : timings) {
+    if (n == name) return ns;
+  }
+  return 0.0;
+}
+
+/// The checked-in kernel trajectory: per-kernel ns, the headline
+/// batch-vs-naive / sparse-vs-dense speedups, and the obs instruments.
+void write_bench_kernels_json(
+    const std::vector<std::pair<std::string, double>>& timings) {
+  std::ofstream out("BENCH_kernels.json", std::ios::trunc);
+  if (!out) {
+    std::cerr << "[bench_kernels] cannot write BENCH_kernels.json\n";
+    return;
+  }
+  out.precision(6);
+  out << "{\n  \"bench\": \"bench_kernels\",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    out << "    {\"name\": \"" << obs::json_escape(timings[i].first)
+        << "\", \"ns_per_iter\": " << timings[i].second << "}"
+        << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  const auto ratio = [&](const std::string& slow, const std::string& fast) {
+    const double f = lookup_ns(timings, fast);
+    return f > 0.0 ? lookup_ns(timings, slow) / f : 0.0;
+  };
+  out << "  ],\n  \"speedups\": {\n"
+      << "    \"omp_frame_batch_vs_naive_m75\": "
+      << ratio("BM_OmpFrameNaive/75", "BM_OmpFrameBatch/75") << ",\n"
+      << "    \"omp_frame_batch_vs_naive_m150\": "
+      << ratio("BM_OmpFrameNaive/150", "BM_OmpFrameBatch/150") << ",\n"
+      << "    \"omp_frame_batch_vs_naive_m192\": "
+      << ratio("BM_OmpFrameNaive/192", "BM_OmpFrameBatch/192") << ",\n"
+      << "    \"phi_apply_sparse_vs_dense_m150\": "
+      << ratio("BM_PhiApplyDense/150", "BM_PhiApplySparse/150") << ",\n"
+      << "    \"dict_build_sparse_vs_dense_m192\": "
+      << ratio("BM_DictBuildDense/192", "BM_DictBuildSparse/192") << "\n"
+      << "  },\n  \"omp\": " << bench::omp_instruments_json() << "\n}\n";
+  std::cout << "[writing BENCH_kernels.json]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchRun obs_run("bench_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  KernelReporter reporter;
+  {
+    EFFICSENSE_SPAN("bench_kernels/run");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+  obs_run.set_points(reporter.timings.size());
+  const double naive150 = lookup_ns(reporter.timings, "BM_OmpFrameNaive/150");
+  const double batch150 = lookup_ns(reporter.timings, "BM_OmpFrameBatch/150");
+  if (batch150 > 0.0) {
+    obs_run.add_field("omp_frame_batch_vs_naive_m150", naive150 / batch150);
+  }
+  write_bench_kernels_json(reporter.timings);
+  return 0;
+}

@@ -3,19 +3,72 @@
 // redraws the capacitor mismatch (SAR DAC array; CS capacitor banks) and
 // re-scores the design; the yield is the fraction of instances meeting the
 // paper's 98 % accuracy constraint.
+//
+// Perf plumbing: dataset synthesis fans out over EFFICSENSE_THREADS, the
+// trained detector is memoized in the repo-local file cache (training is
+// deterministic, so warm runs skip it; EFFICSENSE_BENCH_CACHE=0 disables),
+// and the run drops a BENCH_sweep.json trajectory file with points/s and
+// the reconstruction-kernel instruments next to the console table.
 
 #include "obs/obs.hpp"
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <memory>
+#include <sstream>
 
+#include "classify/detector.hpp"
 #include "core/monte_carlo.hpp"
 #include "eeg/dataset.hpp"
+#include "results_common.hpp"
+#include "util/cache.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 using namespace efficsense;
 using namespace efficsense::core;
+
+namespace {
+
+double seconds_since(const std::chrono::steady_clock::time_point& t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Train the bench detector, or load it from the file cache when an
+/// identical configuration was trained before (training is deterministic).
+classify::EpilepsyDetector trained_detector(const eeg::Generator& gen,
+                                            const classify::DetectorConfig& cfg,
+                                            ThreadPool* pool,
+                                            std::string* provenance) {
+  const bool use_cache = env_int("EFFICSENSE_BENCH_CACHE", 1) != 0;
+  std::ostringstream key;
+  key.precision(17);
+  key << "bench_montecarlo/detector/v2;train=30x30@" << derive_seed(2022, 0xDE7)
+      << ";fs=" << cfg.fs_hz << ";hidden=" << cfg.hidden_units
+      << ";aug_seed=" << cfg.augment.seed << ";train_seed=" << cfg.train.seed;
+  const auto cache = default_cache();
+  if (use_cache) {
+    if (const auto blob = cache.load(key.str())) {
+      *provenance = "cache-hit";
+      return classify::EpilepsyDetector::from_blob(*blob);
+    }
+  }
+  const auto detector = classify::EpilepsyDetector::train(
+      eeg::make_dataset(gen, 30, 30, derive_seed(2022, 0xDE7), pool), cfg);
+  if (use_cache) {
+    cache.store(key.str(), detector.to_blob());
+    *provenance = "cache-miss";
+  } else {
+    *provenance = "cache-off";
+  }
+  return detector;
+}
+
+}  // namespace
 
 int main() {
   efficsense::obs::BenchRun obs_run("bench_montecarlo");
@@ -23,18 +76,39 @@ int main() {
   const auto n = static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 10));
   const auto runs = static_cast<std::size_t>(env_int("EFFICSENSE_MC_RUNS", 12));
   const eeg::Generator gen{eeg::GeneratorConfig{}};
-  const auto dataset =
-      eeg::make_dataset(gen, n / 2, n - n / 2, derive_seed(2022, 0xEA1));
+
+  // One pool for dataset synthesis; monte_carlo() resolves its own from the
+  // same EFFICSENSE_THREADS knob. Segments derive independent seeds, so the
+  // parallel synthesis is bit-identical to the serial one.
+  const auto threads = static_cast<std::size_t>(
+      std::max<long long>(0, env_int("EFFICSENSE_THREADS", 0)));
+  std::unique_ptr<ThreadPool> pool;
+  if (threads != 1) {
+    pool = std::make_unique<ThreadPool>(threads);
+    if (pool->size() <= 1) pool.reset();
+  }
+
+  const auto t_dataset = std::chrono::steady_clock::now();
+  const auto dataset = eeg::make_dataset(gen, n / 2, n - n / 2,
+                                         derive_seed(2022, 0xEA1), pool.get());
+  const double dataset_s = seconds_since(t_dataset);
+
   classify::DetectorConfig det_cfg;
-  const auto detector = classify::EpilepsyDetector::train(
-      eeg::make_dataset(gen, 30, 30, derive_seed(2022, 0xDE7)), det_cfg);
+  const auto t_train = std::chrono::steady_clock::now();
+  std::string detector_provenance;
+  const auto detector =
+      trained_detector(gen, det_cfg, pool.get(), &detector_provenance);
+  const double train_s = seconds_since(t_train);
+
   EvalOptions opt;
   opt.recon.residual_tol = 0.02;
   const Evaluator evaluator(tech, &dataset, &detector, opt);
 
   std::cout << "Monte-Carlo mismatch analysis (" << runs
             << " fabricated instances, " << dataset.size()
-            << " segments each, constraint accuracy >= 95 %)\n\n";
+            << " segments each, constraint accuracy >= 95 %)\n"
+            << "[detector " << detector_provenance << ", trained in "
+            << format_number(train_s) << " s]\n\n";
 
   MonteCarloOptions mc;
   mc.instances = runs;
@@ -65,10 +139,19 @@ int main() {
     candidates.push_back({"CS, aggressively small caps (50 fF)", cs_small});
   }
 
+  struct CandidateTiming {
+    const char* name;
+    double seconds;
+    double yield;
+  };
+  std::vector<CandidateTiming> timings;
+
   TablePrinter t({"design", "acc mean [%]", "acc sigma [%]", "acc min [%]",
                   "SNR mean [dB]", "SNR sigma", "yield [%]"});
   for (const auto& c : candidates) {
+    const auto t_mc = std::chrono::steady_clock::now();
     const auto r = monte_carlo(evaluator, c.design, mc);
+    timings.push_back({c.name, seconds_since(t_mc), r.yield});
     t.add_row({c.name, format_number(100.0 * r.accuracy.mean),
                format_number(100.0 * r.accuracy.stddev),
                format_number(100.0 * r.accuracy.min),
@@ -85,5 +168,30 @@ int main() {
                "area-vs-robustness coupling behind Fig. 9/10; with a "
                "tighter constraint\nor noisier designs, that spread "
                "becomes yield loss.\n";
+
+  // The checked-in sweep trajectory: end-to-end rate plus the kernel
+  // instruments, so successive PRs can compare like for like.
+  const double duration_s = obs_run.elapsed_s();
+  std::ofstream out("BENCH_sweep.json", std::ios::trunc);
+  if (out) {
+    out.precision(6);
+    out << "{\n  \"bench\": \"bench_montecarlo\",\n"
+        << "  \"segments\": " << n << ",\n  \"mc_runs\": " << runs << ",\n"
+        << "  \"threads\": " << (pool ? pool->size() : 1) << ",\n"
+        << "  \"dataset_s\": " << dataset_s << ",\n"
+        << "  \"detector\": \"" << detector_provenance << "\",\n"
+        << "  \"detector_train_s\": " << train_s << ",\n  \"candidates\": [\n";
+    for (std::size_t i = 0; i < timings.size(); ++i) {
+      out << "    {\"name\": \"" << obs::json_escape(timings[i].name)
+          << "\", \"mc_s\": " << timings[i].seconds
+          << ", \"yield\": " << timings[i].yield << "}"
+          << (i + 1 < timings.size() ? "," : "") << "\n";
+    }
+    out << "  ],\n  \"duration_s\": " << duration_s
+        << ",\n  \"points_per_s\": "
+        << (duration_s > 0.0 ? static_cast<double>(runs) / duration_s : 0.0)
+        << ",\n  \"omp\": " << bench::omp_instruments_json() << "\n}\n";
+    std::cout << "[writing BENCH_sweep.json]\n";
+  }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "obs/obs.hpp"
@@ -23,6 +24,32 @@ inline std::ofstream open_results(const std::string& name) {
     std::cout << "[writing results/" << name << "]\n";
   }
   return out;
+}
+
+/// JSON object summarizing the reconstruction-kernel instruments at the
+/// moment of the call: OMP solve/gram-build counts and timings plus the
+/// reconstructor-cache hit/miss counters. Embedded verbatim in the
+/// checked-in BENCH_*.json trajectory files so successive PRs can compare
+/// kernel-level numbers, not just end-to-end wall clock.
+inline std::string omp_instruments_json() {
+  const auto count = [](const char* name) {
+    return obs::counter(name).value();
+  };
+  const auto& solve = obs::histogram("time/omp_solve");
+  const auto& gram = obs::histogram("time/omp_gram_build");
+  std::ostringstream os;
+  os.precision(6);
+  os << "{\"solves\": " << count("omp/solves")
+     << ", \"gram_builds\": " << count("omp/gram_builds")
+     << ", \"cache_hits\": " << count("omp/cache_hits")
+     << ", \"cache_misses\": " << count("omp/cache_misses")
+     << ", \"solve_us_mean\": "
+     << (solve.count() > 0 ? solve.mean() * 1e6 : 0.0)
+     << ", \"solve_s_total\": " << solve.sum()
+     << ", \"gram_build_us_mean\": "
+     << (gram.count() > 0 ? gram.mean() * 1e6 : 0.0)
+     << ", \"gram_build_s_total\": " << gram.sum() << "}";
+  return os.str();
 }
 
 }  // namespace efficsense::bench

@@ -77,7 +77,9 @@ std::vector<double> cs_view(const std::vector<double>& x,
       m, n_phi, static_cast<std::size_t>(aug.cs_sparsity), rng());
   const auto gains =
       cs::charge_sharing_gains(aug.cs_c_sample_f, aug.cs_c_hold_f);
-  const auto eff = cs::effective_matrix(phi, gains.a, gains.b);
+  // Encode through the CSR operator with the charge-sharing weights —
+  // O(s * N) per frame instead of the dense O(M * N), same values.
+  const auto weights = cs::effective_entry_weights(phi, gains.a, gains.b);
 
   // Input noise (the LNA floor the CS chain tolerates) before encoding.
   const double sigma = 1e-6 * rng.uniform(aug.noise_uv_min, aug.noise_uv_max);
@@ -94,7 +96,7 @@ std::vector<double> cs_view(const std::vector<double>& x,
     for (std::size_t j = 0; j < n_phi; ++j) {
       frame[j] = x[f * n_phi + j] + rng.gaussian(0.0, sigma);
     }
-    const auto y = linalg::matvec(eff, frame);
+    const auto y = phi.csr().apply(frame, weights);
     const auto xr = recon.reconstruct_frame(y);
     out.insert(out.end(), xr.begin(), xr.end());
   }

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cmath>
 
+#include "core/recon_cache.hpp"
 #include "dsp/metrics.hpp"
 #include "dsp/resample.hpp"
 #include "obs/metrics.hpp"
@@ -29,7 +30,7 @@ Evaluator::SegmentOutcome Evaluator::process_segment(
   std::vector<double> signal;  // at LNA-output scale, rate f_sample
   if (design.uses_cs()) {
     EFF_REQUIRE(recon != nullptr, "CS design requires a reconstructor");
-    signal = recon->reconstruct_stream(received.samples);
+    signal = recon->reconstruct_stream(received.samples, pool_);
   } else {
     signal = received.samples;
   }
@@ -59,10 +60,13 @@ EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
   design.validate();
 
   auto chain = build_chain(tech_, design, options_.seeds);
-  std::unique_ptr<cs::Reconstructor> recon;
+  // Reconstructors depend only on the Phi seed + CS config — never on the
+  // mismatch/noise seeds — so every Monte-Carlo instance and every sweep
+  // point sharing the design's CS front-end reuses one dictionary + Gram.
+  std::shared_ptr<const cs::Reconstructor> recon;
   if (design.uses_cs()) {
-    recon = std::make_unique<cs::Reconstructor>(
-        make_matched_reconstructor(design, options_.seeds, options_.recon));
+    recon = ReconstructorCache::instance().get(design, options_.seeds,
+                                               options_.recon);
   }
 
   EvalMetrics metrics;

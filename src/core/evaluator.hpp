@@ -13,6 +13,10 @@
 #include "power/area.hpp"
 #include "sim/report.hpp"
 
+namespace efficsense {
+class ThreadPool;
+}
+
 namespace efficsense::core {
 
 struct EvalOptions {
@@ -59,12 +63,16 @@ class Evaluator {
   const EvalOptions& options() const { return options_; }
   /// Replace the chain seeds (Monte-Carlo fabrication sweeps).
   void set_seeds(const ChainSeeds& seeds) { options_.seeds = seeds; }
+  /// Optional pool for fanning per-window reconstructions out (non-owning).
+  /// Results are identical to the serial path.
+  void set_pool(ThreadPool* pool) { pool_ = pool; }
 
  private:
   power::TechnologyParams tech_;
   const eeg::Dataset* dataset_;
   const classify::EpilepsyDetector* detector_;
   EvalOptions options_;
+  ThreadPool* pool_ = nullptr;
 };
 
 }  // namespace efficsense::core

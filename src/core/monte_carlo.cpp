@@ -1,12 +1,18 @@
 #include "core/monte_carlo.hpp"
 
+#include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
+#include <memory>
+#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/env.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace efficsense::core {
 
@@ -34,12 +40,28 @@ MonteCarloResult monte_carlo(
     const std::function<void(std::size_t, std::size_t)>& progress) {
   EFF_REQUIRE(options.instances >= 1, "need at least one instance");
 
+  // Instances are embarrassingly parallel (each derives its own seeds), so
+  // they fan out over a pool; a pool of size 1 falls back to the serial loop.
+  const std::size_t requested =
+      options.threads != 0
+          ? options.threads
+          : static_cast<std::size_t>(std::max<std::int64_t>(
+                0, env_int("EFFICSENSE_THREADS", 0)));
+  std::unique_ptr<ThreadPool> pool;
+  if (requested != 1 && options.instances > 1) {
+    pool = std::make_unique<ThreadPool>(requested);
+    if (pool->size() <= 1) pool.reset();
+  }
+
   MonteCarloResult result;
-  result.instances.reserve(options.instances);
-  std::vector<double> snrs, accs;
+  result.instances.resize(options.instances);
 
   auto& instance_hist = obs::histogram("mc/instance_seconds");
-  for (std::size_t i = 0; i < options.instances; ++i) {
+  std::atomic<std::size_t> done{0};
+  std::mutex progress_mutex;
+  std::size_t last_reported = 0;  // guarded by progress_mutex
+
+  const auto run_instance = [&](std::size_t i) {
     EFFICSENSE_SPAN("mc/instance");
     const auto start = std::chrono::steady_clock::now();
     // Same chain topology, fresh fabrication: only the mismatch seed moves
@@ -52,16 +74,36 @@ MonteCarloResult monte_carlo(
     }
     Evaluator local = evaluator;  // shares dataset/detector (non-owning)
     local.set_seeds(seeds);
-    auto metrics = local.evaluate(design);
-    snrs.push_back(metrics.snr_db);
-    accs.push_back(metrics.accuracy);
-    if (metrics.accuracy >= options.min_accuracy) result.yield += 1.0;
-    result.instances.push_back(std::move(metrics));
+    if (pool) local.set_pool(pool.get());  // nested fan-out is reentrancy-safe
+    result.instances[i] = local.evaluate(design);
     obs::counter("mc/instances").inc();
     instance_hist.observe(std::chrono::duration<double>(
                               std::chrono::steady_clock::now() - start)
                               .count());
-    if (progress) progress(i + 1, options.instances);
+    done.fetch_add(1, std::memory_order_acq_rel);
+    if (progress) {
+      const std::size_t snapshot = done.load(std::memory_order_acquire);
+      std::lock_guard lock(progress_mutex);
+      if (snapshot > last_reported) {
+        last_reported = snapshot;
+        progress(snapshot, options.instances);
+      }
+    }
+  };
+
+  if (pool) {
+    pool->parallel_for(options.instances, run_instance);
+  } else {
+    for (std::size_t i = 0; i < options.instances; ++i) run_instance(i);
+  }
+
+  std::vector<double> snrs, accs;
+  snrs.reserve(options.instances);
+  accs.reserve(options.instances);
+  for (const auto& metrics : result.instances) {
+    snrs.push_back(metrics.snr_db);
+    accs.push_back(metrics.accuracy);
+    if (metrics.accuracy >= options.min_accuracy) result.yield += 1.0;
   }
   result.yield /= static_cast<double>(options.instances);
   result.snr_db = compute_stats(snrs);

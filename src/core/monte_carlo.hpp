@@ -18,6 +18,11 @@ struct MonteCarloOptions {
   std::uint64_t seed = 0xFAB;       ///< base of the per-instance seeds
   double min_accuracy = 0.98;       ///< yield constraint (paper: 98 %)
   bool vary_noise_streams = false;  ///< also re-draw the transient noise
+  /// Worker threads for the instance fan-out: 1 = serial, 0 = resolve from
+  /// EFFICSENSE_THREADS (which itself defaults to hardware concurrency).
+  /// Instances carry independent seed streams, so results are identical to
+  /// the serial order regardless of thread count.
+  std::size_t threads = 0;
 };
 
 struct MetricStats {

@@ -13,22 +13,33 @@ ChargeSharingGains charge_sharing_gains(double c_sample_f, double c_hold_f) {
 
 linalg::Matrix effective_matrix(const SparseBinaryMatrix& phi, double a,
                                 double b) {
+  return phi.csr().to_dense(effective_entry_weights(phi, a, b));
+}
+
+linalg::Vector effective_entry_weights(const SparseBinaryMatrix& phi, double a,
+                                       double b) {
   // b == 1 models an ideal (active/digital) accumulator with no decay.
   EFF_REQUIRE(a > 0.0 && a <= 1.0 && b >= 0.0 && b <= 1.0,
               "gains must satisfy 0 < a <= 1, 0 <= b <= 1");
-  const std::size_t m = phi.rows();
-  const std::size_t n = phi.cols();
-  linalg::Matrix w(m, n);
-  // Walk columns in reverse sampling order, tracking for each row the decay
-  // factor accumulated by shares that happen *after* the current sample.
-  std::vector<double> decay(m, 1.0);
-  for (std::size_t jj = n; jj-- > 0;) {
-    for (std::size_t i : phi.column_support(jj)) {
-      w(i, jj) = a * decay[i];
-      decay[i] *= b;
+  const auto& csr = phi.csr();
+  linalg::Vector w(csr.nnz(), 0.0);
+  // Per row, walk entries in reverse sampling order (descending sample
+  // index), tracking the decay accumulated by shares that happen *after*
+  // the current sample — the same multiply chain the dense builder used.
+  for (std::size_t i = 0; i < csr.rows(); ++i) {
+    double decay = 1.0;
+    const std::size_t base = csr.entry_index(i, 0);
+    for (std::size_t p = csr.row_nnz(i); p-- > 0;) {
+      w[base + p] = a * decay;
+      decay *= b;
     }
   }
   return w;
+}
+
+linalg::Matrix effective_dictionary(const SparseBinaryMatrix& phi, double a,
+                                    double b, const linalg::Matrix& psi) {
+  return phi.csr().dense_product(psi, effective_entry_weights(phi, a, b));
 }
 
 linalg::Matrix ideal_matrix(const SparseBinaryMatrix& phi) {

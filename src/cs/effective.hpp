@@ -26,6 +26,19 @@ ChargeSharingGains charge_sharing_gains(double c_sample_f, double c_hold_f);
 linalg::Matrix effective_matrix(const SparseBinaryMatrix& phi, double a,
                                 double b);
 
+/// The nonzero charge-sharing weights alone, in phi.csr() entry order: the
+/// p-th entry of row i (ascending sample index) weighs a * b^(w_i - 1 - p).
+/// Feeding these to the CSR operators gives O(nnz) encodes and an
+/// O(nnz * K) effective-dictionary build, bitwise matching the dense path.
+linalg::Vector effective_entry_weights(const SparseBinaryMatrix& phi, double a,
+                                       double b);
+
+/// A = Phi_eff * Psi computed sparsely in O(nnz * Psi.cols()) instead of the
+/// dense O(M * N * Psi.cols()); identical to
+/// matmul(effective_matrix(phi, a, b), psi).
+linalg::Matrix effective_dictionary(const SparseBinaryMatrix& phi, double a,
+                                    double b, const linalg::Matrix& psi);
+
 /// Ideal binary matrix (for ablation: pretend the encoder were a perfect
 /// digital MAC).
 linalg::Matrix ideal_matrix(const SparseBinaryMatrix& phi);

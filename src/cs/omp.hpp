@@ -1,18 +1,37 @@
 #pragma once
 // Orthogonal Matching Pursuit with an incrementally updated Cholesky
-// factorisation (O(M*K) per iteration for correlation, O(k^2) for the
-// solve). The solver object precomputes per-dictionary state so that the
-// per-frame cost during a sweep stays minimal.
+// factorisation. Two selection engines share the support machinery:
+//
+//  - Batch (default): the Batch-OMP scheme of Rubinstein et al. — precompute
+//    the Gram G = A^T A once per dictionary and alpha0 = A^T y once per
+//    frame, then update atom correlations through G columns instead of
+//    re-touching the residual. Per-iteration cost drops from O(M*K) to
+//    O(K*k); the Gram is amortized over every frame solved against the same
+//    dictionary (and, via core::ReconstructorCache, over Monte-Carlo
+//    instances and sweep points sharing a design).
+//  - Naive: explicit residual re-correlation each iteration. Kept as the
+//    reference oracle the equivalence tests check Batch against.
+//
+// The solver emits obs counters (omp/solves, omp/gram_builds) and timing
+// histograms (time/omp_solve, time/omp_gram_build) so sidecars show where
+// reconstruction time goes.
 
 #include <cstddef>
+#include <vector>
 
 #include "linalg/matrix.hpp"
 
 namespace efficsense::cs {
 
+enum class OmpMode {
+  Batch,  ///< Gram-based correlation updates (fast path)
+  Naive,  ///< explicit residual re-correlation (reference oracle)
+};
+
 struct OmpOptions {
   std::size_t max_atoms = 0;      ///< 0 selects M/4 (a common heuristic)
   double residual_tol = 1e-4;     ///< stop when ||r|| <= tol * ||y||
+  OmpMode mode = OmpMode::Batch;
 };
 
 struct OmpResult {
@@ -26,16 +45,31 @@ class OmpSolver {
  public:
   /// `dictionary` is M x K (measurements x atoms). Columns need not be
   /// normalized; atom selection divides by the precomputed column norms.
+  /// Only the transpose (and, in Batch mode, the Gram) is retained — atoms
+  /// are read exclusively row-wise in the hot loops.
   explicit OmpSolver(linalg::Matrix dictionary, OmpOptions options = {});
 
   OmpResult solve(const linalg::Vector& y) const;
 
-  std::size_t measurements() const { return dict_.rows(); }
-  std::size_t atoms() const { return dict_.cols(); }
+  std::size_t measurements() const { return m_; }
+  std::size_t atoms() const { return dict_t_.rows(); }
+  const OmpOptions& options() const { return options_; }
+
+  /// Precomputed Gram A^T A (empty in Naive mode).
+  const linalg::Matrix& gram_matrix() const { return gram_; }
 
  private:
-  linalg::Matrix dict_;       // M x K
+  OmpResult solve_naive(const linalg::Vector& y) const;
+  OmpResult solve_batch(const linalg::Vector& y) const;
+  /// ||y - A|_S c||, the same subtraction loop as the naive path, so both
+  /// engines report bitwise-identical residuals for identical supports.
+  double support_residual_norm(const linalg::Vector& y,
+                               const std::vector<std::size_t>& support,
+                               const linalg::Vector& coef) const;
+
+  std::size_t m_ = 0;
   linalg::Matrix dict_t_;     // K x M (row access = atom access)
+  linalg::Matrix gram_;       // K x K, Batch mode only
   linalg::Vector col_norm_;   // per-atom l2 norm
   OmpOptions options_;
 };

@@ -5,8 +5,9 @@
 
 #include "cs/basis.hpp"
 #include "cs/iterative.hpp"
-#include "cs/omp.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
+#include "util/thread_pool.hpp"
 
 namespace efficsense::cs {
 
@@ -15,6 +16,7 @@ Reconstructor::Reconstructor(const SparseBinaryMatrix& phi,
                              ReconstructorConfig config)
     : m_(phi.rows()), n_(phi.cols()), config_(config) {
   EFF_REQUIRE(m_ > 0 && n_ > 0, "empty sensing matrix");
+  EFFICSENSE_SPAN("recon/setup");
 
   // Truncate the DCT dictionary to the low-frequency atoms that carry EEG
   // energy; the automatic choice keeps the system comfortably solvable.
@@ -28,32 +30,52 @@ Reconstructor::Reconstructor(const SparseBinaryMatrix& phi,
   const linalg::Matrix psi_full = (config_.basis == BasisKind::Db4)
                                       ? db4_synthesis_matrix(n_)
                                       : dct_synthesis_matrix(n_);
-  psi_ = linalg::Matrix(n_, k_atoms_);
+  linalg::Matrix psi_trunc(n_, k_atoms_);
   for (std::size_t r = 0; r < n_; ++r) {
-    for (std::size_t k = 0; k < k_atoms_; ++k) psi_(r, k) = psi_full(r, k);
+    for (std::size_t k = 0; k < k_atoms_; ++k) {
+      psi_trunc(r, k) = psi_full(r, k);
+    }
   }
 
-  const linalg::Matrix sensing =
-      config_.compensate_decay ? effective_matrix(phi, gains.a, gains.b)
-                               : ideal_matrix(phi);
-  dictionary_ = linalg::matmul(sensing, psi_);
+  // Assemble A = Phi_eff * Psi through the CSR sensing operator: O(nnz * K)
+  // instead of the dense O(M * N * K), bitwise identical to the dense path.
+  dictionary_ = config_.compensate_decay
+                    ? effective_dictionary(phi, gains.a, gains.b, psi_trunc)
+                    : phi.csr().dense_product(psi_trunc);
+  psi_t_ = psi_trunc.transposed();
+
   if (config_.algorithm == ReconAlgorithm::Omp) {
     OmpOptions opts;
     opts.max_atoms = (config_.sparsity != 0)
                          ? config_.sparsity
                          : std::max<std::size_t>(1, m_ / 3);
     opts.residual_tol = config_.residual_tol;
-    omp_ = std::make_shared<OmpSolver>(dictionary_, opts);
+    opts.mode = config_.omp_mode;
+    omp_ = std::make_shared<OmpSolver>(std::move(dictionary_), opts);
+    dictionary_ = {};  // the solver owns all dictionary state the OMP path needs
   }
 }
 
 linalg::Vector Reconstructor::reconstruct_frame(const linalg::Vector& y) const {
   EFF_REQUIRE(y.size() == m_, "measurement frame has wrong size");
+  if (config_.algorithm == ReconAlgorithm::Omp) {
+    const OmpResult res = omp_->solve(y);
+    // Synthesize from the support alone: O(k * N) instead of O(K * N).
+    // Atoms are visited in ascending index order, so every output sample
+    // accumulates its terms in the same order a dense Psi * c would.
+    std::vector<std::size_t> atoms = res.support;
+    std::sort(atoms.begin(), atoms.end());
+    linalg::Vector out(n_, 0.0);
+    for (const std::size_t atom : atoms) {
+      const double c = res.coefficients[atom];
+      const double* row = psi_t_.row_ptr(atom);
+      for (std::size_t r = 0; r < n_; ++r) out[r] += c * row[r];
+    }
+    return out;
+  }
+
   linalg::Vector coeffs;
   switch (config_.algorithm) {
-    case ReconAlgorithm::Omp:
-      coeffs = omp_->solve(y).coefficients;
-      break;
     case ReconAlgorithm::Iht: {
       IhtOptions opts;
       opts.sparsity = config_.sparsity;
@@ -67,20 +89,26 @@ linalg::Vector Reconstructor::reconstruct_frame(const linalg::Vector& y) const {
       coeffs = ista_solve(dictionary_, y, opts);
       break;
     }
+    case ReconAlgorithm::Omp:
+      break;  // handled above
   }
-  return linalg::matvec(psi_, coeffs);
+  return linalg::matvec_transposed(psi_t_, coeffs);
 }
 
 std::vector<double> Reconstructor::reconstruct_stream(
-    const std::vector<double>& measurements) const {
+    const std::vector<double>& measurements, ThreadPool* pool) const {
   const std::size_t frames = measurements.size() / m_;
-  std::vector<double> out;
-  out.reserve(frames * n_);
-  linalg::Vector y(m_);
-  for (std::size_t f = 0; f < frames; ++f) {
-    for (std::size_t i = 0; i < m_; ++i) y[i] = measurements[f * m_ + i];
+  std::vector<double> out(frames * n_, 0.0);
+  const auto recover_frame = [&](std::size_t f) {
+    const linalg::Vector y(measurements.begin() + f * m_,
+                           measurements.begin() + (f + 1) * m_);
     const linalg::Vector x = reconstruct_frame(y);
-    out.insert(out.end(), x.begin(), x.end());
+    std::copy(x.begin(), x.end(), out.begin() + f * n_);
+  };
+  if (pool != nullptr && pool->size() > 1 && frames > 1) {
+    pool->parallel_for(frames, recover_frame);
+  } else {
+    for (std::size_t f = 0; f < frames; ++f) recover_frame(f);
   }
   return out;
 }

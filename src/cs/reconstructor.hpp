@@ -2,13 +2,23 @@
 // Frame-wise CS reconstruction facade: binds a sensing matrix (with its
 // nominal charge-sharing weights), a sparsifying basis and a recovery
 // algorithm, and turns measurement streams back into signal estimates.
+//
+// The dictionary A = Phi_eff * Psi is assembled through the CSR form of the
+// s-SRBM in O(nnz * K) rather than the dense O(M * N * K), and the OMP path
+// hands it straight to an OmpSolver (Batch mode by default) so the Gram is
+// built exactly once per Reconstructor.
 
 #include <cstddef>
 #include <memory>
 
 #include "cs/effective.hpp"
+#include "cs/omp.hpp"
 #include "cs/srbm.hpp"
 #include "linalg/matrix.hpp"
+
+namespace efficsense {
+class ThreadPool;
+}
 
 namespace efficsense::cs {
 
@@ -31,6 +41,8 @@ struct ReconstructorConfig {
   /// If false, reconstruct with the ideal binary Phi instead of the
   /// charge-sharing-aware effective matrix (ablation knob).
   bool compensate_decay = true;
+  /// OMP selection engine; Naive is the reference oracle for tests.
+  OmpMode omp_mode = OmpMode::Batch;
 };
 
 class Reconstructor {
@@ -47,9 +59,12 @@ class Reconstructor {
   linalg::Vector reconstruct_frame(const linalg::Vector& y) const;
 
   /// Recover a stream: measurements are consumed M at a time; a trailing
-  /// partial frame is ignored. Output size = full_frames * N_Phi.
+  /// partial frame is ignored. Output size = full_frames * N_Phi. Frames are
+  /// independent, so a thread pool (optional) fans them out; results are
+  /// written into place and identical to the serial order.
   std::vector<double> reconstruct_stream(
-      const std::vector<double>& measurements) const;
+      const std::vector<double>& measurements,
+      ThreadPool* pool = nullptr) const;
 
   /// Number of DCT atoms actually used after truncation.
   std::size_t active_atoms() const { return k_atoms_; }
@@ -59,11 +74,10 @@ class Reconstructor {
   std::size_t n_ = 0;
   std::size_t k_atoms_ = 0;
   ReconstructorConfig config_;
-  linalg::Matrix psi_;         // N x k_atoms DCT synthesis (truncated)
-  linalg::Matrix dictionary_;  // M x k_atoms: Phi_eff * Psi
-  // Lazily built OMP solver state lives in the dictionary; OMP path uses a
-  // solver constructed once here.
-  std::shared_ptr<const class OmpSolver> omp_;
+  linalg::Matrix psi_t_;       // k_atoms x N synthesis transpose (row = atom)
+  linalg::Matrix dictionary_;  // M x k_atoms: Phi_eff * Psi (IHT/ISTA only;
+                               // the OMP path moves it into the solver)
+  std::shared_ptr<const OmpSolver> omp_;
 };
 
 }  // namespace efficsense::cs

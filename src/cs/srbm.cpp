@@ -58,6 +58,8 @@ SparseBinaryMatrix SparseBinaryMatrix::generate(std::size_t rows,
     }
     std::sort(sup.begin(), sup.end());
   }
+  phi.csr_ =
+      linalg::SparseBinaryMatrix::from_column_supports(rows, cols, phi.support_);
   return phi;
 }
 
@@ -74,20 +76,11 @@ std::size_t SparseBinaryMatrix::row_weight(std::size_t i) const {
 
 linalg::Vector SparseBinaryMatrix::apply(const linalg::Vector& x) const {
   EFF_REQUIRE(x.size() == cols_, "input vector has wrong size");
-  linalg::Vector y(rows_, 0.0);
-  for (std::size_t j = 0; j < cols_; ++j) {
-    const double xj = x[j];
-    for (std::size_t i : support_[j]) y[i] += xj;
-  }
-  return y;
+  // Each row gathers its column entries in ascending order — the same term
+  // order the old column-major scatter produced — via the CSR form.
+  return csr_.apply(x);
 }
 
-linalg::Matrix SparseBinaryMatrix::to_dense() const {
-  linalg::Matrix m(rows_, cols_);
-  for (std::size_t j = 0; j < cols_; ++j) {
-    for (std::size_t i : support_[j]) m(i, j) = 1.0;
-  }
-  return m;
-}
+linalg::Matrix SparseBinaryMatrix::to_dense() const { return csr_.to_dense(); }
 
 }  // namespace efficsense::cs

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "linalg/matrix.hpp"
+#include "linalg/sparse.hpp"
 
 namespace efficsense::cs {
 
@@ -36,12 +37,17 @@ class SparseBinaryMatrix {
   /// Dense 0/1 matrix.
   linalg::Matrix to_dense() const;
 
+  /// Row-index CSR form for the O(nnz) fast operators (encode, effective
+  /// dictionary build). Built once at generation time.
+  const linalg::SparseBinaryMatrix& csr() const { return csr_; }
+
  private:
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t s_ = 0;
   std::vector<std::vector<std::size_t>> support_;  // per column
   std::vector<std::size_t> row_weight_;
+  linalg::SparseBinaryMatrix csr_;
 };
 
 }  // namespace efficsense::cs

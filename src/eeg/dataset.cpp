@@ -5,6 +5,7 @@
 #include "dsp/resample.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace efficsense::eeg {
 
@@ -17,9 +18,17 @@ std::size_t Dataset::count(SegmentClass c) const {
 }
 
 Dataset make_dataset(const Generator& generator, std::size_t n_normal,
-                     std::size_t n_seizure, std::uint64_t seed) {
-  Dataset ds;
-  ds.segments.reserve(n_normal + n_seizure);
+                     std::size_t n_seizure, std::uint64_t seed,
+                     ThreadPool* pool) {
+  // Plan the class/seed schedule first (it only depends on the counters),
+  // then synthesize the waveforms — in parallel when a pool is given, since
+  // every segment draws from its own derived seed stream.
+  struct Plan {
+    SegmentClass label;
+    std::uint64_t seed;
+  };
+  std::vector<Plan> plan;
+  plan.reserve(n_normal + n_seizure);
   std::size_t made_normal = 0, made_seizure = 0;
   std::size_t index = 0;
   while (made_normal < n_normal || made_seizure < n_seizure) {
@@ -28,21 +37,36 @@ Dataset make_dataset(const Generator& generator, std::size_t n_normal,
         made_seizure < n_seizure &&
         (made_normal >= n_normal ||
          made_seizure * (n_normal + n_seizure) <= index * n_seizure);
-    Segment s;
-    s.seed = derive_seed(seed, index);
     if (want_seizure) {
-      s.label = SegmentClass::Seizure;
+      ++made_seizure;
+    } else {
+      ++made_normal;
+    }
+    plan.push_back(
+        {want_seizure ? SegmentClass::Seizure : SegmentClass::Normal,
+         derive_seed(seed, index)});
+    ++index;
+  }
+
+  Dataset ds;
+  ds.segments.resize(plan.size());
+  const auto synthesize = [&](std::size_t i) {
+    Segment s;
+    s.seed = plan[i].seed;
+    s.label = plan[i].label;
+    if (s.label == SegmentClass::Seizure) {
       IctalAnnotation annotation;
       s.waveform = generator.seizure(s.seed, &annotation);
       s.ictal = annotation;
-      ++made_seizure;
     } else {
-      s.label = SegmentClass::Normal;
       s.waveform = generator.normal(s.seed);
-      ++made_normal;
     }
-    ds.segments.push_back(std::move(s));
-    ++index;
+    ds.segments[i] = std::move(s);
+  };
+  if (pool != nullptr && pool->size() > 1 && plan.size() > 1) {
+    pool->parallel_for(plan.size(), synthesize);
+  } else {
+    for (std::size_t i = 0; i < plan.size(); ++i) synthesize(i);
   }
   return ds;
 }

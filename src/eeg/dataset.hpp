@@ -11,6 +11,10 @@
 #include "eeg/generator.hpp"
 #include "sim/waveform.hpp"
 
+namespace efficsense {
+class ThreadPool;
+}
+
 namespace efficsense::eeg {
 
 enum class SegmentClass { Normal, Seizure };
@@ -31,9 +35,12 @@ struct Dataset {
 };
 
 /// Deterministically synthesize a balanced-ish dataset: `n_normal` normal +
-/// `n_seizure` ictal segments, interleaved.
+/// `n_seizure` ictal segments, interleaved. Each segment draws from its own
+/// derived seed, so synthesis optionally fans out over a thread pool with
+/// bit-identical results to the serial order.
 Dataset make_dataset(const Generator& generator, std::size_t n_normal,
-                     std::size_t n_seizure, std::uint64_t seed);
+                     std::size_t n_seizure, std::uint64_t seed,
+                     ThreadPool* pool = nullptr);
 
 /// The paper's Step 4: take a record sampled at `fs_record` (e.g. the Bonn
 /// corpus' 173.61 Hz) and upsample it to `fs_target` (e.g. 512 Hz) with the

@@ -77,18 +77,53 @@ Matrix operator*(double s, Matrix a) { return a *= s; }
 Matrix matmul(const Matrix& a, const Matrix& b) {
   EFF_REQUIRE(a.cols() == b.rows(), "matmul shape mismatch");
   Matrix c(a.rows(), b.cols());
-  // i-k-j loop order: streams through b and c rows contiguously.
-  for (std::size_t i = 0; i < a.rows(); ++i) {
-    double* crow = c.row_ptr(i);
-    const double* arow = a.row_ptr(i);
-    for (std::size_t k = 0; k < a.cols(); ++k) {
-      const double aik = arow[k];
-      if (aik == 0.0) continue;
-      const double* brow = b.row_ptr(k);
-      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+  // i-k-j loop order streams through b and c rows contiguously; blocking the
+  // k dimension keeps the active slice of b resident in cache while every
+  // row of a is driven through it. Each c(i,j) still accumulates its k terms
+  // in ascending order (zero a(i,k) skipped), so results are bitwise
+  // identical to the unblocked kernel.
+  constexpr std::size_t kBlock = 64;
+  for (std::size_t kb = 0; kb < a.cols(); kb += kBlock) {
+    const std::size_t kend = std::min(a.cols(), kb + kBlock);
+    for (std::size_t i = 0; i < a.rows(); ++i) {
+      double* crow = c.row_ptr(i);
+      const double* arow = a.row_ptr(i);
+      for (std::size_t k = kb; k < kend; ++k) {
+        const double aik = arow[k];
+        if (aik == 0.0) continue;
+        const double* brow = b.row_ptr(k);
+        for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+      }
     }
   }
   return c;
+}
+
+Matrix gram(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t k = a.cols();
+  Matrix g(k, k);
+  // Accumulate the upper triangle with rank-1 updates from each sample row,
+  // blocked over G rows so the active band of G stays cache-resident across
+  // the sweep through a. For each (i,j) the m contributions land in
+  // ascending sample order — bitwise the dot of columns i and j.
+  constexpr std::size_t kBlock = 48;
+  for (std::size_t ib = 0; ib < k; ib += kBlock) {
+    const std::size_t iend = std::min(k, ib + kBlock);
+    for (std::size_t r = 0; r < m; ++r) {
+      const double* row = a.row_ptr(r);
+      for (std::size_t i = ib; i < iend; ++i) {
+        const double v = row[i];
+        if (v == 0.0) continue;
+        double* grow = g.row_ptr(i);
+        for (std::size_t j = i; j < k; ++j) grow[j] += v * row[j];
+      }
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    for (std::size_t j = i + 1; j < k; ++j) g(j, i) = g(i, j);
+  }
+  return g;
 }
 
 Vector matvec(const Matrix& a, const Vector& x) {

@@ -58,6 +58,11 @@ Matrix operator*(double s, Matrix a);
 
 /// C = A * B.
 Matrix matmul(const Matrix& a, const Matrix& b);
+/// G = A^T * A. The Gram matrix is symmetric, so only the upper triangle is
+/// accumulated (cache-blocked over G rows) and then mirrored — about half the
+/// flops of matmul(A^T, A). Each G(i,j) sums sample contributions in
+/// ascending row order, bitwise matching a naive column dot product.
+Matrix gram(const Matrix& a);
 /// y = A * x.
 Vector matvec(const Matrix& a, const Vector& x);
 /// y = A^T * x (without forming the transpose).

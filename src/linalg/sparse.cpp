@@ -1,0 +1,169 @@
+#include "linalg/sparse.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace efficsense::linalg {
+
+SparseBinaryMatrix SparseBinaryMatrix::from_column_supports(
+    std::size_t rows, std::size_t cols,
+    const std::vector<std::vector<std::size_t>>& supports) {
+  EFF_REQUIRE(supports.size() == cols,
+              "sparse binary matrix needs one support per column");
+  SparseBinaryMatrix s;
+  s.rows_ = rows;
+  s.cols_ = cols;
+
+  // Count ones per row, then bucket column indices row-major. Walking
+  // columns in ascending j fills each row's bucket in ascending column
+  // order without a sort.
+  std::vector<std::size_t> counts(rows, 0);
+  std::size_t nnz = 0;
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (const std::size_t i : supports[j]) {
+      EFF_REQUIRE(i < rows, "sparse binary matrix row index out of range");
+      ++counts[i];
+      ++nnz;
+    }
+  }
+  s.row_start_.assign(rows + 1, 0);
+  for (std::size_t i = 0; i < rows; ++i) {
+    s.row_start_[i + 1] = s.row_start_[i] + counts[i];
+  }
+  s.col_idx_.assign(nnz, 0);
+  std::vector<std::size_t> cursor(s.row_start_.begin(),
+                                  s.row_start_.end() - 1);
+  for (std::size_t j = 0; j < cols; ++j) {
+    for (const std::size_t i : supports[j]) {
+      const std::size_t slot = cursor[i]++;
+      EFF_REQUIRE(slot == s.row_start_[i] ||
+                      s.col_idx_[slot - 1] != j,
+                  "duplicate entry in sparse binary matrix column");
+      s.col_idx_[slot] = j;
+    }
+  }
+  return s;
+}
+
+Vector SparseBinaryMatrix::apply(const Vector& x) const {
+  EFF_REQUIRE(x.size() == cols_, "sparse apply dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp) acc += x[*jp];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector SparseBinaryMatrix::apply(const Vector& x,
+                                 const Vector& entry_weights) const {
+  EFF_REQUIRE(x.size() == cols_, "sparse apply dimension mismatch");
+  EFF_REQUIRE(entry_weights.size() == nnz(),
+              "sparse apply needs one weight per entry");
+  Vector y(rows_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double acc = 0.0;
+    const double* w = entry_weights.data() + row_start_[i];
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp, ++w) acc += *w * x[*jp];
+    y[i] = acc;
+  }
+  return y;
+}
+
+Vector SparseBinaryMatrix::apply_transposed(const Vector& x) const {
+  EFF_REQUIRE(x.size() == rows_, "sparse apply_transposed dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double v = x[i];
+    if (v == 0.0) continue;
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp) y[*jp] += v;
+  }
+  return y;
+}
+
+Vector SparseBinaryMatrix::apply_transposed(const Vector& x,
+                                            const Vector& entry_weights) const {
+  EFF_REQUIRE(x.size() == rows_, "sparse apply_transposed dimension mismatch");
+  EFF_REQUIRE(entry_weights.size() == nnz(),
+              "sparse apply_transposed needs one weight per entry");
+  Vector y(cols_, 0.0);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double v = x[i];
+    if (v == 0.0) continue;
+    const double* w = entry_weights.data() + row_start_[i];
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp, ++w) y[*jp] += v * *w;
+  }
+  return y;
+}
+
+Matrix SparseBinaryMatrix::dense_product(const Matrix& b) const {
+  EFF_REQUIRE(b.rows() == cols_, "sparse dense_product dimension mismatch");
+  const std::size_t p = b.cols();
+  Matrix c(rows_, p);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* crow = c.row_ptr(i);
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp) {
+      const double* brow = b.row_ptr(*jp);
+      for (std::size_t q = 0; q < p; ++q) crow[q] += brow[q];
+    }
+  }
+  return c;
+}
+
+Matrix SparseBinaryMatrix::dense_product(const Matrix& b,
+                                         const Vector& entry_weights) const {
+  EFF_REQUIRE(b.rows() == cols_, "sparse dense_product dimension mismatch");
+  EFF_REQUIRE(entry_weights.size() == nnz(),
+              "sparse dense_product needs one weight per entry");
+  const std::size_t p = b.cols();
+  Matrix c(rows_, p);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    double* crow = c.row_ptr(i);
+    const double* w = entry_weights.data() + row_start_[i];
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp, ++w) {
+      const double wv = *w;
+      const double* brow = b.row_ptr(*jp);
+      for (std::size_t q = 0; q < p; ++q) crow[q] += wv * brow[q];
+    }
+  }
+  return c;
+}
+
+Matrix SparseBinaryMatrix::to_dense() const {
+  Matrix d(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp) d(i, *jp) = 1.0;
+  }
+  return d;
+}
+
+Matrix SparseBinaryMatrix::to_dense(const Vector& entry_weights) const {
+  EFF_REQUIRE(entry_weights.size() == nnz(),
+              "sparse to_dense needs one weight per entry");
+  Matrix d(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    const double* w = entry_weights.data() + row_start_[i];
+    const std::size_t* jp = row_begin(i);
+    const std::size_t* je = row_end(i);
+    for (; jp != je; ++jp, ++w) d(i, *jp) = *w;
+  }
+  return d;
+}
+
+}  // namespace efficsense::linalg

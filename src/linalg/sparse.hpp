@@ -1,0 +1,84 @@
+#pragma once
+// Sparse binary matrices in row-index CSR form — the fast-operator layout
+// behind the s-SRBM sensing matrices of the CS front-end. A binary M x N
+// matrix with nnz ones supports y = S*x in O(nnz) and the dense product
+// S*B (the effective-dictionary build A = Phi*Psi) in O(nnz * B.cols()),
+// instead of the dense O(M*N) / O(M*N*K).
+//
+// Entries carry no stored values (they are ones); the weighted overloads
+// take a per-entry weight vector in CSR entry order, which is how the
+// charge-sharing decay weights of cs::effective_matrix ride on the binary
+// sparsity pattern without a second sparse structure.
+//
+// Accumulation visits each row's columns in ascending order, so results are
+// bitwise identical to the dense kernels in linalg/matrix.cpp (which skip
+// zero operands in the same ascending order) — callers can switch between
+// the dense and sparse paths without perturbing reconstructions.
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace efficsense::linalg {
+
+class SparseBinaryMatrix {
+ public:
+  SparseBinaryMatrix() = default;
+
+  /// Build from per-column row supports (the s-SRBM generator's native
+  /// form): `supports[j]` lists the rows holding a one in column j. Row
+  /// indices must be < rows; duplicates within a column are rejected.
+  static SparseBinaryMatrix from_column_supports(
+      std::size_t rows, std::size_t cols,
+      const std::vector<std::vector<std::size_t>>& supports);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t nnz() const { return col_idx_.size(); }
+  bool empty() const { return col_idx_.empty(); }
+
+  /// Number of ones in row i.
+  std::size_t row_nnz(std::size_t i) const {
+    return row_start_[i + 1] - row_start_[i];
+  }
+  /// Column indices of row i (ascending), [row_begin, row_end).
+  const std::size_t* row_begin(std::size_t i) const {
+    return col_idx_.data() + row_start_[i];
+  }
+  const std::size_t* row_end(std::size_t i) const {
+    return col_idx_.data() + row_start_[i + 1];
+  }
+  /// Flat CSR index of the p-th entry of row i (addresses entry weights).
+  std::size_t entry_index(std::size_t i, std::size_t p) const {
+    return row_start_[i] + p;
+  }
+
+  /// y = S * x in O(nnz).
+  Vector apply(const Vector& x) const;
+  /// y = S * x with per-entry weights (CSR entry order), O(nnz).
+  Vector apply(const Vector& x, const Vector& entry_weights) const;
+
+  /// y = S^T * x in O(nnz).
+  Vector apply_transposed(const Vector& x) const;
+  /// y = S^T * x with per-entry weights, O(nnz).
+  Vector apply_transposed(const Vector& x, const Vector& entry_weights) const;
+
+  /// C = S * B in O(nnz * B.cols()) — the effective-dictionary build.
+  Matrix dense_product(const Matrix& b) const;
+  /// C = S * B with per-entry weights, O(nnz * B.cols()).
+  Matrix dense_product(const Matrix& b, const Vector& entry_weights) const;
+
+  /// Dense 0/1 matrix.
+  Matrix to_dense() const;
+  /// Dense weighted matrix (entry weights in CSR entry order).
+  Matrix to_dense(const Vector& entry_weights) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<std::size_t> row_start_;  // rows_ + 1 offsets into col_idx_
+  std::vector<std::size_t> col_idx_;    // nnz column indices, ascending per row
+};
+
+}  // namespace efficsense::linalg

@@ -285,3 +285,77 @@ TEST(MonteCarloStats, HandComputed) {
   EXPECT_NEAR(s.stddev, std::sqrt(1.25), 1e-12);
   EXPECT_THROW(compute_stats({}), Error);
 }
+
+// ---------------------------------------------------------------------------
+// Cross-point reconstructor cache: Monte-Carlo instances redraw mismatch and
+// noise seeds but share the sensing matrix, so they must share one cached
+// reconstructor (and thus one Gram build).
+
+#include "core/recon_cache.hpp"
+#include "obs/metrics.hpp"
+
+TEST(ReconstructorCache, SharedAcrossMismatchAndNoiseSeeds) {
+  auto& cache = ReconstructorCache::instance();
+  cache.clear();
+  power::DesignParams design;
+  design.adc_bits = 8;
+  design.cs_m = 40;  // small CS design so the build is cheap
+
+  ChainSeeds seeds1;
+  seeds1.phi = 123;
+  seeds1.mismatch = 1;
+  seeds1.noise = 2;
+  ChainSeeds seeds2 = seeds1;
+  seeds2.mismatch = 99;  // a different fabricated instance...
+  seeds2.noise = 77;     // ...with fresh noise streams
+
+  cs::ReconstructorConfig cfg;
+  cfg.residual_tol = 0.02;
+
+  const auto hits0 = efficsense::obs::counter("omp/cache_hits").value();
+  const auto builds0 = efficsense::obs::counter("omp/gram_builds").value();
+  const auto r1 = cache.get(design, seeds1, cfg);
+  const auto r2 = cache.get(design, seeds2, cfg);
+  EXPECT_EQ(r1.get(), r2.get());  // one shared reconstructor
+  EXPECT_EQ(efficsense::obs::counter("omp/gram_builds").value(), builds0 + 1);
+  EXPECT_EQ(efficsense::obs::counter("omp/cache_hits").value(), hits0 + 1);
+  EXPECT_EQ(cache.size(), 1u);
+
+  ChainSeeds seeds3 = seeds1;
+  seeds3.phi = 456;  // a different sensing-matrix draw is a different entry
+  const auto r3 = cache.get(design, seeds3, cfg);
+  EXPECT_NE(r3.get(), r1.get());
+  EXPECT_EQ(efficsense::obs::counter("omp/gram_builds").value(), builds0 + 2);
+  EXPECT_EQ(cache.size(), 2u);
+
+  cs::ReconstructorConfig cfg2 = cfg;
+  cfg2.omp_mode = cs::OmpMode::Naive;  // solver config is part of the key
+  const auto r4 = cache.get(design, seeds1, cfg2);
+  EXPECT_NE(r4.get(), r1.get());
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ReconstructorCache, KeyCoversPhiAndConfig) {
+  power::DesignParams design;
+  design.cs_m = 40;
+  ChainSeeds a, b;
+  cs::ReconstructorConfig cfg;
+  EXPECT_EQ(reconstructor_cache_key(design, a, cfg),
+            reconstructor_cache_key(design, b, cfg));
+  b.mismatch = 999;
+  b.noise = 888;
+  EXPECT_EQ(reconstructor_cache_key(design, a, cfg),
+            reconstructor_cache_key(design, b, cfg));
+  b.phi = 777;
+  EXPECT_NE(reconstructor_cache_key(design, a, cfg),
+            reconstructor_cache_key(design, b, cfg));
+  cs::ReconstructorConfig cfg2 = cfg;
+  cfg2.residual_tol *= 2.0;
+  EXPECT_NE(reconstructor_cache_key(design, a, cfg),
+            reconstructor_cache_key(design, a, cfg2));
+  power::DesignParams design2 = design;
+  design2.cs_m = 50;
+  EXPECT_NE(reconstructor_cache_key(design, a, cfg),
+            reconstructor_cache_key(design2, a, cfg));
+}

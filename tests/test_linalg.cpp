@@ -238,3 +238,130 @@ TEST(CholeskyAppend, CapacityEnforced) {
   ASSERT_TRUE(inc.append({}, 2.0));
   EXPECT_THROW(inc.append({0.0}, 2.0), Error);
 }
+
+// ---------------------------------------------------------------------------
+// Sparse binary (CSR) operators and the blocked dense kernels behind them.
+
+#include "linalg/sparse.hpp"
+
+namespace {
+
+/// Random per-column supports with `s` ones per column (the s-SRBM shape).
+std::vector<std::vector<std::size_t>> random_supports(std::size_t rows,
+                                                      std::size_t cols,
+                                                      std::size_t s,
+                                                      std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<std::size_t>> sup(cols);
+  for (auto& col : sup) {
+    while (col.size() < s) {
+      const auto r = static_cast<std::size_t>(rng.below(rows));
+      bool dup = false;
+      for (auto v : col) dup = dup || v == r;
+      if (!dup) col.push_back(r);
+    }
+  }
+  return sup;
+}
+
+}  // namespace
+
+TEST(SparseBinary, ApplyMatchesDenseBitwise) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    const std::size_t m = 24 + 8 * seed, n = 96;
+    const auto sup = random_supports(m, n, 3, seed);
+    const auto s = linalg::SparseBinaryMatrix::from_column_supports(m, n, sup);
+    EXPECT_EQ(s.nnz(), 3 * n);
+    const auto dense = s.to_dense();
+    const auto x = random_vector(n, 100 + seed);
+    const auto y_sparse = s.apply(x);
+    const auto y_dense = linalg::matvec(dense, x);
+    ASSERT_EQ(y_sparse.size(), m);
+    for (std::size_t i = 0; i < m; ++i) EXPECT_EQ(y_sparse[i], y_dense[i]);
+  }
+}
+
+TEST(SparseBinary, WeightedApplyMatchesDenseBitwise) {
+  const std::size_t m = 40, n = 128;
+  const auto sup = random_supports(m, n, 2, 7);
+  const auto s = linalg::SparseBinaryMatrix::from_column_supports(m, n, sup);
+  Vector w(s.nnz());
+  Rng rng(8);
+  for (auto& v : w) v = 0.5 + 0.5 * rng.uniform(0.0, 1.0);
+  const auto dense = s.to_dense(w);
+  const auto x = random_vector(n, 9);
+  const auto y_sparse = s.apply(x, w);
+  const auto y_dense = linalg::matvec(dense, x);
+  for (std::size_t i = 0; i < m; ++i) EXPECT_EQ(y_sparse[i], y_dense[i]);
+}
+
+TEST(SparseBinary, ApplyTransposedMatchesDense) {
+  const std::size_t m = 32, n = 96;
+  const auto sup = random_supports(m, n, 2, 11);
+  const auto s = linalg::SparseBinaryMatrix::from_column_supports(m, n, sup);
+  Vector w(s.nnz());
+  Rng rng(12);
+  for (auto& v : w) v = rng.gaussian();
+  const auto y = random_vector(m, 13);
+  const auto xt_sparse = s.apply_transposed(y, w);
+  const auto xt_dense = linalg::matvec_transposed(s.to_dense(w), y);
+  ASSERT_EQ(xt_sparse.size(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    EXPECT_NEAR(xt_sparse[j], xt_dense[j], 1e-15);
+  }
+}
+
+TEST(SparseBinary, DenseProductMatchesMatmulBitwise) {
+  const std::size_t m = 28, n = 96, k = 33;
+  const auto sup = random_supports(m, n, 2, 17);
+  const auto s = linalg::SparseBinaryMatrix::from_column_supports(m, n, sup);
+  Vector w(s.nnz());
+  Rng rng(18);
+  for (auto& v : w) v = rng.gaussian();
+  const auto b = random_matrix(n, k, 19);
+  const auto plain = s.dense_product(b);
+  const auto plain_ref = linalg::matmul(s.to_dense(), b);
+  const auto weighted = s.dense_product(b, w);
+  const auto weighted_ref = linalg::matmul(s.to_dense(w), b);
+  for (std::size_t i = 0; i < plain.data().size(); ++i) {
+    EXPECT_EQ(plain.data()[i], plain_ref.data()[i]);
+    EXPECT_EQ(weighted.data()[i], weighted_ref.data()[i]);
+  }
+}
+
+TEST(SparseBinary, RejectsBadSupports) {
+  EXPECT_THROW(linalg::SparseBinaryMatrix::from_column_supports(
+                   4, 2, {{0, 0}, {1}}),
+               Error);  // duplicate row within a column
+  EXPECT_THROW(linalg::SparseBinaryMatrix::from_column_supports(4, 1, {{4}}),
+               Error);  // row index out of range
+}
+
+TEST(Matrix, GramMatchesExplicitTransposeProductBitwise) {
+  for (std::size_t n : {5u, 48u, 130u}) {
+    const auto a = random_matrix(37, n, 700 + n);
+    const auto g = linalg::gram(a);
+    const auto ref = linalg::matmul(a.transposed(), a);
+    ASSERT_EQ(g.rows(), n);
+    ASSERT_EQ(g.cols(), n);
+    for (std::size_t i = 0; i < g.data().size(); ++i) {
+      EXPECT_EQ(g.data()[i], ref.data()[i]);
+    }
+  }
+}
+
+TEST(Matrix, BlockedMatmulMatchesNaiveTripleLoop) {
+  // Sizes straddling the k-block boundary of the cache-blocked kernel.
+  for (std::size_t k : {1u, 63u, 64u, 65u, 200u}) {
+    const auto a = random_matrix(9, k, 900 + k);
+    const auto b = random_matrix(k, 7, 901 + k);
+    const auto c = linalg::matmul(a, b);
+    for (std::size_t i = 0; i < 9; ++i) {
+      for (std::size_t j = 0; j < 7; ++j) {
+        double sum = 0.0;
+        for (std::size_t kk = 0; kk < k; ++kk) sum += a(i, kk) * b(kk, j);
+        EXPECT_NEAR(c(i, j), sum, 1e-12 * (1.0 + std::fabs(sum)));
+      }
+    }
+  }
+}

@@ -224,3 +224,99 @@ INSTANTIATE_TEST_SUITE_P(Algorithms, ReconAlgos,
                          ::testing::Values(cs::ReconAlgorithm::Omp,
                                            cs::ReconAlgorithm::Iht,
                                            cs::ReconAlgorithm::Ista));
+
+// ---------------------------------------------------------------------------
+// Batch-OMP vs naive-OMP equivalence: the Gram-based fast path must select
+// the same atoms and produce the same coefficients/residual as the
+// residual-recorrelation reference oracle.
+
+#include "util/thread_pool.hpp"
+
+TEST(OmpBatch, MatchesNaiveOn50RandomProblems) {
+  Rng rng(4242);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto m = 20 + static_cast<std::size_t>(rng.below(80));
+    const auto k = m + 10 + static_cast<std::size_t>(rng.below(3 * m));
+    const auto nnz = 2 + static_cast<std::size_t>(rng.below(m / 5 + 1));
+    const auto dict = gaussian_dict(m, k, 1000 + static_cast<std::uint64_t>(trial));
+    const auto x0 = sparse_vector(k, nnz, 2000 + static_cast<std::uint64_t>(trial));
+    auto y = linalg::matvec(dict, x0);
+    if (trial % 2 == 1) {  // half the problems get measurement noise
+      for (auto& v : y) v += 0.02 * rng.gaussian();
+    }
+    cs::OmpOptions opts;
+    opts.max_atoms = 2 * nnz;
+    opts.residual_tol = (trial % 3 == 0) ? 1e-10 : 0.05;
+
+    opts.mode = cs::OmpMode::Naive;
+    const auto naive = cs::omp_solve(dict, y, opts);
+    opts.mode = cs::OmpMode::Batch;
+    const auto batch = cs::omp_solve(dict, y, opts);
+
+    ASSERT_EQ(batch.support, naive.support) << "trial " << trial;
+    EXPECT_EQ(batch.iterations, naive.iterations) << "trial " << trial;
+    const double scale = 1.0 + linalg::norm2(naive.coefficients);
+    for (std::size_t i = 0; i < k; ++i) {
+      EXPECT_NEAR(batch.coefficients[i], naive.coefficients[i], 1e-9 * scale)
+          << "trial " << trial << " atom " << i;
+    }
+    EXPECT_NEAR(batch.residual_norm, naive.residual_norm,
+                1e-9 * (1.0 + naive.residual_norm))
+        << "trial " << trial;
+  }
+}
+
+TEST(OmpBatch, GramIsOnlyBuiltInBatchMode) {
+  const auto dict = gaussian_dict(30, 90, 77);
+  const cs::OmpSolver batch(dict, {.mode = cs::OmpMode::Batch});
+  const cs::OmpSolver naive(dict, {.mode = cs::OmpMode::Naive});
+  EXPECT_EQ(batch.gram_matrix().rows(), 90u);
+  EXPECT_EQ(batch.gram_matrix().cols(), 90u);
+  EXPECT_EQ(naive.gram_matrix().rows(), 0u);
+}
+
+TEST(Reconstructor, BatchMatchesNaiveOnChargeSharingFrames) {
+  const std::size_t n = 384, m = 100;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 55);
+  const auto gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
+  cs::ReconstructorConfig cfg;
+  cfg.residual_tol = 0.02;
+  cfg.omp_mode = cs::OmpMode::Batch;
+  const cs::Reconstructor rec_batch(phi, gains, cfg);
+  cfg.omp_mode = cs::OmpMode::Naive;
+  const cs::Reconstructor rec_naive(phi, gains, cfg);
+  const auto w = cs::effective_entry_weights(phi, gains.a, gains.b);
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto x = bandlimited_frame(n, 60 + seed);
+    const auto y = phi.csr().apply(x, w);
+    const auto xb = rec_batch.reconstruct_frame(y);
+    const auto xn = rec_naive.reconstruct_frame(y);
+    double scale = 1.0;
+    for (double v : xn) scale = std::max(scale, std::fabs(v));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(xb[i], xn[i], 1e-9 * scale) << "frame " << seed;
+    }
+  }
+}
+
+TEST(Reconstructor, StreamWithThreadPoolIsBitwiseSerial) {
+  const std::size_t n = 128, m = 64, frames = 6;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 71);
+  const auto gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
+  cs::ReconstructorConfig cfg;
+  cfg.residual_tol = 0.02;
+  const cs::Reconstructor rec(phi, gains, cfg);
+  const auto w = cs::effective_entry_weights(phi, gains.a, gains.b);
+  linalg::Vector stream;
+  for (std::uint64_t f = 0; f < frames; ++f) {
+    const auto y = phi.csr().apply(bandlimited_frame(n, 80 + f), w);
+    stream.insert(stream.end(), y.begin(), y.end());
+  }
+  const auto serial = rec.reconstruct_stream(stream);
+  ThreadPool pool(2);
+  const auto pooled = rec.reconstruct_stream(stream, &pool);
+  ASSERT_EQ(pooled.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(pooled[i], serial[i]);
+  }
+}
