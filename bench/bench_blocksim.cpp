@@ -1,0 +1,326 @@
+// google-benchmark coverage of the vectorized block-sim hot path.
+//
+// Micro: bulk RNG fills (fill_gaussian in both modes, fill_uniform) against
+// the per-sample scalar loops they replaced.
+// Macro: whole-model runs/s of the Fig. 1a (baseline) and Fig. 1b (CS)
+// chains with the cached-schedule + arena fast path on vs. the legacy
+// rebuild-every-run path (set_fast_path(false)).
+//
+// Owns its main() so the obs sidecar captures real counters; writes the
+// BENCH_blocksim.json trajectory file at the working directory root,
+// including a seed-pinned golden checksum of the Box-Muller stream that CI
+// asserts against (bit-exactness canary).
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/chain.hpp"
+#include "eeg/generator.hpp"
+#include "obs/obs.hpp"
+#include "power/tech.hpp"
+#include "util/rng.hpp"
+
+using namespace efficsense;
+
+namespace {
+
+constexpr std::size_t kFillN = 4096;
+
+std::uint64_t fnv1a_doubles(const std::vector<double>& v) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (double d : v) {
+    const auto bits = std::bit_cast<std::uint64_t>(d);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return h;
+}
+
+/// One synthesized EEG segment shared by every macro benchmark.
+const sim::Waveform& bench_segment() {
+  static const sim::Waveform seg = [] {
+    eeg::Generator gen{eeg::GeneratorConfig{}};
+    return gen.normal(4242);
+  }();
+  return seg;
+}
+
+void chain_bench(benchmark::State& state, bool cs, bool fast_path) {
+  power::TechnologyParams tech;
+  power::DesignParams design;
+  std::unique_ptr<sim::Model> chain;
+  if (cs) {
+    design.cs_m = 75;
+    design.cs_c_hold_f = 1e-12;
+    chain = core::build_cs_chain(tech, design, {});
+  } else {
+    chain = core::build_baseline_chain(tech, design, {});
+  }
+  chain->set_fast_path(fast_path);
+  const sim::Waveform& seg = bench_segment();
+  for (auto _ : state) {
+    auto out = core::run_chain(*chain, seg);
+    benchmark::DoNotOptimize(out.samples.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Micro: RNG fills.
+
+static void BM_ScalarGaussian(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> buf(kFillN);
+  for (auto _ : state) {
+    for (auto& v : buf) v = rng.gaussian();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kFillN));
+}
+BENCHMARK(BM_ScalarGaussian);
+
+static void BM_FillGaussianBoxMuller(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> buf(kFillN);
+  for (auto _ : state) {
+    rng.fill_gaussian(buf.data(), buf.size(), GaussMode::BoxMuller);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kFillN));
+}
+BENCHMARK(BM_FillGaussianBoxMuller);
+
+static void BM_FillGaussianZiggurat(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> buf(kFillN);
+  for (auto _ : state) {
+    rng.fill_gaussian(buf.data(), buf.size(), GaussMode::Ziggurat);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kFillN));
+}
+BENCHMARK(BM_FillGaussianZiggurat);
+
+static void BM_ScalarUniform(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> buf(kFillN);
+  for (auto _ : state) {
+    for (auto& v : buf) v = rng.uniform();
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kFillN));
+}
+BENCHMARK(BM_ScalarUniform);
+
+static void BM_FillUniform(benchmark::State& state) {
+  Rng rng(2);
+  std::vector<double> buf(kFillN);
+  for (auto _ : state) {
+    rng.fill_uniform(buf.data(), buf.size());
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(kFillN));
+}
+BENCHMARK(BM_FillUniform);
+
+// ---------------------------------------------------------------------------
+// Macro: whole-chain runs/s, fast path vs legacy. The two paths differ by a
+// few percent of a multi-ms run, which sequential timing on a shared box
+// cannot resolve — so the comparison interleaves cached/uncached runs
+// pairwise and takes per-run medians.
+
+static void BM_BaselineChainCached(benchmark::State& state) {
+  chain_bench(state, /*cs=*/false, /*fast_path=*/true);
+}
+BENCHMARK(BM_BaselineChainCached)->Unit(benchmark::kMillisecond);
+
+static void BM_CsChainCached(benchmark::State& state) {
+  chain_bench(state, /*cs=*/true, /*fast_path=*/true);
+}
+BENCHMARK(BM_CsChainCached)->Unit(benchmark::kMillisecond);
+
+// ---------------------------------------------------------------------------
+// Reporting.
+
+namespace {
+
+class BlocksimReporter : public benchmark::ConsoleReporter {
+ public:
+  std::vector<std::pair<std::string, double>> timings;  // ns / iteration
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const auto& r : reports) {
+      if (r.run_type != Run::RT_Iteration || r.error_occurred) continue;
+      const double iters =
+          r.iterations > 0 ? static_cast<double>(r.iterations) : 1.0;
+      timings.emplace_back(r.benchmark_name(),
+                           r.real_accumulated_time / iters * 1e9);
+    }
+    ConsoleReporter::ReportRuns(reports);
+  }
+};
+
+double lookup_ns(const std::vector<std::pair<std::string, double>>& timings,
+                 const std::string& name) {
+  for (const auto& [n, ns] : timings) {
+    if (n == name) return ns;
+  }
+  return 0.0;
+}
+
+/// Median per-run seconds of the fast (cached schedule + arena) and legacy
+/// (rebuild-every-run) paths, measured pairwise interleaved so slow drift
+/// of the host machine cancels out of the comparison.
+struct ChainAb {
+  double cached_s = 0.0;
+  double uncached_s = 0.0;
+};
+
+ChainAb measure_chain_ab(bool cs, std::size_t pairs) {
+  using clock = std::chrono::steady_clock;
+  power::TechnologyParams tech;
+  power::DesignParams design;
+  std::unique_ptr<sim::Model> fast;
+  std::unique_ptr<sim::Model> slow;
+  if (cs) {
+    design.cs_m = 75;
+    design.cs_c_hold_f = 1e-12;
+    fast = core::build_cs_chain(tech, design, {});
+    slow = core::build_cs_chain(tech, design, {});
+  } else {
+    fast = core::build_baseline_chain(tech, design, {});
+    slow = core::build_baseline_chain(tech, design, {});
+  }
+  fast->set_fast_path(true);
+  slow->set_fast_path(false);
+  const sim::Waveform& seg = bench_segment();
+  for (std::size_t i = 0; i < 5; ++i) {  // warm-up
+    core::run_chain(*fast, seg);
+    core::run_chain(*slow, seg);
+  }
+  std::vector<double> cached(pairs), uncached(pairs);
+  for (std::size_t i = 0; i < pairs; ++i) {
+    const auto a = clock::now();
+    auto of = core::run_chain(*fast, seg);
+    const auto b = clock::now();
+    auto os = core::run_chain(*slow, seg);
+    const auto c = clock::now();
+    benchmark::DoNotOptimize(of.samples.data());
+    benchmark::DoNotOptimize(os.samples.data());
+    cached[i] = std::chrono::duration<double>(b - a).count();
+    uncached[i] = std::chrono::duration<double>(c - b).count();
+  }
+  const auto median = [](std::vector<double>& v) {
+    std::sort(v.begin(), v.end());
+    return v[v.size() / 2];
+  };
+  return {median(cached), median(uncached)};
+}
+
+std::string golden_gauss_checksum() {
+  Rng rng(12345);
+  std::vector<double> g(1000);
+  rng.fill_gaussian(g.data(), g.size(), GaussMode::BoxMuller);
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "0x%016llX",
+                static_cast<unsigned long long>(fnv1a_doubles(g)));
+  return buf;
+}
+
+void write_bench_blocksim_json(
+    const std::vector<std::pair<std::string, double>>& timings,
+    const ChainAb& baseline_ab, const ChainAb& cs_ab) {
+  std::ofstream out("BENCH_blocksim.json", std::ios::trunc);
+  if (!out) {
+    std::cerr << "[bench_blocksim] cannot write BENCH_blocksim.json\n";
+    return;
+  }
+  out.precision(6);
+  out << "{\n  \"bench\": \"bench_blocksim\",\n  \"kernels\": [\n";
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    out << "    {\"name\": \"" << obs::json_escape(timings[i].first)
+        << "\", \"ns_per_iter\": " << timings[i].second << "}"
+        << (i + 1 < timings.size() ? "," : "") << "\n";
+  }
+  const auto ratio = [&](const std::string& slow, const std::string& fast) {
+    const double f = lookup_ns(timings, fast);
+    return f > 0.0 ? lookup_ns(timings, slow) / f : 0.0;
+  };
+  const auto per_s = [](double s) { return s > 0.0 ? 1.0 / s : 0.0; };
+  out << "  ],\n  \"speedups\": {\n"
+      << "    \"fill_gaussian_boxmuller_vs_scalar\": "
+      << ratio("BM_ScalarGaussian", "BM_FillGaussianBoxMuller") << ",\n"
+      << "    \"fill_gaussian_ziggurat_vs_scalar\": "
+      << ratio("BM_ScalarGaussian", "BM_FillGaussianZiggurat") << ",\n"
+      << "    \"fill_uniform_vs_scalar\": "
+      << ratio("BM_ScalarUniform", "BM_FillUniform") << ",\n"
+      << "    \"baseline_chain_cached_vs_uncached\": "
+      << baseline_ab.uncached_s / baseline_ab.cached_s << ",\n"
+      << "    \"cs_chain_cached_vs_uncached\": "
+      << cs_ab.uncached_s / cs_ab.cached_s << "\n"
+      << "  },\n  \"model_runs_per_s\": {\n"
+      << "    \"baseline_cached\": " << per_s(baseline_ab.cached_s) << ",\n"
+      << "    \"baseline_uncached\": " << per_s(baseline_ab.uncached_s)
+      << ",\n"
+      << "    \"cs_cached\": " << per_s(cs_ab.cached_s) << ",\n"
+      << "    \"cs_uncached\": " << per_s(cs_ab.uncached_s) << "\n"
+      << "  },\n  \"golden\": {\"gauss_1000_seed12345_boxmuller\": \""
+      << golden_gauss_checksum() << "\"},\n"
+      << "  \"counters\": {\n"
+      << "    \"rng_bulk_fills\": " << Rng::bulk_fill_count() << ",\n"
+      << "    \"sim_schedule_cache_hits\": "
+      << obs::counter("sim/schedule_cache_hits").value() << ",\n"
+      << "    \"sim_schedule_cache_misses\": "
+      << obs::counter("sim/schedule_cache_misses").value() << "\n"
+      << "  }\n}\n";
+  std::cout << "[writing BENCH_blocksim.json]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  obs::BenchRun obs_run("bench_blocksim");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  BlocksimReporter reporter;
+  {
+    EFFICSENSE_SPAN("bench_blocksim/run");
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+  }
+  benchmark::Shutdown();
+
+  const auto baseline_ab = measure_chain_ab(/*cs=*/false, /*pairs=*/60);
+  const auto cs_ab = measure_chain_ab(/*cs=*/true, /*pairs=*/60);
+  std::cout << "interleaved A/B (median run, fast vs legacy path):\n"
+            << "  baseline chain: " << baseline_ab.cached_s * 1e3 << " ms vs "
+            << baseline_ab.uncached_s * 1e3 << " ms  ("
+            << baseline_ab.uncached_s / baseline_ab.cached_s << "x)\n"
+            << "  cs chain:       " << cs_ab.cached_s * 1e3 << " ms vs "
+            << cs_ab.uncached_s * 1e3 << " ms  ("
+            << cs_ab.uncached_s / cs_ab.cached_s << "x)\n";
+
+  obs_run.set_points(reporter.timings.size());
+  const double scalar = lookup_ns(reporter.timings, "BM_ScalarGaussian");
+  const double zig = lookup_ns(reporter.timings, "BM_FillGaussianZiggurat");
+  if (zig > 0.0) obs_run.add_field("fill_gaussian_ziggurat_vs_scalar", scalar / zig);
+  if (baseline_ab.cached_s > 0.0) {
+    obs_run.add_field("baseline_chain_cached_vs_uncached",
+                      baseline_ab.uncached_s / baseline_ab.cached_s);
+  }
+  write_bench_blocksim_json(reporter.timings, baseline_ab, cs_ab);
+  return 0;
+}

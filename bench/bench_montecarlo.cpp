@@ -169,6 +169,16 @@ int main() {
                "tighter constraint\nor noisier designs, that spread "
                "becomes yield loss.\n";
 
+  // Where did the time go? Dataset synthesis is timed explicitly above;
+  // the block-sim share is the sum of every Model::run() block execution
+  // (the time/block_run histogram), accumulated across synthesis warm-up,
+  // training and the Monte-Carlo loop.
+  const double block_sim_s = obs::histogram("time/block_run").sum();
+  std::cout << "\n[split: dataset synthesis " << format_number(dataset_s)
+            << " s, block sim " << format_number(block_sim_s)
+            << " s inside " << format_number(obs_run.elapsed_s())
+            << " s total]\n";
+
   // The checked-in sweep trajectory: end-to-end rate plus the kernel
   // instruments, so successive PRs can compare like for like.
   const double duration_s = obs_run.elapsed_s();
@@ -179,6 +189,7 @@ int main() {
         << "  \"segments\": " << n << ",\n  \"mc_runs\": " << runs << ",\n"
         << "  \"threads\": " << (pool ? pool->size() : 1) << ",\n"
         << "  \"dataset_s\": " << dataset_s << ",\n"
+        << "  \"block_sim_s\": " << block_sim_s << ",\n"
         << "  \"detector\": \"" << detector_provenance << "\",\n"
         << "  \"detector_train_s\": " << train_s << ",\n  \"candidates\": [\n";
     for (std::size_t i = 0; i < timings.size(); ++i) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "sim/arena.hpp"
 #include "util/error.hpp"
 
 namespace efficsense::blocks {
@@ -56,10 +57,25 @@ NoiseAdderBlock::NoiseAdderBlock(std::string name, double sigma,
 
 std::vector<sim::Waveform> NoiseAdderBlock::process(
     const std::vector<sim::Waveform>& in) {
-  sim::Waveform out = in.at(0);
+  sim::WaveformArena scratch;
+  return process(in, scratch);
+}
+
+std::vector<sim::Waveform> NoiseAdderBlock::process(
+    const std::vector<sim::Waveform>& in, sim::WaveformArena& arena) {
+  const sim::Waveform& x = in.at(0);
+  const std::size_t n = x.size();
+  sim::Waveform out = arena.acquire_waveform(x.fs, n);
   if (sigma_ > 0.0) {
     Rng rng(derive_seed(seed_, run_));
-    for (double& v : out.samples) v += rng.gaussian(0.0, sigma_);
+    std::vector<double> noise = arena.acquire(n);
+    rng.fill_gaussian(noise.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      out.samples[i] = x[i] + sigma_ * noise[i];
+    }
+    arena.release(std::move(noise));
+  } else {
+    std::copy(x.samples.begin(), x.samples.end(), out.samples.begin());
   }
   ++run_;
   return {std::move(out)};

@@ -40,6 +40,8 @@ class NoiseAdderBlock final : public sim::Block {
  public:
   NoiseAdderBlock(std::string name, double sigma, std::uint64_t seed);
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
+                                     sim::WaveformArena& arena) override;
   void reset() override;
 
  private:

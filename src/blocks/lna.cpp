@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "dsp/biquad.hpp"
+#include "sim/arena.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -30,6 +31,12 @@ LnaBlock::LnaBlock(std::string name, const power::TechnologyParams& tech,
 
 std::vector<sim::Waveform> LnaBlock::process(
     const std::vector<sim::Waveform>& in) {
+  sim::WaveformArena scratch;
+  return process(in, scratch);
+}
+
+std::vector<sim::Waveform> LnaBlock::process(
+    const std::vector<sim::Waveform>& in, sim::WaveformArena& arena) {
   const sim::Waveform& x = in.at(0);
   EFF_REQUIRE(!x.empty(), "LNA input is empty");
   EFF_REQUIRE(x.fs > 2.0 * design_.bw_lna_hz(),
@@ -45,19 +52,27 @@ std::vector<sim::Waveform> LnaBlock::process(
   Rng rng(derive_seed(seed_, run_));
   ++run_;
 
-  sim::Waveform out;
-  out.fs = x.fs;
-  out.samples.resize(x.size());
+  const std::size_t n = x.size();
+  sim::Waveform out = arena.acquire_waveform(x.fs, n);
+  std::vector<double> noise = arena.acquire(n);
+  rng.fill_gaussian(noise.data(), n);
 
   auto lpf = dsp::butterworth_lowpass(2, design_.bw_lna_hz(), x.fs);
   const double g = design_.lna_gain;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    double v = x[i] + rng.gaussian(0.0, sigma_sample);  // noise at the input
-    v *= g;                                             // gain
-    v = lpf.process(v);                                 // bandwidth limit
-    v = v - k3_ * v * v * v;                            // 3rd-order compression
-    out.samples[i] = std::clamp(v, -clip_level_, clip_level_);
+  // Same per-sample arithmetic as the scalar reference, staged over whole
+  // arrays: noise injection + gain, bandwidth limit, compression + clip.
+  for (std::size_t i = 0; i < n; ++i) {
+    out.samples[i] = (x[i] + sigma_sample * noise[i]) * g;
   }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.samples[i] = lpf.process(out.samples[i]);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = out.samples[i];
+    const double c = v - k3_ * v * v * v;  // 3rd-order compression
+    out.samples[i] = std::clamp(c, -clip_level_, clip_level_);
+  }
+  arena.release(std::move(noise));
   return {std::move(out)};
 }
 

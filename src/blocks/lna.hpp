@@ -21,6 +21,8 @@ class LnaBlock final : public sim::Block {
            double hd3_db = -60.0);
 
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
+                                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;

@@ -4,6 +4,7 @@
 
 #include "dsp/resample.hpp"
 #include "power/models.hpp"
+#include "sim/arena.hpp"
 #include "util/constants.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -35,6 +36,12 @@ double SampleHoldBlock::kt_c_noise_vrms() const {
 
 std::vector<sim::Waveform> SampleHoldBlock::process(
     const std::vector<sim::Waveform>& in) {
+  sim::WaveformArena scratch;
+  return process(in, scratch);
+}
+
+std::vector<sim::Waveform> SampleHoldBlock::process(
+    const std::vector<sim::Waveform>& in, sim::WaveformArena& arena) {
   const sim::Waveform& x = in.at(0);
   EFF_REQUIRE(!x.empty(), "S&H input is empty");
   const double f_sample = design_.f_sample_hz();
@@ -42,20 +49,34 @@ std::vector<sim::Waveform> SampleHoldBlock::process(
 
   const auto n_out =
       static_cast<std::size_t>(std::floor(x.duration_s() * f_sample));
-  auto times = dsp::uniform_times(n_out, f_sample);
+  std::vector<double> times = arena.acquire(n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    times[k] = static_cast<double>(k) / f_sample;
+  }
 
   Rng rng(derive_seed(seed_, run_));
   ++run_;
+  std::vector<double> noise = arena.acquire(n_out);
   if (jitter_s_ > 0.0) {
     // Aperture jitter: each sampling instant wanders by a Gaussian offset.
-    for (double& t : times) t += rng.gaussian(0.0, jitter_s_);
+    rng.fill_gaussian(noise.data(), n_out);
+    for (std::size_t k = 0; k < n_out; ++k) {
+      times[k] += jitter_s_ * noise[k];
+    }
   }
-  auto sampled = dsp::sample_at_times(x.samples, x.fs, times);
+  sim::Waveform out = arena.acquire_waveform(f_sample, n_out);
+  dsp::sample_at_times(x.samples, x.fs, times.data(), n_out,
+                       out.samples.data());
 
   const double sigma = kt_c_noise_vrms();
-  for (double& v : sampled) v += rng.gaussian(0.0, sigma);
+  rng.fill_gaussian(noise.data(), n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    out.samples[k] += sigma * noise[k];
+  }
+  arena.release(std::move(noise));
+  arena.release(std::move(times));
 
-  return {sim::Waveform(f_sample, std::move(sampled))};
+  return {std::move(out)};
 }
 
 void SampleHoldBlock::reset() { run_ = 0; }

@@ -18,6 +18,8 @@ class SampleHoldBlock final : public sim::Block {
                   double aperture_jitter_s = 0.0);
 
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
+                                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "power/models.hpp"
+#include "sim/arena.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -46,6 +47,12 @@ double SarAdcBlock::lsb() const {
 
 std::vector<sim::Waveform> SarAdcBlock::process(
     const std::vector<sim::Waveform>& in) {
+  sim::WaveformArena scratch;
+  return process(in, scratch);
+}
+
+std::vector<sim::Waveform> SarAdcBlock::process(
+    const std::vector<sim::Waveform>& in, sim::WaveformArena& arena) {
   const sim::Waveform& x = in.at(0);
   EFF_REQUIRE(!x.empty(), "ADC input is empty");
 
@@ -56,12 +63,18 @@ std::vector<sim::Waveform> SarAdcBlock::process(
   Rng rng(derive_seed(noise_seed_, run_));
   ++run_;
 
-  sim::Waveform out;
-  out.fs = x.fs;
-  out.samples.resize(x.size());
+  const std::size_t n_samples = x.size();
+  sim::Waveform out = arena.acquire_waveform(x.fs, n_samples);
   const double code_scale = 1.0 / std::pow(2.0, n);
 
-  for (std::size_t i = 0; i < x.size(); ++i) {
+  // One comparator-noise draw per bit decision, bulk-generated in the same
+  // order the scalar loop consumed them (sample-major, bit-minor).
+  const std::size_t n_draws = n_samples * static_cast<std::size_t>(n);
+  std::vector<double> noise = arena.acquire(n_draws);
+  rng.fill_gaussian(noise.data(), n_draws);
+
+  const double* draw = noise.data();
+  for (std::size_t i = 0; i < n_samples; ++i) {
     // Normalize the bipolar input to [0, 1]; saturate outside full scale.
     double v_norm = std::clamp((x[i] + v_fs / 2.0) / v_fs, 0.0, 1.0);
 
@@ -70,7 +83,7 @@ std::vector<sim::Waveform> SarAdcBlock::process(
     std::uint64_t code = 0;
     for (int b = 0; b < n; ++b) {
       const double trial = level + weights_[b];
-      const double decision = v_norm + rng.gaussian(0.0, sigma_cmp_norm);
+      const double decision = v_norm + sigma_cmp_norm * (*draw++);
       if (decision >= trial) {
         level = trial;
         code |= (1ULL << (n - 1 - b));
@@ -82,6 +95,7 @@ std::vector<sim::Waveform> SarAdcBlock::process(
         (static_cast<double>(code) + 0.5) * code_scale * v_fs - v_fs / 2.0;
     out.samples[i] = v_hat;
   }
+  arena.release(std::move(noise));
   return {std::move(out)};
 }
 

@@ -23,6 +23,8 @@ class SarAdcBlock final : public sim::Block {
               std::uint64_t noise_seed, bool include_sampling_network = false);
 
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
+                                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;

@@ -90,15 +90,21 @@ double sample_sinc8(const std::vector<double>& x, double idx) {
 std::vector<double> sample_at_times(const std::vector<double>& x, double fs,
                                     const std::vector<double>& times,
                                     Interp interp) {
+  std::vector<double> y(times.size());
+  sample_at_times(x, fs, times.data(), times.size(), y.data(), interp);
+  return y;
+}
+
+void sample_at_times(const std::vector<double>& x, double fs,
+                     const double* times, std::size_t n, double* out,
+                     Interp interp) {
   EFF_REQUIRE(!x.empty(), "sample_at_times on empty waveform");
   EFF_REQUIRE(fs > 0.0, "sample rate must be positive");
-  std::vector<double> y(times.size());
-  for (std::size_t i = 0; i < times.size(); ++i) {
+  for (std::size_t i = 0; i < n; ++i) {
     const double idx = times[i] * fs;
-    y[i] = (interp == Interp::Linear) ? sample_linear(x, idx)
-                                      : sample_sinc8(x, idx);
+    out[i] = (interp == Interp::Linear) ? sample_linear(x, idx)
+                                        : sample_sinc8(x, idx);
   }
-  return y;
 }
 
 }  // namespace efficsense::dsp

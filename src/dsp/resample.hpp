@@ -26,6 +26,12 @@ std::vector<double> sample_at_times(const std::vector<double>& x, double fs,
                                     const std::vector<double>& times,
                                     Interp interp = Interp::Linear);
 
+/// Allocation-free variant: writes one value per time into out[0..n).
+/// `out` may not alias `x`.
+void sample_at_times(const std::vector<double>& x, double fs,
+                     const double* times, std::size_t n, double* out,
+                     Interp interp = Interp::Linear);
+
 /// Uniform sample instants k / f_target for k in [0, n).
 std::vector<double> uniform_times(std::size_t n, double f_target);
 

@@ -29,13 +29,16 @@ std::vector<double> Generator::background(std::uint64_t seed,
   // noises (each contributes equal power per octave below its corner).
   const double corners[] = {2.0, 4.0, 8.0, 16.0, 32.0};
   std::vector<double> x(n, 0.0);
+  std::vector<double> noise(n);  // refilled per corner, same draw order as
+                                 // the per-sample loop (corner-major)
   for (double fc : corners) {
     const double a = std::exp(-2.0 * std::numbers::pi * fc / config_.fs_hz);
     double state = 0.0;
     // Per-branch gain keeps the per-octave contribution flat.
     const double g = 1.0 / std::sqrt(fc);
+    rng.fill_gaussian(noise.data(), n);
     for (std::size_t i = 0; i < n; ++i) {
-      state = a * state + (1.0 - a) * rng.gaussian();
+      state = a * state + (1.0 - a) * noise[i];
       x[i] += g * state;
     }
   }

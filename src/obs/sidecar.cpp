@@ -9,6 +9,7 @@
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/rng.hpp"
 
 namespace efficsense::obs {
 
@@ -68,6 +69,11 @@ double BenchRun::elapsed_s() const {
 }
 
 std::string BenchRun::to_json() const {
+  // util cannot depend on obs (obs links util), so Rng keeps its own bulk
+  // fill tally; mirror it into the registry before snapshotting.
+  Counter& bulk = Registry::instance().counter("rng/bulk_fills");
+  const std::uint64_t fills = Rng::bulk_fill_count();
+  if (fills > bulk.value()) bulk.inc(fills - bulk.value());
   const auto snap = Registry::instance().snapshot();
   const double duration = elapsed_s();
 

@@ -1,0 +1,44 @@
+#include "sim/arena.hpp"
+
+namespace efficsense::sim {
+
+std::vector<double> WaveformArena::acquire(std::size_t n) {
+  if (pool_.empty()) {
+    ++fresh_allocs_;
+    return std::vector<double>(n);
+  }
+  // Best candidate: smallest capacity that already fits n; otherwise the
+  // largest buffer (its one growth reallocation then sticks for good).
+  std::size_t best = 0;
+  bool best_fits = pool_[0].capacity() >= n;
+  for (std::size_t i = 1; i < pool_.size(); ++i) {
+    const std::size_t cap = pool_[i].capacity();
+    if (best_fits) {
+      if (cap >= n && cap < pool_[best].capacity()) best = i;
+    } else if (cap >= n || cap > pool_[best].capacity()) {
+      best = i;
+      best_fits = cap >= n;
+    }
+  }
+  std::vector<double> buf = std::move(pool_[best]);
+  pool_[best] = std::move(pool_.back());
+  pool_.pop_back();
+  ++reuses_;
+  buf.resize(n);
+  return buf;
+}
+
+void WaveformArena::release(std::vector<double>&& buf) {
+  if (buf.capacity() == 0) return;
+  pool_.push_back(std::move(buf));
+}
+
+std::size_t WaveformArena::pooled_capacity() const {
+  std::size_t total = 0;
+  for (const auto& b : pool_) total += b.capacity();
+  return total;
+}
+
+void WaveformArena::clear() { pool_.clear(); }
+
+}  // namespace efficsense::sim

@@ -15,6 +15,8 @@
 
 namespace efficsense::sim {
 
+class WaveformArena;
+
 class Block {
  public:
   Block(std::string name, std::size_t num_inputs, std::size_t num_outputs);
@@ -30,6 +32,17 @@ class Block {
   /// Functional model: consume one waveform per input port, produce one per
   /// output port. Called once per simulation run.
   virtual std::vector<Waveform> process(const std::vector<Waveform>& inputs) = 0;
+
+  /// Arena-aware variant used by Model::run(): output (and scratch) buffers
+  /// may be acquired from `arena`, whose storage is recycled between runs.
+  /// Blocks without a vectorized hot loop fall through to plain process();
+  /// hot blocks override both, with the plain overload delegating to this
+  /// one through a throwaway arena.
+  virtual std::vector<Waveform> process(const std::vector<Waveform>& inputs,
+                                        WaveformArena& arena) {
+    (void)arena;
+    return process(inputs);
+  }
 
   /// Clear internal state (filters, noise streams resume their sequence).
   virtual void reset() {}

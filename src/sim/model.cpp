@@ -8,10 +8,12 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/csv.hpp"
-
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace efficsense::sim {
+
+Model::Model() : fast_path_(env_bool("EFFICSENSE_SIM_HOT", true)) {}
 
 BlockId Model::add(BlockPtr block) {
   EFF_REQUIRE(block != nullptr, "cannot add a null block");
@@ -20,6 +22,7 @@ BlockId Model::add(BlockPtr block) {
   const BlockId id = blocks_.size();
   by_name_[block->name()] = id;
   blocks_.push_back(std::move(block));
+  plan_valid_ = false;
   return id;
 }
 
@@ -61,6 +64,7 @@ void Model::connect(BlockId src, std::size_t src_port, BlockId dst,
   const PortRef out{src, src_port};
   input_driver_[in] = out;
   fanout_[out].push_back(in);
+  plan_valid_ = false;
 }
 
 void Model::connect(const std::string& src, const std::string& dst) {
@@ -113,12 +117,71 @@ std::vector<BlockId> Model::topological_order() const {
   return order;
 }
 
+void Model::ensure_plan() {
+  if (plan_valid_) {
+    obs::counter("sim/schedule_cache_hits").inc();
+    return;
+  }
+  obs::counter("sim/schedule_cache_misses").inc();
+
+  const auto order = topological_order();
+
+  // Dense output-slot layout in (block id, port) order: stable under
+  // add(), so probe() of earlier blocks survives a rebuild.
+  slot_of_block_.resize(blocks_.size());
+  num_slots_ = 0;
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    slot_of_block_[id] = num_slots_;
+    num_slots_ += blocks_[id]->num_outputs();
+  }
+
+  plan_.clear();
+  plan_.reserve(order.size());
+  for (const BlockId id : order) {
+    StepPlan step;
+    step.id = id;
+    const Block& b = *blocks_[id];
+    step.input_slots.reserve(b.num_inputs());
+    for (std::size_t p = 0; p < b.num_inputs(); ++p) {
+      const PortRef src = input_driver_.at(PortRef{id, p});
+      step.input_slots.push_back(slot_of_block_[src.block] + src.port);
+    }
+    step.first_output_slot = slot_of_block_[id];
+    step.time_hist_name = "time/block/" + b.name();
+    plan_.push_back(std::move(step));
+  }
+
+  model_output_slots_.clear();
+  for (std::size_t id = 0; id < blocks_.size(); ++id) {
+    for (std::size_t p = 0; p < blocks_[id]->num_outputs(); ++p) {
+      if (fanout_.count(PortRef{id, p}) == 0) {
+        model_output_slots_.push_back(slot_of_block_[id] + p);
+      }
+    }
+  }
+
+  input_scratch_.resize(plan_.size());
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    input_scratch_[i].resize(blocks_[plan_[i].id]->num_inputs());
+  }
+  if (slot_outputs_.size() < num_slots_) slot_outputs_.resize(num_slots_);
+
+  plan_valid_ = true;
+}
+
 std::vector<Waveform> Model::run() {
   using clock = std::chrono::steady_clock;
   EFFICSENSE_SPAN("sim/run");
   const auto run_start = clock::now();
-  last_outputs_.clear();
-  const auto order = topological_order();
+  if (!fast_path_) {
+    // Legacy cost profile: re-plan the graph and reallocate every buffer.
+    plan_valid_ = false;
+    arena_.clear();
+    input_scratch_.clear();
+    slot_outputs_.clear();
+    slots_written_ = 0;
+  }
+  ensure_plan();
   if (run_stats_.blocks.size() != blocks_.size()) {
     run_stats_.blocks.resize(blocks_.size());
     for (std::size_t id = 0; id < blocks_.size(); ++id) {
@@ -126,42 +189,52 @@ std::vector<Waveform> Model::run() {
     }
   }
 
-  for (const BlockId id : order) {
-    Block& b = *blocks_[id];
-    std::vector<Waveform> inputs;
-    inputs.reserve(b.num_inputs());
-    for (std::size_t p = 0; p < b.num_inputs(); ++p) {
-      const PortRef src = input_driver_.at(PortRef{id, p});
-      inputs.push_back(last_outputs_.at(src));
+  // Recycle last run's buffers; blocks re-acquire them below.
+  for (auto& w : slot_outputs_) {
+    arena_.release(std::move(w.samples));
+    w.samples.clear();
+    w.fs = 0.0;
+  }
+  slots_written_ = 0;
+
+  obs::Histogram& block_run_hist = obs::histogram("time/block_run");
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const StepPlan& step = plan_[i];
+    Block& b = *blocks_[step.id];
+    // Copy inputs into persistent per-step scratch: capacity is retained,
+    // so the steady state is one memcpy per edge and no allocation.
+    std::vector<Waveform>& inputs = input_scratch_[i];
+    for (std::size_t p = 0; p < step.input_slots.size(); ++p) {
+      const Waveform& src = slot_outputs_[step.input_slots[p]];
+      inputs[p].fs = src.fs;
+      inputs[p].samples.assign(src.samples.begin(), src.samples.end());
     }
     obs::Span span("block/", b.name());
     const auto block_start = clock::now();
-    auto outputs = b.process(inputs);
+    auto outputs = b.process(inputs, arena_);
     const double seconds =
         std::chrono::duration<double>(clock::now() - block_start).count();
     EFF_REQUIRE(outputs.size() == b.num_outputs(),
                 "block " + b.name() + " produced wrong number of outputs");
-    auto& bs = run_stats_.blocks[id];
+    auto& bs = run_stats_.blocks[step.id];
     bs.runs += 1;
     bs.seconds += seconds;
-    obs::histogram("time/block/" + b.name()).observe(seconds);
+    obs::histogram(step.time_hist_name).observe(seconds);
+    block_run_hist.observe(seconds);
     for (std::size_t p = 0; p < outputs.size(); ++p) {
       bs.samples_out += outputs[p].samples.size();
-      last_outputs_[PortRef{id, p}] = std::move(outputs[p]);
+      slot_outputs_[step.first_output_slot + p] = std::move(outputs[p]);
     }
   }
+  slots_written_ = num_slots_;
   run_stats_.runs += 1;
   run_stats_.total_seconds +=
       std::chrono::duration<double>(clock::now() - run_start).count();
 
   std::vector<Waveform> model_outputs;
-  for (std::size_t id = 0; id < blocks_.size(); ++id) {
-    for (std::size_t p = 0; p < blocks_[id]->num_outputs(); ++p) {
-      const PortRef out{id, p};
-      if (fanout_.count(out) == 0) {
-        model_outputs.push_back(last_outputs_.at(out));
-      }
-    }
+  model_outputs.reserve(model_output_slots_.size());
+  for (const std::size_t slot : model_output_slots_) {
+    model_outputs.push_back(slot_outputs_[slot]);
   }
   return model_outputs;
 }
@@ -169,15 +242,23 @@ std::vector<Waveform> Model::run() {
 const Waveform& Model::probe(const std::string& block_name,
                              std::size_t port) const {
   const BlockId id = id_of(block_name);
-  auto it = last_outputs_.find(PortRef{id, port});
-  EFF_REQUIRE(it != last_outputs_.end(),
+  EFF_REQUIRE(port < blocks_[id]->num_outputs(),
+              "probe port out of range on " + block_name);
+  const bool recorded = id < slot_of_block_.size() &&
+                        slot_of_block_[id] + port < slots_written_;
+  EFF_REQUIRE(recorded,
               "no recorded output for " + block_name + " (run the model first)");
-  return it->second;
+  return slot_outputs_[slot_of_block_[id] + port];
 }
 
 void Model::reset() {
   for (auto& b : blocks_) b->reset();
-  last_outputs_.clear();
+  for (auto& w : slot_outputs_) {
+    arena_.release(std::move(w.samples));
+    w.samples.clear();
+    w.fs = 0.0;
+  }
+  slots_written_ = 0;
 }
 
 void Model::reset_run_stats() { run_stats_ = RunStats{}; }

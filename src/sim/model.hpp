@@ -2,14 +2,21 @@
 // The model graph: blocks wired port-to-port, scheduled topologically and
 // executed once per run. Unconnected output ports become the model outputs
 // (scopes); blocks without inputs are sources.
+//
+// Monte-Carlo hot path: the topological schedule and the port-routing
+// table are computed once and cached (invalidated by add()/connect()), and
+// every block's output buffer is recycled through a WaveformArena, so
+// repeated run() calls pay zero graph overhead and no steady-state heap
+// allocation. EFFICSENSE_SIM_HOT=0 (or set_fast_path(false)) restores the
+// legacy rebuild-every-run behaviour for A/B benchmarking.
 
 #include <cstddef>
-#include <string>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "sim/arena.hpp"
 #include "sim/block.hpp"
 #include "sim/report.hpp"
 #include "sim/waveform.hpp"
@@ -50,6 +57,8 @@ struct PortRef {
 
 class Model {
  public:
+  Model();
+
   /// Takes ownership; block names must be unique within the model.
   BlockId add(BlockPtr block);
 
@@ -89,7 +98,7 @@ class Model {
   /// (tap / scope support, also for connected ports).
   const Waveform& probe(const std::string& block_name, std::size_t port = 0) const;
 
-  /// Reset all block state (does not clear wiring).
+  /// Reset all block state (does not clear wiring or the cached schedule).
   void reset();
 
   /// Aggregate analytic power / area of all blocks.
@@ -101,17 +110,53 @@ class Model {
   const RunStats& run_stats() const { return run_stats_; }
   void reset_run_stats();
 
+  /// Toggle the cached-schedule + arena hot path (default: on, or the
+  /// EFFICSENSE_SIM_HOT env var). Off re-plans the graph and reallocates
+  /// every buffer on each run — the pre-optimization cost profile, kept
+  /// for A/B benchmarking.
+  void set_fast_path(bool enabled) { fast_path_ = enabled; }
+  bool fast_path() const { return fast_path_; }
+
+  /// The arena backing this model's waveform buffers (introspection).
+  const WaveformArena& arena() const { return arena_; }
+
   /// Graphviz DOT rendering of the block diagram (nodes annotated with the
   /// analytic power), for documentation and debugging.
   std::string to_dot() const;
 
  private:
+  /// One scheduled block execution: where its inputs come from and where
+  /// its outputs go, resolved to dense slot indices.
+  struct StepPlan {
+    BlockId id = 0;
+    std::vector<std::size_t> input_slots;  ///< driver slot per input port
+    std::size_t first_output_slot = 0;
+    std::string time_hist_name;            ///< "time/block/<name>"
+  };
+
+  /// Rebuild the schedule/routing cache if wiring changed since last run.
+  void ensure_plan();
+
   std::vector<BlockPtr> blocks_;
   std::map<std::string, BlockId> by_name_;
   std::map<PortRef, PortRef> input_driver_;           // dst input -> src output
   std::map<PortRef, std::vector<PortRef>> fanout_;    // src output -> dst inputs
-  std::map<PortRef, Waveform> last_outputs_;          // populated by run()
   RunStats run_stats_;
+
+  // Cached execution plan; invalidated by add()/connect().
+  bool plan_valid_ = false;
+  std::vector<StepPlan> plan_;
+  std::vector<std::size_t> slot_of_block_;   // block id -> first output slot
+  std::vector<std::size_t> model_output_slots_;  // unconnected outputs
+  std::size_t num_slots_ = 0;
+
+  // Waveform storage, recycled run-to-run.
+  WaveformArena arena_;
+  std::vector<Waveform> slot_outputs_;       // by slot; previous run's values
+  std::vector<std::vector<Waveform>> input_scratch_;  // per plan step
+  std::size_t slots_written_ = 0;            // slots valid for probe()
+
+  bool fast_path_ = true;
 
   std::vector<BlockId> topological_order() const;
 };

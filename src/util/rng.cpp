@@ -1,8 +1,10 @@
 #include "util/rng.hpp"
 
+#include <atomic>
 #include <cmath>
 #include <numbers>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace efficsense {
@@ -21,10 +23,59 @@ std::uint64_t derive_seed(std::uint64_t parent, std::uint64_t stream) {
 }
 
 namespace {
+
 inline std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
+
+std::atomic<std::uint64_t> g_bulk_fills{0};
+
+/// Marsaglia-Tsang ziggurat tables for the standard normal, 128 layers.
+/// The value lattice is 2^52 wide: one uint64 draw supplies the layer
+/// index (low 7 bits), the sign and the 52-bit magnitude.
+struct ZigguratTables {
+  static constexpr double kR = 3.442619855899;      // base-layer x
+  static constexpr double kInvR = 1.0 / kR;
+  static constexpr double kM = 4503599627370496.0;  // 2^52
+  std::uint64_t k[128];
+  double w[128];
+  double f[128];
+
+  ZigguratTables() {
+    const double vn = 9.91256303526217e-3;  // area of each layer
+    double dn = kR, tn = kR;
+    const double q = vn / std::exp(-0.5 * dn * dn);
+    k[0] = static_cast<std::uint64_t>((dn / q) * kM);
+    k[1] = 0;
+    w[0] = q / kM;
+    w[127] = dn / kM;
+    f[0] = 1.0;
+    f[127] = std::exp(-0.5 * dn * dn);
+    for (int i = 126; i >= 1; --i) {
+      dn = std::sqrt(-2.0 * std::log(vn / dn + std::exp(-0.5 * dn * dn)));
+      k[i + 1] = static_cast<std::uint64_t>((dn / tn) * kM);
+      tn = dn;
+      f[i] = std::exp(-0.5 * dn * dn);
+      w[i] = dn / kM;
+    }
+  }
+};
+
+const ZigguratTables& ziggurat_tables() {
+  static const ZigguratTables tables;
+  return tables;
+}
+
 }  // namespace
+
+GaussMode global_gauss_mode() {
+  static const GaussMode mode = [] {
+    const std::string v = env_string("EFFICSENSE_GAUSS", "box_muller");
+    if (v == "zig" || v == "ziggurat") return GaussMode::Ziggurat;
+    return GaussMode::BoxMuller;
+  }();
+  return mode;
+}
 
 Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t state = seed;
@@ -82,6 +133,124 @@ double Rng::gaussian(double mean, double stddev) {
 
 bool Rng::chance(double p) { return uniform() < p; }
 
+void Rng::fill_uniform(double* out, std::size_t n) {
+  g_bulk_fills.fetch_add(1, std::memory_order_relaxed);
+  // Keep the xoshiro state updates and the scaling in one tight loop; the
+  // draw order is exactly n uniform() calls.
+  std::uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t result = rotl(s0 + s3, 23) + s0;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+    out[i] = static_cast<double>(result >> 11) * 0x1.0p-53;
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
+void Rng::fill_gaussian(double* out, std::size_t n) {
+  fill_gaussian(out, n, global_gauss_mode());
+}
+
+void Rng::fill_gaussian(double* out, std::size_t n, GaussMode mode) {
+  g_bulk_fills.fetch_add(1, std::memory_order_relaxed);
+  if (mode == GaussMode::Ziggurat) {
+    fill_gaussian_ziggurat(out, n);
+  } else {
+    fill_gaussian_box_muller(out, n);
+  }
+}
+
+void Rng::fill_gaussian_box_muller(double* out, std::size_t n) {
+  std::size_t i = 0;
+  if (has_cached_gauss_ && i < n) {
+    has_cached_gauss_ = false;
+    out[i++] = cached_gauss_;
+  }
+  // Generate full Box-Muller pairs directly into the output; the per-call
+  // cache branch of scalar gaussian() disappears but every floating-point
+  // operation and draw stays in the scalar order, so the stream is
+  // bit-identical.
+  while (i + 2 <= n) {
+    double u1 = 0.0;
+    while (u1 == 0.0) u1 = uniform();
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * std::numbers::pi * u2;
+    out[i++] = r * std::cos(theta);
+    out[i++] = r * std::sin(theta);
+  }
+  // Odd tail: the scalar path would cache the sine variate; do the same.
+  if (i < n) out[i] = gaussian();
+}
+
+void Rng::fill_gaussian_ziggurat(double* out, std::size_t n) {
+  const ZigguratTables& z = ziggurat_tables();
+  std::uint64_t s0 = s_[0], s1 = s_[1], s2 = s_[2], s3 = s_[3];
+  const auto next = [&]() {
+    const std::uint64_t result = rotl(s0 + s3, 23) + s0;
+    const std::uint64_t t = s1 << 17;
+    s2 ^= s0;
+    s3 ^= s1;
+    s1 ^= s2;
+    s0 ^= s3;
+    s2 ^= t;
+    s3 = rotl(s3, 45);
+    return result;
+  };
+  const auto uni = [&]() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    double value;
+    for (;;) {
+      const std::uint64_t u = next();
+      const std::size_t idx = u & 127;
+      // Signed 53-bit lattice point: magnitude in [0, 2^52), sign bit 63.
+      const std::int64_t h =
+          static_cast<std::int64_t>(u >> 11) - (std::int64_t{1} << 52);
+      const std::uint64_t mag =
+          static_cast<std::uint64_t>(h < 0 ? -h : h);
+      const double x = static_cast<double>(h) * z.w[idx];
+      if (mag < z.k[idx]) {  // inside the layer core: ~98 % of draws
+        value = x;
+        break;
+      }
+      if (idx == 0) {  // base layer: sample the tail beyond R
+        double xt, yt;
+        do {
+          double u1 = 0.0;
+          while (u1 == 0.0) u1 = uni();
+          xt = -std::log(u1) * ZigguratTables::kInvR;
+          double u2 = 0.0;
+          while (u2 == 0.0) u2 = uni();
+          yt = -std::log(u2);
+        } while (yt + yt < xt * xt);
+        value = h > 0 ? ZigguratTables::kR + xt : -(ZigguratTables::kR + xt);
+        break;
+      }
+      // Wedge: accept against the true density.
+      if (z.f[idx] + uni() * (z.f[idx - 1] - z.f[idx]) <
+          std::exp(-0.5 * x * x)) {
+        value = x;
+        break;
+      }
+    }
+    out[i] = value;
+  }
+  s_[0] = s0;
+  s_[1] = s1;
+  s_[2] = s2;
+  s_[3] = s3;
+}
+
 void Rng::shuffle(std::vector<std::size_t>& v) {
   for (std::size_t i = v.size(); i > 1; --i) {
     const std::size_t j = static_cast<std::size_t>(below(i));
@@ -90,7 +259,16 @@ void Rng::shuffle(std::vector<std::size_t>& v) {
 }
 
 Rng Rng::split(std::uint64_t stream) const {
-  return Rng(derive_seed(seed_, stream));
+  Rng child(derive_seed(seed_, stream));
+  // Defensive: a child stream must never observe the parent's cached
+  // Box-Muller second variate, however this method evolves.
+  child.has_cached_gauss_ = false;
+  child.cached_gauss_ = 0.0;
+  return child;
+}
+
+std::uint64_t Rng::bulk_fill_count() {
+  return g_bulk_fills.load(std::memory_order_relaxed);
 }
 
 }  // namespace efficsense

@@ -292,7 +292,6 @@ TEST(MonteCarloStats, HandComputed) {
 // reconstructor (and thus one Gram build).
 
 #include "core/recon_cache.hpp"
-#include "obs/metrics.hpp"
 
 TEST(ReconstructorCache, SharedAcrossMismatchAndNoiseSeeds) {
   auto& cache = ReconstructorCache::instance();
