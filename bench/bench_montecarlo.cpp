@@ -9,22 +9,32 @@
 // deterministic, so warm runs skip it; EFFICSENSE_BENCH_CACHE=0 disables),
 // and the run drops a BENCH_sweep.json trajectory file with points/s and
 // the reconstruction-kernel instruments next to the console table.
+//
+// The candidate loop is journal-backed (run::JournalWriter): each finished
+// candidate appends one checksummed record to BENCH_montecarlo.journal.jsonl
+// (path override: EFFICSENSE_MC_JOURNAL), so a killed bench resumes where it
+// stopped instead of redoing 2/3 of the Monte-Carlo work. A journal written
+// under different runs/segments/seeds is refused and restarted fresh.
 
 #include "obs/obs.hpp"
 
 #include <chrono>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 
 #include "classify/detector.hpp"
 #include "core/monte_carlo.hpp"
 #include "eeg/dataset.hpp"
 #include "results_common.hpp"
+#include "run/journal.hpp"
 #include "util/cache.hpp"
 #include "util/csv.hpp"
 #include "util/env.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -66,6 +76,32 @@ classify::EpilepsyDetector trained_detector(const eeg::Generator& gen,
     *provenance = "cache-off";
   }
   return detector;
+}
+
+/// Per-candidate Monte-Carlo summary, round-trippable through the journal.
+struct CandidateStats {
+  double acc_mean = 0.0, acc_sigma = 0.0, acc_min = 0.0;
+  double snr_mean = 0.0, snr_sigma = 0.0;
+  double yield = 0.0;
+  double mc_s = 0.0;
+};
+
+std::string stats_to_payload(const CandidateStats& s) {
+  std::ostringstream os;
+  os.precision(17);
+  os << s.acc_mean << ',' << s.acc_sigma << ',' << s.acc_min << ','
+     << s.snr_mean << ',' << s.snr_sigma << ',' << s.yield << ',' << s.mc_s;
+  return os.str();
+}
+
+CandidateStats stats_from_payload(const std::string& payload) {
+  std::istringstream is(payload);
+  CandidateStats s;
+  char comma = 0;
+  is >> s.acc_mean >> comma >> s.acc_sigma >> comma >> s.acc_min >> comma >>
+      s.snr_mean >> comma >> s.snr_sigma >> comma >> s.yield >> comma >> s.mc_s;
+  if (is.fail()) throw Error("bench_montecarlo: malformed journal payload");
+  return s;
 }
 
 }  // namespace
@@ -139,6 +175,54 @@ int main() {
     candidates.push_back({"CS, aggressively small caps (50 fF)", cs_small});
   }
 
+  // Journal the candidate loop: the header digest pins everything that
+  // shapes the Monte-Carlo numbers, so stale journals (different runs,
+  // segment count, seed or candidate set) restart fresh instead of mixing.
+  const std::string journal_path = [] {
+    const char* p = std::getenv("EFFICSENSE_MC_JOURNAL");
+    return std::string(p && *p ? p : "BENCH_montecarlo.journal.jsonl");
+  }();
+  run::JournalHeader header;
+  {
+    std::ostringstream cfg;
+    cfg.precision(17);
+    cfg << "bench_montecarlo/v1;eval=" << evaluator.config_digest()
+        << ";runs=" << runs << ";mc_seed=" << mc.seed
+        << ";min_acc=" << mc.min_accuracy << ";segments=" << n;
+    header.config_digest = fnv1a(cfg.str());
+    std::string keys;
+    for (const auto& c : candidates) keys += c.design.cache_key() + "\n";
+    header.space_digest = fnv1a(keys);
+    header.total_points = candidates.size();
+  }
+
+  std::vector<std::optional<CandidateStats>> adopted(candidates.size());
+  std::optional<run::JournalWriter> writer;
+  if (const auto journal = run::read_journal(journal_path);
+      journal && journal->header.compatible_with(header)) {
+    for (const auto& rec : journal->records) {
+      if (rec.index >= candidates.size() || rec.status != run::PointStatus::Ok)
+        continue;
+      if (rec.point_hash != fnv1a(candidates[rec.index].design.cache_key()))
+        continue;
+      if (!adopted[rec.index]) {
+        adopted[rec.index] = stats_from_payload(rec.payload);
+        obs::counter("run/points_resumed").inc();
+      }
+    }
+    writer.emplace(run::JournalWriter::resume(journal_path,
+                                              journal->valid_bytes));
+    std::cout << "[journal: resumed, "
+              << obs::counter("run/points_resumed").value()
+              << " candidate(s) adopted from " << journal_path << "]\n";
+  } else {
+    if (journal) {
+      std::cout << "[journal: configuration changed, restarting "
+                << journal_path << "]\n";
+    }
+    writer.emplace(run::JournalWriter::create(journal_path, header));
+  }
+
   struct CandidateTiming {
     const char* name;
     double seconds;
@@ -148,15 +232,29 @@ int main() {
 
   TablePrinter t({"design", "acc mean [%]", "acc sigma [%]", "acc min [%]",
                   "SNR mean [dB]", "SNR sigma", "yield [%]"});
-  for (const auto& c : candidates) {
-    const auto t_mc = std::chrono::steady_clock::now();
-    const auto r = monte_carlo(evaluator, c.design, mc);
-    timings.push_back({c.name, seconds_since(t_mc), r.yield});
-    t.add_row({c.name, format_number(100.0 * r.accuracy.mean),
-               format_number(100.0 * r.accuracy.stddev),
-               format_number(100.0 * r.accuracy.min),
-               format_number(r.snr_db.mean), format_number(r.snr_db.stddev),
-               format_number(100.0 * r.yield)});
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    const auto& c = candidates[i];
+    CandidateStats s;
+    if (adopted[i]) {
+      s = *adopted[i];
+    } else {
+      const auto t_mc = std::chrono::steady_clock::now();
+      const auto r = monte_carlo(evaluator, c.design, mc);
+      s = {r.accuracy.mean, r.accuracy.stddev, r.accuracy.min,
+           r.snr_db.mean,   r.snr_db.stddev,  r.yield,
+           seconds_since(t_mc)};
+      obs::counter("run/points_evaluated").inc();
+      run::JournalRecord rec;
+      rec.index = i;
+      rec.point_hash = fnv1a(c.design.cache_key());
+      rec.payload = stats_to_payload(s);
+      writer->append(rec);
+    }
+    timings.push_back({c.name, s.mc_s, s.yield});
+    t.add_row({c.name, format_number(100.0 * s.acc_mean),
+               format_number(100.0 * s.acc_sigma),
+               format_number(100.0 * s.acc_min), format_number(s.snr_mean),
+               format_number(s.snr_sigma), format_number(100.0 * s.yield)});
   }
   t.print(std::cout);
 

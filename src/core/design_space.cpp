@@ -1,12 +1,26 @@
 #include "core/design_space.hpp"
 
 #include <cmath>
+#include <cstring>
 #include <sstream>
 
+#include "util/cache.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
 
 namespace efficsense::core {
+
+namespace {
+
+void append_raw_double(std::string& bytes, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes.push_back(static_cast<char>((bits >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
 
 DesignSpace& DesignSpace::add_axis(std::string name,
                                    std::vector<double> values) {
@@ -22,6 +36,17 @@ std::size_t DesignSpace::size() const {
   std::size_t n = 1;
   for (const auto& [_, values] : axes_) n *= values.size();
   return n;
+}
+
+std::uint64_t DesignSpace::digest() const {
+  std::string bytes;
+  for (const auto& [name, values] : axes_) {
+    bytes += name;
+    bytes.push_back('=');
+    for (double v : values) append_raw_double(bytes, v);
+    bytes.push_back(';');
+  }
+  return fnv1a(bytes);
 }
 
 PointValues DesignSpace::point(std::size_t index) const {
@@ -75,6 +100,17 @@ power::DesignParams apply_point(power::DesignParams base,
                                 const PointValues& values) {
   for (const auto& [name, value] : values) apply_axis(base, name, value);
   return base;
+}
+
+std::uint64_t hash_point(const PointValues& values) {
+  std::string bytes;
+  for (const auto& [name, value] : values) {
+    bytes += name;
+    bytes.push_back('=');
+    append_raw_double(bytes, value);
+    bytes.push_back(';');
+  }
+  return fnv1a(bytes);
 }
 
 std::string point_to_string(const PointValues& values) {

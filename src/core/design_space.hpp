@@ -3,6 +3,7 @@
 // values, enumerated as a cartesian grid. Axis names map onto DesignParams
 // fields via apply_axis(), so a sweep definition is data, not code.
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <vector>
@@ -29,6 +30,12 @@ class DesignSpace {
     return axes_;
   }
 
+  /// Stable 64-bit digest of the whole grid: FNV-1a over axis names and the
+  /// raw IEEE-754 bits of every candidate value, in declaration order. Two
+  /// spaces digest equal iff they enumerate the same points in the same
+  /// order, so the digest keys sweep journals.
+  std::uint64_t digest() const;
+
  private:
   std::vector<std::pair<std::string, std::vector<double>>> axes_;
 };
@@ -47,5 +54,11 @@ power::DesignParams apply_point(power::DesignParams base,
 
 /// Compact "name=value;..." rendering for logs and cache keys.
 std::string point_to_string(const PointValues& values);
+
+/// Stable 64-bit hash of one design point: FNV-1a over the (name, raw
+/// IEEE-754 value bits) pairs in the map's (sorted) order. Full-precision —
+/// unlike point_to_string, which rounds through format_number — so two
+/// points hash equal iff their coordinates are bit-identical.
+std::uint64_t hash_point(const PointValues& values);
 
 }  // namespace efficsense::core

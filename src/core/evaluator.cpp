@@ -3,14 +3,35 @@
 #include <chrono>
 #include <cmath>
 
+#include <cstring>
+
 #include "core/recon_cache.hpp"
 #include "dsp/metrics.hpp"
 #include "dsp/resample.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/cache.hpp"
 #include "util/error.hpp"
 
 namespace efficsense::core {
+
+namespace {
+
+void append_bits(std::string& bytes, double v) {
+  std::uint64_t b = 0;
+  std::memcpy(&b, &v, sizeof b);
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes.push_back(static_cast<char>((b >> shift) & 0xFF));
+  }
+}
+
+void append_u64(std::string& bytes, std::uint64_t b) {
+  for (int shift = 0; shift < 64; shift += 8) {
+    bytes.push_back(static_cast<char>((b >> shift) & 0xFF));
+  }
+}
+
+}  // namespace
 
 Evaluator::Evaluator(power::TechnologyParams tech, const eeg::Dataset* dataset,
                      const classify::EpilepsyDetector* detector,
@@ -19,6 +40,50 @@ Evaluator::Evaluator(power::TechnologyParams tech, const eeg::Dataset* dataset,
   EFF_REQUIRE(dataset_ != nullptr && !dataset_->segments.empty(),
               "evaluator needs a non-empty dataset");
   EFF_REQUIRE(detector_ != nullptr, "evaluator needs a trained detector");
+}
+
+std::uint64_t Evaluator::config_digest() const {
+  std::string bytes = "eval-digest-v1;";
+  // Technology constants.
+  append_bits(bytes, tech_.c_logic_f);
+  append_bits(bytes, tech_.gm_over_id);
+  append_bits(bytes, tech_.cap_density_f_um2);
+  append_bits(bytes, tech_.c_u_min_f);
+  append_bits(bytes, tech_.i_leak_a);
+  append_bits(bytes, tech_.e_bit_j);
+  append_bits(bytes, tech_.v_thermal);
+  append_bits(bytes, tech_.nef);
+  append_bits(bytes, tech_.k_match_1f);
+  append_bits(bytes, tech_.temperature_k);
+  // Reconstruction configuration.
+  const auto& rc = options_.recon;
+  bytes.push_back(static_cast<char>(rc.algorithm));
+  bytes.push_back(static_cast<char>(rc.basis));
+  append_u64(bytes, rc.sparsity);
+  append_bits(bytes, rc.residual_tol);
+  append_u64(bytes, rc.max_iters);
+  append_u64(bytes, rc.basis_atoms);
+  bytes.push_back(rc.compensate_decay ? 1 : 0);
+  bytes.push_back(static_cast<char>(rc.omp_mode));
+  // Chain seeds and segment cap.
+  append_u64(bytes, options_.seeds.mismatch);
+  append_u64(bytes, options_.seeds.noise);
+  append_u64(bytes, options_.seeds.phi);
+  append_u64(bytes, options_.max_segments);
+  // Dataset identity: cheap but sensitive — per-segment seed, label,
+  // sample rate, length and the raw bits of the boundary samples.
+  append_u64(bytes, dataset_->segments.size());
+  for (const auto& seg : dataset_->segments) {
+    append_u64(bytes, seg.seed);
+    bytes.push_back(seg.label == eeg::SegmentClass::Seizure ? 1 : 0);
+    append_bits(bytes, seg.waveform.fs);
+    append_u64(bytes, seg.waveform.samples.size());
+    if (!seg.waveform.samples.empty()) {
+      append_bits(bytes, seg.waveform.samples.front());
+      append_bits(bytes, seg.waveform.samples.back());
+    }
+  }
+  return fnv1a(bytes);
 }
 
 Evaluator::SegmentOutcome Evaluator::process_segment(

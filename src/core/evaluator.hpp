@@ -61,6 +61,14 @@ class Evaluator {
 
   const power::TechnologyParams& tech() const { return tech_; }
   const EvalOptions& options() const { return options_; }
+
+  /// Stable 64-bit digest of everything that determines evaluate()'s output
+  /// besides the design point itself: technology constants, reconstruction
+  /// config, chain seeds, the segment cap and the dataset's identity
+  /// (per-segment seeds, labels, lengths and boundary samples). The run
+  /// journal stores it so a resume against a different configuration is
+  /// refused instead of silently mixing results.
+  std::uint64_t config_digest() const;
   /// Replace the chain seeds (Monte-Carlo fabrication sweeps).
   void set_seeds(const ChainSeeds& seeds) { options_.seeds = seeds; }
   /// Optional pool for fanning per-window reconstructions out (non-owning).

@@ -149,19 +149,43 @@ PointValues parse_point(const std::string& text) {
   return out;
 }
 
-std::string sweep_to_csv(const std::vector<SweepResult>& results) {
+std::string sweep_result_to_row(const SweepResult& r) {
   std::ostringstream os;
   os.precision(17);
+  os << point_to_string(r.point) << "," << r.metrics.snr_db << ","
+     << r.metrics.accuracy << "," << r.metrics.power_w << ","
+     << r.metrics.area_unit_caps << "," << r.metrics.segments_evaluated << ","
+     << breakdown_to_string(r.metrics.power_breakdown.entries()) << ","
+     << breakdown_to_string(r.metrics.area_breakdown.entries());
+  return os.str();
+}
+
+SweepResult parse_sweep_row(const std::string& row,
+                            const power::DesignParams& base) {
+  const auto cells = split_csv_line(row);
+  EFF_REQUIRE(cells.size() == 8, "malformed sweep CSV row");
+  SweepResult r;
+  r.point = parse_point(cells[0]);
+  r.design = apply_point(base, r.point);
+  r.metrics.snr_db = std::stod(cells[1]);
+  r.metrics.accuracy = std::stod(cells[2]);
+  r.metrics.power_w = std::stod(cells[3]);
+  r.metrics.area_unit_caps = std::stod(cells[4]);
+  r.metrics.segments_evaluated = static_cast<std::size_t>(std::stoul(cells[5]));
+  for (const auto& [name, w] : breakdown_from_string(cells[6])) {
+    r.metrics.power_breakdown.add(name, w);
+  }
+  for (const auto& [name, a] : breakdown_from_string(cells[7])) {
+    r.metrics.area_breakdown.add(name, a);
+  }
+  return r;
+}
+
+std::string sweep_to_csv(const std::vector<SweepResult>& results) {
+  std::ostringstream os;
   os << "point,snr_db,accuracy,power_w,area_unit_caps,segments,"
         "power_breakdown,area_breakdown\n";
-  for (const auto& r : results) {
-    os << point_to_string(r.point) << "," << r.metrics.snr_db << ","
-       << r.metrics.accuracy << "," << r.metrics.power_w << ","
-       << r.metrics.area_unit_caps << "," << r.metrics.segments_evaluated
-       << "," << breakdown_to_string(r.metrics.power_breakdown.entries())
-       << "," << breakdown_to_string(r.metrics.area_breakdown.entries())
-       << "\n";
-  }
+  for (const auto& r : results) os << sweep_result_to_row(r) << "\n";
   return os.str();
 }
 
@@ -181,24 +205,7 @@ std::vector<SweepResult> sweep_from_csv(const std::string& csv,
     // trouble); one bad row should not discard the whole sweep. Skip it,
     // warn, and let the caller decide whether the row count is acceptable.
     try {
-      const auto cells = split_csv_line(line);
-      EFF_REQUIRE(cells.size() == 8, "malformed sweep CSV row");
-      SweepResult r;
-      r.point = parse_point(cells[0]);
-      r.design = apply_point(base, r.point);
-      r.metrics.snr_db = std::stod(cells[1]);
-      r.metrics.accuracy = std::stod(cells[2]);
-      r.metrics.power_w = std::stod(cells[3]);
-      r.metrics.area_unit_caps = std::stod(cells[4]);
-      r.metrics.segments_evaluated =
-          static_cast<std::size_t>(std::stoul(cells[5]));
-      for (const auto& [name, w] : breakdown_from_string(cells[6])) {
-        r.metrics.power_breakdown.add(name, w);
-      }
-      for (const auto& [name, a] : breakdown_from_string(cells[7])) {
-        r.metrics.area_breakdown.add(name, a);
-      }
-      out.push_back(std::move(r));
+      out.push_back(parse_sweep_row(line, base));
     } catch (const std::exception& e) {
       ++skipped;
       EFFICSENSE_LOG_WARN("skipping malformed sweep CSV row",

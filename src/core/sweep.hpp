@@ -38,6 +38,17 @@ class Sweeper {
   const Evaluator* evaluator_;
 };
 
+/// One result as a single CSV row (no header, no newline), 17-digit
+/// precision so doubles round-trip bit-exactly. This row is also the unit
+/// the run journal checkpoints: parse_sweep_row(sweep_result_to_row(r))
+/// re-serializes to the identical bytes.
+std::string sweep_result_to_row(const SweepResult& r);
+
+/// Inverse of sweep_result_to_row; throws on a malformed row. `base`
+/// reconstructs the full DesignParams from the row's point overrides.
+SweepResult parse_sweep_row(const std::string& row,
+                            const power::DesignParams& base);
+
 /// CSV round-trip for caching. The CSV stores the point overrides and all
 /// metrics (including the power/area breakdowns); `base` reconstructs the
 /// full DesignParams on load.

@@ -98,6 +98,16 @@ Registry::Snapshot Registry::snapshot() const {
   return s;
 }
 
+std::vector<std::pair<std::string, std::uint64_t>>
+Registry::counters_with_prefix(const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  std::lock_guard lock(mutex_);
+  for (const auto& [name, c] : counters_) {
+    if (name.rfind(prefix, 0) == 0) out.emplace_back(name, c->value());
+  }
+  return out;
+}
+
 std::string Registry::to_string() const {
   const Snapshot s = snapshot();
   std::ostringstream os;

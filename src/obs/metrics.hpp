@@ -103,6 +103,11 @@ class Registry {
   /// Name-sorted copy of every instrument's current value.
   Snapshot snapshot() const;
 
+  /// Name-sorted (name, value) of every counter whose name starts with
+  /// `prefix` (e.g. "run/" for the durable-sweep instruments).
+  std::vector<std::pair<std::string, std::uint64_t>> counters_with_prefix(
+      const std::string& prefix) const;
+
   /// Human-readable dump of the snapshot (one instrument per line).
   std::string to_string() const;
 

@@ -51,6 +51,39 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+std::string json_unescape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '\\' || i + 1 >= s.size()) {
+      out += s[i];
+      continue;
+    }
+    const char next = s[++i];
+    switch (next) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'u':
+        if (i + 4 < s.size()) {
+          const unsigned code =
+              static_cast<unsigned>(std::stoul(s.substr(i + 1, 4), nullptr, 16));
+          out += static_cast<char>(code & 0xFF);
+          i += 4;
+        } else {
+          out += "\\u";
+        }
+        break;
+      default:
+        out += '\\';
+        out += next;
+    }
+  }
+  return out;
+}
+
 BenchRun::BenchRun(std::string name)
     : name_(std::move(name)),
       path_("results/" + name_ + "_obs.json"),

@@ -49,4 +49,8 @@ class BenchRun {
 /// Escape a string for embedding in a JSON string literal.
 std::string json_escape(const std::string& s);
 
+/// Inverse of json_escape for the escapes it emits (\" \\ \n \r \t \uXXXX
+/// with XXXX < 0x100). Unknown escapes are passed through verbatim.
+std::string json_unescape(const std::string& s);
+
 }  // namespace efficsense::obs

@@ -1,0 +1,273 @@
+#include "run/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sidecar.hpp"
+#include "util/cache.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace efficsense::run {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// Seal `payload` (a JSON object missing its closing brace) with the crc
+/// field: crc is FNV-1a64 over every byte before `,"crc"`.
+std::string seal(const std::string& payload) {
+  return payload + ",\"crc\":\"" + hex16(fnv1a(payload)) + "\"}";
+}
+
+/// Verify a sealed line; returns the payload (without the crc suffix) or
+/// nullopt when the crc is missing or does not match.
+std::optional<std::string> unseal(const std::string& line) {
+  const auto pos = line.rfind(",\"crc\":\"");
+  if (pos == std::string::npos) return std::nullopt;
+  const std::string payload = line.substr(0, pos);
+  const std::string expected = ",\"crc\":\"" + hex16(fnv1a(payload)) + "\"}";
+  if (line.compare(pos, std::string::npos, expected) != 0) return std::nullopt;
+  return payload;
+}
+
+/// Extract the value of `"key":"..."` (string field) from a journal line.
+std::optional<std::string> string_field(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  std::size_t i = start + needle.size();
+  std::string raw;
+  while (i < line.size()) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      raw += line[i];
+      raw += line[i + 1];
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"') return obs::json_unescape(raw);
+    raw += line[i++];
+  }
+  return std::nullopt;
+}
+
+/// Extract the value of `"key":123` (unsigned integer field).
+std::optional<std::uint64_t> int_field(const std::string& line,
+                                       const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  std::size_t i = start + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
+  std::uint64_t v = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  return v;
+}
+
+std::optional<std::uint64_t> hex_field(const std::string& line,
+                                       const std::string& key) {
+  const auto s = string_field(line, key);
+  if (!s || s->empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(*s, &used, 16);
+    if (used != s->size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<JournalHeader> parse_header(const std::string& line) {
+  const auto payload = unseal(line);
+  if (!payload) return std::nullopt;
+  if (string_field(*payload, "type").value_or("") != "header") {
+    return std::nullopt;
+  }
+  JournalHeader h;
+  const auto version = int_field(*payload, "version");
+  const auto digest = hex_field(*payload, "digest");
+  const auto space = hex_field(*payload, "space");
+  const auto total = int_field(*payload, "total");
+  const auto shard = string_field(*payload, "shard");
+  if (!version || !digest || !space || !total || !shard) return std::nullopt;
+  h.version = static_cast<std::uint32_t>(*version);
+  h.config_digest = *digest;
+  h.space_digest = *space;
+  h.total_points = *total;
+  try {
+    h.shard = parse_shard(*shard);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+  return h;
+}
+
+std::optional<JournalRecord> parse_record(const std::string& line) {
+  const auto payload = unseal(line);
+  if (!payload) return std::nullopt;
+  if (string_field(*payload, "type").value_or("") != "point") {
+    return std::nullopt;
+  }
+  JournalRecord r;
+  const auto index = int_field(*payload, "index");
+  const auto hash = hex_field(*payload, "hash");
+  const auto status = string_field(*payload, "status");
+  const auto attempts = int_field(*payload, "attempts");
+  if (!index || !hash || !status || !attempts) return std::nullopt;
+  r.index = *index;
+  r.point_hash = *hash;
+  r.attempts = static_cast<std::uint32_t>(*attempts);
+  std::optional<std::string> body;
+  if (*status == "ok") {
+    r.status = PointStatus::Ok;
+    body = string_field(*payload, "row");
+  } else if (*status == "quarantined") {
+    r.status = PointStatus::Quarantined;
+    body = string_field(*payload, "error");
+  } else {
+    return std::nullopt;
+  }
+  if (!body) return std::nullopt;
+  r.payload = *body;
+  return r;
+}
+
+}  // namespace
+
+std::string Shard::to_string() const {
+  return std::to_string(index) + "/" + std::to_string(count);
+}
+
+Shard parse_shard(const std::string& spec) {
+  const auto slash = spec.find('/');
+  EFF_REQUIRE(slash != std::string::npos && slash > 0 &&
+                  slash + 1 < spec.size(),
+              "malformed shard spec (want i/N): " + spec);
+  Shard s;
+  try {
+    std::size_t used_i = 0, used_n = 0;
+    const std::string left = spec.substr(0, slash);
+    const std::string right = spec.substr(slash + 1);
+    s.index = static_cast<std::uint32_t>(std::stoul(left, &used_i));
+    s.count = static_cast<std::uint32_t>(std::stoul(right, &used_n));
+    EFF_REQUIRE(used_i == left.size() && used_n == right.size(),
+                "malformed shard spec (want i/N): " + spec);
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("malformed shard spec (want i/N): " + spec);
+  }
+  EFF_REQUIRE(s.count >= 1, "shard count must be >= 1: " + spec);
+  EFF_REQUIRE(s.index < s.count, "shard index out of range: " + spec);
+  return s;
+}
+
+Shard shard_from_env() {
+  const std::string spec = env_string("EFFICSENSE_SHARD", "");
+  if (spec.empty()) return Shard{};
+  return parse_shard(spec);
+}
+
+bool JournalHeader::compatible_with(const JournalHeader& other) const {
+  return version == other.version && config_digest == other.config_digest &&
+         space_digest == other.space_digest &&
+         total_points == other.total_points;
+}
+
+std::string header_to_line(const JournalHeader& h) {
+  std::ostringstream os;
+  os << "{\"type\":\"header\",\"version\":" << h.version << ",\"digest\":\""
+     << hex16(h.config_digest) << "\",\"space\":\"" << hex16(h.space_digest)
+     << "\",\"total\":" << h.total_points << ",\"shard\":\""
+     << h.shard.to_string() << "\"";
+  return seal(os.str());
+}
+
+std::string record_to_line(const JournalRecord& r) {
+  std::ostringstream os;
+  os << "{\"type\":\"point\",\"index\":" << r.index << ",\"hash\":\""
+     << hex16(r.point_hash) << "\",\"status\":\""
+     << (r.status == PointStatus::Ok ? "ok" : "quarantined")
+     << "\",\"attempts\":" << r.attempts << ",\""
+     << (r.status == PointStatus::Ok ? "row" : "error") << "\":\""
+     << obs::json_escape(r.payload) << "\"";
+  return seal(os.str());
+}
+
+std::optional<JournalContents> read_journal(const std::string& path) {
+  const auto blob = read_file(path);
+  if (!blob || blob->empty()) return std::nullopt;
+
+  // Split manually so valid_bytes (incl. the '\n') is exact.
+  std::vector<std::pair<std::string, std::uint64_t>> lines;  // text, end offset
+  std::size_t start = 0;
+  while (start < blob->size()) {
+    auto nl = blob->find('\n', start);
+    const bool terminated = nl != std::string::npos;
+    if (!terminated) nl = blob->size();
+    lines.emplace_back(blob->substr(start, nl - start),
+                       terminated ? nl + 1 : nl);
+    start = nl + 1;
+  }
+  if (lines.empty()) return std::nullopt;
+
+  const auto header = parse_header(lines.front().first);
+  if (!header) {
+    EFFICSENSE_LOG_WARN("journal header unreadable; ignoring journal",
+                        {{"path", path}});
+    return std::nullopt;
+  }
+
+  JournalContents out;
+  out.header = *header;
+  out.valid_bytes = lines.front().second;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    const auto rec = parse_record(lines[i].first);
+    if (!rec) {
+      // First bad line: everything from here is a truncated/corrupt tail.
+      // The points it may have covered re-evaluate deterministically.
+      out.dropped_lines = lines.size() - i;
+      obs::counter("run/journal_lines_dropped").inc(out.dropped_lines);
+      EFFICSENSE_LOG_WARN(
+          "journal has a corrupt tail; dropping it",
+          {{"path", path},
+           {"valid_records", obs::logv(out.records.size())},
+           {"dropped_lines", obs::logv(out.dropped_lines)}});
+      break;
+    }
+    out.records.push_back(*rec);
+    out.valid_bytes = lines[i].second;
+  }
+  return out;
+}
+
+JournalWriter JournalWriter::create(const std::string& path,
+                                    const JournalHeader& h) {
+  std::error_code ec;
+  fs::remove(path, ec);
+  JournalWriter w{AppendFile(path)};
+  w.file_.append_line(header_to_line(h));
+  return w;
+}
+
+JournalWriter JournalWriter::resume(const std::string& path,
+                                    std::uint64_t valid_bytes) {
+  truncate_file(path, valid_bytes);
+  return JournalWriter{AppendFile(path)};
+}
+
+}  // namespace efficsense::run

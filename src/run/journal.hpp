@@ -1,0 +1,104 @@
+#pragma once
+// The sweep journal: an append-only, per-record-checksummed JSONL file that
+// makes a Study sweep durable. One header line pins the configuration
+// (evaluator digest, space digest, point count, shard) and every finished
+// design point appends one fsync'd record, so a SIGKILL at point 4990 of
+// 5000 loses at most the in-flight point. On restart the reader validates
+// records line by line, drops a truncated/corrupt tail, and refuses to
+// resume a journal written under a different configuration digest.
+//
+// Line format (strict subset of JSON, one object per line):
+//   {"type":"header","version":1,"digest":"...","space":"...","total":24,
+//    "shard":"0/3","crc":"f00d..."}
+//   {"type":"point","index":7,"hash":"beef...","status":"ok","attempts":1,
+//    "row":"<escaped sweep CSV row>","crc":"..."}
+// The crc field is FNV-1a64 over every byte of the line before `,"crc"`,
+// rendered as 16 lower-case hex digits, and always the last field.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/atomic_io.hpp"
+
+namespace efficsense::run {
+
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+struct Shard {
+  std::uint32_t index = 0;
+  std::uint32_t count = 1;
+
+  bool whole() const { return count <= 1; }
+  /// Round-robin ownership over the point enumeration.
+  bool owns(std::uint64_t point_index) const {
+    return whole() || point_index % count == index;
+  }
+  std::string to_string() const;
+};
+
+/// Parse "i/N" (e.g. "0/3"); throws Error on malformed specs or i >= N.
+Shard parse_shard(const std::string& spec);
+/// Shard from EFFICSENSE_SHARD, {0,1} when unset/empty.
+Shard shard_from_env();
+
+struct JournalHeader {
+  std::uint32_t version = kJournalVersion;
+  std::uint64_t config_digest = 0;  ///< evaluator + base-design digest
+  std::uint64_t space_digest = 0;   ///< DesignSpace::digest()
+  std::uint64_t total_points = 0;   ///< full (unsharded) grid size
+  Shard shard;
+
+  /// Everything but the shard must match to resume or merge.
+  bool compatible_with(const JournalHeader& other) const;
+};
+
+enum class PointStatus { Ok, Quarantined };
+
+struct JournalRecord {
+  std::uint64_t index = 0;       ///< point index in enumeration order
+  std::uint64_t point_hash = 0;  ///< core::hash_point of the coordinates
+  PointStatus status = PointStatus::Ok;
+  std::uint32_t attempts = 1;
+  /// Ok: the sweep CSV row (core::sweep_result_to_row). Quarantined: the
+  /// final error message.
+  std::string payload;
+};
+
+std::string header_to_line(const JournalHeader& h);
+std::string record_to_line(const JournalRecord& r);
+
+struct JournalContents {
+  JournalHeader header;
+  std::vector<JournalRecord> records;  ///< valid records, file order
+  std::uint64_t valid_bytes = 0;       ///< offset just past the last valid line
+  std::uint64_t dropped_lines = 0;     ///< corrupt/truncated tail lines dropped
+};
+
+/// Read and validate a journal. Returns nullopt when the file is missing,
+/// empty, or its header line is unreadable (treated as "no journal").
+/// Validation stops at the first bad line: everything from there on counts
+/// as a truncated tail and is reported via dropped_lines, with valid_bytes
+/// marking where a writer should truncate before appending.
+std::optional<JournalContents> read_journal(const std::string& path);
+
+/// Append-side handle; every append is fsync'd (see util::AppendFile).
+class JournalWriter {
+ public:
+  /// Start a fresh journal at `path` (replacing any existing file) and
+  /// write the header record.
+  static JournalWriter create(const std::string& path, const JournalHeader& h);
+  /// Re-open an existing journal for append after truncating it to
+  /// `valid_bytes` (as reported by read_journal), dropping a corrupt tail.
+  static JournalWriter resume(const std::string& path,
+                              std::uint64_t valid_bytes);
+
+  void append(const JournalRecord& r) { file_.append_line(record_to_line(r)); }
+
+ private:
+  explicit JournalWriter(AppendFile file) : file_(std::move(file)) {}
+  AppendFile file_;
+};
+
+}  // namespace efficsense::run

@@ -1,0 +1,112 @@
+#include "util/atomic_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace efficsense {
+
+namespace {
+
+void create_parent_dirs(const std::string& path) {
+  const auto parent = fs::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    fs::create_directories(parent, ec);
+  }
+}
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw Error(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+AppendFile::AppendFile(const std::string& path) : path_(path) {
+  create_parent_dirs(path);
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd_ < 0) throw_errno("cannot open append file", path);
+}
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+AppendFile::~AppendFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void AppendFile::append_line(const std::string& line) {
+  EFF_REQUIRE(fd_ >= 0, "append file is closed: " + path_);
+  std::string buf = line;
+  buf.push_back('\n');
+  const char* p = buf.data();
+  std::size_t left = buf.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("short write to", path_);
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) throw_errno("fsync failed on", path_);
+}
+
+void truncate_file(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    throw_errno("cannot truncate", path);
+  }
+}
+
+void atomic_write_file(const std::string& path, const std::string& content) {
+  create_parent_dirs(path);
+  const std::string tmp = path + ".tmp";
+  {
+    const int fd =
+        ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+    if (fd < 0) throw_errno("cannot open temp file", tmp);
+    const char* p = content.data();
+    std::size_t left = content.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_errno("short write to", tmp);
+      }
+      p += n;
+      left -= static_cast<std::size_t>(n);
+    }
+    const bool synced = ::fsync(fd) == 0;
+    ::close(fd);
+    if (!synced) throw_errno("fsync failed on", tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw Error("cannot rename " + tmp + " over " + path + ": " + ec.message());
+  }
+}
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream blob;
+  blob << in.rdbuf();
+  return blob.str();
+}
+
+}  // namespace efficsense

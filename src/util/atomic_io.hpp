@@ -1,0 +1,52 @@
+#pragma once
+// Durable file primitives for the run journal: an append-only file whose
+// writes hit the platter (fsync) before the caller proceeds, plus an
+// atomic whole-file writer (tmp + fsync + rename) shared with the file
+// cache. A sweep checkpointed through these survives SIGKILL at any
+// instant with at most the in-flight record lost.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace efficsense {
+
+/// Append-only handle. Every append_line() writes `line` + '\n' and then
+/// fsyncs, so a record is either fully on disk or not present at all
+/// (a torn final line is possible on power loss; the journal reader's
+/// per-record checksum catches it).
+class AppendFile {
+ public:
+  /// Opens (creating if missing) for append; parent directories are
+  /// created. Throws Error when the file cannot be opened.
+  explicit AppendFile(const std::string& path);
+  ~AppendFile();
+
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&&) = delete;
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Append `line` + '\n', then fsync. Throws Error on a short write.
+  void append_line(const std::string& line);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Shrink `path` to exactly `size` bytes (drop a corrupt journal tail).
+/// Throws Error on failure; no-op when the file is already that size.
+void truncate_file(const std::string& path, std::uint64_t size);
+
+/// Whole-file atomic replace: write to `path`.tmp, fsync, rename over
+/// `path`. Readers never observe a partial file. Parent directories are
+/// created. Throws Error on failure.
+void atomic_write_file(const std::string& path, const std::string& content);
+
+/// Read the whole file as bytes; nullopt when it does not exist.
+std::optional<std::string> read_file(const std::string& path);
+
+}  // namespace efficsense

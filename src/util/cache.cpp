@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/atomic_io.hpp"
+
 namespace fs = std::filesystem;
 
 namespace efficsense {
@@ -36,16 +38,11 @@ std::optional<std::string> FileCache::load(const std::string& key) const {
 }
 
 void FileCache::store(const std::string& key, const std::string& blob) const {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  const std::string final_path = path_for(key);
-  const std::string tmp_path = final_path + ".tmp";
-  {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    out << blob;
+  try {
+    atomic_write_file(path_for(key), blob);
+  } catch (const std::exception&) {
+    // best effort; cache is advisory
   }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) fs::remove(tmp_path, ec);  // best effort; cache is advisory
 }
 
 void FileCache::erase(const std::string& key) const {

@@ -1,0 +1,218 @@
+// run_sweep — the durable sweep driver the CI harness kills, resumes,
+// shards and merges. It evaluates a small fixed design space (baseline and
+// passive-CS chains) through run::DurableSweeper, journaling every point,
+// and prints machine-checkable lines:
+//
+//   points_resumed=... points_evaluated=... points_retried=... points_quarantined=...
+//   RESULT_DIGEST=<fnv1a64 of the result CSV>
+//
+// Modes:
+//   run_sweep --journal results/ci/sweep.jsonl [--out sweep.csv]
+//             [--timeout <s>] [--point-delay-ms <n>]
+//   run_sweep --merge merged.jsonl --inputs s0.jsonl s1.jsonl s2.jsonl
+//             [--out merged.csv]
+//
+// Sharding comes from EFFICSENSE_SHARD=i/N; dataset scale from
+// EFFICSENSE_SEGMENTS (default 2) and worker threads from
+// EFFICSENSE_THREADS, exactly as in the Study sweeps. A 3-shard run merged
+// with --merge is bitwise-identical (same RESULT_DIGEST, same CSV bytes)
+// to an unsharded run — CI asserts exactly that.
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "classify/detector.hpp"
+#include "core/design_space.hpp"
+#include "core/evaluator.hpp"
+#include "core/sweep.hpp"
+#include "eeg/dataset.hpp"
+#include "obs/obs.hpp"
+#include "run/durable.hpp"
+#include "util/cache.hpp"
+#include "util/env.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace efficsense;
+using namespace efficsense::core;
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: run_sweep --journal <path> [--out <csv>] [--timeout <s>]\n"
+         "                 [--point-delay-ms <n>]\n"
+         "       run_sweep --merge <out.jsonl> --inputs <j1> <j2> ...\n"
+         "                 [--out <csv>]\n";
+}
+
+/// The fixed CI space: both chain families, 12 points.
+DesignSpace ci_space() {
+  DesignSpace space;
+  space.add_axis("lna_noise_vrms", {2e-6, 6e-6, 20e-6})
+      .add_axis("adc_bits", {6, 8})
+      .add_axis("cs_m", {0, 75});  // 0 = baseline chain, 75 = passive CS
+  return space;
+}
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+void report(const run::RunOutcome& outcome, const std::string& csv,
+            const std::string& out_csv) {
+  std::cout << "points_resumed=" << outcome.points_resumed
+            << " points_evaluated=" << outcome.points_evaluated
+            << " points_retried=" << outcome.points_retried
+            << " points_quarantined=" << outcome.quarantined.size() << "\n";
+  for (const auto& [name, value] :
+       obs::Registry::instance().counters_with_prefix("run/")) {
+    std::cout << "counter " << name << "=" << value << "\n";
+  }
+  std::cout << "RESULT_POINTS=" << outcome.results.size() << "\n";
+  std::cout << "RESULT_DIGEST=" << hex16(fnv1a(csv)) << "\n";
+  if (!out_csv.empty()) {
+    std::ofstream out(out_csv, std::ios::trunc | std::ios::binary);
+    out << csv;
+    std::cout << "[wrote " << out_csv << "]\n";
+  }
+}
+
+/// Train (or load from the repo file cache) the small CI detector.
+classify::EpilepsyDetector ci_detector(const eeg::Generator& gen,
+                                       ThreadPool* pool) {
+  classify::DetectorConfig cfg;
+  power::DesignParams probe;
+  cfg.fs_hz = probe.f_sample_hz();
+  std::ostringstream key;
+  key.precision(17);
+  key << "run_sweep/detector/v1;train=6x6@" << derive_seed(2022, 0xDE7)
+      << ";fs=" << cfg.fs_hz << ";hidden=" << cfg.hidden_units
+      << ";aug_seed=" << cfg.augment.seed << ";train_seed=" << cfg.train.seed;
+  const auto cache = default_cache();
+  if (const auto blob = cache.load(key.str())) {
+    std::cout << "[detector: cache hit]\n";
+    return classify::EpilepsyDetector::from_blob(*blob);
+  }
+  std::cout << "[detector: training]\n";
+  auto detector = classify::EpilepsyDetector::train(
+      eeg::make_dataset(gen, 6, 6, derive_seed(2022, 0xDE7), pool), cfg);
+  cache.store(key.str(), detector.to_blob());
+  return detector;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string journal, merge_out, out_csv;
+  std::vector<std::string> inputs;
+  double timeout_s = 0.0;
+  int point_delay_ms = 0;
+  bool merge_mode = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--journal") {
+      journal = next();
+    } else if (arg == "--merge") {
+      merge_mode = true;
+      merge_out = next();
+    } else if (arg == "--inputs") {
+      while (i + 1 < argc && argv[i + 1][0] != '-') inputs.push_back(argv[++i]);
+    } else if (arg == "--out") {
+      out_csv = next();
+    } else if (arg == "--timeout") {
+      timeout_s = std::stod(next());
+    } else if (arg == "--point-delay-ms") {
+      point_delay_ms = std::stoi(next());
+    } else {
+      usage();
+      return 2;
+    }
+  }
+
+  const power::DesignParams base;  // Table III defaults; cs_m rides the axis
+
+  try {
+    if (merge_mode) {
+      if (inputs.empty()) {
+        usage();
+        return 2;
+      }
+      const auto outcome = run::merge_journals(inputs, base, merge_out);
+      report(outcome, sweep_to_csv(outcome.results), out_csv);
+      return outcome.quarantined.empty() ? 0 : 3;
+    }
+
+    if (journal.empty()) {
+      usage();
+      return 2;
+    }
+
+    const auto threads = static_cast<std::size_t>(
+        std::max<std::int64_t>(0, env_int("EFFICSENSE_THREADS", 0)));
+    std::unique_ptr<ThreadPool> pool;
+    if (threads != 1) {
+      pool = std::make_unique<ThreadPool>(threads);
+      if (pool->size() <= 1) pool.reset();
+    }
+
+    const auto n =
+        static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 2));
+    const eeg::Generator gen{eeg::GeneratorConfig{}};
+    const auto dataset = eeg::make_dataset(gen, n / 2, n - n / 2,
+                                           derive_seed(2022, 0xEA1), pool.get());
+    const auto detector = ci_detector(gen, pool.get());
+
+    EvalOptions opt;
+    opt.recon.residual_tol = 0.02;
+    const Evaluator evaluator(power::TechnologyParams{}, &dataset, &detector,
+                              opt);
+
+    run::RunOptions options;
+    options.journal_path = journal;
+    options.shard = run::shard_from_env();
+    options.point_timeout_s = timeout_s;
+    options.config_digest = evaluator.config_digest();
+
+    const auto space = ci_space();
+    std::cout << "[sweep: " << space.size() << " points, shard "
+              << options.shard.to_string() << ", " << dataset.size()
+              << " segments]\n";
+
+    // The delay wrapper (CI uses it to widen the SIGKILL window) must not
+    // enter the digest: it cannot change any result.
+    run::DurableSweeper::EvalFn eval = [&](const power::DesignParams& d) {
+      if (point_delay_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(point_delay_ms));
+      }
+      return evaluator.evaluate(d);
+    };
+    const run::DurableSweeper sweeper(std::move(eval), options);
+    const auto outcome = sweeper.run(
+        base, space, pool.get(), [&](std::size_t done, std::size_t total) {
+          std::cout << "[progress " << done << "/" << total << "]"
+                    << std::endl;  // flushed: the kill-and-resume job greps it
+        });
+    report(outcome, sweep_to_csv(outcome.results), out_csv);
+    return outcome.quarantined.empty() ? 0 : 3;
+  } catch (const std::exception& e) {
+    std::cerr << "run_sweep: " << e.what() << "\n";
+    return 1;
+  }
+}
