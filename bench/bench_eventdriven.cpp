@@ -1,110 +1,124 @@
 // Extension bench: event-driven (level-crossing) vs fixed-rate vs passive-CS
 // acquisition on EEG — the comparison of the authors' companion study [15].
-// Event-driven power is signal-dependent (quiet interictal EEG produces few
-// events; seizures burst), which this bench makes visible by reporting the
-// two classes separately.
+// The LC-ADC rows are evaluated through the architecture registry from a
+// declarative ScenarioSpec (the same path as `run_sweep --scenario
+// examples/scenario_lc_adc.json`), exercising the evaluator's
+// signal-dependent power averaging. Event-driven power is signal-dependent
+// (quiet interictal EEG produces few events; seizures burst), which this
+// bench makes visible by reporting the two classes separately.
 
 #include "obs/obs.hpp"
 
 #include <iostream>
 
+#include "arch/scenario.hpp"
 #include "blocks/lc_adc.hpp"
 #include "blocks/lna.hpp"
-#include "blocks/sources.hpp"
 #include "core/evaluator.hpp"
-#include "dsp/metrics.hpp"
-#include "dsp/resample.hpp"
 #include "eeg/dataset.hpp"
+#include "run/scenario.hpp"
 #include "util/csv.hpp"
-#include "util/env.hpp"
-#include "util/rng.hpp"
 
 using namespace efficsense;
 
+namespace {
+
+/// The bench's experiment as data: LC-ADC resolutions on the standard EEG
+/// set. segments follows EFFICSENSE_SEGMENTS; the detector comes from the
+/// scenario file cache after the first run.
+constexpr const char* kSpec = R"({
+  "name": "eventdriven-bench",
+  "architecture": "lc_adc",
+  "base": {"lna_noise_vrms": 6e-6, "adc_bits": 8},
+  "axes": [{"name": "adc_bits", "values": [5, 6, 7, 8]}],
+  "sweep": {"segments": 12, "train_segments": 60, "seed": 2022}
+})";
+
+/// Mean LC-ADC transmit bit rate plus per-class event rates — the one
+/// number the Evaluator's metrics do not carry, measured with a bare block
+/// loop (the event counters live on the block, not in the report).
+struct EventRates {
+  double bit_rate = 0.0;
+  double events_normal = 0.0;
+  double events_seizure = 0.0;
+};
+
+EventRates measure_event_rates(const power::TechnologyParams& tech,
+                               const power::DesignParams& design,
+                               const eeg::Dataset& dataset) {
+  blocks::LnaBlock lna("lna", tech, design, 101);
+  blocks::LcAdcConfig cfg;
+  cfg.levels_bits = design.adc_bits;
+  blocks::LcAdcBlock lc("lc", tech, design, cfg);
+
+  EventRates rates;
+  std::size_t n_normal = 0, n_seizure = 0;
+  for (const auto& seg : dataset.segments) {
+    lc.process({lna.process({seg.waveform})[0]});
+    rates.bit_rate += lc.bit_rate();
+    if (seg.label == eeg::SegmentClass::Seizure) {
+      rates.events_seizure += lc.last_event_rate_hz();
+      ++n_seizure;
+    } else {
+      rates.events_normal += lc.last_event_rate_hz();
+      ++n_normal;
+    }
+  }
+  rates.bit_rate /= static_cast<double>(dataset.size());
+  if (n_normal > 0) rates.events_normal /= static_cast<double>(n_normal);
+  if (n_seizure > 0) rates.events_seizure /= static_cast<double>(n_seizure);
+  return rates;
+}
+
+}  // namespace
+
 int main() {
   efficsense::obs::BenchRun obs_run("bench_eventdriven");
-  const power::TechnologyParams tech;
-  const auto n = static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 12));
-  const eeg::Generator gen{eeg::GeneratorConfig{}};
-  const auto dataset =
-      eeg::make_dataset(gen, n / 2, n - n / 2, derive_seed(2022, 0xEA1));
-  classify::DetectorConfig det_cfg;
-  const auto detector = classify::EpilepsyDetector::train(
-      eeg::make_dataset(gen, 30, 30, derive_seed(2022, 0xDE7)), det_cfg);
+  const auto spec = arch::scenario_from_json(kSpec);
+  const auto context = run::make_scenario_context(
+      spec, nullptr,
+      [](const std::string& line) { std::cout << "[" << line << "]\n"; });
+  const auto& tech = context->evaluator->tech();
 
   std::cout << "Event-driven (LC-ADC) vs fixed-rate acquisition on "
-            << dataset.size() << " EEG segments\n\n";
-
-  power::DesignParams design;
-  design.adc_bits = 8;
-  design.lna_noise_vrms = 6e-6;
+            << context->dataset.size() << " EEG segments (scenario '"
+            << spec.name << "')\n\n";
 
   TablePrinter t({"front-end", "SNR [dB]", "acc [%]", "bitrate [b/s]",
                   "P_total", "P_conv", "P_tx"});
 
-  // Fixed-rate reference via the standard evaluator.
+  // Fixed-rate reference: same dataset/detector, auto architecture (the
+  // registry resolves the baseline SAR chain from the design).
   {
-    core::EvalOptions opt;
-    const core::Evaluator evaluator(tech, &dataset, &detector, opt);
-    const auto m = evaluator.evaluate(design);
+    const core::Evaluator evaluator(tech, &context->dataset,
+                                    &*context->detector, {});
+    const auto m = evaluator.evaluate(context->base);
     t.add_row({"fixed-rate SAR (Fig. 1a)", format_number(m.snr_db),
                format_number(100.0 * m.accuracy),
-               format_number(design.bit_rate()), format_power(m.power_w),
-               format_power(m.power_breakdown.watts_of(core::kAdcBlock) +
-                            m.power_breakdown.watts_of(core::kSampleHoldBlock)),
-               format_power(m.power_breakdown.watts_of(core::kTxBlock))});
+               format_number(context->base.bit_rate()), format_power(m.power_w),
+               format_power(m.power_breakdown.watts_of(arch::kAdcBlock) +
+                            m.power_breakdown.watts_of(arch::kSampleHoldBlock)),
+               format_power(m.power_breakdown.watts_of(arch::kTxBlock))});
   }
 
-  // LC-ADC at several resolutions; also split event rates per class.
-  for (int bits : {5, 6, 7, 8}) {
-    blocks::LnaBlock lna("lna", tech, design, 101);
-    blocks::LcAdcConfig cfg;
-    cfg.levels_bits = bits;
-    blocks::LcAdcBlock lc("lc", tech, design, cfg);
+  // LC-ADC at the spec's resolutions, scored by the registry-dispatched
+  // evaluator (power averaged per segment — the event-driven chain's power
+  // depends on the waveforms that streamed through it).
+  for (std::size_t i = 0; i < spec.space.size(); ++i) {
+    const auto design = arch::apply_point(context->base, spec.space.point(i));
+    const auto m = context->evaluator->evaluate(design);
+    const auto rates = measure_event_rates(tech, design, context->dataset);
 
-    double snr_sum = 0.0, conv_p = 0.0, tx_p = 0.0, rate_sum = 0.0;
-    double events_normal = 0.0, events_seizure = 0.0;
-    std::size_t n_normal = 0, n_seizure = 0;
-    std::size_t correct = 0, scored = 0;
-    for (const auto& seg : dataset.segments) {
-      const auto amplified = lna.process({seg.waveform})[0];
-      const auto rec = lc.process({amplified})[0];
-      const auto times = dsp::uniform_times(rec.size(), rec.fs);
-      const auto ref =
-          dsp::sample_at_times(seg.waveform.samples, seg.waveform.fs, times);
-      snr_sum += dsp::snr_vs_reference_db(ref, rec.samples);
-
-      std::vector<double> input_referred(rec.samples);
-      for (double& v : input_referred) v /= design.lna_gain;
-      const auto score = detector.score_epochs(input_referred, rec.fs, seg.ictal);
-      correct += score.correct;
-      scored += score.scored;
-
-      conv_p += lc.power_watts();
-      tx_p += lc.tx_power_watts();
-      rate_sum += lc.bit_rate();
-      if (seg.label == eeg::SegmentClass::Seizure) {
-        events_seizure += lc.last_event_rate_hz();
-        ++n_seizure;
-      } else {
-        events_normal += lc.last_event_rate_hz();
-        ++n_normal;
-      }
-    }
-    const auto count = static_cast<double>(dataset.size());
-    const double lna_p = lna.power_watts();
     char name[64];
-    std::snprintf(name, sizeof name, "LC-ADC, %d-bit levels", bits);
-    t.add_row({name, format_number(snr_sum / count),
-               format_number(100.0 * double(correct) / double(scored)),
-               format_number(rate_sum / count),
-               format_power(lna_p + conv_p / count + tx_p / count),
-               format_power(conv_p / count), format_power(tx_p / count)});
-    if (bits == 6) {
+    std::snprintf(name, sizeof name, "LC-ADC, %d-bit levels", design.adc_bits);
+    t.add_row({name, format_number(m.snr_db), format_number(100.0 * m.accuracy),
+               format_number(rates.bit_rate), format_power(m.power_w),
+               format_power(m.power_breakdown.watts_of(arch::kAdcBlock)),
+               format_power(m.power_breakdown.watts_of(arch::kTxBlock))});
+    if (design.adc_bits == 6) {
       std::cout << "event rates at 6 bits: interictal "
-                << format_number(events_normal / double(n_normal))
-                << " ev/s vs ictal "
-                << format_number(events_seizure / double(n_seizure))
+                << format_number(rates.events_normal) << " ev/s vs ictal "
+                << format_number(rates.events_seizure)
                 << " ev/s (signal-dependent power)\n\n";
     }
   }

@@ -1,0 +1,120 @@
+#include "arch/architecture.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace efficsense::arch {
+
+// Defined in architectures.cpp; called from the registry constructor so the
+// built-ins can never be dead-stripped out of a static-library link.
+void register_builtin_architectures(ArchRegistry& registry);
+
+std::vector<double> PassthroughDecoder::decode(
+    const std::vector<double>& received, ThreadPool* pool) const {
+  (void)pool;
+  return received;
+}
+
+CsDecoder::CsDecoder(std::shared_ptr<const cs::Reconstructor> recon)
+    : recon_(std::move(recon)) {
+  EFF_REQUIRE(recon_ != nullptr, "CsDecoder needs a reconstructor");
+}
+
+std::vector<double> CsDecoder::decode(const std::vector<double>& received,
+                                      ThreadPool* pool) const {
+  return recon_->reconstruct_stream(received, pool);
+}
+
+sim::PowerReport Architecture::power_report(const sim::Model& model) const {
+  return model.power_report();
+}
+
+sim::AreaReport Architecture::area_report(const sim::Model& model) const {
+  return model.area_report();
+}
+
+ArchRegistry& ArchRegistry::instance() {
+  static ArchRegistry registry;
+  return registry;
+}
+
+ArchRegistry::ArchRegistry() { register_builtin_architectures(*this); }
+
+void ArchRegistry::add(std::unique_ptr<Architecture> architecture) {
+  EFF_REQUIRE(architecture != nullptr, "cannot register a null architecture");
+  const std::string id = architecture->id();
+  EFF_REQUIRE(!id.empty() && id != "auto",
+              "architecture id must be non-empty and not 'auto'");
+  std::lock_guard lock(mutex_);
+  const auto pos = std::lower_bound(
+      architectures_.begin(), architectures_.end(), id,
+      [](const auto& a, const std::string& key) { return a->id() < key; });
+  if (pos != architectures_.end() && (*pos)->id() == id) {
+    throw Error("architecture '" + id + "' is already registered");
+  }
+  architectures_.insert(pos, std::move(architecture));
+}
+
+const Architecture* ArchRegistry::find(const std::string& id) const {
+  std::lock_guard lock(mutex_);
+  const auto pos = std::lower_bound(
+      architectures_.begin(), architectures_.end(), id,
+      [](const auto& a, const std::string& key) { return a->id() < key; });
+  if (pos == architectures_.end() || (*pos)->id() != id) return nullptr;
+  return pos->get();
+}
+
+const Architecture& ArchRegistry::get(const std::string& id) const {
+  const Architecture* found = find(id);
+  if (found == nullptr) {
+    throw Error("unknown architecture '" + id +
+                "'; registered architectures: " + known_ids() +
+                " (run_sweep --list-architectures prints details)");
+  }
+  return *found;
+}
+
+const Architecture& ArchRegistry::for_design(
+    const power::DesignParams& design) const {
+  {
+    std::lock_guard lock(mutex_);
+    for (const auto& a : architectures_) {
+      if (a->matches(design)) return *a;
+    }
+  }
+  throw Error(
+      "no registered architecture matches this design (cs_m=" +
+      std::to_string(design.cs_m) +
+      ", cs_style=" + std::to_string(static_cast<int>(design.cs_style)) +
+      "); registered architectures: " + known_ids());
+}
+
+const Architecture& ArchRegistry::resolve(
+    const std::string& id, const power::DesignParams& design) const {
+  if (id.empty() || id == "auto") return for_design(design);
+  return get(id);
+}
+
+std::vector<const Architecture*> ArchRegistry::list() const {
+  std::lock_guard lock(mutex_);
+  std::vector<const Architecture*> out;
+  out.reserve(architectures_.size());
+  for (const auto& a : architectures_) out.push_back(a.get());
+  return out;
+}
+
+std::string ArchRegistry::known_ids() const {
+  std::string out;
+  for (const Architecture* a : list()) {
+    if (!out.empty()) out += ", ";
+    out += a->id();
+  }
+  return out;
+}
+
+ArchRegistrar::ArchRegistrar(std::unique_ptr<Architecture> architecture) {
+  ArchRegistry::instance().add(std::move(architecture));
+}
+
+}  // namespace efficsense::arch

@@ -1,0 +1,155 @@
+#pragma once
+// The architecture layer: the seam the paper's "architectural pathfinding"
+// needs. An Architecture bundles everything the evaluation harness must
+// know about one acquisition front-end:
+//
+//   * build_model()  — assemble the sim::Model chain for a design point,
+//   * make_decoder() — the matched receiver-side decode path (a CS
+//                      reconstructor, or pass-through for Nyquist chains),
+//   * power_report()/area_report() — report hooks (default: the model's
+//                      analytic per-block reports),
+//   * signal_dependent_power() — whether power must be measured while the
+//                      dataset streams (event-driven front-ends) instead of
+//                      once from the analytic models.
+//
+// Architectures self-register in the string-keyed ArchRegistry; the five
+// built-ins (baseline, cs_passive, cs_active, cs_digital, lc_adc) are
+// registered by the registry itself so that static-library dead-stripping
+// can never drop them. External code adds new front-ends with an
+// ArchRegistrar static — no core edits required (see
+// examples/custom_architecture.cpp).
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "arch/chain.hpp"
+#include "cs/reconstructor.hpp"
+#include "power/tech.hpp"
+#include "sim/model.hpp"
+#include "sim/report.hpp"
+
+namespace efficsense {
+class ThreadPool;
+}
+
+namespace efficsense::arch {
+
+/// Receiver-side decode stage: chain output samples -> the f_sample-rate
+/// signal at LNA-output scale the metrics and detector consume.
+class Decoder {
+ public:
+  virtual ~Decoder() = default;
+  /// `pool` (optional) fans independent windows out; results are identical
+  /// to the serial path.
+  virtual std::vector<double> decode(const std::vector<double>& received,
+                                     ThreadPool* pool) const = 0;
+};
+
+/// Decode for chains whose output already is the uniform-rate signal
+/// (baseline SAR, LC-ADC with receiver-side interpolation in the block).
+class PassthroughDecoder final : public Decoder {
+ public:
+  std::vector<double> decode(const std::vector<double>& received,
+                             ThreadPool* pool) const override;
+};
+
+/// CS decode: stream-reconstruct the measurement frames with the matched
+/// reconstructor (shared via the cross-point ReconstructorCache).
+class CsDecoder final : public Decoder {
+ public:
+  explicit CsDecoder(std::shared_ptr<const cs::Reconstructor> recon);
+  std::vector<double> decode(const std::vector<double>& received,
+                             ThreadPool* pool) const override;
+  const cs::Reconstructor& reconstructor() const { return *recon_; }
+
+ private:
+  std::shared_ptr<const cs::Reconstructor> recon_;
+};
+
+class Architecture {
+ public:
+  virtual ~Architecture() = default;
+
+  /// Stable registry key (e.g. "cs_passive").
+  virtual std::string id() const = 0;
+  /// One-line human description (run_sweep --list-architectures).
+  virtual std::string description() const = 0;
+
+  /// True when automatic selection ("auto") should pick this architecture
+  /// for `design` — the legacy uses_cs()/cs_style dispatch. Architectures
+  /// not expressible in DesignParams (lc_adc) return false and are only
+  /// reachable by explicit id.
+  virtual bool matches(const power::DesignParams& design) const = 0;
+
+  /// Assemble the simulation chain for one design point. The returned model
+  /// has a WaveformSource named kSourceBlock and one unconnected output.
+  virtual std::unique_ptr<sim::Model> build_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const ChainSeeds& seeds) const = 0;
+
+  /// The decode path matched to build_model()'s chain.
+  virtual std::unique_ptr<Decoder> make_decoder(
+      const power::DesignParams& design, const ChainSeeds& seeds,
+      const cs::ReconstructorConfig& recon) const = 0;
+
+  /// Power/area report hooks; the defaults return the model's analytic
+  /// per-block reports.
+  virtual sim::PowerReport power_report(const sim::Model& model) const;
+  virtual sim::AreaReport area_report(const sim::Model& model) const;
+
+  /// True when power_watts() of some block depends on the signal that
+  /// streamed through it (event-driven conversion): the evaluator then
+  /// averages per-segment power reports over the dataset instead of taking
+  /// one pre-run analytic report.
+  virtual bool signal_dependent_power() const { return false; }
+};
+
+/// Process-wide, thread-safe id -> Architecture registry. Construction
+/// registers the five built-ins.
+class ArchRegistry {
+ public:
+  static ArchRegistry& instance();
+
+  /// Register an architecture; throws Error on a duplicate id.
+  void add(std::unique_ptr<Architecture> architecture);
+
+  /// Lookup by id; throws Error naming the registered ids on a miss.
+  const Architecture& get(const std::string& id) const;
+  /// Lookup by id; nullptr on a miss.
+  const Architecture* find(const std::string& id) const;
+  bool contains(const std::string& id) const { return find(id) != nullptr; }
+
+  /// The architecture whose matches() accepts `design` (the legacy
+  /// build_chain dispatch). Throws Error — listing the registered ids —
+  /// when none matches (e.g. an unknown cs_style value).
+  const Architecture& for_design(const power::DesignParams& design) const;
+
+  /// Resolve an id, with "" and "auto" meaning for_design(design).
+  const Architecture& resolve(const std::string& id,
+                              const power::DesignParams& design) const;
+
+  /// Registered architectures sorted by id.
+  std::vector<const Architecture*> list() const;
+  /// "baseline, cs_active, ..." — for error messages.
+  std::string known_ids() const;
+
+ private:
+  ArchRegistry();
+
+  mutable std::mutex mutex_;
+  // Sorted by id so list()/for_design() orders are deterministic.
+  std::vector<std::unique_ptr<Architecture>> architectures_;
+};
+
+/// Self-registration helper for architectures living outside this library:
+///   static arch::ArchRegistrar reg(std::make_unique<MyArch>());
+/// (The built-ins do not rely on this — a static in a static library can be
+/// dead-stripped; the registry constructor registers them directly.)
+struct ArchRegistrar {
+  explicit ArchRegistrar(std::unique_ptr<Architecture> architecture);
+};
+
+}  // namespace efficsense::arch

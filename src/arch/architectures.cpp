@@ -1,0 +1,187 @@
+// The five built-in architectures. The four legacy chains delegate to the
+// chain builders so the registry path is bitwise-identical to the free
+// functions (tests/test_arch.cpp pins that with golden checksums); the
+// LC-ADC event-driven chain promotes blocks/lc_adc from a bench-only block
+// to a first-class evaluable front-end.
+
+#include <memory>
+#include <utility>
+
+#include "arch/architecture.hpp"
+#include "arch/recon_cache.hpp"
+#include "blocks/lc_adc.hpp"
+#include "blocks/lna.hpp"
+#include "blocks/sources.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace efficsense::arch {
+
+namespace {
+
+std::unique_ptr<Decoder> cached_cs_decoder(const power::DesignParams& design,
+                                           const ChainSeeds& seeds,
+                                           const cs::ReconstructorConfig& rc) {
+  return std::make_unique<CsDecoder>(
+      ReconstructorCache::instance().get(design, seeds, rc));
+}
+
+class BaselineArchitecture final : public Architecture {
+ public:
+  std::string id() const override { return "baseline"; }
+  std::string description() const override {
+    return "fixed-rate Nyquist chain (Fig. 1a): lna -> S&H -> SAR -> tx";
+  }
+  bool matches(const power::DesignParams& design) const override {
+    return !design.uses_cs();
+  }
+  std::unique_ptr<sim::Model> build_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const ChainSeeds& seeds) const override {
+    return build_baseline_chain(tech, design, seeds);
+  }
+  std::unique_ptr<Decoder> make_decoder(
+      const power::DesignParams&, const ChainSeeds&,
+      const cs::ReconstructorConfig&) const override {
+    return std::make_unique<PassthroughDecoder>();
+  }
+};
+
+class PassiveCsArchitecture final : public Architecture {
+ public:
+  std::string id() const override { return "cs_passive"; }
+  std::string description() const override {
+    return "passive charge-sharing CS chain (Fig. 1b/5): lna -> SC encoder "
+           "-> SAR -> tx, OMP decode";
+  }
+  bool matches(const power::DesignParams& design) const override {
+    return design.uses_cs() &&
+           design.cs_style == power::CsStyle::PassiveCharge;
+  }
+  std::unique_ptr<sim::Model> build_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const ChainSeeds& seeds) const override {
+    return build_cs_chain(tech, design, seeds);
+  }
+  std::unique_ptr<Decoder> make_decoder(
+      const power::DesignParams& design, const ChainSeeds& seeds,
+      const cs::ReconstructorConfig& rc) const override {
+    return cached_cs_decoder(design, seeds, rc);
+  }
+};
+
+class ActiveCsArchitecture final : public Architecture {
+ public:
+  std::string id() const override { return "cs_active"; }
+  std::string description() const override {
+    return "active-integrator CS chain: lna -> OTA integrator array -> SAR "
+           "-> tx, OMP decode";
+  }
+  bool matches(const power::DesignParams& design) const override {
+    return design.uses_cs() &&
+           design.cs_style == power::CsStyle::ActiveIntegrator;
+  }
+  std::unique_ptr<sim::Model> build_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const ChainSeeds& seeds) const override {
+    return build_active_cs_chain(tech, design, seeds);
+  }
+  std::unique_ptr<Decoder> make_decoder(
+      const power::DesignParams& design, const ChainSeeds& seeds,
+      const cs::ReconstructorConfig& rc) const override {
+    return cached_cs_decoder(design, seeds, rc);
+  }
+};
+
+class DigitalCsArchitecture final : public Architecture {
+ public:
+  std::string id() const override { return "cs_digital"; }
+  std::string description() const override {
+    return "digital-MAC CS chain: lna -> S&H -> full-rate SAR -> digital "
+           "MAC -> tx, OMP decode";
+  }
+  bool matches(const power::DesignParams& design) const override {
+    return design.uses_cs() && design.cs_style == power::CsStyle::DigitalMac;
+  }
+  std::unique_ptr<sim::Model> build_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const ChainSeeds& seeds) const override {
+    return build_digital_cs_chain(tech, design, seeds);
+  }
+  std::unique_ptr<Decoder> make_decoder(
+      const power::DesignParams& design, const ChainSeeds& seeds,
+      const cs::ReconstructorConfig& rc) const override {
+    return cached_cs_decoder(design, seeds, rc);
+  }
+};
+
+/// Transmit stage of the event-driven chain: passes the LC-ADC's
+/// receiver-side reconstruction through unchanged and reports the transmit
+/// power implied by the measured event rate (bits_per_event * rate * E_bit).
+class LcTxBlock final : public sim::Block {
+ public:
+  LcTxBlock(std::string name, const blocks::LcAdcBlock* lc)
+      : sim::Block(std::move(name), 1, 1), lc_(lc) {}
+
+  std::vector<sim::Waveform> process(
+      const std::vector<sim::Waveform>& in) override {
+    return {in.at(0)};
+  }
+  double power_watts() const override { return lc_->tx_power_watts(); }
+
+ private:
+  const blocks::LcAdcBlock* lc_;  // lives in the same model
+};
+
+class LcAdcArchitecture final : public Architecture {
+ public:
+  std::string id() const override { return "lc_adc"; }
+  std::string description() const override {
+    return "event-driven level-crossing ADC chain [15]: lna -> LC-ADC -> "
+           "tx; signal-dependent power";
+  }
+  // Not expressible in DesignParams: only reachable by explicit id.
+  bool matches(const power::DesignParams&) const override { return false; }
+
+  std::unique_ptr<sim::Model> build_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const ChainSeeds& seeds) const override {
+    design.validate();
+    auto model = std::make_unique<sim::Model>();
+    const auto src =
+        model->add(std::make_unique<blocks::WaveformSource>(kSourceBlock));
+    const auto lna = model->add(std::make_unique<blocks::LnaBlock>(
+        kLnaBlock, tech, design, derive_seed(seeds.noise, 1)));
+    blocks::LcAdcConfig cfg;
+    cfg.levels_bits = design.adc_bits;  // the resolution knob of the sweep
+    auto lc_block =
+        std::make_unique<blocks::LcAdcBlock>(kAdcBlock, tech, design, cfg);
+    const blocks::LcAdcBlock* lc_ptr = lc_block.get();
+    const auto lc = model->add(std::move(lc_block));
+    const auto tx = model->add(std::make_unique<LcTxBlock>(kTxBlock, lc_ptr));
+    model->chain({src, lna, lc, tx});
+    return model;
+  }
+
+  std::unique_ptr<Decoder> make_decoder(
+      const power::DesignParams&, const ChainSeeds&,
+      const cs::ReconstructorConfig&) const override {
+    // The block already emits the receiver-side linear-interpolation
+    // reconstruction on the uniform f_sample grid.
+    return std::make_unique<PassthroughDecoder>();
+  }
+
+  bool signal_dependent_power() const override { return true; }
+};
+
+}  // namespace
+
+void register_builtin_architectures(ArchRegistry& registry) {
+  registry.add(std::make_unique<BaselineArchitecture>());
+  registry.add(std::make_unique<PassiveCsArchitecture>());
+  registry.add(std::make_unique<ActiveCsArchitecture>());
+  registry.add(std::make_unique<DigitalCsArchitecture>());
+  registry.add(std::make_unique<LcAdcArchitecture>());
+}
+
+}  // namespace efficsense::arch

@@ -1,5 +1,6 @@
-#include "core/chain.hpp"
+#include "arch/chain.hpp"
 
+#include "arch/architecture.hpp"
 #include "blocks/cs_encoder.hpp"
 #include "blocks/cs_encoder_active.hpp"
 #include "blocks/cs_encoder_digital.hpp"
@@ -11,7 +12,7 @@
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
-namespace efficsense::core {
+namespace efficsense::arch {
 
 namespace {
 
@@ -120,16 +121,11 @@ std::unique_ptr<sim::Model> build_digital_cs_chain(
 std::unique_ptr<sim::Model> build_chain(const power::TechnologyParams& tech,
                                         const power::DesignParams& design,
                                         const ChainSeeds& seeds) {
-  if (!design.uses_cs()) return build_baseline_chain(tech, design, seeds);
-  switch (design.cs_style) {
-    case power::CsStyle::PassiveCharge:
-      return build_cs_chain(tech, design, seeds);
-    case power::CsStyle::ActiveIntegrator:
-      return build_active_cs_chain(tech, design, seeds);
-    case power::CsStyle::DigitalMac:
-      return build_digital_cs_chain(tech, design, seeds);
-  }
-  return build_cs_chain(tech, design, seeds);
+  // Registry dispatch: an unknown cs_style matches no architecture and
+  // throws, instead of the historical silent fall-through to the passive
+  // builder.
+  return ArchRegistry::instance().for_design(design).build_model(tech, design,
+                                                                 seeds);
 }
 
 cs::Reconstructor make_matched_reconstructor(const power::DesignParams& design,
@@ -138,18 +134,18 @@ cs::Reconstructor make_matched_reconstructor(const power::DesignParams& design,
   EFF_REQUIRE(design.uses_cs(), "design does not enable CS");
   const auto phi = draw_phi(design, seeds.phi);
   cs::ChargeSharingGains gains;
-  switch (design.cs_style) {
-    case power::CsStyle::PassiveCharge:
-      gains = cs::charge_sharing_gains(design.cs_c_sample_f, design.cs_c_hold_f);
-      break;
-    case power::CsStyle::ActiveIntegrator:
-      gains.a = design.cs_c_sample_f / design.cs_c_int_f;
-      gains.b = 1.0;  // virtual ground: no decay
-      break;
-    case power::CsStyle::DigitalMac:
-      gains.a = 1.0;  // exact binary sums
-      gains.b = 1.0;
-      break;
+  if (design.cs_style == power::CsStyle::PassiveCharge) {
+    gains = cs::charge_sharing_gains(design.cs_c_sample_f, design.cs_c_hold_f);
+  } else if (design.cs_style == power::CsStyle::ActiveIntegrator) {
+    gains.a = design.cs_c_sample_f / design.cs_c_int_f;
+    gains.b = 1.0;  // virtual ground: no decay
+  } else if (design.cs_style == power::CsStyle::DigitalMac) {
+    gains.a = 1.0;  // exact binary sums
+    gains.b = 1.0;
+  } else {
+    throw Error("unknown cs_style " +
+                std::to_string(static_cast<int>(design.cs_style)) +
+                "; no matched reconstructor");
   }
   return cs::Reconstructor(phi, gains, config);
 }
@@ -163,4 +159,4 @@ sim::Waveform run_chain(sim::Model& model, const sim::Waveform& input) {
   return std::move(outputs.front());
 }
 
-}  // namespace efficsense::core
+}  // namespace efficsense::arch

@@ -1,4 +1,4 @@
-#include "core/design_space.hpp"
+#include "arch/design_space.hpp"
 
 #include <cmath>
 #include <cstring>
@@ -8,7 +8,7 @@
 #include "util/csv.hpp"
 #include "util/error.hpp"
 
-namespace efficsense::core {
+namespace efficsense::arch {
 
 namespace {
 
@@ -124,4 +124,4 @@ std::string point_to_string(const PointValues& values) {
   return os.str();
 }
 
-}  // namespace efficsense::core
+}  // namespace efficsense::arch

@@ -1,0 +1,64 @@
+#pragma once
+// The search space of the pathfinding Step 5: named axes of candidate
+// values, enumerated as a cartesian grid. Axis names map onto DesignParams
+// fields via apply_axis(), so a sweep definition is data, not code.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "power/tech.hpp"
+
+namespace efficsense::arch {
+
+/// A single design point: axis name -> chosen value.
+using PointValues = std::map<std::string, double>;
+
+class DesignSpace {
+ public:
+  DesignSpace& add_axis(std::string name, std::vector<double> values);
+
+  std::size_t axis_count() const { return axes_.size(); }
+  /// Total number of grid points (product of axis sizes; 1 when empty).
+  std::size_t size() const;
+
+  /// Mixed-radix decode of grid point `index`.
+  PointValues point(std::size_t index) const;
+
+  const std::vector<std::pair<std::string, std::vector<double>>>& axes() const {
+    return axes_;
+  }
+
+  /// Stable 64-bit digest of the whole grid: FNV-1a over axis names and the
+  /// raw IEEE-754 bits of every candidate value, in declaration order. Two
+  /// spaces digest equal iff they enumerate the same points in the same
+  /// order, so the digest keys sweep journals.
+  std::uint64_t digest() const;
+
+ private:
+  std::vector<std::pair<std::string, std::vector<double>>> axes_;
+};
+
+/// Set one named parameter on a DesignParams. Supported axes:
+/// lna_noise_vrms, lna_gain, adc_bits, dac_c_unit_f, cs_m, cs_n_phi,
+/// cs_sparsity, cs_c_hold_f, cs_c_sample_f, cs_style (0 passive / 1 active /
+/// 2 digital), cs_c_int_f, vdd, v_fs, bw_in_hz.
+/// Throws Error for unknown names.
+void apply_axis(power::DesignParams& design, const std::string& name,
+                double value);
+
+/// Apply all values of a point.
+power::DesignParams apply_point(power::DesignParams base,
+                                const PointValues& values);
+
+/// Compact "name=value;..." rendering for logs and cache keys.
+std::string point_to_string(const PointValues& values);
+
+/// Stable 64-bit hash of one design point: FNV-1a over the (name, raw
+/// IEEE-754 value bits) pairs in the map's (sorted) order. Full-precision —
+/// unlike point_to_string, which rounds through format_number — so two
+/// points hash equal iff their coordinates are bit-identical.
+std::uint64_t hash_point(const PointValues& values);
+
+}  // namespace efficsense::arch

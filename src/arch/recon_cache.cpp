@@ -1,4 +1,4 @@
-#include "core/recon_cache.hpp"
+#include "arch/recon_cache.hpp"
 
 #include <algorithm>
 #include <cstdint>
@@ -8,7 +8,7 @@
 #include "obs/trace.hpp"
 #include "util/env.hpp"
 
-namespace efficsense::core {
+namespace efficsense::arch {
 
 std::string reconstructor_cache_key(const power::DesignParams& design,
                                     const ChainSeeds& seeds,
@@ -91,4 +91,4 @@ std::size_t ReconstructorCache::size() const {
   return lru_.size();
 }
 
-}  // namespace efficsense::core
+}  // namespace efficsense::arch

@@ -1,0 +1,70 @@
+#pragma once
+// Declarative scenario specs: one JSON document names an architecture,
+// design-space axes, evaluation options and sweep configuration, so a whole
+// pathfinding experiment is data (`run_sweep --scenario spec.json`) rather
+// than a hand-edited driver. Schema (DESIGN.md §10):
+//
+//   {
+//     "name": "ci-smoke",
+//     "architecture": "auto",            // or a registered id, e.g. "lc_adc"
+//     "base": {"adc_bits": 8},           // DesignParams overrides (axis names)
+//     "axes": [
+//       {"name": "lna_noise_vrms", "values": [2e-6, 6e-6]},
+//       {"name": "cs_m", "values": [0, 75]}
+//     ],
+//     "eval": {"residual_tol": 0.02, "max_segments": 0,
+//              "sparsity": 0, "max_iters": 0,
+//              "seeds": {"mismatch": 11, "noise": 22, "phi": 33}},
+//     "sweep": {"segments": 2, "train_segments": 12, "seed": 2022}
+//   }
+//
+// Every key is optional except that an explicit architecture id must be
+// registered; unknown keys are hard errors (typo safety). digest() gives a
+// stable 64-bit identity over every result-affecting field — the evaluator
+// folds it into config_digest(), extending the journal's foreign-config
+// refusal to scenario identity.
+
+#include <cstdint>
+#include <string>
+
+#include "arch/chain.hpp"
+#include "arch/design_space.hpp"
+#include "cs/reconstructor.hpp"
+#include "power/tech.hpp"
+
+namespace efficsense::arch {
+
+struct ScenarioSpec {
+  std::string name;                  ///< label only; not part of the digest
+  std::string architecture = "auto"; ///< registry id, or "auto" = from design
+  PointValues base;                  ///< DesignParams overrides (axis names)
+  DesignSpace space;                 ///< sweep axes, declaration order
+
+  // Evaluation options.
+  cs::ReconstructorConfig recon;     ///< JSON overrides residual_tol/sparsity/max_iters
+  ChainSeeds seeds;
+  std::size_t max_segments = 0;      ///< 0 = stream the whole dataset
+
+  // Sweep/dataset configuration.
+  std::size_t segments = 2;          ///< eval dataset size (EFFICSENSE_SEGMENTS overrides)
+  std::size_t train_segments = 12;   ///< detector training set size
+  std::uint64_t seed = 2022;         ///< dataset + detector seed root
+
+  /// Table III defaults with the base overrides applied.
+  power::DesignParams base_design() const;
+
+  /// Stable 64-bit digest over every result-affecting field (architecture,
+  /// base overrides, space, recon config, seeds, segment counts, seed).
+  /// The name is excluded: renaming a scenario does not orphan its journal.
+  std::uint64_t digest() const;
+};
+
+/// Parse a scenario from JSON text. Throws Error with a byte offset on
+/// malformed JSON, on unknown keys/axes, and on an unregistered
+/// architecture id (the message lists the registered ids).
+ScenarioSpec scenario_from_json(const std::string& json);
+
+/// Load + parse a scenario file; the error message includes the path.
+ScenarioSpec scenario_from_file(const std::string& path);
+
+}  // namespace efficsense::arch

@@ -5,7 +5,6 @@
 
 #include <cstring>
 
-#include "core/recon_cache.hpp"
 #include "dsp/metrics.hpp"
 #include "dsp/resample.hpp"
 #include "obs/metrics.hpp"
@@ -36,14 +35,21 @@ void append_u64(std::string& bytes, std::uint64_t b) {
 Evaluator::Evaluator(power::TechnologyParams tech, const eeg::Dataset* dataset,
                      const classify::EpilepsyDetector* detector,
                      EvalOptions options)
-    : tech_(tech), dataset_(dataset), detector_(detector), options_(options) {
+    : tech_(tech),
+      dataset_(dataset),
+      detector_(detector),
+      options_(std::move(options)) {
   EFF_REQUIRE(dataset_ != nullptr && !dataset_->segments.empty(),
               "evaluator needs a non-empty dataset");
   EFF_REQUIRE(detector_ != nullptr, "evaluator needs a trained detector");
+  if (!options_.architecture.empty() && options_.architecture != "auto") {
+    // Fail at construction, with the registered list, not at point 4990.
+    arch::ArchRegistry::instance().get(options_.architecture);
+  }
 }
 
 std::uint64_t Evaluator::config_digest() const {
-  std::string bytes = "eval-digest-v1;";
+  std::string bytes = "eval-digest-v2;";
   // Technology constants.
   append_bits(bytes, tech_.c_logic_f);
   append_bits(bytes, tech_.gm_over_id);
@@ -70,6 +76,11 @@ std::uint64_t Evaluator::config_digest() const {
   append_u64(bytes, options_.seeds.noise);
   append_u64(bytes, options_.seeds.phi);
   append_u64(bytes, options_.max_segments);
+  // Architecture selection ("auto" normalizes to the empty id) and the
+  // scenario identity driving this evaluator.
+  if (options_.architecture != "auto") bytes += options_.architecture;
+  bytes.push_back('\n');
+  append_u64(bytes, options_.scenario_digest);
   // Dataset identity: cheap but sensitive — per-segment seed, label,
   // sample rate, length and the raw bits of the boundary samples.
   append_u64(bytes, dataset_->segments.size());
@@ -87,18 +98,13 @@ std::uint64_t Evaluator::config_digest() const {
 }
 
 Evaluator::SegmentOutcome Evaluator::process_segment(
-    sim::Model& chain, const cs::Reconstructor* recon,
+    sim::Model& chain, const arch::Decoder& decoder,
     const power::DesignParams& design, const sim::Waveform& clean) const {
   SegmentOutcome out;
   const sim::Waveform received = run_chain(chain, clean);
 
-  std::vector<double> signal;  // at LNA-output scale, rate f_sample
-  if (design.uses_cs()) {
-    EFF_REQUIRE(recon != nullptr, "CS design requires a reconstructor");
-    signal = recon->reconstruct_stream(received.samples, pool_);
-  } else {
-    signal = received.samples;
-  }
+  // At LNA-output scale, rate f_sample.
+  std::vector<double> signal = decoder.decode(received.samples, pool_);
   EFF_REQUIRE(!signal.empty(), "front-end produced no samples");
 
   // Ground truth: the clean segment ideally sampled at f_sample, truncated
@@ -124,20 +130,24 @@ EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
   const auto eval_start = std::chrono::steady_clock::now();
   design.validate();
 
-  auto chain = build_chain(tech_, design, options_.seeds);
-  // Reconstructors depend only on the Phi seed + CS config — never on the
-  // mismatch/noise seeds — so every Monte-Carlo instance and every sweep
-  // point sharing the design's CS front-end reuses one dictionary + Gram.
-  std::shared_ptr<const cs::Reconstructor> recon;
-  if (design.uses_cs()) {
-    recon = ReconstructorCache::instance().get(design, options_.seeds,
-                                               options_.recon);
-  }
+  const arch::Architecture& architecture =
+      arch::ArchRegistry::instance().resolve(options_.architecture, design);
+  auto chain = architecture.build_model(tech_, design, options_.seeds);
+  // Decoders built through the architecture share reconstructors via the
+  // cross-point ReconstructorCache: they depend only on the Phi seed + CS
+  // config — never on the mismatch/noise seeds — so every Monte-Carlo
+  // instance and every sweep point sharing the design's CS front-end reuses
+  // one dictionary + Gram.
+  const auto decoder =
+      architecture.make_decoder(design, options_.seeds, options_.recon);
 
   EvalMetrics metrics;
-  metrics.power_breakdown = chain->power_report();
-  metrics.power_w = metrics.power_breakdown.total_watts();
-  metrics.area_breakdown = chain->area_report();
+  const bool live_power = architecture.signal_dependent_power();
+  if (!live_power) {
+    metrics.power_breakdown = architecture.power_report(*chain);
+    metrics.power_w = metrics.power_breakdown.total_watts();
+  }
+  metrics.area_breakdown = architecture.area_report(*chain);
   metrics.area_unit_caps = metrics.area_breakdown.total_unit_caps();
 
   std::size_t limit = dataset_->segments.size();
@@ -153,8 +163,14 @@ EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
   for (std::size_t i = 0; i < limit; ++i) {
     const auto& segment = dataset_->segments[i];
     const auto outcome =
-        process_segment(*chain, recon.get(), design, segment.waveform);
+        process_segment(*chain, *decoder, design, segment.waveform);
     snr_sum += outcome.snr_db;
+    if (live_power) {
+      // Signal-dependent power (event-driven conversion): the report is
+      // only meaningful right after the segment streamed; average over the
+      // dataset.
+      metrics.power_breakdown.merge(architecture.power_report(*chain));
+    }
     const auto score =
         detector_->score_epochs(outcome.received, outcome.fs, segment.ictal);
     correct += score.correct;
@@ -162,6 +178,10 @@ EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
   }
   metrics.segments_evaluated = limit;
   metrics.snr_db = snr_sum / static_cast<double>(limit);
+  if (live_power) {
+    metrics.power_breakdown.scale(1.0 / static_cast<double>(limit));
+    metrics.power_w = metrics.power_breakdown.total_watts();
+  }
   EFF_REQUIRE(scored > 0, "no scorable epochs in the dataset");
   metrics.accuracy = static_cast<double>(correct) / static_cast<double>(scored);
   obs::counter("eval/points").inc();

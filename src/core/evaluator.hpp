@@ -1,12 +1,16 @@
 #pragma once
-// The evaluator binds everything together: for one design point it builds
-// the chain, streams the whole EEG dataset through it, reconstructs (CS
-// case), and scores both goal functions of the paper — reconstruction SNR
-// (Fig. 7a) and seizure-detection accuracy (Fig. 7b) — next to the analytic
-// power and capacitor area.
+// The evaluator binds everything together: for one design point it resolves
+// the architecture in the ArchRegistry, builds its chain, streams the whole
+// EEG dataset through it, decodes (CS reconstruction or pass-through), and
+// scores both goal functions of the paper — reconstruction SNR (Fig. 7a)
+// and seizure-detection accuracy (Fig. 7b) — next to the analytic power and
+// capacitor area. Architectures with signal-dependent power (LC-ADC) are
+// scored on the per-segment power reports averaged over the dataset.
 
 #include <cstdint>
+#include <string>
 
+#include "arch/architecture.hpp"
 #include "classify/detector.hpp"
 #include "core/chain.hpp"
 #include "eeg/dataset.hpp"
@@ -24,6 +28,12 @@ struct EvalOptions {
   ChainSeeds seeds;
   /// Evaluate at most this many segments (0 = all).
   std::size_t max_segments = 0;
+  /// Architecture id ("" or "auto" selects by design, the legacy
+  /// uses_cs()/cs_style dispatch; anything else must be registered).
+  std::string architecture;
+  /// Digest of the ScenarioSpec driving this evaluator (0 = none). Folded
+  /// into config_digest(), so run journals refuse a foreign scenario.
+  std::uint64_t scenario_digest = 0;
 };
 
 struct EvalMetrics {
@@ -55,7 +65,7 @@ class Evaluator {
     double snr_db = 0.0;
   };
   SegmentOutcome process_segment(sim::Model& chain,
-                                 const cs::Reconstructor* recon,
+                                 const arch::Decoder& decoder,
                                  const power::DesignParams& design,
                                  const sim::Waveform& clean) const;
 
@@ -64,10 +74,11 @@ class Evaluator {
 
   /// Stable 64-bit digest of everything that determines evaluate()'s output
   /// besides the design point itself: technology constants, reconstruction
-  /// config, chain seeds, the segment cap and the dataset's identity
-  /// (per-segment seeds, labels, lengths and boundary samples). The run
-  /// journal stores it so a resume against a different configuration is
-  /// refused instead of silently mixing results.
+  /// config, chain seeds, the segment cap, the architecture selection (id +
+  /// scenario digest) and the dataset's identity (per-segment seeds,
+  /// labels, lengths and boundary samples). The run journal stores it so a
+  /// resume against a different configuration is refused instead of
+  /// silently mixing results.
   std::uint64_t config_digest() const;
   /// Replace the chain seeds (Monte-Carlo fabrication sweeps).
   void set_seeds(const ChainSeeds& seeds) { options_.seeds = seeds; }

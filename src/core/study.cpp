@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "arch/architecture.hpp"
+
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -214,7 +216,7 @@ StudyResult Study::run(const std::function<void(const std::string&)>& log,
 
 std::string describe_result(const SweepResult& r) {
   std::ostringstream os;
-  os << (r.design.uses_cs() ? "CS" : "baseline") << " ["
+  os << arch::ArchRegistry::instance().for_design(r.design).id() << " ["
      << point_to_string(r.point) << "] power=" << format_power(r.metrics.power_w)
      << " snr=" << format_number(r.metrics.snr_db)
      << " dB acc=" << format_number(100.0 * r.metrics.accuracy)

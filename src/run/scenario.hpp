@@ -1,0 +1,55 @@
+#pragma once
+// Scenario execution: turn a declarative arch::ScenarioSpec into a live
+// evaluation context (synthetic EEG dataset, trained-or-cached detector,
+// core::Evaluator) and run its sweep durably through DurableSweeper. This
+// is the bridge tools/run_sweep, benches and examples share, so "run this
+// spec" means the same thing everywhere.
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "arch/scenario.hpp"
+#include "classify/detector.hpp"
+#include "core/evaluator.hpp"
+#include "eeg/dataset.hpp"
+#include "run/durable.hpp"
+#include "util/thread_pool.hpp"
+
+namespace efficsense::run {
+
+/// The EvalOptions a spec implies (recon config, seeds, segment cap,
+/// architecture id, scenario digest).
+core::EvalOptions scenario_eval_options(const arch::ScenarioSpec& spec);
+
+/// A spec brought to life. Address-stable (the evaluator points into the
+/// dataset/detector members), hence handed out by unique_ptr.
+struct ScenarioContext {
+  arch::ScenarioSpec spec;
+  power::DesignParams base;       ///< spec.base_design()
+  eeg::Dataset dataset;
+  std::optional<classify::EpilepsyDetector> detector;
+  std::unique_ptr<core::Evaluator> evaluator;
+
+  ScenarioContext() = default;
+  ScenarioContext(const ScenarioContext&) = delete;
+  ScenarioContext& operator=(const ScenarioContext&) = delete;
+};
+
+/// Build the context: synthesize the dataset (spec.segments, overridable
+/// via EFFICSENSE_SEGMENTS), train the detector or load it from the repo
+/// file cache, and construct the evaluator. `log` (optional) receives
+/// progress lines ("detector: cache hit" / "detector: training").
+std::unique_ptr<ScenarioContext> make_scenario_context(
+    arch::ScenarioSpec spec, ThreadPool* pool = nullptr,
+    const std::function<void(const std::string&)>& log = {});
+
+/// Run the spec's sweep durably. options.config_digest defaults to the
+/// context evaluator's config_digest() when left 0 (which already folds in
+/// the scenario digest).
+RunOutcome run_scenario(const ScenarioContext& context, RunOptions options,
+                        ThreadPool* pool = nullptr,
+                        const DurableSweeper::Progress& progress = {});
+
+}  // namespace efficsense::run

@@ -33,6 +33,10 @@ void PowerReport::merge(const PowerReport& other) {
   for (const auto& [name, w] : other.entries_) add(name, w);
 }
 
+void PowerReport::scale(double factor) {
+  for (auto& [_, w] : entries_) w *= factor;
+}
+
 std::string PowerReport::to_string() const {
   std::ostringstream os;
   const double total = total_watts();

@@ -22,6 +22,10 @@ class PowerReport {
   /// Merge another report (summing same-named entries).
   void merge(const PowerReport& other);
 
+  /// Multiply every entry by `factor` — averaging per-segment reports of a
+  /// signal-dependent (event-driven) chain: merge each, scale by 1/count.
+  void scale(double factor);
+
   /// Human-readable multi-line summary with percentages.
   std::string to_string() const;
 

@@ -1,42 +1,46 @@
-// run_sweep — the durable sweep driver the CI harness kills, resumes,
-// shards and merges. It evaluates a small fixed design space (baseline and
-// passive-CS chains) through run::DurableSweeper, journaling every point,
-// and prints machine-checkable lines:
+// run_sweep — the durable, scenario-driven sweep driver the CI harness
+// kills, resumes, shards and merges. It evaluates the design space of a
+// declarative scenario spec (arch::ScenarioSpec JSON; the built-in default
+// is the CI smoke spec, identical to examples/scenario_ci_smoke.json)
+// through run::DurableSweeper, journaling every point, and prints
+// machine-checkable lines:
 //
 //   points_resumed=... points_evaluated=... points_retried=... points_quarantined=...
 //   RESULT_DIGEST=<fnv1a64 of the result CSV>
 //
 // Modes:
-//   run_sweep --journal results/ci/sweep.jsonl [--out sweep.csv]
-//             [--timeout <s>] [--point-delay-ms <n>]
+//   run_sweep --journal results/ci/sweep.jsonl [--scenario spec.json]
+//             [--out sweep.csv] [--timeout <s>] [--point-delay-ms <n>]
 //   run_sweep --merge merged.jsonl --inputs s0.jsonl s1.jsonl s2.jsonl
-//             [--out merged.csv]
+//             [--scenario spec.json] [--out merged.csv]
+//   run_sweep --list-architectures
 //
 // Sharding comes from EFFICSENSE_SHARD=i/N; dataset scale from
-// EFFICSENSE_SEGMENTS (default 2) and worker threads from
-// EFFICSENSE_THREADS, exactly as in the Study sweeps. A 3-shard run merged
-// with --merge is bitwise-identical (same RESULT_DIGEST, same CSV bytes)
-// to an unsharded run — CI asserts exactly that.
+// EFFICSENSE_SEGMENTS (overriding the spec's "segments") and worker threads
+// from EFFICSENSE_THREADS, exactly as in the Study sweeps. A 3-shard run
+// merged with --merge is bitwise-identical (same RESULT_DIGEST, same CSV
+// bytes) to an unsharded run — CI asserts exactly that, plus that a
+// --scenario run of the checked-in smoke spec digests identically to the
+// built-in spec.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <sstream>
 #include <thread>
 #include <vector>
 
-#include "classify/detector.hpp"
-#include "core/design_space.hpp"
+#include "arch/architecture.hpp"
+#include "arch/scenario.hpp"
 #include "core/evaluator.hpp"
 #include "core/sweep.hpp"
-#include "eeg/dataset.hpp"
 #include "obs/obs.hpp"
 #include "run/durable.hpp"
+#include "run/scenario.hpp"
 #include "util/cache.hpp"
 #include "util/env.hpp"
-#include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace efficsense;
@@ -46,20 +50,28 @@ namespace {
 
 void usage() {
   std::cerr
-      << "usage: run_sweep --journal <path> [--out <csv>] [--timeout <s>]\n"
-         "                 [--point-delay-ms <n>]\n"
+      << "usage: run_sweep --journal <path> [--scenario <spec.json>]\n"
+         "                 [--out <csv>] [--timeout <s>] [--point-delay-ms <n>]\n"
          "       run_sweep --merge <out.jsonl> --inputs <j1> <j2> ...\n"
-         "                 [--out <csv>]\n";
+         "                 [--scenario <spec.json>] [--out <csv>]\n"
+         "       run_sweep --list-architectures\n";
 }
 
-/// The fixed CI space: both chain families, 12 points.
-DesignSpace ci_space() {
-  DesignSpace space;
-  space.add_axis("lna_noise_vrms", {2e-6, 6e-6, 20e-6})
-      .add_axis("adc_bits", {6, 8})
-      .add_axis("cs_m", {0, 75});  // 0 = baseline chain, 75 = passive CS
-  return space;
-}
+/// The built-in scenario: the fixed CI space (both chain families, 12
+/// points). Kept byte-for-byte in sync with examples/scenario_ci_smoke.json
+/// so `--scenario` on the checked-in file reproduces the default run
+/// exactly — CI asserts the RESULT_DIGESTs match.
+constexpr const char* kCiSmokeSpec = R"({
+  "name": "ci-smoke",
+  "architecture": "auto",
+  "axes": [
+    {"name": "lna_noise_vrms", "values": [2e-6, 6e-6, 20e-6]},
+    {"name": "adc_bits", "values": [6, 8]},
+    {"name": "cs_m", "values": [0, 75]}
+  ],
+  "eval": {"residual_tol": 0.02},
+  "sweep": {"segments": 2, "train_segments": 12, "seed": 2022}
+})";
 
 std::string hex16(std::uint64_t v) {
   char buf[17];
@@ -86,33 +98,16 @@ void report(const run::RunOutcome& outcome, const std::string& csv,
   }
 }
 
-/// Train (or load from the repo file cache) the small CI detector.
-classify::EpilepsyDetector ci_detector(const eeg::Generator& gen,
-                                       ThreadPool* pool) {
-  classify::DetectorConfig cfg;
-  power::DesignParams probe;
-  cfg.fs_hz = probe.f_sample_hz();
-  std::ostringstream key;
-  key.precision(17);
-  key << "run_sweep/detector/v1;train=6x6@" << derive_seed(2022, 0xDE7)
-      << ";fs=" << cfg.fs_hz << ";hidden=" << cfg.hidden_units
-      << ";aug_seed=" << cfg.augment.seed << ";train_seed=" << cfg.train.seed;
-  const auto cache = default_cache();
-  if (const auto blob = cache.load(key.str())) {
-    std::cout << "[detector: cache hit]\n";
-    return classify::EpilepsyDetector::from_blob(*blob);
+void list_architectures() {
+  for (const arch::Architecture* a : arch::ArchRegistry::instance().list()) {
+    std::printf("%-12s %s\n", a->id().c_str(), a->description().c_str());
   }
-  std::cout << "[detector: training]\n";
-  auto detector = classify::EpilepsyDetector::train(
-      eeg::make_dataset(gen, 6, 6, derive_seed(2022, 0xDE7), pool), cfg);
-  cache.store(key.str(), detector.to_blob());
-  return detector;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string journal, merge_out, out_csv;
+  std::string journal, merge_out, out_csv, scenario_path;
   std::vector<std::string> inputs;
   double timeout_s = 0.0;
   int point_delay_ms = 0;
@@ -134,6 +129,11 @@ int main(int argc, char** argv) {
       merge_out = next();
     } else if (arg == "--inputs") {
       while (i + 1 < argc && argv[i + 1][0] != '-') inputs.push_back(argv[++i]);
+    } else if (arg == "--scenario") {
+      scenario_path = next();
+    } else if (arg == "--list-architectures") {
+      list_architectures();
+      return 0;
     } else if (arg == "--out") {
       out_csv = next();
     } else if (arg == "--timeout") {
@@ -146,15 +146,18 @@ int main(int argc, char** argv) {
     }
   }
 
-  const power::DesignParams base;  // Table III defaults; cs_m rides the axis
-
   try {
+    const auto spec = scenario_path.empty()
+                          ? arch::scenario_from_json(kCiSmokeSpec)
+                          : arch::scenario_from_file(scenario_path);
+
     if (merge_mode) {
       if (inputs.empty()) {
         usage();
         return 2;
       }
-      const auto outcome = run::merge_journals(inputs, base, merge_out);
+      const auto outcome =
+          run::merge_journals(inputs, spec.base_design(), merge_out);
       report(outcome, sweep_to_csv(outcome.results), out_csv);
       return outcome.quarantined.empty() ? 0 : 3;
     }
@@ -172,27 +175,21 @@ int main(int argc, char** argv) {
       if (pool->size() <= 1) pool.reset();
     }
 
-    const auto n =
-        static_cast<std::size_t>(env_int("EFFICSENSE_SEGMENTS", 2));
-    const eeg::Generator gen{eeg::GeneratorConfig{}};
-    const auto dataset = eeg::make_dataset(gen, n / 2, n - n / 2,
-                                           derive_seed(2022, 0xEA1), pool.get());
-    const auto detector = ci_detector(gen, pool.get());
-
-    EvalOptions opt;
-    opt.recon.residual_tol = 0.02;
-    const Evaluator evaluator(power::TechnologyParams{}, &dataset, &detector,
-                              opt);
+    const auto context = run::make_scenario_context(
+        spec, pool.get(),
+        [](const std::string& line) { std::cout << "[" << line << "]\n"; });
 
     run::RunOptions options;
     options.journal_path = journal;
     options.shard = run::shard_from_env();
     options.point_timeout_s = timeout_s;
-    options.config_digest = evaluator.config_digest();
+    options.config_digest = context->evaluator->config_digest();
 
-    const auto space = ci_space();
-    std::cout << "[sweep: " << space.size() << " points, shard "
-              << options.shard.to_string() << ", " << dataset.size()
+    std::cout << "[scenario: "
+              << (context->spec.name.empty() ? "(unnamed)" : context->spec.name)
+              << ", architecture " << context->spec.architecture << "]\n";
+    std::cout << "[sweep: " << context->spec.space.size() << " points, shard "
+              << options.shard.to_string() << ", " << context->dataset.size()
               << " segments]\n";
 
     // The delay wrapper (CI uses it to widen the SIGKILL window) must not
@@ -201,11 +198,12 @@ int main(int argc, char** argv) {
       if (point_delay_ms > 0) {
         std::this_thread::sleep_for(std::chrono::milliseconds(point_delay_ms));
       }
-      return evaluator.evaluate(d);
+      return context->evaluator->evaluate(d);
     };
     const run::DurableSweeper sweeper(std::move(eval), options);
     const auto outcome = sweeper.run(
-        base, space, pool.get(), [&](std::size_t done, std::size_t total) {
+        context->base, context->spec.space, pool.get(),
+        [&](std::size_t done, std::size_t total) {
           std::cout << "[progress " << done << "/" << total << "]"
                     << std::endl;  // flushed: the kill-and-resume job greps it
         });
