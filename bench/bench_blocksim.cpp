@@ -279,7 +279,19 @@ void write_bench_blocksim_json(
       << "    \"cs_cached\": " << per_s(cs_ab.cached_s) << ",\n"
       << "    \"cs_uncached\": " << per_s(cs_ab.uncached_s) << "\n"
       << "  },\n  \"golden\": {\"gauss_1000_seed12345_boxmuller\": \""
-      << golden_gauss_checksum() << "\"},\n"
+      << golden_gauss_checksum() << "\"},\n";
+  const auto& block = obs::histogram("time/block_run");
+  const auto pct_us = [&block](double q) {
+    return block.count() > 0 ? block.percentile(q) * 1e6 : 0.0;
+  };
+  out << "  \"block_run_latency\": {\n"
+      << "    \"count\": " << block.count() << ",\n"
+      << "    \"us_mean\": "
+      << (block.count() > 0 ? block.mean() * 1e6 : 0.0) << ",\n"
+      << "    \"us_p50\": " << pct_us(0.50) << ",\n"
+      << "    \"us_p90\": " << pct_us(0.90) << ",\n"
+      << "    \"us_p99\": " << pct_us(0.99) << "\n"
+      << "  },\n"
       << "  \"counters\": {\n"
       << "    \"rng_bulk_fills\": " << Rng::bulk_fill_count() << ",\n"
       << "    \"sim_schedule_cache_hits\": "

@@ -37,6 +37,12 @@ inline std::string omp_instruments_json() {
   };
   const auto& solve = obs::histogram("time/omp_solve");
   const auto& gram = obs::histogram("time/omp_gram_build");
+  const auto& block = obs::histogram("time/block_run");
+  // Percentiles in microseconds from the fixed-bucket estimator
+  // (Histogram::percentile) so trajectory files track tails, not just means.
+  const auto pct_us = [](const obs::Histogram& h, double q) {
+    return h.count() > 0 ? h.percentile(q) * 1e6 : 0.0;
+  };
   std::ostringstream os;
   os.precision(6);
   os << "{\"solves\": " << count("omp/solves")
@@ -45,10 +51,16 @@ inline std::string omp_instruments_json() {
      << ", \"cache_misses\": " << count("omp/cache_misses")
      << ", \"solve_us_mean\": "
      << (solve.count() > 0 ? solve.mean() * 1e6 : 0.0)
+     << ", \"solve_us_p50\": " << pct_us(solve, 0.50)
+     << ", \"solve_us_p90\": " << pct_us(solve, 0.90)
+     << ", \"solve_us_p99\": " << pct_us(solve, 0.99)
      << ", \"solve_s_total\": " << solve.sum()
      << ", \"gram_build_us_mean\": "
      << (gram.count() > 0 ? gram.mean() * 1e6 : 0.0)
-     << ", \"gram_build_s_total\": " << gram.sum() << "}";
+     << ", \"gram_build_s_total\": " << gram.sum()
+     << ", \"block_run_us_p50\": " << pct_us(block, 0.50)
+     << ", \"block_run_us_p90\": " << pct_us(block, 0.90)
+     << ", \"block_run_us_p99\": " << pct_us(block, 0.99) << "}";
   return os.str();
 }
 

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Bench-trajectory regression gate.
+
+Compares throughput metrics in freshly generated BENCH_*.json files against
+the committed baselines in bench/baselines.json and fails (exit 1) when any
+metric regresses by more than the tolerance band. Higher is always better
+for the gated metrics (they are rates), so only downward moves can fail.
+
+Usage:
+    scripts/check_bench_trajectory.py [--baselines bench/baselines.json]
+                                      [--dir <dir with fresh BENCH files>]
+                                      [--tolerance 0.30]
+
+Baseline keys are "<file>:<dotted.path>" into the fresh JSON document.
+A missing fresh file or metric is a hard failure: the gate must never pass
+because the bench silently stopped reporting. Improvements are reported so
+intentional speedups show up in the job log (copy them into the baselines
+when they are real).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+def dig(doc, dotted):
+    cur = doc
+    for part in dotted.split("."):
+        if not isinstance(cur, dict) or part not in cur:
+            return None
+        cur = cur[part]
+    return cur
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baselines", default="bench/baselines.json")
+    ap.add_argument("--dir", default=".", help="directory with fresh BENCH_*.json")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="allowed fractional regression (default: baselines file value)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baselines) as f:
+        baselines = json.load(f)
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(baselines.get("tolerance", 0.30))
+
+    fresh_cache = {}
+    failures = []
+    checked = 0
+    for key, baseline in sorted(baselines["metrics"].items()):
+        file_name, dotted = key.split(":", 1)
+        path = os.path.join(args.dir, file_name)
+        if file_name not in fresh_cache:
+            try:
+                with open(path) as f:
+                    fresh_cache[file_name] = json.load(f)
+            except (OSError, ValueError) as e:
+                fresh_cache[file_name] = None
+                failures.append(f"{key}: cannot read fresh {path}: {e}")
+                continue
+        doc = fresh_cache[file_name]
+        if doc is None:
+            failures.append(f"{key}: cannot read fresh {path}")
+            continue
+        fresh = dig(doc, dotted)
+        if not isinstance(fresh, (int, float)):
+            failures.append(f"{key}: metric missing from fresh {file_name}")
+            continue
+        checked += 1
+        floor = baseline * (1.0 - tolerance)
+        delta = (fresh - baseline) / baseline if baseline else 0.0
+        status = "OK"
+        if fresh < floor:
+            status = "FAIL"
+            failures.append(
+                f"{key}: {fresh:.3f} is {-delta * 100.0:.1f}% below the "
+                f"baseline {baseline:.3f} (allowed {tolerance * 100.0:.0f}%)"
+            )
+        elif delta > tolerance:
+            status = "IMPROVED (consider updating the baseline)"
+        print(
+            f"[{status}] {key}: fresh {fresh:.3f} vs baseline {baseline:.3f} "
+            f"({delta * 100.0:+.1f}%)"
+        )
+
+    if failures:
+        print(f"\nbench trajectory gate FAILED ({len(failures)} problem(s)):")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print(f"\nbench trajectory gate passed: {checked} metric(s) within "
+          f"{tolerance * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,10 +1,12 @@
 #include "classify/detector.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <sstream>
 
 #include "cs/effective.hpp"
+#include "obs/metrics.hpp"
 #include "cs/reconstructor.hpp"
 #include "cs/srbm.hpp"
 #include "dsp/resample.hpp"
@@ -189,6 +191,7 @@ double EpilepsyDetector::seizure_probability(const std::vector<double>& x,
 EpilepsyDetector::EpochScore EpilepsyDetector::score_epochs(
     const std::vector<double>& x, double fs,
     const std::optional<eeg::IctalAnnotation>& ictal) const {
+  const auto start = std::chrono::steady_clock::now();
   const auto probs = epoch_probabilities(x, fs);
   const auto truth = epoch_labels(ictal, probs.size(), config_.features.epoch_s);
   EpochScore score;
@@ -197,6 +200,10 @@ EpilepsyDetector::EpochScore EpilepsyDetector::score_epochs(
     ++score.scored;
     if ((probs[e] >= 0.5) == (*truth[e] >= 0.5)) ++score.correct;
   }
+  obs::histogram("time/detect_score")
+      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count());
   return score;
 }
 

@@ -1,0 +1,73 @@
+#include "obs/export.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+namespace efficsense::obs {
+
+namespace {
+
+void append_value(std::ostringstream& os, double v) {
+  if (v != v) {
+    os << "NaN";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.12g", v);
+  os << buf;
+}
+
+}  // namespace
+
+std::string prometheus_name(const std::string& instrument_name) {
+  std::string out = "efficsense_";
+  out.reserve(out.size() + instrument_name.size());
+  for (char c : instrument_name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string export_prometheus(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  for (const auto& [name, v] : snapshot.registry.counters) {
+    const auto pname = prometheus_name(name);
+    os << "# TYPE " << pname << " counter\n" << pname << " " << v << "\n";
+  }
+  for (const auto& [name, v] : snapshot.registry.gauges) {
+    const auto pname = prometheus_name(name);
+    os << "# TYPE " << pname << " gauge\n" << pname << " ";
+    append_value(os, v);
+    os << "\n";
+  }
+  for (const auto& [name, h] : snapshot.registry.histograms) {
+    const auto pname = prometheus_name(name);
+    os << "# TYPE " << pname << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cumulative += h.buckets[i];
+      os << pname << "_bucket{le=\"";
+      append_value(os, h.bounds[i]);
+      os << "\"} " << cumulative << "\n";
+    }
+    os << pname << "_bucket{le=\"+Inf\"} " << h.count << "\n";
+    os << pname << "_sum ";
+    append_value(os, h.sum);
+    os << "\n" << pname << "_count " << h.count << "\n";
+  }
+  if (snapshot.rss_bytes > 0.0) {
+    os << "# TYPE efficsense_process_resident_memory_bytes gauge\n"
+       << "efficsense_process_resident_memory_bytes ";
+    append_value(os, snapshot.rss_bytes);
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string export_prometheus() {
+  return export_prometheus(MetricsSnapshot::capture());
+}
+
+}  // namespace efficsense::obs

@@ -1,0 +1,27 @@
+#pragma once
+// Prometheus text-format (0.0.4) exporter over the metrics registry, so the
+// future sweep coordinator and serve daemon can expose one scrape endpoint
+// backed by the same instruments every bench and sweep already feeds.
+// Instrument names map to the prometheus grammar by replacing every
+// character outside [a-zA-Z0-9_] with '_' and prefixing "efficsense_";
+// histograms render as cumulative _bucket{le="..."} series plus _sum/_count.
+
+#include <string>
+
+#include "obs/metrics.hpp"
+#include "obs/snapshot.hpp"
+
+namespace efficsense::obs {
+
+/// A full registry snapshot in Prometheus exposition format. `snapshot`
+/// additionally contributes efficsense_process_resident_memory_bytes.
+std::string export_prometheus(const MetricsSnapshot& snapshot);
+
+/// Capture-and-render shorthand.
+std::string export_prometheus();
+
+/// Name mangling used by the exporter (exposed for tests and scrapers that
+/// need to predict series names).
+std::string prometheus_name(const std::string& instrument_name);
+
+}  // namespace efficsense::obs

@@ -44,6 +44,26 @@ Histogram::Snapshot Histogram::snapshot() const {
   return s;
 }
 
+double Histogram::snapshot_percentile(const Snapshot& s, double q) {
+  if (s.count == 0 || s.bounds.empty()) return 0.0;
+  q = std::min(1.0, std::max(0.0, q));
+  const double rank = q * static_cast<double>(s.count);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < s.buckets.size(); ++i) {
+    const double in_bucket = static_cast<double>(s.buckets[i]);
+    if (in_bucket == 0.0) continue;
+    if (cumulative + in_bucket >= rank) {
+      if (i >= s.bounds.size()) return s.bounds.back();  // overflow: clamp
+      const double lower = i == 0 ? 0.0 : s.bounds[i - 1];
+      const double upper = s.bounds[i];
+      const double fraction = (rank - cumulative) / in_bucket;
+      return lower + (upper - lower) * std::min(1.0, std::max(0.0, fraction));
+    }
+    cumulative += in_bucket;
+  }
+  return s.bounds.back();
+}
+
 const std::vector<double>& default_latency_bounds_s() {
   // 1 us .. 100 s, four bins per decade.
   static const std::vector<double> bounds = [] {

@@ -74,6 +74,15 @@ class Histogram {
   };
   Snapshot snapshot() const;
 
+  /// Estimated q-quantile (0 < q < 1) by linear interpolation within the
+  /// fixed buckets (Prometheus histogram_quantile semantics): the rank
+  /// q*count is located in its bucket and interpolated between the bucket's
+  /// bounds, with the first bucket anchored at 0 and the overflow bucket
+  /// clamped to the highest bound. Returns 0 when the histogram is empty.
+  double percentile(double q) const { return snapshot_percentile(snapshot(), q); }
+
+  static double snapshot_percentile(const Snapshot& s, double q);
+
  private:
   std::vector<double> bounds_;
   std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;

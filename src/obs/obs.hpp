@@ -1,10 +1,14 @@
 #pragma once
-// Umbrella header for the observability layer: metrics registry, trace
-// spans, structured logging and the bench sidecar writer. See DESIGN.md
-// ("Observability") for the env vars (EFFICSENSE_LOG, EFFICSENSE_TRACE)
-// and the trace/sidecar workflows.
+// Umbrella header for the observability layer: metrics registry (with
+// histogram percentiles), trace spans, structured logging, the bench
+// sidecar writer, point-in-time MetricsSnapshots and the Prometheus
+// text-format exporter. See DESIGN.md ("Observability" and "Live run
+// telemetry") for the env vars (EFFICSENSE_LOG, EFFICSENSE_TRACE,
+// EFFICSENSE_STATUS) and the trace/sidecar/status workflows.
 
+#include "obs/export.hpp"
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/sidecar.hpp"
+#include "obs/snapshot.hpp"
 #include "obs/trace.hpp"

@@ -2,13 +2,12 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/atomic_io.hpp"
 #include "util/rng.hpp"
 
 namespace efficsense::obs {
@@ -185,6 +184,12 @@ std::string BenchRun::to_json() const {
     append_number(os, h.sum);
     os << ", \"mean\": ";
     append_number(os, h.count ? h.sum / static_cast<double>(h.count) : 0.0);
+    os << ", \"p50\": ";
+    append_number(os, Histogram::snapshot_percentile(h, 0.50));
+    os << ", \"p90\": ";
+    append_number(os, Histogram::snapshot_percentile(h, 0.90));
+    os << ", \"p99\": ";
+    append_number(os, Histogram::snapshot_percentile(h, 0.99));
     os << "}";
   }
   os << "}\n}\n";
@@ -192,16 +197,12 @@ std::string BenchRun::to_json() const {
 }
 
 void BenchRun::write() const {
-  std::error_code ec;
-  std::filesystem::create_directories("results", ec);
-  {
-    std::ofstream out(path_, std::ios::trunc);
-    if (out) {
-      out << to_json();
-    } else {
-      EFFICSENSE_LOG_WARN("could not write obs sidecar",
-                          {{"path", path_}});
-    }
+  // tmp + fsync + rename: a crash mid-dump can never leave a torn sidecar.
+  try {
+    atomic_write_file(path_, to_json());
+  } catch (const std::exception& e) {
+    EFFICSENSE_LOG_WARN("could not write obs sidecar",
+                        {{"path", path_}, {"error", e.what()}});
   }
   // Keep the Chrome trace fresh too; cheap when EFFICSENSE_TRACE is unset.
   Tracer::instance().write_if_configured();

@@ -1,0 +1,71 @@
+#include "obs/snapshot.hpp"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+namespace efficsense::obs {
+
+HistogramStats summarize(const Histogram::Snapshot& h) {
+  HistogramStats s;
+  s.count = h.count;
+  s.sum = h.sum;
+  s.mean = h.count ? h.sum / static_cast<double>(h.count) : 0.0;
+  s.p50 = Histogram::snapshot_percentile(h, 0.50);
+  s.p90 = Histogram::snapshot_percentile(h, 0.90);
+  s.p99 = Histogram::snapshot_percentile(h, 0.99);
+  return s;
+}
+
+double current_rss_bytes() {
+  // statm field 2 is resident pages; no locale/parsing surprises like the
+  // "VmRSS: nnn kB" line in /proc/self/status.
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (!f) return 0.0;
+  unsigned long long size = 0, resident = 0;
+  const int got = std::fscanf(f, "%llu %llu", &size, &resident);
+  std::fclose(f);
+  if (got != 2) return 0.0;
+  const long page = ::sysconf(_SC_PAGESIZE);
+  return static_cast<double>(resident) *
+         static_cast<double>(page > 0 ? page : 4096);
+}
+
+double unix_now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+MetricsSnapshot MetricsSnapshot::capture() {
+  MetricsSnapshot s;
+  s.taken_unix_s = unix_now_s();
+  s.rss_bytes = current_rss_bytes();
+  s.registry = Registry::instance().snapshot();
+  return s;
+}
+
+const Histogram::Snapshot* MetricsSnapshot::histogram(
+    const std::string& name) const {
+  for (const auto& [n, h] : registry.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+std::optional<HistogramStats> MetricsSnapshot::stats(
+    const std::string& name) const {
+  const auto* h = histogram(name);
+  if (!h) return std::nullopt;
+  return summarize(*h);
+}
+
+std::uint64_t MetricsSnapshot::counter(const std::string& name) const {
+  for (const auto& [n, v] : registry.counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+}  // namespace efficsense::obs

@@ -1,0 +1,55 @@
+#pragma once
+// Point-in-time view of the whole observability surface: every registry
+// instrument, percentile summaries for the histograms, the process resident
+// set size and the capture timestamps. This is the unit the run-layer
+// heartbeat serializes into status.json every few seconds and the unit the
+// Prometheus exporter renders, so a live sweep, the future coordinator and
+// the serve daemon all report from one snapshot shape.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace efficsense::obs {
+
+/// Percentile summary of one histogram at capture time.
+struct HistogramStats {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Summarize a histogram snapshot (percentiles via linear interpolation
+/// within the fixed buckets — see Histogram::percentile).
+HistogramStats summarize(const Histogram::Snapshot& h);
+
+/// Current resident set size in bytes from /proc/self/statm; 0 when the
+/// platform does not expose it.
+double current_rss_bytes();
+
+/// Seconds since the unix epoch (wall clock; status staleness checks
+/// compare against this).
+double unix_now_s();
+
+struct MetricsSnapshot {
+  double taken_unix_s = 0.0;  ///< wall-clock capture time
+  double rss_bytes = 0.0;
+  Registry::Snapshot registry;
+
+  /// Capture the registry + process state now.
+  static MetricsSnapshot capture();
+
+  /// The named histogram's snapshot, or nullptr when absent.
+  const Histogram::Snapshot* histogram(const std::string& name) const;
+  /// Percentile summary of the named histogram; nullopt when absent.
+  std::optional<HistogramStats> stats(const std::string& name) const;
+  /// The named counter's value (0 when absent).
+  std::uint64_t counter(const std::string& name) const;
+};
+
+}  // namespace efficsense::obs

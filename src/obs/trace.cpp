@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
-#include <fstream>
 #include <map>
 #include <sstream>
 
+#include "util/atomic_io.hpp"
 #include "util/csv.hpp"
 
 namespace efficsense::obs {
@@ -64,6 +64,11 @@ Tracer::Tracer() {
   epoch_ns_ = steady_ns();
   detail::g_trace_state.store(path_.empty() ? 0 : 1,
                               std::memory_order_relaxed);
+  // An exit() that bypasses this static's destructor (abnormal shutdown,
+  // exit() from a bench) still flushes the spans collected so far.
+  if (!path_.empty()) {
+    std::atexit([] { Tracer::instance().write_if_configured(); });
+  }
 }
 
 Tracer::~Tracer() { write_if_configured(); }
@@ -169,8 +174,13 @@ std::string Tracer::summary() const {
 
 void Tracer::write_if_configured() const {
   if (path_.empty()) return;
-  std::ofstream out(path_, std::ios::trunc);
-  if (out) out << to_chrome_json();
+  // Atomic replace: a reader (or a crash mid-write) never sees a torn
+  // trace file, only the previous complete one.
+  try {
+    atomic_write_file(path_, to_chrome_json());
+  } catch (const std::exception&) {
+    // Tracing is best-effort; never take the process down over it.
+  }
 }
 
 void Span::begin(std::string_view name) {

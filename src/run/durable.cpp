@@ -8,9 +8,13 @@
 #include <optional>
 #include <thread>
 
+#include <chrono>
+#include <map>
+
 #include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "run/telemetry.hpp"
 #include "util/cache.hpp"
 #include "util/error.hpp"
 
@@ -143,9 +147,24 @@ RunOutcome DurableSweeper::run(const power::DesignParams& base,
 
   std::vector<std::uint64_t> owned;
   owned.reserve(shard.whole() ? total : total / shard.count + 1);
+  // Position of each owned point index in the owned enumeration — the
+  // telemetry frontier is contiguous over these positions, not raw indices.
+  std::vector<std::uint64_t> owned_pos(total, 0);
   for (std::uint64_t i = 0; i < total; ++i) {
-    if (shard.owns(i)) owned.push_back(i);
+    if (shard.owns(i)) {
+      owned_pos[i] = owned.size();
+      owned.push_back(i);
+    }
   }
+
+  const auto run_start = std::chrono::steady_clock::now();
+  const auto elapsed_s = [run_start] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         run_start)
+        .count();
+  };
+  TelemetryState telemetry;
+  telemetry.configure(header, owned.size(), options_.journal_path);
 
   RunOutcome outcome;
   std::vector<std::optional<core::SweepResult>> results(total);
@@ -180,6 +199,9 @@ RunOutcome DurableSweeper::run(const power::DesignParams& base,
           settled[rec.index] = 1;
         }
         ++outcome.points_resumed;
+        telemetry.on_settled(owned_pos[rec.index], /*resumed=*/true,
+                             rec.status == PointStatus::Quarantined,
+                             rec.attempts);
       }
       writer.emplace(JournalWriter::resume(options_.journal_path,
                                            existing->valid_bytes));
@@ -193,15 +215,42 @@ RunOutcome DurableSweeper::run(const power::DesignParams& base,
   }
   obs::counter("run/points_resumed").inc(outcome.points_resumed);
 
+  // Heartbeat: background status.json writer, resolved from the options /
+  // environment. Journal-less runs have nothing to anchor the path to.
+  std::optional<StatusWriter> status;
+  {
+    const std::string status_path =
+        !options_.status_path.empty() && !options_.journal_path.empty()
+            ? options_.status_path
+            : status_path_for(options_.journal_path);
+    if (!status_path.empty()) {
+      const double interval = options_.status_interval_s > 0.0
+                                  ? options_.status_interval_s
+                                  : status_interval_s_from_env();
+      status.emplace(status_path, interval, &telemetry);
+    }
+  }
+
   std::vector<std::uint64_t> pending;
   pending.reserve(owned.size());
   for (const auto idx : owned) {
     if (!settled[idx]) pending.push_back(idx);
   }
+  // Every pending point "enters the queue" when the work list is built —
+  // evaluation order decides how long it waits there.
+  const double queued_at_s = elapsed_s();
 
   auto& evaluated_counter = obs::counter("run/points_evaluated");
   auto& retried_counter = obs::counter("run/points_retried");
   auto& quarantined_counter = obs::counter("run/points_quarantined");
+  auto& point_eval_hist = obs::histogram("run/point_eval_s");
+  // Stage histograms the provenance events split evaluation time across.
+  // Sum deltas around each evaluation are exact single-threaded and an
+  // overlap-inflated approximation under a thread pool (see PointEvent).
+  auto& sim_hist = obs::histogram("time/block_run");
+  auto& decode_hist = obs::histogram("time/omp_solve");
+  auto& detect_hist = obs::histogram("time/detect_score");
+  const bool record_events = writer.has_value() && options_.record_events;
 
   std::atomic<std::size_t> done{owned.size() - pending.size()};
   std::atomic<std::uint64_t> evaluated{0}, retried{0};
@@ -225,6 +274,13 @@ RunOutcome DurableSweeper::run(const power::DesignParams& base,
     core::EvalMetrics metrics;
     std::string error;
     std::uint32_t attempt = 1;
+    PointEvent ev;
+    ev.index = idx;
+    ev.t_queue_s = queued_at_s;
+    ev.t_eval_start_s = elapsed_s();
+    const double sim0 = sim_hist.sum();
+    const double decode0 = decode_hist.sum();
+    const double detect0 = detect_hist.sum();
     for (;; ++attempt) {
       auto res = eval_once(eval_, design, options_.point_timeout_s);
       if (res.ok) {
@@ -241,6 +297,14 @@ RunOutcome DurableSweeper::run(const power::DesignParams& base,
                            {"attempt", obs::logv(attempt)},
                            {"error", error}});
     }
+    ev.t_eval_end_s = elapsed_s();
+    ev.block_sim_s = std::max(0.0, sim_hist.sum() - sim0);
+    ev.decode_s = std::max(0.0, decode_hist.sum() - decode0);
+    ev.detect_s = std::max(0.0, detect_hist.sum() - detect0);
+    ev.attempts = attempt;
+    ev.status = ok ? PointStatus::Ok : PointStatus::Quarantined;
+    ev.cause = error;  // empty on a clean first-attempt success
+    point_eval_hist.observe(ev.eval_s());
     rec.attempts = attempt;
     if (ok) {
       core::SweepResult r;
@@ -264,8 +328,15 @@ RunOutcome DurableSweeper::run(const power::DesignParams& base,
     {
       std::lock_guard lock(sink_mutex);
       if (!ok) quarantined.push_back({idx, point, error, attempt});
-      if (writer) writer->append(rec);
+      if (writer) {
+        writer->append(rec);
+        if (record_events) {
+          ev.t_journal_s = elapsed_s();
+          writer->append_event(ev);
+        }
+      }
     }
+    telemetry.on_settled(owned_pos[idx], /*resumed=*/false, !ok, attempt);
     done.fetch_add(1, std::memory_order_acq_rel);
     if (progress) {
       const std::size_t snapshot = done.load(std::memory_order_acquire);
@@ -282,6 +353,9 @@ RunOutcome DurableSweeper::run(const power::DesignParams& base,
   } else {
     for (std::size_t k = 0; k < pending.size(); ++k) evaluate_one(k);
   }
+
+  telemetry.mark_complete();
+  if (status) status->stop();  // final write carries complete=true
 
   outcome.points_evaluated = evaluated.load();
   outcome.points_retried = retried.load();
@@ -319,6 +393,9 @@ RunOutcome merge_journals(const std::vector<std::string>& paths,
 
   const std::uint64_t total = h0.total_points;
   std::vector<std::optional<JournalRecord>> by_index(total);
+  // Which journal contributed each point — its provenance events ride along
+  // into the merged journal (duplicate records keep the first journal's).
+  std::vector<std::size_t> source(total, 0);
   for (std::size_t j = 0; j < journals.size(); ++j) {
     for (auto& rec : journals[j].records) {
       EFF_REQUIRE(rec.index < total, "journal record index out of range in " +
@@ -332,6 +409,7 @@ RunOutcome merge_journals(const std::vector<std::string>& paths,
                         std::to_string(rec.index) + "; refusing to merge");
         continue;
       }
+      source[rec.index] = j;
       by_index[rec.index] = std::move(rec);
     }
   }
@@ -358,10 +436,30 @@ RunOutcome merge_journals(const std::vector<std::string>& paths,
   }
 
   if (!out_path.empty()) {
+    // Events from the contributing journal follow their point record, in
+    // journal-time order, so a merged journal reads like a single run's.
+    std::vector<std::map<std::uint64_t, std::vector<const PointEvent*>>>
+        events_by_journal(journals.size());
+    for (std::size_t j = 0; j < journals.size(); ++j) {
+      for (const auto& ev : journals[j].events) {
+        if (ev.index < total) events_by_journal[j][ev.index].push_back(&ev);
+      }
+    }
     JournalHeader merged = h0;
     merged.shard = Shard{};
     auto writer = JournalWriter::create(out_path, merged);
-    for (const auto& slot : by_index) writer.append(*slot);
+    for (const auto& slot : by_index) {
+      writer.append(*slot);
+      auto& per_point = events_by_journal[source[slot->index]];
+      const auto evs = per_point.find(slot->index);
+      if (evs == per_point.end()) continue;
+      std::vector<const PointEvent*> ordered = evs->second;
+      std::sort(ordered.begin(), ordered.end(),
+                [](const PointEvent* a, const PointEvent* b) {
+                  return a->t_journal_s < b->t_journal_s;
+                });
+      for (const auto* ev : ordered) writer.append_event(*ev);
+    }
   }
   obs::counter("run/journals_merged").inc(paths.size());
   return out;

@@ -13,10 +13,17 @@
 //  * fault isolation — a per-point wall-clock timeout and a bounded retry;
 //    a point that still fails is quarantined (recorded in the journal with
 //    its error) and the sweep continues, so one pathological point cannot
-//    kill a study.
+//    kill a study;
+//  * live telemetry — each freshly evaluated point appends a provenance
+//    event next to its record (queue→eval→journal timestamps, stage split,
+//    retry cause), and a heartbeat thread keeps an atomically-replaced
+//    status.json current (see run/telemetry.hpp and the EFFICSENSE_STATUS
+//    env knobs). Telemetry is strictly additive: result records and the
+//    RESULT_DIGEST are byte-identical with it on or off.
 //
 // Obs counters: run/points_resumed, run/points_evaluated,
 // run/points_retried, run/points_quarantined, run/journal_lines_dropped.
+// Obs histogram: run/point_eval_s (whole-point evaluation latency).
 
 #include <functional>
 #include <string>
@@ -49,6 +56,16 @@ struct RunOptions {
   /// Caller-side configuration digest (e.g. Evaluator::config_digest());
   /// mixed with the base design and space digests into the journal header.
   std::uint64_t config_digest = 0;
+  /// status.json heartbeat path. Empty = resolve via
+  /// run::status_path_for(journal_path) (EFFICSENSE_STATUS override,
+  /// default "<journal>.status.json", "off" disables); journal-less runs
+  /// never write one.
+  std::string status_path;
+  /// Heartbeat cadence in seconds; <= 0 = EFFICSENSE_STATUS_INTERVAL
+  /// (default 5).
+  double status_interval_s = 0.0;
+  /// Append per-point provenance events alongside journal records.
+  bool record_events = true;
 };
 
 struct QuarantinedPoint {

@@ -1,6 +1,7 @@
 #include "run/journal.hpp"
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <sstream>
 
@@ -40,42 +41,9 @@ std::optional<std::string> unseal(const std::string& line) {
   return payload;
 }
 
-/// Extract the value of `"key":"..."` (string field) from a journal line.
-std::optional<std::string> string_field(const std::string& line,
-                                        const std::string& key) {
-  const std::string needle = "\"" + key + "\":\"";
-  const auto start = line.find(needle);
-  if (start == std::string::npos) return std::nullopt;
-  std::size_t i = start + needle.size();
-  std::string raw;
-  while (i < line.size()) {
-    if (line[i] == '\\' && i + 1 < line.size()) {
-      raw += line[i];
-      raw += line[i + 1];
-      i += 2;
-      continue;
-    }
-    if (line[i] == '"') return obs::json_unescape(raw);
-    raw += line[i++];
-  }
-  return std::nullopt;
-}
-
-/// Extract the value of `"key":123` (unsigned integer field).
-std::optional<std::uint64_t> int_field(const std::string& line,
-                                       const std::string& key) {
-  const std::string needle = "\"" + key + "\":";
-  const auto start = line.find(needle);
-  if (start == std::string::npos) return std::nullopt;
-  std::size_t i = start + needle.size();
-  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
-  std::uint64_t v = 0;
-  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
-    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
-    ++i;
-  }
-  return v;
-}
+using jsonf::double_field;
+using jsonf::int_field;
+using jsonf::string_field;
 
 std::optional<std::uint64_t> hex_field(const std::string& line,
                                        const std::string& key) {
@@ -89,6 +57,14 @@ std::optional<std::uint64_t> hex_field(const std::string& line,
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+/// 17-significant-digit rendering so event timings round-trip bit-exactly,
+/// like the sweep CSV rows.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
 }
 
 std::optional<JournalHeader> parse_header(const std::string& line) {
@@ -116,37 +92,133 @@ std::optional<JournalHeader> parse_header(const std::string& line) {
   return h;
 }
 
-std::optional<JournalRecord> parse_record(const std::string& line) {
-  const auto payload = unseal(line);
-  if (!payload) return std::nullopt;
-  if (string_field(*payload, "type").value_or("") != "point") {
-    return std::nullopt;
-  }
+std::optional<PointStatus> parse_status_word(const std::string& word) {
+  if (word == "ok") return PointStatus::Ok;
+  if (word == "quarantined") return PointStatus::Quarantined;
+  return std::nullopt;
+}
+
+/// `payload` is an already-unsealed line whose type field is "point".
+std::optional<JournalRecord> parse_record(const std::string& payload) {
   JournalRecord r;
-  const auto index = int_field(*payload, "index");
-  const auto hash = hex_field(*payload, "hash");
-  const auto status = string_field(*payload, "status");
-  const auto attempts = int_field(*payload, "attempts");
+  const auto index = int_field(payload, "index");
+  const auto hash = hex_field(payload, "hash");
+  const auto status = string_field(payload, "status");
+  const auto attempts = int_field(payload, "attempts");
   if (!index || !hash || !status || !attempts) return std::nullopt;
+  const auto st = parse_status_word(*status);
+  if (!st) return std::nullopt;
   r.index = *index;
   r.point_hash = *hash;
+  r.status = *st;
   r.attempts = static_cast<std::uint32_t>(*attempts);
-  std::optional<std::string> body;
-  if (*status == "ok") {
-    r.status = PointStatus::Ok;
-    body = string_field(*payload, "row");
-  } else if (*status == "quarantined") {
-    r.status = PointStatus::Quarantined;
-    body = string_field(*payload, "error");
-  } else {
-    return std::nullopt;
-  }
+  const auto body = string_field(
+      payload, r.status == PointStatus::Ok ? "row" : "error");
   if (!body) return std::nullopt;
   r.payload = *body;
   return r;
 }
 
+/// `payload` is an already-unsealed line whose type field is "event".
+std::optional<PointEvent> parse_event(const std::string& payload) {
+  PointEvent e;
+  const auto index = int_field(payload, "index");
+  const auto status = string_field(payload, "status");
+  const auto attempts = int_field(payload, "attempts");
+  const auto tq = double_field(payload, "tq");
+  const auto te0 = double_field(payload, "te0");
+  const auto te1 = double_field(payload, "te1");
+  const auto tj = double_field(payload, "tj");
+  const auto sim = double_field(payload, "sim");
+  const auto dec = double_field(payload, "dec");
+  const auto det = double_field(payload, "det");
+  const auto cause = string_field(payload, "cause");
+  if (!index || !status || !attempts || !tq || !te0 || !te1 || !tj || !sim ||
+      !dec || !det || !cause) {
+    return std::nullopt;
+  }
+  const auto st = parse_status_word(*status);
+  if (!st) return std::nullopt;
+  e.index = *index;
+  e.status = *st;
+  e.attempts = static_cast<std::uint32_t>(*attempts);
+  e.t_queue_s = *tq;
+  e.t_eval_start_s = *te0;
+  e.t_eval_end_s = *te1;
+  e.t_journal_s = *tj;
+  e.block_sim_s = *sim;
+  e.decode_s = *dec;
+  e.detect_s = *det;
+  e.cause = *cause;
+  return e;
+}
+
 }  // namespace
+
+namespace jsonf {
+
+std::optional<std::string> string_field(const std::string& line,
+                                        const std::string& key) {
+  const std::string needle = "\"" + key + "\":\"";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  std::size_t i = start + needle.size();
+  std::string raw;
+  while (i < line.size()) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      raw += line[i];
+      raw += line[i + 1];
+      i += 2;
+      continue;
+    }
+    if (line[i] == '"') return obs::json_unescape(raw);
+    raw += line[i++];
+  }
+  return std::nullopt;
+}
+
+std::optional<std::uint64_t> int_field(const std::string& line,
+                                       const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  std::size_t i = start + needle.size();
+  if (i >= line.size() || line[i] < '0' || line[i] > '9') return std::nullopt;
+  std::uint64_t v = 0;
+  while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(line[i] - '0');
+    ++i;
+  }
+  return v;
+}
+
+std::optional<double> double_field(const std::string& line,
+                                   const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  const std::size_t i = start + needle.size();
+  if (i >= line.size()) return std::nullopt;
+  const char first = line[i];
+  if (first != '-' && (first < '0' || first > '9')) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(line.c_str() + i, &end);
+  if (end == line.c_str() + i) return std::nullopt;
+  return v;
+}
+
+std::optional<bool> bool_field(const std::string& line,
+                               const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const auto start = line.find(needle);
+  if (start == std::string::npos) return std::nullopt;
+  const std::size_t i = start + needle.size();
+  if (line.compare(i, 4, "true") == 0) return true;
+  if (line.compare(i, 5, "false") == 0) return false;
+  return std::nullopt;
+}
+
+}  // namespace jsonf
 
 std::string Shard::to_string() const {
   return std::to_string(index) + "/" + std::to_string(count);
@@ -208,6 +280,21 @@ std::string record_to_line(const JournalRecord& r) {
   return seal(os.str());
 }
 
+std::string event_to_line(const PointEvent& e) {
+  std::ostringstream os;
+  os << "{\"type\":\"event\",\"index\":" << e.index << ",\"status\":\""
+     << (e.status == PointStatus::Ok ? "ok" : "quarantined")
+     << "\",\"attempts\":" << e.attempts << ",\"tq\":"
+     << fmt_double(e.t_queue_s) << ",\"te0\":" << fmt_double(e.t_eval_start_s)
+     << ",\"te1\":" << fmt_double(e.t_eval_end_s)
+     << ",\"tj\":" << fmt_double(e.t_journal_s)
+     << ",\"sim\":" << fmt_double(e.block_sim_s)
+     << ",\"dec\":" << fmt_double(e.decode_s)
+     << ",\"det\":" << fmt_double(e.detect_s) << ",\"cause\":\""
+     << obs::json_escape(e.cause) << "\"";
+  return seal(os.str());
+}
+
 std::optional<JournalContents> read_journal(const std::string& path) {
   const auto blob = read_file(path);
   if (!blob || blob->empty()) return std::nullopt;
@@ -236,10 +323,25 @@ std::optional<JournalContents> read_journal(const std::string& path) {
   out.header = *header;
   out.valid_bytes = lines.front().second;
   for (std::size_t i = 1; i < lines.size(); ++i) {
-    const auto rec = parse_record(lines[i].first);
-    if (!rec) {
-      // First bad line: everything from here is a truncated/corrupt tail.
-      // The points it may have covered re-evaluate deterministically.
+    // Validate line by line: unseal the crc, then dispatch on the type.
+    // The first bad line marks a truncated/corrupt tail; the points it may
+    // have covered re-evaluate deterministically.
+    bool ok = false;
+    if (const auto payload = unseal(lines[i].first)) {
+      const auto type = string_field(*payload, "type").value_or("");
+      if (type == "point") {
+        if (auto rec = parse_record(*payload)) {
+          out.records.push_back(std::move(*rec));
+          ok = true;
+        }
+      } else if (type == "event") {
+        if (auto ev = parse_event(*payload)) {
+          out.events.push_back(std::move(*ev));
+          ok = true;
+        }
+      }
+    }
+    if (!ok) {
       out.dropped_lines = lines.size() - i;
       obs::counter("run/journal_lines_dropped").inc(out.dropped_lines);
       EFFICSENSE_LOG_WARN(
@@ -249,7 +351,6 @@ std::optional<JournalContents> read_journal(const std::string& path) {
            {"dropped_lines", obs::logv(out.dropped_lines)}});
       break;
     }
-    out.records.push_back(*rec);
     out.valid_bytes = lines[i].second;
   }
   return out;

@@ -12,8 +12,16 @@
 //    "shard":"0/3","crc":"f00d..."}
 //   {"type":"point","index":7,"hash":"beef...","status":"ok","attempts":1,
 //    "row":"<escaped sweep CSV row>","crc":"..."}
+//   {"type":"event","index":7,"status":"ok","attempts":1,"tq":0,"te0":...,
+//    "te1":...,"tj":...,"sim":...,"dec":...,"det":...,"cause":"","crc":"..."}
 // The crc field is FNV-1a64 over every byte of the line before `,"crc"`,
 // rendered as 16 lower-case hex digits, and always the last field.
+//
+// Event lines are the telemetry sibling of point records: per-point
+// provenance (queue→eval→journal timestamps, stage split, retry/quarantine
+// cause), appended right after the point record, crc-validated the same way
+// — but advisory: results never depend on them, and journals without events
+// (pre-telemetry writers) read fine.
 
 #include <cstdint>
 #include <optional>
@@ -66,12 +74,38 @@ struct JournalRecord {
   std::string payload;
 };
 
+/// Per-point provenance event. All times are seconds since the writing
+/// run started: tq = the point entered the work queue, te0/te1 = first
+/// attempt began / final attempt ended, tj = the point record was durably
+/// appended. The stage split comes from the process-wide stage histograms
+/// (deltas taken around the evaluation), so it is exact single-threaded and
+/// approximate when worker threads overlap.
+struct PointEvent {
+  std::uint64_t index = 0;
+  PointStatus status = PointStatus::Ok;
+  std::uint32_t attempts = 1;
+  double t_queue_s = 0.0;
+  double t_eval_start_s = 0.0;
+  double t_eval_end_s = 0.0;
+  double t_journal_s = 0.0;
+  double block_sim_s = 0.0;  ///< time/block_run delta
+  double decode_s = 0.0;     ///< time/omp_solve delta
+  double detect_s = 0.0;     ///< time/detect_score delta
+  /// Empty for a clean first-attempt success; otherwise the last error seen
+  /// (a retried-then-ok point keeps its retry cause).
+  std::string cause;
+
+  double eval_s() const { return t_eval_end_s - t_eval_start_s; }
+};
+
 std::string header_to_line(const JournalHeader& h);
 std::string record_to_line(const JournalRecord& r);
+std::string event_to_line(const PointEvent& e);
 
 struct JournalContents {
   JournalHeader header;
   std::vector<JournalRecord> records;  ///< valid records, file order
+  std::vector<PointEvent> events;      ///< valid provenance events, file order
   std::uint64_t valid_bytes = 0;       ///< offset just past the last valid line
   std::uint64_t dropped_lines = 0;     ///< corrupt/truncated tail lines dropped
 };
@@ -95,10 +129,27 @@ class JournalWriter {
                               std::uint64_t valid_bytes);
 
   void append(const JournalRecord& r) { file_.append_line(record_to_line(r)); }
+  void append_event(const PointEvent& e) {
+    file_.append_line(event_to_line(e));
+  }
 
  private:
   explicit JournalWriter(AppendFile file) : file_(std::move(file)) {}
   AppendFile file_;
 };
+
+/// Minimal field extractors for the flat one-object JSON the run layer
+/// writes (journal lines, status.json). Shared with the status tooling so
+/// both sides agree on one parsing discipline.
+namespace jsonf {
+std::optional<std::string> string_field(const std::string& line,
+                                        const std::string& key);
+std::optional<std::uint64_t> int_field(const std::string& line,
+                                       const std::string& key);
+std::optional<double> double_field(const std::string& line,
+                                   const std::string& key);
+std::optional<bool> bool_field(const std::string& line,
+                               const std::string& key);
+}  // namespace jsonf
 
 }  // namespace efficsense::run

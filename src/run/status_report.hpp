@@ -1,0 +1,99 @@
+#pragma once
+// Post-mortem / live reporting over sweep journals and their status.json
+// heartbeats: build_report() folds one or more shard journals (plus any
+// sidecar status snapshots) into a SweepReport, and the renderers turn that
+// into the human terminal view (progress bar, throughput trend, stage
+// breakdown, slowest and quarantined points) or a stable JSON document.
+// This is the whole brain of the sweep_status tool and of
+// `run_sweep --status`; the binaries are argument parsing only.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "run/journal.hpp"
+#include "run/telemetry.hpp"
+
+namespace efficsense::run {
+
+/// One journal's contribution to the report.
+struct JournalSummary {
+  std::string path;
+  std::string shard;           ///< "i/N"
+  std::uint64_t owned = 0;     ///< points the shard owns
+  std::uint64_t records = 0;   ///< committed point records
+  std::uint64_t frontier = 0;  ///< contiguous committed prefix (owned order)
+  std::uint64_t events = 0;
+  std::uint64_t quarantined = 0;
+  std::uint64_t dropped_lines = 0;
+  bool status_present = false;
+  bool status_complete = false;
+  bool status_stale = false;
+};
+
+/// A point row for the slowest / quarantined tables.
+struct PointRow {
+  std::uint64_t index = 0;
+  double eval_s = 0.0;
+  std::uint32_t attempts = 1;
+  bool quarantined = false;
+  std::string cause;
+};
+
+/// Per-stage totals and exact percentiles over the provenance events.
+struct StageRow {
+  std::string name;
+  std::uint64_t count = 0;
+  double total_s = 0.0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  double share = 0.0;  ///< of the summed known stage time, 0..1
+};
+
+struct SweepReport {
+  JournalHeader header;  ///< first journal's (all must be compatible)
+  std::vector<JournalSummary> journals;
+  double generated_unix_s = 0.0;
+
+  // Aggregates across every journal.
+  std::uint64_t total_points = 0;  ///< whole (unsharded) grid
+  std::uint64_t owned = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t frontier = 0;  ///< sum of per-shard frontiers
+  std::uint64_t quarantined = 0;
+  std::uint64_t retried = 0;  ///< points that needed more than one attempt
+  std::uint64_t events = 0;
+  bool complete = false;  ///< every owned point committed
+  /// A heartbeat exists, is not complete, and has gone silent (the run died
+  /// or hung). False when no status.json is involved.
+  bool stale = false;
+
+  // Derived from the provenance events (zero when there are none).
+  double span_s = 0.0;            ///< first..last journal append
+  double throughput_pps = 0.0;    ///< events / span
+  std::vector<double> trend_pps;  ///< event rate over equal time slices
+  std::vector<StageRow> stages;
+  std::vector<PointRow> slowest;  ///< top points by eval time, slowest first
+  std::vector<PointRow> quarantined_points;
+
+  /// The freshest heartbeat among the journals, when any exists.
+  std::optional<StatusSnapshot> status;
+};
+
+/// Read every journal (and `<journal>.status.json` — or `status_path` for
+/// all of them when non-empty) and fold them into one report. Throws Error
+/// on unreadable journals or incompatible headers.
+SweepReport build_report(const std::vector<std::string>& journal_paths,
+                         const std::string& status_path = "");
+
+/// Terminal rendering: identity line, progress bar, throughput + ETA,
+/// trend sparkline, stage breakdown, slowest and quarantined points.
+std::string render_text(const SweepReport& r);
+/// Stable JSON document (schema_version 1); the embedded "status" object is
+/// the freshest heartbeat verbatim-equivalent (status_to_json round-trip).
+std::string render_json(const SweepReport& r);
+
+}  // namespace efficsense::run

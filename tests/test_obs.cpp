@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -266,4 +267,134 @@ TEST(Sidecar, JsonEscape) {
   EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
   EXPECT_EQ(obs::json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(obs::json_escape("a\nb"), "a\\nb");
+}
+
+// ---------------------------------------------------------------------------
+// Histogram percentiles (telemetry v2)
+
+TEST(Percentiles, EmptyHistogramReturnsZero) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.percentile(0.5), 0.0);
+  EXPECT_EQ(h.percentile(0.99), 0.0);
+}
+
+TEST(Percentiles, InterpolatesWithinBucketsAgainstExactQuantiles) {
+  // Uniform samples over (0, 10] with bucket bounds every 1.0: the
+  // interpolated estimate must land within one bucket width of the exact
+  // sample quantile for every q.
+  std::vector<double> bounds;
+  for (int i = 1; i <= 10; ++i) bounds.push_back(static_cast<double>(i));
+  obs::Histogram h(bounds);
+  std::vector<double> samples;
+  for (int i = 0; i < 1000; ++i) {
+    samples.push_back((i % 100) * 0.1 + 0.05);  // 0.05, 0.15, ..., 9.95
+  }
+  for (const double v : samples) h.observe(v);
+  std::sort(samples.begin(), samples.end());
+  for (const double q : {0.10, 0.25, 0.50, 0.75, 0.90, 0.99}) {
+    const double exact =
+        samples[static_cast<std::size_t>(q * (samples.size() - 1))];
+    EXPECT_NEAR(h.percentile(q), exact, 1.0)
+        << "q=" << q << " estimate " << h.percentile(q) << " exact " << exact;
+  }
+  // Percentiles are monotone in q.
+  EXPECT_LE(h.percentile(0.5), h.percentile(0.9));
+  EXPECT_LE(h.percentile(0.9), h.percentile(0.99));
+}
+
+TEST(Percentiles, OverflowBucketClampsToHighestBound) {
+  obs::Histogram h({1.0, 2.0});
+  for (int i = 0; i < 100; ++i) h.observe(50.0);  // everything overflows
+  EXPECT_EQ(h.percentile(0.5), 2.0);
+  EXPECT_EQ(h.percentile(0.99), 2.0);
+}
+
+TEST(Percentiles, SnapshotSummarize) {
+  obs::Histogram h({1.0, 10.0, 100.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);
+  const auto stats = obs::summarize(h.snapshot());
+  EXPECT_EQ(stats.count, 10u);
+  EXPECT_DOUBLE_EQ(stats.sum, 5.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.5);
+  EXPECT_GT(stats.p50, 0.0);
+  EXPECT_LE(stats.p50, 1.0);
+  EXPECT_LE(stats.p50, stats.p90);
+  EXPECT_LE(stats.p90, stats.p99);
+}
+
+// ---------------------------------------------------------------------------
+// MetricsSnapshot + Prometheus exporter
+
+TEST(Snapshot, CapturesCountersHistogramsAndRss) {
+  obs::counter("snaptest/counter").inc(3);
+  obs::histogram("snaptest/latency").observe(0.001);
+  const auto snap = obs::MetricsSnapshot::capture();
+  EXPECT_GT(snap.taken_unix_s, 1.0e9);  // sane wall clock
+  EXPECT_GT(snap.rss_bytes, 0.0);      // /proc/self/statm exists on linux
+  EXPECT_GE(snap.counter("snaptest/counter"), 3u);
+  ASSERT_NE(snap.histogram("snaptest/latency"), nullptr);
+  const auto stats = snap.stats("snaptest/latency");
+  ASSERT_TRUE(stats.has_value());
+  EXPECT_GE(stats->count, 1u);
+  EXPECT_EQ(snap.histogram("snaptest/absent"), nullptr);
+  EXPECT_FALSE(snap.stats("snaptest/absent").has_value());
+  EXPECT_EQ(snap.counter("snaptest/absent"), 0u);
+}
+
+TEST(Exporter, PrometheusTextFormat) {
+  obs::counter("promtest/events").inc(7);
+  obs::gauge("promtest/depth").set(2.5);
+  obs::histogram("promtest/lat", nullptr).observe(0.5);
+  const auto text = obs::export_prometheus();
+
+  // Names are sanitized into the efficsense_ namespace.
+  EXPECT_NE(text.find("# TYPE efficsense_promtest_events counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("efficsense_promtest_events 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE efficsense_promtest_depth gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("efficsense_promtest_depth 2.5"), std::string::npos);
+  // Histograms expose cumulative buckets, +Inf, _sum and _count.
+  EXPECT_NE(text.find("# TYPE efficsense_promtest_lat histogram"),
+            std::string::npos);
+  EXPECT_NE(text.find("efficsense_promtest_lat_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("efficsense_promtest_lat_sum"), std::string::npos);
+  EXPECT_NE(text.find("efficsense_promtest_lat_count"), std::string::npos);
+  // Process RSS rides along.
+  EXPECT_NE(text.find("efficsense_process_resident_memory_bytes"),
+            std::string::npos);
+  // Every non-comment line is "name{labels} value" or "name value".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const auto space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    EXPECT_EQ(line.find("efficsense_"), 0u) << line;
+  }
+}
+
+TEST(Exporter, CumulativeBucketsAreMonotone) {
+  auto& h = obs::histogram("promtest/mono");
+  for (int i = 0; i < 50; ++i) h.observe(0.001 * (i + 1));
+  const auto snap = obs::MetricsSnapshot::capture();
+  const auto text = obs::export_prometheus(snap);
+  // Extract the bucket counts for promtest/mono in order; they must be
+  // non-decreasing and end at _count.
+  std::istringstream lines(text);
+  std::string line;
+  long long prev = -1, count = -1;
+  while (std::getline(lines, line)) {
+    if (line.rfind("efficsense_promtest_mono_bucket", 0) == 0) {
+      const auto space = line.rfind(' ');
+      const long long v = std::stoll(line.substr(space + 1));
+      EXPECT_GE(v, prev) << line;
+      prev = v;
+    } else if (line.rfind("efficsense_promtest_mono_count", 0) == 0) {
+      count = std::stoll(line.substr(line.rfind(' ') + 1));
+    }
+  }
+  EXPECT_GE(prev, 0);
+  EXPECT_EQ(prev, count) << "+Inf bucket must equal _count";
 }

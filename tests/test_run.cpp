@@ -305,11 +305,12 @@ TEST(DurableSweeper, ResumeSkipsJournaledPoints) {
   const auto after_crash = read_journal(path);
   ASSERT_TRUE(after_crash.has_value());
 
-  // Keep the header + the 2 ok records: drop the quarantined tail so the
-  // second pass has real work left (mimics a SIGKILL after point 2).
+  // Keep the header + the 2 ok records (each followed by its provenance
+  // event): drop the quarantined tail so the second pass has real work left
+  // (mimics a SIGKILL after point 2).
   const auto text = read_text(path);
   std::size_t keep_bytes = 0;
-  for (int lines = 0; lines < 3; ++lines) {
+  for (int lines = 0; lines < 5; ++lines) {
     keep_bytes = text.find('\n', keep_bytes) + 1;
   }
   truncate_file(path, keep_bytes);
@@ -593,4 +594,166 @@ TEST(ObsHelpers, CountersWithPrefix) {
   EXPECT_EQ(got[0].first, "runtest/alpha");
   EXPECT_EQ(got[0].second, 3u);
   EXPECT_EQ(got[1].first, "runtest/beta");
+}
+
+// ---------------------------------------------------------------------------
+// Provenance events (telemetry)
+
+TEST(Journal, EventRoundTrip) {
+  TempDir tmp;
+  const auto path = tmp.path("j.jsonl");
+  JournalHeader h;
+  h.config_digest = 7;
+  h.space_digest = 8;
+  h.total_points = 6;
+  {
+    auto w = JournalWriter::create(path, h);
+    PointEvent e;
+    e.index = 3;
+    e.status = PointStatus::Quarantined;
+    e.attempts = 2;
+    e.t_queue_s = 0.125;
+    e.t_eval_start_s = 0.25;
+    e.t_eval_end_s = 1.5;
+    e.t_journal_s = 1.5625;
+    e.block_sim_s = 0.75;
+    e.decode_s = 0.3;
+    e.detect_s = 0.125;
+    e.cause = "flaky: \"quoted\"\nsecond line";
+    w.append_event(e);
+  }
+  const auto back = read_journal(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->records.size(), 0u);
+  ASSERT_EQ(back->events.size(), 1u);
+  const auto& e = back->events[0];
+  EXPECT_EQ(e.index, 3u);
+  EXPECT_EQ(e.status, PointStatus::Quarantined);
+  EXPECT_EQ(e.attempts, 2u);
+  EXPECT_DOUBLE_EQ(e.t_queue_s, 0.125);
+  EXPECT_DOUBLE_EQ(e.t_eval_start_s, 0.25);
+  EXPECT_DOUBLE_EQ(e.t_eval_end_s, 1.5);
+  EXPECT_DOUBLE_EQ(e.t_journal_s, 1.5625);
+  EXPECT_DOUBLE_EQ(e.block_sim_s, 0.75);
+  EXPECT_DOUBLE_EQ(e.decode_s, 0.3);
+  EXPECT_DOUBLE_EQ(e.detect_s, 0.125);
+  EXPECT_DOUBLE_EQ(e.eval_s(), 1.25);
+  EXPECT_EQ(e.cause, "flaky: \"quoted\"\nsecond line");
+  EXPECT_EQ(back->dropped_lines, 0u);
+}
+
+TEST(Journal, CorruptEventTailIsTruncated) {
+  TempDir tmp;
+  const auto path = tmp.path("j.jsonl");
+  JournalHeader h;
+  h.total_points = 6;
+  {
+    auto w = JournalWriter::create(path, h);
+    JournalRecord r;
+    r.index = 0;
+    r.payload = "row0";
+    w.append(r);
+    PointEvent e;
+    e.index = 0;
+    w.append_event(e);
+  }
+  // Flip one byte inside the event line (the last line): crc must reject it
+  // and valid_bytes must point at the end of the record line.
+  auto text = read_text(path);
+  const auto last_line_start = text.rfind('\n', text.size() - 2) + 1;
+  text[last_line_start + 10] ^= 0x20;
+  atomic_write_file(path, text);
+
+  const auto back = read_journal(path);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->records.size(), 1u);
+  EXPECT_EQ(back->events.size(), 0u);
+  EXPECT_EQ(back->dropped_lines, 1u);
+  EXPECT_EQ(back->valid_bytes, last_line_start);
+}
+
+TEST(Journal, PreTelemetryJournalsWithoutEventsStillRead) {
+  TempDir tmp;
+  const auto path = tmp.path("j.jsonl");
+  JournalHeader h;
+  h.total_points = 6;
+  {
+    auto w = JournalWriter::create(path, h);
+    JournalRecord r;
+    r.index = 2;
+    r.payload = "row2";
+    w.append(r);
+  }
+  const auto back = read_journal(path);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->records.size(), 1u);
+  EXPECT_EQ(back->events.size(), 0u);
+  EXPECT_EQ(back->dropped_lines, 0u);
+}
+
+TEST(DurableSweeper, WritesProvenanceEventsAlongsideRecords) {
+  TempDir tmp;
+  const auto path = tmp.path("j.jsonl");
+  const auto space = small_space();
+  power::DesignParams base;
+  const DurableSweeper sweeper(fake_metrics, options_with(path));
+  (void)sweeper.run(base, space);
+
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  ASSERT_EQ(contents->records.size(), space.size());
+  ASSERT_EQ(contents->events.size(), space.size());
+  for (const auto& ev : contents->events) {
+    EXPECT_EQ(ev.status, PointStatus::Ok);
+    EXPECT_EQ(ev.attempts, 1u);
+    EXPECT_TRUE(ev.cause.empty());
+    EXPECT_GE(ev.eval_s(), 0.0);
+    EXPECT_GE(ev.t_eval_start_s, ev.t_queue_s);
+    EXPECT_GE(ev.t_journal_s, ev.t_eval_end_s);
+  }
+  // Resuming adopts every point and must not duplicate events.
+  const DurableSweeper again(fake_metrics, options_with(path));
+  const auto resumed = again.run(base, space);
+  EXPECT_EQ(resumed.points_resumed, space.size());
+  const auto after = read_journal(path);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->events.size(), space.size());
+}
+
+TEST(DurableSweeper, EventRecordingCanBeDisabled) {
+  TempDir tmp;
+  const auto path = tmp.path("j.jsonl");
+  const auto space = small_space();
+  power::DesignParams base;
+  auto o = options_with(path);
+  o.record_events = false;
+  const DurableSweeper sweeper(fake_metrics, o);
+  (void)sweeper.run(base, space);
+  const auto contents = read_journal(path);
+  ASSERT_TRUE(contents.has_value());
+  EXPECT_EQ(contents->records.size(), space.size());
+  EXPECT_EQ(contents->events.size(), 0u);
+}
+
+TEST(Merge, CarriesProvenanceEvents) {
+  TempDir tmp;
+  const auto space = small_space();
+  power::DesignParams base;
+  std::vector<std::string> shard_paths;
+  for (std::uint32_t s = 0; s < 3; ++s) {
+    auto o = options_with(tmp.path("shard" + std::to_string(s) + ".jsonl"));
+    o.shard = parse_shard(std::to_string(s) + "/3");
+    shard_paths.push_back(o.journal_path);
+    const DurableSweeper sweeper(fake_metrics, o);
+    (void)sweeper.run(base, space);
+  }
+  (void)merge_journals(shard_paths, base, tmp.path("merged.jsonl"));
+  const auto merged = read_journal(tmp.path("merged.jsonl"));
+  ASSERT_TRUE(merged.has_value());
+  ASSERT_EQ(merged->records.size(), space.size());
+  ASSERT_EQ(merged->events.size(), space.size());
+  // Every record keeps exactly its own event, in enumeration order.
+  for (std::size_t i = 0; i < merged->events.size(); ++i) {
+    EXPECT_EQ(merged->events[i].index, merged->records[i].index);
+  }
 }

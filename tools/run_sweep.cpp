@@ -13,7 +13,13 @@
 //             [--out sweep.csv] [--timeout <s>] [--point-delay-ms <n>]
 //   run_sweep --merge merged.jsonl --inputs s0.jsonl s1.jsonl s2.jsonl
 //             [--scenario spec.json] [--out merged.csv]
+//   run_sweep --status results/ci/sweep.jsonl [--inputs more...] [--json]
 //   run_sweep --list-architectures
+//
+// --status renders the telemetry report for an existing journal (same
+// machinery as the sweep_status tool; see run/status_report.hpp). A live
+// run also writes a status.json heartbeat next to the journal — see the
+// EFFICSENSE_STATUS / EFFICSENSE_STATUS_INTERVAL knobs in run/telemetry.hpp.
 //
 // Sharding comes from EFFICSENSE_SHARD=i/N; dataset scale from
 // EFFICSENSE_SEGMENTS (overriding the spec's "segments") and worker threads
@@ -39,6 +45,7 @@
 #include "obs/obs.hpp"
 #include "run/durable.hpp"
 #include "run/scenario.hpp"
+#include "run/status_report.hpp"
 #include "util/cache.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
@@ -54,6 +61,7 @@ void usage() {
          "                 [--out <csv>] [--timeout <s>] [--point-delay-ms <n>]\n"
          "       run_sweep --merge <out.jsonl> --inputs <j1> <j2> ...\n"
          "                 [--scenario <spec.json>] [--out <csv>]\n"
+         "       run_sweep --status <journal> [--inputs <more>...] [--json]\n"
          "       run_sweep --list-architectures\n";
 }
 
@@ -107,11 +115,12 @@ void list_architectures() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string journal, merge_out, out_csv, scenario_path;
+  std::string journal, merge_out, out_csv, scenario_path, status_journal;
   std::vector<std::string> inputs;
   double timeout_s = 0.0;
   int point_delay_ms = 0;
   bool merge_mode = false;
+  bool json_report = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -131,6 +140,10 @@ int main(int argc, char** argv) {
       while (i + 1 < argc && argv[i + 1][0] != '-') inputs.push_back(argv[++i]);
     } else if (arg == "--scenario") {
       scenario_path = next();
+    } else if (arg == "--status") {
+      status_journal = next();
+    } else if (arg == "--json") {
+      json_report = true;
     } else if (arg == "--list-architectures") {
       list_architectures();
       return 0;
@@ -147,6 +160,15 @@ int main(int argc, char** argv) {
   }
 
   try {
+    if (!status_journal.empty()) {
+      std::vector<std::string> journals{status_journal};
+      journals.insert(journals.end(), inputs.begin(), inputs.end());
+      const auto status = run::build_report(journals);
+      std::cout << (json_report ? run::render_json(status)
+                                : run::render_text(status));
+      return status.stale || !status.quarantined_points.empty() ? 4 : 0;
+    }
+
     const auto spec = scenario_path.empty()
                           ? arch::scenario_from_json(kCiSmokeSpec)
                           : arch::scenario_from_file(scenario_path);

@@ -1,0 +1,72 @@
+// sweep_status — live / post-mortem reporting over durable-sweep journals.
+// Reads one or more shard journals (plus their status.json heartbeats when
+// present) and renders the run::build_report view: progress bar, heartbeat
+// freshness, throughput trend, per-stage latency breakdown, slowest and
+// quarantined points.
+//
+//   sweep_status <journal.jsonl> [more-shard-journals...]
+//                [--status <status.json>] [--json]
+//
+// With several journals the report aggregates the shards (the same
+// journals run_sweep --merge accepts). --status overrides the per-journal
+// "<journal>.status.json" heartbeat location; --json emits the stable
+// machine-readable document (schema_version 1) instead of the terminal
+// view. Exit code: 0 on a healthy/complete run, 4 when the run looks dead
+// (stale heartbeat without completion) or the journal has quarantined
+// points — so CI can gate on it directly.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "run/status_report.hpp"
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: sweep_status <journal.jsonl> [more-journals...]\n"
+               "                    [--status <status.json>] [--json]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> journals;
+  std::string status_path;
+  bool json = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      json = true;
+    } else if (arg == "--status") {
+      if (i + 1 >= argc) {
+        usage();
+        return 2;
+      }
+      status_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      usage();
+      return 2;
+    } else {
+      journals.push_back(arg);
+    }
+  }
+  if (journals.empty()) {
+    usage();
+    return 2;
+  }
+
+  try {
+    const auto report = efficsense::run::build_report(journals, status_path);
+    std::cout << (json ? efficsense::run::render_json(report)
+                       : efficsense::run::render_text(report));
+    return (report.stale || !report.quarantined_points.empty()) ? 4 : 0;
+  } catch (const std::exception& e) {
+    std::cerr << "sweep_status: " << e.what() << "\n";
+    return 1;
+  }
+}
