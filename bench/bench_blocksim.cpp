@@ -138,9 +138,61 @@ static void BM_FillUniform(benchmark::State& state) {
 BENCHMARK(BM_FillUniform);
 
 // ---------------------------------------------------------------------------
+// Micro: lane_layout — the LaneBank storage decision (DESIGN.md §12).
+// Both benchmarks run the same per-lane gain+offset kernel (the shape of
+// every per-lane block loop) over K lanes; lane-major walks each lane's
+// contiguous row, sample-major strides by K. LaneBank is lane-major because
+// the per-lane fallback and every bit-exactness-critical kernel traverse
+// one lane at a time; the cross-lane SIMD kernels that prefer [sample][lane]
+// build their own transposed scratch instead (e.g. OMP's alpha0 pass).
+
+namespace {
+constexpr std::size_t kLayoutLanes = 8;
+constexpr std::size_t kLayoutSamples = 32768;
+}  // namespace
+
+static void BM_LaneLayoutLaneMajor(benchmark::State& state) {
+  std::vector<double> x(kLayoutLanes * kLayoutSamples, 1.5);
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < kLayoutLanes; ++k) {
+      const double gain = 1.0 + 1e-3 * static_cast<double>(k);
+      const double* xr = x.data() + k * kLayoutSamples;
+      double* yr = y.data() + k * kLayoutSamples;
+      for (std::size_t i = 0; i < kLayoutSamples; ++i) {
+        yr[i] = gain * xr[i] + 1e-6;
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_LaneLayoutLaneMajor);
+
+static void BM_LaneLayoutSampleMajor(benchmark::State& state) {
+  std::vector<double> x(kLayoutLanes * kLayoutSamples, 1.5);
+  std::vector<double> y(x.size());
+  for (auto _ : state) {
+    for (std::size_t k = 0; k < kLayoutLanes; ++k) {
+      const double gain = 1.0 + 1e-3 * static_cast<double>(k);
+      const double* xr = x.data() + k;
+      double* yr = y.data() + k;
+      for (std::size_t i = 0; i < kLayoutSamples; ++i) {
+        yr[i * kLayoutLanes] = gain * xr[i * kLayoutLanes] + 1e-6;
+      }
+    }
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(x.size()));
+}
+BENCHMARK(BM_LaneLayoutSampleMajor);
+
+// ---------------------------------------------------------------------------
 // Macro: whole-chain runs/s, fast path vs legacy. The two paths differ by a
 // few percent of a multi-ms run, which sequential timing on a shared box
-// cannot resolve — so the comparison interleaves cached/uncached runs
+// cannot resolve — so the comparison interleaves cached/legacy runs
 // pairwise and takes per-run medians.
 
 static void BM_BaselineChainCached(benchmark::State& state) {
@@ -187,7 +239,7 @@ double lookup_ns(const std::vector<std::pair<std::string, double>>& timings,
 /// of the host machine cancels out of the comparison.
 struct ChainAb {
   double cached_s = 0.0;
-  double uncached_s = 0.0;
+  double legacy_s = 0.0;
 };
 
 ChainAb measure_chain_ab(bool cs, std::size_t pairs) {
@@ -212,7 +264,7 @@ ChainAb measure_chain_ab(bool cs, std::size_t pairs) {
     core::run_chain(*fast, seg);
     core::run_chain(*slow, seg);
   }
-  std::vector<double> cached(pairs), uncached(pairs);
+  std::vector<double> cached(pairs), legacy(pairs);
   for (std::size_t i = 0; i < pairs; ++i) {
     const auto a = clock::now();
     auto of = core::run_chain(*fast, seg);
@@ -222,13 +274,13 @@ ChainAb measure_chain_ab(bool cs, std::size_t pairs) {
     benchmark::DoNotOptimize(of.samples.data());
     benchmark::DoNotOptimize(os.samples.data());
     cached[i] = std::chrono::duration<double>(b - a).count();
-    uncached[i] = std::chrono::duration<double>(c - b).count();
+    legacy[i] = std::chrono::duration<double>(c - b).count();
   }
   const auto median = [](std::vector<double>& v) {
     std::sort(v.begin(), v.end());
     return v[v.size() / 2];
   };
-  return {median(cached), median(uncached)};
+  return {median(cached), median(legacy)};
 }
 
 std::string golden_gauss_checksum() {
@@ -268,16 +320,18 @@ void write_bench_blocksim_json(
       << ratio("BM_ScalarGaussian", "BM_FillGaussianZiggurat") << ",\n"
       << "    \"fill_uniform_vs_scalar\": "
       << ratio("BM_ScalarUniform", "BM_FillUniform") << ",\n"
-      << "    \"baseline_chain_cached_vs_uncached\": "
-      << baseline_ab.uncached_s / baseline_ab.cached_s << ",\n"
-      << "    \"cs_chain_cached_vs_uncached\": "
-      << cs_ab.uncached_s / cs_ab.cached_s << "\n"
+      << "    \"lane_layout_lane_major_vs_sample_major\": "
+      << ratio("BM_LaneLayoutSampleMajor", "BM_LaneLayoutLaneMajor") << ",\n"
+      << "    \"baseline_chain_cached_vs_legacy\": "
+      << baseline_ab.legacy_s / baseline_ab.cached_s << ",\n"
+      << "    \"cs_chain_cached_vs_legacy\": "
+      << cs_ab.legacy_s / cs_ab.cached_s << "\n"
       << "  },\n  \"model_runs_per_s\": {\n"
       << "    \"baseline_cached\": " << per_s(baseline_ab.cached_s) << ",\n"
-      << "    \"baseline_uncached\": " << per_s(baseline_ab.uncached_s)
+      << "    \"baseline_legacy\": " << per_s(baseline_ab.legacy_s)
       << ",\n"
       << "    \"cs_cached\": " << per_s(cs_ab.cached_s) << ",\n"
-      << "    \"cs_uncached\": " << per_s(cs_ab.uncached_s) << "\n"
+      << "    \"cs_legacy\": " << per_s(cs_ab.legacy_s) << "\n"
       << "  },\n  \"golden\": {\"gauss_1000_seed12345_boxmuller\": \""
       << golden_gauss_checksum() << "\"},\n";
   const auto& block = obs::histogram("time/block_run");
@@ -319,19 +373,19 @@ int main(int argc, char** argv) {
   const auto cs_ab = measure_chain_ab(/*cs=*/true, /*pairs=*/60);
   std::cout << "interleaved A/B (median run, fast vs legacy path):\n"
             << "  baseline chain: " << baseline_ab.cached_s * 1e3 << " ms vs "
-            << baseline_ab.uncached_s * 1e3 << " ms  ("
-            << baseline_ab.uncached_s / baseline_ab.cached_s << "x)\n"
+            << baseline_ab.legacy_s * 1e3 << " ms  ("
+            << baseline_ab.legacy_s / baseline_ab.cached_s << "x)\n"
             << "  cs chain:       " << cs_ab.cached_s * 1e3 << " ms vs "
-            << cs_ab.uncached_s * 1e3 << " ms  ("
-            << cs_ab.uncached_s / cs_ab.cached_s << "x)\n";
+            << cs_ab.legacy_s * 1e3 << " ms  ("
+            << cs_ab.legacy_s / cs_ab.cached_s << "x)\n";
 
   obs_run.set_points(reporter.timings.size());
   const double scalar = lookup_ns(reporter.timings, "BM_ScalarGaussian");
   const double zig = lookup_ns(reporter.timings, "BM_FillGaussianZiggurat");
   if (zig > 0.0) obs_run.add_field("fill_gaussian_ziggurat_vs_scalar", scalar / zig);
   if (baseline_ab.cached_s > 0.0) {
-    obs_run.add_field("baseline_chain_cached_vs_uncached",
-                      baseline_ab.uncached_s / baseline_ab.cached_s);
+    obs_run.add_field("baseline_chain_cached_vs_legacy",
+                      baseline_ab.legacy_s / baseline_ab.cached_s);
   }
   write_bench_blocksim_json(reporter.timings, baseline_ab, cs_ab);
   return 0;

@@ -20,6 +20,7 @@
 
 #include <chrono>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -46,6 +47,32 @@ namespace {
 double seconds_since(const std::chrono::steady_clock::time_point& t0) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
       .count();
+}
+
+/// FNV-1a over the raw bit patterns of each double, LSB first (same scheme
+/// as tests/test_arch.cpp) — any single-bit metric divergence between the
+/// batched and scalar Monte-Carlo paths changes the checksum.
+std::uint64_t fnv1a_doubles(const std::vector<double>& v) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (double d : v) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof bits);
+    for (int i = 0; i < 8; ++i) {
+      h ^= (bits >> (8 * i)) & 0xFF;
+      h *= 0x100000001B3ULL;
+    }
+  }
+  return h;
+}
+
+std::uint64_t mc_metrics_digest(const MonteCarloResult& r) {
+  std::vector<double> bits;
+  bits.reserve(2 * r.instances.size());
+  for (const auto& m : r.instances) {
+    bits.push_back(m.snr_db);
+    bits.push_back(m.accuracy);
+  }
+  return fnv1a_doubles(bits);
 }
 
 /// Train the bench detector, or load it from the file cache when an
@@ -267,6 +294,78 @@ int main() {
                "tighter constraint\nor noisier designs, that spread "
                "becomes yield loss.\n";
 
+  // -------------------------------------------------------------------
+  // Lane scaling: the K-lane SoA batch engine vs the scalar path, on both
+  // headline designs. Both runs use identical per-instance seeds; the FNV-1a
+  // digest over the raw metric bits proves every lane is bit-identical to
+  // its scalar instance, so the speedup is free of accuracy caveats. The
+  // gated headline number is the baseline optimum: its cost is the block
+  // chain + detector, exactly what the lane engine batches. The CS optimum
+  // is reported alongside — its Monte-Carlo time is dominated by the
+  // per-lane OMP decode, which Amdahl-caps the lane win (DESIGN.md §12).
+  const auto lane_width = static_cast<std::size_t>(
+      std::max<long long>(2, env_int("EFFICSENSE_LANES", 8)));
+  // Full lane groups regardless of the (possibly tiny, in CI smoke) MC run
+  // count: a partial tail group would clamp the effective batch width.
+  const std::size_t lane_runs =
+      lane_width * std::max<std::size_t>(1, runs / lane_width);
+  struct LaneScaling {
+    const char* name;
+    double k1_per_s = 0.0;
+    double kn_per_s = 0.0;
+    double speedup = 0.0;
+    bool bit_identical = false;
+  };
+  std::vector<LaneScaling> lane_rows;
+  bool lanes_bit_identical = true;
+  MonteCarloOptions lane_mc = mc;
+  lane_mc.instances = lane_runs;
+  std::cout << "\nlane scaling (" << lane_runs << " instances, K="
+            << lane_width << "):\n";
+  for (std::size_t ci : {std::size_t{0}, std::size_t{1}}) {
+    lane_mc.lanes = 1;
+    const auto t_k1 = std::chrono::steady_clock::now();
+    const auto r_k1 = monte_carlo(evaluator, candidates[ci].design, lane_mc);
+    const double k1_s = seconds_since(t_k1);
+    lane_mc.lanes = lane_width;
+    const auto t_kn = std::chrono::steady_clock::now();
+    const auto r_kn = monte_carlo(evaluator, candidates[ci].design, lane_mc);
+    const double kn_s = seconds_since(t_kn);
+
+    const std::uint64_t digest_k1 = mc_metrics_digest(r_k1);
+    const std::uint64_t digest_kn = mc_metrics_digest(r_kn);
+    LaneScaling row;
+    row.name = candidates[ci].name;
+    row.bit_identical = digest_k1 == digest_kn;
+    row.k1_per_s =
+        k1_s > 0.0 ? static_cast<double>(lane_runs) / k1_s : 0.0;
+    row.kn_per_s =
+        kn_s > 0.0 ? static_cast<double>(lane_runs) / kn_s : 0.0;
+    row.speedup = k1_s > 0.0 && kn_s > 0.0 ? k1_s / kn_s : 0.0;
+    lane_rows.push_back(row);
+    std::cout << "  " << row.name << ":\n"
+              << "    K=1 scalar path:  " << format_number(k1_s) << " s  ("
+              << format_number(row.k1_per_s) << " points/s)\n"
+              << "    K=" << lane_width << " batched:     "
+              << format_number(kn_s) << " s  ("
+              << format_number(row.kn_per_s) << " points/s, "
+              << format_number(row.speedup) << "x)\n"
+              << "    lanes vs scalar oracle: "
+              << (row.bit_identical ? "bit-identical" : "DIVERGED") << "\n";
+    if (!row.bit_identical) {
+      lanes_bit_identical = false;
+      std::cerr << "bench_montecarlo: batched lanes diverged from the scalar "
+                   "oracle (digest "
+                << std::hex << digest_kn << " vs " << digest_k1 << std::dec
+                << ") on " << row.name << "\n";
+    }
+  }
+  if (!lanes_bit_identical) return 1;
+  // The gated number rides on the chain-bound baseline candidate.
+  const LaneScaling& gated = lane_rows[0];
+  obs_run.add_field("lane_speedup_k" + std::to_string(lane_width),
+                    gated.speedup);
+
   // Where did the time go? Dataset synthesis is timed explicitly above;
   // the block-sim share is the sum of every Model::run() block execution
   // (the time/block_run histogram), accumulated across synthesis warm-up,
@@ -296,7 +395,25 @@ int main() {
           << ", \"yield\": " << timings[i].yield << "}"
           << (i + 1 < timings.size() ? "," : "") << "\n";
     }
-    out << "  ],\n  \"duration_s\": " << duration_s
+    out << "  ],\n  \"lane_scaling\": {\n"
+        << "    \"lanes\": " << lane_width << ",\n"
+        << "    \"instances\": " << lane_runs << ",\n"
+        << "    \"points_per_s_k1\": " << gated.k1_per_s << ",\n"
+        << "    \"points_per_s_batched\": " << gated.kn_per_s << ",\n"
+        << "    \"speedup\": " << gated.speedup << ",\n"
+        << "    \"lanes_bit_identical\": "
+        << (lanes_bit_identical ? "true" : "false") << ",\n"
+        << "    \"candidates\": [\n";
+    for (std::size_t i = 0; i < lane_rows.size(); ++i) {
+      const auto& r = lane_rows[i];
+      out << "      {\"name\": \"" << obs::json_escape(r.name)
+          << "\", \"points_per_s_k1\": " << r.k1_per_s
+          << ", \"points_per_s_batched\": " << r.kn_per_s
+          << ", \"speedup\": " << r.speedup << "}"
+          << (i + 1 < lane_rows.size() ? "," : "") << "\n";
+    }
+    out << "    ]\n  },\n"
+        << "  \"duration_s\": " << duration_s
         << ",\n  \"points_per_s\": "
         << (duration_s > 0.0 ? static_cast<double>(runs) / duration_s : 0.0)
         << ",\n  \"omp\": " << bench::omp_instruments_json() << "\n}\n";

@@ -10,6 +10,16 @@ namespace efficsense::arch {
 // built-ins can never be dead-stripped out of a static-library link.
 void register_builtin_architectures(ArchRegistry& registry);
 
+std::vector<std::vector<double>> Decoder::decode_lanes(
+    const std::vector<const double*>& lanes, std::size_t length,
+    ThreadPool* pool) const {
+  std::vector<std::vector<double>> out(lanes.size());
+  for (std::size_t l = 0; l < lanes.size(); ++l) {
+    out[l] = decode(std::vector<double>(lanes[l], lanes[l] + length), pool);
+  }
+  return out;
+}
+
 std::vector<double> PassthroughDecoder::decode(
     const std::vector<double>& received, ThreadPool* pool) const {
   (void)pool;
@@ -24,6 +34,12 @@ CsDecoder::CsDecoder(std::shared_ptr<const cs::Reconstructor> recon)
 std::vector<double> CsDecoder::decode(const std::vector<double>& received,
                                       ThreadPool* pool) const {
   return recon_->reconstruct_stream(received, pool);
+}
+
+std::vector<std::vector<double>> CsDecoder::decode_lanes(
+    const std::vector<const double*>& lanes, std::size_t length,
+    ThreadPool* pool) const {
+  return recon_->reconstruct_stream_multi(lanes, length, pool);
 }
 
 sim::PowerReport Architecture::power_report(const sim::Model& model) const {

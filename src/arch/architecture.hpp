@@ -46,6 +46,15 @@ class Decoder {
   /// to the serial path.
   virtual std::vector<double> decode(const std::vector<double>& received,
                                      ThreadPool* pool) const = 0;
+
+  /// K-lane batched decode for the SoA Monte-Carlo engine: lanes[l] points
+  /// at lane l's received stream (`length` values each — e.g. a LaneBank
+  /// row). out[l] is bit-identical to decode() over lane l alone. The
+  /// default loops decode() per lane; CS decoders override with a
+  /// multi-RHS solve against the shared Gram.
+  virtual std::vector<std::vector<double>> decode_lanes(
+      const std::vector<const double*>& lanes, std::size_t length,
+      ThreadPool* pool) const;
 };
 
 /// Decode for chains whose output already is the uniform-rate signal
@@ -63,6 +72,9 @@ class CsDecoder final : public Decoder {
   explicit CsDecoder(std::shared_ptr<const cs::Reconstructor> recon);
   std::vector<double> decode(const std::vector<double>& received,
                              ThreadPool* pool) const override;
+  std::vector<std::vector<double>> decode_lanes(
+      const std::vector<const double*>& lanes, std::size_t length,
+      ThreadPool* pool) const override;
   const cs::Reconstructor& reconstructor() const { return *recon_; }
 
  private:
@@ -94,6 +106,21 @@ class Architecture {
   virtual std::unique_ptr<Decoder> make_decoder(
       const power::DesignParams& design, const ChainSeeds& seeds,
       const cs::ReconstructorConfig& recon) const = 0;
+
+  /// Assemble a K-lane batched model (K = lane_seeds.size()) for the SoA
+  /// Monte-Carlo engine: one run_batch() evaluates all K fabricated
+  /// instances, lane k bit-identical to a scalar build_model(lane_seeds[k])
+  /// chain. Architectures without a batched path return nullptr (the
+  /// default) and the caller falls back to per-instance scalar evaluation,
+  /// so every registered architecture still runs at any lane width.
+  virtual std::unique_ptr<sim::Model> build_batch_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const std::vector<ChainSeeds>& lane_seeds) const {
+    (void)tech;
+    (void)design;
+    (void)lane_seeds;
+    return nullptr;
+  }
 
   /// Power/area report hooks; the defaults return the model's analytic
   /// per-block reports.

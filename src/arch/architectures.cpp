@@ -40,6 +40,11 @@ class BaselineArchitecture final : public Architecture {
       const ChainSeeds& seeds) const override {
     return build_baseline_chain(tech, design, seeds);
   }
+  std::unique_ptr<sim::Model> build_batch_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const std::vector<ChainSeeds>& lane_seeds) const override {
+    return build_batch_baseline_chain(tech, design, lane_seeds);
+  }
   std::unique_ptr<Decoder> make_decoder(
       const power::DesignParams&, const ChainSeeds&,
       const cs::ReconstructorConfig&) const override {
@@ -62,6 +67,11 @@ class PassiveCsArchitecture final : public Architecture {
       const power::TechnologyParams& tech, const power::DesignParams& design,
       const ChainSeeds& seeds) const override {
     return build_cs_chain(tech, design, seeds);
+  }
+  std::unique_ptr<sim::Model> build_batch_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const std::vector<ChainSeeds>& lane_seeds) const override {
+    return build_batch_cs_chain(tech, design, lane_seeds);
   }
   std::unique_ptr<Decoder> make_decoder(
       const power::DesignParams& design, const ChainSeeds& seeds,
@@ -107,6 +117,11 @@ class DigitalCsArchitecture final : public Architecture {
       const power::TechnologyParams& tech, const power::DesignParams& design,
       const ChainSeeds& seeds) const override {
     return build_digital_cs_chain(tech, design, seeds);
+  }
+  std::unique_ptr<sim::Model> build_batch_model(
+      const power::TechnologyParams& tech, const power::DesignParams& design,
+      const std::vector<ChainSeeds>& lane_seeds) const override {
+    return build_batch_digital_cs_chain(tech, design, lane_seeds);
   }
   std::unique_ptr<Decoder> make_decoder(
       const power::DesignParams& design, const ChainSeeds& seeds,

@@ -81,6 +81,39 @@ std::vector<sim::Waveform> NoiseAdderBlock::process(
   return {std::move(out)};
 }
 
+void NoiseAdderBlock::process_batch(
+    std::size_t lanes, const std::vector<const sim::LaneBank*>& inputs,
+    std::vector<sim::LaneBank>& outputs, sim::WaveformArena& arena) {
+  const bool shared = lane_noise_seeds_.empty();
+  if (shared && inputs.at(0)->uniform()) {
+    sim::Block::process_batch(lanes, inputs, outputs, arena);
+    return;
+  }
+  const sim::LaneBank& x = *inputs.at(0);
+  EFF_REQUIRE(shared || lane_noise_seeds_.size() == lanes,
+              "noise-adder lane seed count does not match the batch width");
+  const std::size_t n = x.samples();
+  sim::LaneBank bank =
+      sim::LaneBank::acquire(arena, x.fs(), lanes, n, /*uniform=*/false);
+  std::vector<double> noise = arena.acquire(n);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const double* xr = x.lane(k);
+    double* o = bank.lane(k);
+    if (sigma_ > 0.0) {
+      Rng rng(derive_seed(shared ? seed_ : lane_noise_seeds_[k], run_));
+      rng.fill_gaussian(noise.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = xr[i] + sigma_ * noise[i];
+      }
+    } else {
+      std::copy(xr, xr + n, o);
+    }
+  }
+  ++run_;
+  arena.release(std::move(noise));
+  outputs.push_back(std::move(bank));
+}
+
 void NoiseAdderBlock::reset() { run_ = 0; }
 
 CubicNonlinearityBlock::CubicNonlinearityBlock(std::string name, double k3)

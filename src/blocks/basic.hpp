@@ -42,11 +42,22 @@ class NoiseAdderBlock final : public sim::Block {
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
                                      sim::WaveformArena& arena) override;
+  void process_batch(std::size_t lanes,
+                     const std::vector<const sim::LaneBank*>& inputs,
+                     std::vector<sim::LaneBank>& outputs,
+                     sim::WaveformArena& arena) override;
   void reset() override;
+
+  /// Per-lane noise seeds for batched runs; empty (default) = all lanes
+  /// share the constructor seed's stream.
+  void set_lane_noise_seeds(std::vector<std::uint64_t> seeds) {
+    lane_noise_seeds_ = std::move(seeds);
+  }
 
  private:
   double sigma_;
   std::uint64_t seed_;
+  std::vector<std::uint64_t> lane_noise_seeds_;
   std::uint64_t run_ = 0;
 };
 

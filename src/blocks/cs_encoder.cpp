@@ -1,8 +1,10 @@
 #include "blocks/cs_encoder.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "dsp/resample.hpp"
+#include "sim/arena.hpp"
 #include "power/models.hpp"
 #include "util/constants.hpp"
 #include "util/error.hpp"
@@ -32,25 +34,40 @@ CsEncoderBlock::CsEncoderBlock(std::string name,
               "sensing matrix sparsity does not match the design");
 
   // Fabricate the capacitor arrays once (frozen mismatch).
-  Rng rng(mismatch_seed);
-  const double sig_h = tech_.sigma_cap_mismatch(design_.cs_c_hold_f);
-  const double sig_s = tech_.sigma_cap_mismatch(design_.cs_c_sample_f);
-  c_hold_f_.resize(phi_.rows());
-  for (auto& c : c_hold_f_) {
-    const double eps = options_.enable_mismatch ? rng.gaussian(0.0, sig_h) : 0.0;
-    c = design_.cs_c_hold_f * (1.0 + eps);
-  }
-  c_sample_f_.resize(static_cast<std::size_t>(design_.cs_sparsity));
-  for (auto& c : c_sample_f_) {
-    const double eps = options_.enable_mismatch ? rng.gaussian(0.0, sig_s) : 0.0;
-    c = design_.cs_c_sample_f * (1.0 + eps);
-  }
+  draw_caps(mismatch_seed, c_hold_f_, c_sample_f_);
 
   params().set("m", design_.cs_m);
   params().set("n_phi", design_.cs_n_phi);
   params().set("sparsity", design_.cs_sparsity);
   params().set("c_hold_f", design_.cs_c_hold_f);
   params().set("c_sample_f", design_.cs_c_sample_f);
+}
+
+void CsEncoderBlock::draw_caps(std::uint64_t mismatch_seed,
+                               std::vector<double>& c_hold,
+                               std::vector<double>& c_sample) const {
+  Rng rng(mismatch_seed);
+  const double sig_h = tech_.sigma_cap_mismatch(design_.cs_c_hold_f);
+  const double sig_s = tech_.sigma_cap_mismatch(design_.cs_c_sample_f);
+  c_hold.resize(phi_.rows());
+  for (auto& c : c_hold) {
+    const double eps = options_.enable_mismatch ? rng.gaussian(0.0, sig_h) : 0.0;
+    c = design_.cs_c_hold_f * (1.0 + eps);
+  }
+  c_sample.resize(static_cast<std::size_t>(design_.cs_sparsity));
+  for (auto& c : c_sample) {
+    const double eps = options_.enable_mismatch ? rng.gaussian(0.0, sig_s) : 0.0;
+    c = design_.cs_c_sample_f * (1.0 + eps);
+  }
+}
+
+void CsEncoderBlock::set_lane_mismatch_seeds(
+    const std::vector<std::uint64_t>& seeds) {
+  lane_c_hold_f_.assign(seeds.size(), {});
+  lane_c_sample_f_.assign(seeds.size(), {});
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    draw_caps(seeds[k], lane_c_hold_f_[k], lane_c_sample_f_[k]);
+  }
 }
 
 cs::ChargeSharingGains CsEncoderBlock::nominal_gains() const {
@@ -141,6 +158,138 @@ std::vector<sim::Waveform> CsEncoderBlock::process(
 
   const double out_rate = design_.tx_sample_rate_hz();
   return {sim::Waveform(out_rate, std::move(measurements))};
+}
+
+void CsEncoderBlock::process_batch(
+    std::size_t lanes, const std::vector<const sim::LaneBank*>& inputs,
+    std::vector<sim::LaneBank>& outputs, sim::WaveformArena& arena) {
+  const bool shared_noise = lane_noise_seeds_.empty();
+  if (lane_c_hold_f_.empty() && shared_noise && inputs.at(0)->uniform()) {
+    sim::Block::process_batch(lanes, inputs, outputs, arena);
+    return;
+  }
+  const sim::LaneBank& x = *inputs.at(0);
+  EFF_REQUIRE(!x.empty(), "CS encoder input is empty");
+  const double f_sample = design_.f_sample_hz();
+  EFF_REQUIRE(x.fs() >= f_sample,
+              "CS encoder cannot sample above the input rate");
+  EFF_REQUIRE(lane_c_hold_f_.empty() || lane_c_hold_f_.size() == lanes,
+              "CS encoder lane instance count does not match the batch width");
+  EFF_REQUIRE(shared_noise || lane_noise_seeds_.size() == lanes,
+              "CS encoder lane noise seed count does not match the batch width");
+
+  const auto n_phi = static_cast<std::size_t>(design_.cs_n_phi);
+  const auto m = static_cast<std::size_t>(design_.cs_m);
+  const double t_sample = 1.0 / f_sample;
+  const double kT = units::kBoltzmann * tech_.temperature_k;
+
+  // Sample the quasi-continuous input at f_sample — once per stored row
+  // (one shared resample when the input is a broadcast bank).
+  const double duration_s = static_cast<double>(x.samples()) / x.fs();
+  const auto n_samples =
+      static_cast<std::size_t>(std::floor(duration_s * f_sample));
+  const auto times = dsp::uniform_times(n_samples, f_sample);
+  sim::LaneBank sampled_bank = sim::LaneBank::acquire(
+      arena, f_sample, lanes, n_samples, x.uniform());
+  for (std::size_t r = 0; r < x.rows(); ++r) {
+    dsp::sample_at_times(x.lane(r), x.samples(), x.fs(), times.data(),
+                         n_samples, sampled_bank.lane(r));
+  }
+
+  const std::size_t frames = n_samples / n_phi;
+
+  // The kT/C draw order (frame-major, column, support entry, two draws per
+  // share) is data-independent, so one standard-normal buffer filled from
+  // the shared stream serves every lane; per-lane streams refill it.
+  std::size_t draws_per_frame = 0;
+  if (options_.enable_noise) {
+    for (std::size_t j = 0; j < n_phi; ++j) {
+      draws_per_frame += 2 * phi_.column_support(j).size();
+    }
+  }
+  const std::size_t n_draws = frames * draws_per_frame;
+  std::vector<double> zbuf = arena.acquire(n_draws);
+  if (shared_noise && n_draws > 0) {
+    Rng rng(derive_seed(noise_seed_, run_));
+    rng.fill_gaussian(zbuf.data(), n_draws);
+  }
+
+  const double out_rate = design_.tx_sample_rate_hz();
+  sim::LaneBank bank = sim::LaneBank::acquire(arena, out_rate, lanes,
+                                              frames * m, /*uniform=*/false);
+
+  const double i_leak = (options_.i_leak_override_a > 0.0)
+                            ? options_.i_leak_override_a
+                            : tech_.i_leak_a;
+  std::vector<double> v_hold(m);
+  std::vector<double> last_event_t(m);
+
+  for (std::size_t k = 0; k < lanes; ++k) {
+    if (!shared_noise && n_draws > 0) {
+      Rng rng(derive_seed(lane_noise_seeds_[k], run_));
+      rng.fill_gaussian(zbuf.data(), n_draws);
+    }
+    const std::vector<double>& c_hold =
+        lane_c_hold_f_.empty() ? c_hold_f_ : lane_c_hold_f_[k];
+    const std::vector<double>& c_sample =
+        lane_c_sample_f_.empty() ? c_sample_f_ : lane_c_sample_f_[k];
+    const double* sampled = sampled_bank.lane(k);
+    double* out = bank.lane(k);
+    const double* zp = zbuf.data();
+
+    auto apply_leak = [&](std::size_t row, double now, double c_h) {
+      if (!options_.enable_leakage) return;
+      const double dt = now - last_event_t[row];
+      last_event_t[row] = now;
+      if (dt <= 0.0) return;
+      const double droop = i_leak * dt / c_h;
+      if (v_hold[row] > 0.0) {
+        v_hold[row] = std::max(0.0, v_hold[row] - droop);
+      } else {
+        v_hold[row] = std::min(0.0, v_hold[row] + droop);
+      }
+    };
+
+    for (std::size_t f = 0; f < frames; ++f) {
+      std::fill(v_hold.begin(), v_hold.end(), 0.0);
+      std::fill(last_event_t.begin(), last_event_t.end(), 0.0);
+
+      for (std::size_t j = 0; j < n_phi; ++j) {
+        const double now = static_cast<double>(j) * t_sample;
+        const auto& support = phi_.column_support(j);
+        for (std::size_t si = 0; si < support.size(); ++si) {
+          const std::size_t row = support[si];
+          const double c_s = c_sample[si % c_sample.size()];
+          const double c_h = c_hold[row];
+
+          // Same arithmetic as the scalar path: gaussian(0, sigma) expands
+          // to 0.0 + sigma * z with z from the identical draw sequence.
+          double v_s = sampled[f * n_phi + j];
+          if (options_.enable_noise) {
+            v_s += 0.0 + std::sqrt(kT / c_s) * (*zp++);
+          }
+
+          apply_leak(row, now, c_h);
+
+          double v_new = (c_s * v_s + c_h * v_hold[row]) / (c_s + c_h);
+          if (options_.enable_noise) {
+            v_new += 0.0 + std::sqrt(kT / (c_s + c_h)) * (*zp++);
+          }
+          v_hold[row] = v_new;
+        }
+      }
+
+      const double frame_end = static_cast<double>(n_phi) * t_sample;
+      for (std::size_t row = 0; row < m; ++row) {
+        apply_leak(row, frame_end, c_hold[row]);
+        out[f * m + row] = v_hold[row];
+      }
+    }
+  }
+  ++run_;
+  arena.release(std::move(zbuf));
+  sampled_bank.release_to(arena);
+  outputs.push_back(std::move(bank));
 }
 
 void CsEncoderBlock::reset() { run_ = 0; }

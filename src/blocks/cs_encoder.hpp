@@ -45,6 +45,10 @@ class CsEncoderBlock final : public sim::Block {
                  std::uint64_t noise_seed, CsEncoderOptions options = {});
 
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  void process_batch(std::size_t lanes,
+                     const std::vector<const sim::LaneBank*>& inputs,
+                     std::vector<sim::LaneBank>& outputs,
+                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;
@@ -54,7 +58,20 @@ class CsEncoderBlock final : public sim::Block {
   /// Nominal charge-sharing gains (what the reconstructor should assume).
   cs::ChargeSharingGains nominal_gains() const;
 
+  /// Fabricate one capacitor-array instance per lane for batched runs:
+  /// lane k's arrays are drawn exactly as a scalar block constructed with
+  /// seeds[k] would draw them (Phi itself is shared across lanes).
+  void set_lane_mismatch_seeds(const std::vector<std::uint64_t>& seeds);
+  /// Per-lane kT/C noise seeds; empty (default) = all lanes share the
+  /// constructor noise seed's stream (one bulk draw serves every lane).
+  void set_lane_noise_seeds(std::vector<std::uint64_t> seeds) {
+    lane_noise_seeds_ = std::move(seeds);
+  }
+
  private:
+  void draw_caps(std::uint64_t mismatch_seed, std::vector<double>& c_hold,
+                 std::vector<double>& c_sample) const;
+
   power::TechnologyParams tech_;
   power::DesignParams design_;
   cs::SparseBinaryMatrix phi_;
@@ -63,6 +80,9 @@ class CsEncoderBlock final : public sim::Block {
   std::uint64_t run_ = 0;
   std::vector<double> c_hold_f_;    // actual hold caps (with mismatch) [F]
   std::vector<double> c_sample_f_;  // actual sampling caps [F]
+  std::vector<std::vector<double>> lane_c_hold_f_;    // per-lane instances
+  std::vector<std::vector<double>> lane_c_sample_f_;  // per-lane instances
+  std::vector<std::uint64_t> lane_noise_seeds_;
 };
 
 }  // namespace efficsense::blocks

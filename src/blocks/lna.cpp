@@ -76,6 +76,57 @@ std::vector<sim::Waveform> LnaBlock::process(
   return {std::move(out)};
 }
 
+void LnaBlock::process_batch(std::size_t lanes,
+                             const std::vector<const sim::LaneBank*>& inputs,
+                             std::vector<sim::LaneBank>& outputs,
+                             sim::WaveformArena& arena) {
+  const bool shared = lane_noise_seeds_.empty();
+  if (shared && inputs.at(0)->uniform()) {
+    // One shared noise stream over one shared input: the base class runs the
+    // scalar path once and broadcasts (run_ advances once, like one lane).
+    sim::Block::process_batch(lanes, inputs, outputs, arena);
+    return;
+  }
+  const sim::LaneBank& x = *inputs.at(0);
+  EFF_REQUIRE(!x.empty(), "LNA input is empty");
+  EFF_REQUIRE(x.fs() > 2.0 * design_.bw_lna_hz(),
+              "simulation rate too low for the LNA bandwidth");
+  EFF_REQUIRE(shared || lane_noise_seeds_.size() == lanes,
+              "LNA lane seed count does not match the batch width");
+
+  const double sigma_sample =
+      design_.lna_noise_vrms * std::sqrt(x.fs() / (2.0 * design_.bw_lna_hz()));
+  const std::size_t n = x.samples();
+  sim::LaneBank bank =
+      sim::LaneBank::acquire(arena, x.fs(), lanes, n, /*uniform=*/false);
+  std::vector<double> noise = arena.acquire(n);
+  const double g = design_.lna_gain;
+  // Per-lane replica of the scalar staging (noise + gain, low-pass,
+  // compression + clip) with lane k's stream — bit-identical to the scalar
+  // instance seeded with that lane's seed at this run index.
+  for (std::size_t k = 0; k < lanes; ++k) {
+    Rng rng(derive_seed(shared ? seed_ : lane_noise_seeds_[k], run_));
+    rng.fill_gaussian(noise.data(), n);
+    const double* xr = x.lane(k);
+    double* o = bank.lane(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i] = (xr[i] + sigma_sample * noise[i]) * g;
+    }
+    auto lpf = dsp::butterworth_lowpass(2, design_.bw_lna_hz(), x.fs());
+    for (std::size_t i = 0; i < n; ++i) {
+      o[i] = lpf.process(o[i]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      const double v = o[i];
+      const double c = v - k3_ * v * v * v;
+      o[i] = std::clamp(c, -clip_level_, clip_level_);
+    }
+  }
+  ++run_;
+  arena.release(std::move(noise));
+  outputs.push_back(std::move(bank));
+}
+
 void LnaBlock::reset() { run_ = 0; }
 
 double LnaBlock::power_watts() const { return power::lna_power(tech_, design_); }

@@ -23,6 +23,10 @@ class LnaBlock final : public sim::Block {
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
                                      sim::WaveformArena& arena) override;
+  void process_batch(std::size_t lanes,
+                     const std::vector<const sim::LaneBank*>& inputs,
+                     std::vector<sim::LaneBank>& outputs,
+                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;
@@ -30,10 +34,18 @@ class LnaBlock final : public sim::Block {
 
   double gain() const { return design_.lna_gain; }
 
+  /// Per-lane noise seeds for batched runs with independent noise streams
+  /// (vary_noise_streams): lane k draws from seeds[k] instead of the shared
+  /// constructor seed. Empty (default) = all lanes share one stream.
+  void set_lane_noise_seeds(std::vector<std::uint64_t> seeds) {
+    lane_noise_seeds_ = std::move(seeds);
+  }
+
  private:
   power::TechnologyParams tech_;
   power::DesignParams design_;
   std::uint64_t seed_;
+  std::vector<std::uint64_t> lane_noise_seeds_;
   std::uint64_t run_ = 0;
   double k3_;          // output-referred cubic coefficient
   double clip_level_;  // output clips at +-clip_level_

@@ -79,6 +79,54 @@ std::vector<sim::Waveform> SampleHoldBlock::process(
   return {std::move(out)};
 }
 
+void SampleHoldBlock::process_batch(
+    std::size_t lanes, const std::vector<const sim::LaneBank*>& inputs,
+    std::vector<sim::LaneBank>& outputs, sim::WaveformArena& arena) {
+  const bool shared = lane_noise_seeds_.empty();
+  if (shared && inputs.at(0)->uniform()) {
+    sim::Block::process_batch(lanes, inputs, outputs, arena);
+    return;
+  }
+  const sim::LaneBank& x = *inputs.at(0);
+  EFF_REQUIRE(!x.empty(), "S&H input is empty");
+  const double f_sample = design_.f_sample_hz();
+  EFF_REQUIRE(x.fs() >= f_sample, "S&H cannot sample above the input rate");
+  EFF_REQUIRE(shared || lane_noise_seeds_.size() == lanes,
+              "S&H lane seed count does not match the batch width");
+
+  const double duration_s = static_cast<double>(x.samples()) / x.fs();
+  const auto n_out =
+      static_cast<std::size_t>(std::floor(duration_s * f_sample));
+  std::vector<double> times = arena.acquire(n_out);
+  std::vector<double> noise = arena.acquire(n_out);
+  sim::LaneBank bank =
+      sim::LaneBank::acquire(arena, f_sample, lanes, n_out, /*uniform=*/false);
+  const double sigma = kt_c_noise_vrms();
+  for (std::size_t k = 0; k < lanes; ++k) {
+    for (std::size_t i = 0; i < n_out; ++i) {
+      times[i] = static_cast<double>(i) / f_sample;
+    }
+    Rng rng(derive_seed(shared ? seed_ : lane_noise_seeds_[k], run_));
+    if (jitter_s_ > 0.0) {
+      rng.fill_gaussian(noise.data(), n_out);
+      for (std::size_t i = 0; i < n_out; ++i) {
+        times[i] += jitter_s_ * noise[i];
+      }
+    }
+    double* o = bank.lane(k);
+    dsp::sample_at_times(x.lane(k), x.samples(), x.fs(), times.data(), n_out,
+                         o);
+    rng.fill_gaussian(noise.data(), n_out);
+    for (std::size_t i = 0; i < n_out; ++i) {
+      o[i] += sigma * noise[i];
+    }
+  }
+  ++run_;
+  arena.release(std::move(noise));
+  arena.release(std::move(times));
+  outputs.push_back(std::move(bank));
+}
+
 void SampleHoldBlock::reset() { run_ = 0; }
 
 double SampleHoldBlock::power_watts() const {

@@ -20,6 +20,10 @@ class SampleHoldBlock final : public sim::Block {
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
                                      sim::WaveformArena& arena) override;
+  void process_batch(std::size_t lanes,
+                     const std::vector<const sim::LaneBank*>& inputs,
+                     std::vector<sim::LaneBank>& outputs,
+                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;
@@ -28,10 +32,17 @@ class SampleHoldBlock final : public sim::Block {
   double cap_farad() const { return cap_f_; }
   double kt_c_noise_vrms() const;
 
+  /// Per-lane noise seeds for batched runs (jitter + kT/C streams); empty
+  /// (default) = all lanes share the constructor seed's stream.
+  void set_lane_noise_seeds(std::vector<std::uint64_t> seeds) {
+    lane_noise_seeds_ = std::move(seeds);
+  }
+
  private:
   power::TechnologyParams tech_;
   power::DesignParams design_;
   std::uint64_t seed_;
+  std::vector<std::uint64_t> lane_noise_seeds_;
   std::uint64_t run_ = 0;
   double jitter_s_ = 0.0;
   double cap_f_;

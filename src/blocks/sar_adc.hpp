@@ -25,6 +25,10 @@ class SarAdcBlock final : public sim::Block {
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in,
                                      sim::WaveformArena& arena) override;
+  void process_batch(std::size_t lanes,
+                     const std::vector<const sim::LaneBank*>& inputs,
+                     std::vector<sim::LaneBank>& outputs,
+                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;
@@ -36,13 +40,27 @@ class SarAdcBlock final : public sim::Block {
   /// The actual (mismatched) normalized bit weights, for tests.
   const std::vector<double>& actual_weights() const { return weights_; }
 
+  /// Fabricate one DAC instance per lane for batched runs: lane k's weights
+  /// are drawn exactly as a scalar block constructed with seeds[k] would
+  /// draw them. Power/area stay design-deterministic and are unaffected.
+  void set_lane_mismatch_seeds(const std::vector<std::uint64_t>& seeds);
+  /// Per-lane comparator-noise seeds; empty (default) = all lanes share the
+  /// constructor noise seed's stream (one bulk draw serves every lane).
+  void set_lane_noise_seeds(std::vector<std::uint64_t> seeds) {
+    lane_noise_seeds_ = std::move(seeds);
+  }
+
  private:
+  std::vector<double> draw_weights(std::uint64_t mismatch_seed) const;
+
   power::TechnologyParams tech_;
   power::DesignParams design_;
   std::uint64_t noise_seed_;
   std::uint64_t run_ = 0;
   bool include_sampling_network_;
   std::vector<double> weights_;  // normalized actual bit weights, MSB first
+  std::vector<std::vector<double>> lane_weights_;  // per-lane instances
+  std::vector<std::uint64_t> lane_noise_seeds_;
 };
 
 }  // namespace efficsense::blocks

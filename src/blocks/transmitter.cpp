@@ -54,6 +54,53 @@ std::vector<sim::Waveform> TransmitterBlock::process(
   return {std::move(out)};
 }
 
+void TransmitterBlock::process_batch(
+    std::size_t lanes, const std::vector<const sim::LaneBank*>& inputs,
+    std::vector<sim::LaneBank>& outputs, sim::WaveformArena& arena) {
+  const sim::LaneBank& x = *inputs.at(0);
+  const bool shared = lane_noise_seeds_.empty();
+  EFF_REQUIRE(shared || lane_noise_seeds_.size() == lanes,
+              "transmitter lane seed count does not match the batch width");
+  bits_sent_ = static_cast<std::uint64_t>(x.samples()) *
+               static_cast<std::uint64_t>(design_.tx_bits());
+  if (ber_ == 0.0) {
+    // Lossless link: forward the bank unchanged (uniformity preserved) and
+    // only account the transmitted bits; the channel stream is untouched.
+    sim::LaneBank bank = sim::LaneBank::acquire(arena, x.fs(), lanes,
+                                                x.samples(), x.uniform());
+    std::copy(x.data().begin(), x.data().end(), bank.data().begin());
+    ++run_;
+    outputs.push_back(std::move(bank));
+    return;
+  }
+  const int n_bits = design_.adc_bits;
+  const double v_fs = design_.v_fs;
+  const double levels = std::pow(2.0, n_bits);
+  const std::size_t n = x.samples();
+  sim::LaneBank bank =
+      sim::LaneBank::acquire(arena, x.fs(), lanes, n, /*uniform=*/false);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    // Each lane replays the scalar per-run stream: shared mode re-seeds the
+    // same generator per lane (identical flips across lanes, as K scalar
+    // instances with one seed would see); per-lane seeds draw independently.
+    Rng rng(derive_seed(shared ? seed_ : lane_noise_seeds_[k], run_));
+    const double* xr = x.lane(k);
+    double* o = bank.lane(k);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto code = static_cast<std::int64_t>(
+          std::floor((xr[i] + v_fs / 2.0) / v_fs * levels));
+      code = std::clamp<std::int64_t>(code, 0,
+                                      static_cast<std::int64_t>(levels) - 1);
+      for (int b = 0; b < n_bits; ++b) {
+        if (rng.chance(ber_)) code ^= (1LL << b);
+      }
+      o[i] = (static_cast<double>(code) + 0.5) / levels * v_fs - v_fs / 2.0;
+    }
+  }
+  ++run_;
+  outputs.push_back(std::move(bank));
+}
+
 void TransmitterBlock::reset() { run_ = 0; }
 
 double TransmitterBlock::power_watts() const {

@@ -17,6 +17,10 @@ class TransmitterBlock final : public sim::Block {
                    double bit_error_rate = 0.0);
 
   std::vector<sim::Waveform> process(const std::vector<sim::Waveform>& in) override;
+  void process_batch(std::size_t lanes,
+                     const std::vector<const sim::LaneBank*>& inputs,
+                     std::vector<sim::LaneBank>& outputs,
+                     sim::WaveformArena& arena) override;
   void reset() override;
 
   double power_watts() const override;
@@ -26,10 +30,17 @@ class TransmitterBlock final : public sim::Block {
   /// Average bit rate implied by the design [bit/s].
   double bit_rate() const { return design_.bit_rate(); }
 
+  /// Per-lane channel seeds for batched runs; empty (default) = all lanes
+  /// share the constructor seed's stream.
+  void set_lane_noise_seeds(std::vector<std::uint64_t> seeds) {
+    lane_noise_seeds_ = std::move(seeds);
+  }
+
  private:
   power::TechnologyParams tech_;
   power::DesignParams design_;
   std::uint64_t seed_;
+  std::vector<std::uint64_t> lane_noise_seeds_;
   std::uint64_t run_ = 0;
   double ber_;
   std::uint64_t bits_sent_ = 0;

@@ -168,7 +168,12 @@ EpilepsyDetector EpilepsyDetector::train(const eeg::Dataset& clean_dataset,
 
 std::vector<double> EpilepsyDetector::epoch_probabilities(
     const std::vector<double>& x, double fs) const {
+  const auto f_start = std::chrono::steady_clock::now();
   const auto epochs = extractor_.epoch_matrix(x, fs);
+  obs::histogram("time/detect_features")
+      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             f_start)
+                   .count());
   std::vector<double> probs(epochs.rows());
   linalg::Vector row(epochs.cols());
   for (std::size_t e = 0; e < epochs.rows(); ++e) {
@@ -176,6 +181,68 @@ std::vector<double> EpilepsyDetector::epoch_probabilities(
     probs[e] = net_.predict_proba(standardizer_.transform(row));
   }
   return probs;
+}
+
+std::vector<std::vector<double>> EpilepsyDetector::epoch_probabilities_lanes(
+    const std::vector<const std::vector<double>*>& xs, double fs) const {
+  const std::size_t lanes = xs.size();
+  EFF_REQUIRE(lanes >= 1, "epoch_probabilities_lanes needs at least one lane");
+  const std::size_t n = xs.front()->size();
+  for (const auto* x : xs) {
+    EFF_REQUIRE(x != nullptr && x->size() == n,
+                "lane records must exist and have equal length");
+  }
+  const auto epoch_len =
+      static_cast<std::size_t>(config_.features.epoch_s * fs);
+  EFF_REQUIRE(epoch_len >= 64, "epoch too short at this sample rate");
+  const std::size_t epochs = n / epoch_len;
+  EFF_REQUIRE(epochs >= 1, "record shorter than one epoch");
+
+  std::vector<std::vector<double>> probs(lanes, std::vector<double>(epochs));
+  std::vector<const double*> ptrs(lanes);
+  linalg::Vector row(FeatureExtractor::kEpochFeatures);
+  double feature_s = 0.0;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      ptrs[l] = xs[l]->data() + e * epoch_len;
+    }
+    const auto f_start = std::chrono::steady_clock::now();
+    const auto f =
+        extractor_.epoch_features_lanes(ptrs.data(), lanes, epoch_len, fs);
+    feature_s += std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - f_start)
+                     .count();
+    for (std::size_t l = 0; l < lanes; ++l) {
+      for (std::size_t c = 0; c < FeatureExtractor::kEpochFeatures; ++c) {
+        row[c] = f(l, c);
+      }
+      probs[l][e] = net_.predict_proba(standardizer_.transform(row));
+    }
+  }
+  obs::histogram("time/detect_features").observe(feature_s);
+  return probs;
+}
+
+std::vector<EpilepsyDetector::EpochScore> EpilepsyDetector::score_epochs_lanes(
+    const std::vector<const std::vector<double>*>& xs, double fs,
+    const std::optional<eeg::IctalAnnotation>& ictal) const {
+  const auto start = std::chrono::steady_clock::now();
+  const auto probs = epoch_probabilities_lanes(xs, fs);
+  const auto truth =
+      epoch_labels(ictal, probs.front().size(), config_.features.epoch_s);
+  std::vector<EpochScore> scores(xs.size());
+  for (std::size_t l = 0; l < xs.size(); ++l) {
+    for (std::size_t e = 0; e < probs[l].size(); ++e) {
+      if (!truth[e].has_value()) continue;
+      ++scores[l].scored;
+      if ((probs[l][e] >= 0.5) == (*truth[e] >= 0.5)) ++scores[l].correct;
+    }
+  }
+  obs::histogram("time/detect_score")
+      .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             start)
+                   .count());
+  return scores;
 }
 
 double EpilepsyDetector::seizure_probability(const std::vector<double>& x,

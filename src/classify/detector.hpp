@@ -90,6 +90,20 @@ class EpilepsyDetector {
   EpochScore score_epochs(const std::vector<double>& x, double fs,
                           const std::optional<eeg::IctalAnnotation>& ictal) const;
 
+  /// Epoch probabilities of `lanes` equal-length records in lockstep;
+  /// element [l][e] matches epoch_probabilities(*xs[l], fs)[e] bit for bit.
+  /// Feature extraction runs across lanes (the dominant cost — the shared
+  /// Welch/FFT schedule amortizes over the lane group); the tiny MLP head
+  /// stays per lane.
+  std::vector<std::vector<double>> epoch_probabilities_lanes(
+      const std::vector<const std::vector<double>*>& xs, double fs) const;
+
+  /// score_epochs across a lane group: scores[l] matches
+  /// score_epochs(*xs[l], fs, ictal) exactly.
+  std::vector<EpochScore> score_epochs_lanes(
+      const std::vector<const std::vector<double>*>& xs, double fs,
+      const std::optional<eeg::IctalAnnotation>& ictal) const;
+
   const DetectorConfig& config() const { return config_; }
   double training_accuracy() const { return training_accuracy_; }
 

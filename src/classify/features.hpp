@@ -30,6 +30,15 @@ class FeatureExtractor {
   /// Features of a single epoch (any length >= 64 samples).
   linalg::Vector epoch_features(const std::vector<double>& x, double fs) const;
 
+  /// Features of one epoch across `lanes` signals in lockstep: xs[l] points
+  /// at lane l's epoch (n samples each). Returns a lanes x kEpochFeatures
+  /// matrix whose row l matches epoch_features of lane l bit for bit — the
+  /// Welch/FFT schedule is lane-invariant and every per-lane reduction
+  /// keeps the scalar accumulation order, with SIMD across lanes only.
+  linalg::Matrix epoch_features_lanes(const double* const* xs,
+                                      std::size_t lanes, std::size_t n,
+                                      double fs) const;
+
   /// One row per complete epoch of the record.
   linalg::Matrix epoch_matrix(const std::vector<double>& x, double fs) const;
 

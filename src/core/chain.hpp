@@ -24,4 +24,10 @@ using arch::build_chain;
 using arch::make_matched_reconstructor;
 using arch::run_chain;
 
+using arch::build_batch_baseline_chain;
+using arch::build_batch_cs_chain;
+using arch::build_batch_digital_cs_chain;
+using arch::lane_stream_seed;
+using arch::run_chain_batch;
+
 }  // namespace efficsense::core

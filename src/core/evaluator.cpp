@@ -193,4 +193,105 @@ EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
   return metrics;
 }
 
+std::vector<EvalMetrics> Evaluator::evaluate_lanes(
+    const power::DesignParams& design,
+    const std::vector<ChainSeeds>& lane_seeds) const {
+  if (lane_seeds.size() < 2) return {};  // scalar path covers K <= 1
+  design.validate();
+  const arch::Architecture& architecture =
+      arch::ArchRegistry::instance().resolve(options_.architecture, design);
+  // Live (signal-dependent) power must be sampled per scalar instance.
+  if (architecture.signal_dependent_power()) return {};
+  auto chain = architecture.build_batch_model(tech_, design, lane_seeds);
+  if (chain == nullptr) return {};
+
+  EFFICSENSE_SPAN("eval/batch_point");
+  const auto eval_start = std::chrono::steady_clock::now();
+  const std::size_t lanes = lane_seeds.size();
+
+  // One decoder serves every lane: reconstructors depend only on the shared
+  // phi seed + CS config, never on mismatch/noise seeds.
+  const auto decoder =
+      architecture.make_decoder(design, lane_seeds.front(), options_.recon);
+
+  // Power/area are deterministic functions of (tech, design) — independent
+  // of the drawn mismatch — so one report serves all lanes (the scalar path
+  // recomputes the identical report per instance).
+  std::vector<EvalMetrics> metrics(lanes);
+  const sim::PowerReport power = architecture.power_report(*chain);
+  const sim::AreaReport area = architecture.area_report(*chain);
+  for (EvalMetrics& m : metrics) {
+    m.power_breakdown = power;
+    m.power_w = power.total_watts();
+    m.area_breakdown = area;
+    m.area_unit_caps = area.total_unit_caps();
+  }
+
+  std::size_t limit = dataset_->segments.size();
+  if (options_.max_segments > 0) {
+    limit = std::min(limit, options_.max_segments);
+  }
+
+  const double f_sample = design.f_sample_hz();
+  const double inv_gain = 1.0 / design.lna_gain;
+  std::vector<double> snr_sum(lanes, 0.0);
+  std::vector<std::size_t> correct(lanes, 0), scored(lanes, 0);
+  std::vector<const double*> rows(lanes);
+  std::vector<std::vector<double>> input_referred(lanes);
+  std::vector<const std::vector<double>*> lane_records(lanes);
+
+  for (std::size_t i = 0; i < limit; ++i) {
+    const auto& segment = dataset_->segments[i];
+    const sim::LaneBank& received =
+        run_chain_batch(*chain, segment.waveform, lanes);
+    for (std::size_t k = 0; k < lanes; ++k) rows[k] = received.lane(k);
+    const auto signals =
+        decoder->decode_lanes(rows, received.samples(), pool_);
+
+    // Ground truth: shared across lanes — every lane decodes the same
+    // number of samples from the same clean segment.
+    EFF_REQUIRE(!signals.empty() && !signals.front().empty(),
+                "front-end produced no samples");
+    const auto times = dsp::uniform_times(signals.front().size(), f_sample);
+    const auto reference =
+        dsp::sample_at_times(segment.waveform.samples, segment.waveform.fs,
+                             times);
+
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const std::vector<double>& signal = signals[k];
+      EFF_REQUIRE(signal.size() == signals.front().size(),
+                  "lane-dependent decode length");
+      snr_sum[k] += dsp::snr_vs_reference_db(reference, signal);
+      input_referred[k].resize(signal.size());
+      for (std::size_t s = 0; s < signal.size(); ++s) {
+        input_referred[k][s] = signal[s] * inv_gain;
+      }
+      lane_records[k] = &input_referred[k];
+    }
+    // One lockstep scoring pass over the lane group: the Welch/FFT feature
+    // schedule is shared, each lane's score matches score_epochs exactly.
+    const auto scores =
+        detector_->score_epochs_lanes(lane_records, f_sample, segment.ictal);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      correct[k] += scores[k].correct;
+      scored[k] += scores[k].scored;
+    }
+  }
+
+  for (std::size_t k = 0; k < lanes; ++k) {
+    metrics[k].segments_evaluated = limit;
+    metrics[k].snr_db = snr_sum[k] / static_cast<double>(limit);
+    EFF_REQUIRE(scored[k] > 0, "no scorable epochs in the dataset");
+    metrics[k].accuracy =
+        static_cast<double>(correct[k]) / static_cast<double>(scored[k]);
+  }
+  obs::counter("eval/points").inc(lanes);
+  obs::counter("eval/segments").inc(limit * lanes);
+  obs::histogram("eval/point_seconds")
+      .observe(std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - eval_start)
+                   .count());
+  return metrics;
+}
+
 }  // namespace efficsense::core

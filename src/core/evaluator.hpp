@@ -56,6 +56,19 @@ class Evaluator {
   /// Score one design point.
   EvalMetrics evaluate(const power::DesignParams& design) const;
 
+  /// Score K fabricated instances of one design point in lockstep through
+  /// the architecture's batched model (SoA Monte-Carlo engine): one
+  /// run_batch per segment drives all lanes, decode runs as a multi-RHS
+  /// solve per window, and out[k] is bit-identical to a scalar evaluate()
+  /// with seeds = lane_seeds[k]. All lanes must share the phi seed. Returns
+  /// an empty vector when the architecture has no batched path (or has
+  /// signal-dependent power) — callers then fall back to per-instance
+  /// scalar evaluation, so every registered architecture runs at any lane
+  /// width.
+  std::vector<EvalMetrics> evaluate_lanes(
+      const power::DesignParams& design,
+      const std::vector<ChainSeeds>& lane_seeds) const;
+
   /// Process one segment through an existing chain; returns the received
   /// signal at f_sample scale (input-referred: LNA gain divided out) plus
   /// its reconstruction SNR versus the ideally sampled clean segment.

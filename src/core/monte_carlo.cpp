@@ -61,19 +61,23 @@ MonteCarloResult monte_carlo(
   std::mutex progress_mutex;
   std::size_t last_reported = 0;  // guarded by progress_mutex
 
-  const auto run_instance = [&](std::size_t i) {
-    EFFICSENSE_SPAN("mc/instance");
-    const auto start = std::chrono::steady_clock::now();
-    // Same chain topology, fresh fabrication: only the mismatch seed moves
-    // (and the sensing-matrix draw stays fixed — it is programmed, not
-    // fabricated).
+  // Same chain topology, fresh fabrication: only the mismatch seed moves
+  // (and the sensing-matrix draw stays fixed — it is programmed, not
+  // fabricated).
+  const auto seeds_for = [&](std::size_t i) {
     ChainSeeds seeds = evaluator.options().seeds;
     seeds.mismatch = derive_seed(options.seed, 2 * i);
     if (options.vary_noise_streams) {
       seeds.noise = derive_seed(options.seed, 2 * i + 1);
     }
+    return seeds;
+  };
+
+  const auto run_instance = [&](std::size_t i) {
+    EFFICSENSE_SPAN("mc/instance");
+    const auto start = std::chrono::steady_clock::now();
     Evaluator local = evaluator;  // shares dataset/detector (non-owning)
-    local.set_seeds(seeds);
+    local.set_seeds(seeds_for(i));
     if (pool) local.set_pool(pool.get());  // nested fan-out is reentrancy-safe
     result.instances[i] = local.evaluate(design);
     obs::counter("mc/instances").inc();
@@ -91,7 +95,65 @@ MonteCarloResult monte_carlo(
     }
   };
 
-  if (pool) {
+  // Lane width of the batched SoA engine. Groups of K instances run in
+  // lockstep through one batched chain; architectures without a batched
+  // model make evaluate_lanes return empty and the group falls back to the
+  // scalar per-instance loop, so every architecture runs at any lane width.
+  const std::size_t lanes_requested =
+      options.lanes != 0
+          ? options.lanes
+          : static_cast<std::size_t>(std::max<std::int64_t>(
+                1, env_int("EFFICSENSE_LANES", 8)));
+  const std::size_t lane_width = std::min(lanes_requested, options.instances);
+
+  const auto run_group = [&](std::size_t g) {
+    const std::size_t first = g * lane_width;
+    const std::size_t count =
+        std::min(lane_width, options.instances - first);
+    std::vector<ChainSeeds> lane_seeds(count);
+    for (std::size_t k = 0; k < count; ++k) {
+      lane_seeds[k] = seeds_for(first + k);
+    }
+    EFFICSENSE_SPAN("mc/group");
+    const auto start = std::chrono::steady_clock::now();
+    Evaluator local = evaluator;  // shares dataset/detector (non-owning)
+    if (pool) local.set_pool(pool.get());
+    const auto lane_metrics = local.evaluate_lanes(design, lane_seeds);
+    if (lane_metrics.empty()) {
+      // No batched path for this architecture (or a degenerate group).
+      for (std::size_t k = 0; k < count; ++k) run_instance(first + k);
+      return;
+    }
+    for (std::size_t k = 0; k < count; ++k) {
+      result.instances[first + k] = lane_metrics[k];
+    }
+    obs::counter("mc/instances").inc(count);
+    const double amortized =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count() /
+        static_cast<double>(count);
+    for (std::size_t k = 0; k < count; ++k) instance_hist.observe(amortized);
+    done.fetch_add(count, std::memory_order_acq_rel);
+    if (progress) {
+      const std::size_t snapshot = done.load(std::memory_order_acquire);
+      std::lock_guard lock(progress_mutex);
+      if (snapshot > last_reported) {
+        last_reported = snapshot;
+        progress(snapshot, options.instances);
+      }
+    }
+  };
+
+  if (lane_width > 1) {
+    const std::size_t groups =
+        (options.instances + lane_width - 1) / lane_width;
+    if (pool) {
+      pool->parallel_for(groups, run_group);
+    } else {
+      for (std::size_t g = 0; g < groups; ++g) run_group(g);
+    }
+  } else if (pool) {
     pool->parallel_for(options.instances, run_instance);
   } else {
     for (std::size_t i = 0; i < options.instances; ++i) run_instance(i);

@@ -23,6 +23,12 @@ struct MonteCarloOptions {
   /// Instances carry independent seed streams, so results are identical to
   /// the serial order regardless of thread count.
   std::size_t threads = 0;
+  /// SoA lane width K of the batched engine: instances are evaluated in
+  /// groups of K through Evaluator::evaluate_lanes, each lane bit-identical
+  /// to its scalar instance. 1 = the scalar path; 0 = resolve from
+  /// EFFICSENSE_LANES (default 8). Architectures without a batched model
+  /// fall back to per-instance scalar evaluation automatically.
+  std::size_t lanes = 0;
 };
 
 struct MetricStats {

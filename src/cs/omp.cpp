@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "linalg/decompositions.hpp"
+#include "linalg/lane_kernels.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
@@ -55,6 +56,52 @@ OmpResult OmpSolver::solve(const linalg::Vector& y) const {
   obs::counter("omp/solves").inc();
   obs::histogram("time/omp_solve").observe(seconds_since(start));
   return out;
+}
+
+std::vector<OmpResult> OmpSolver::solve_multi(
+    const std::vector<linalg::Vector>& ys) const {
+  std::vector<OmpResult> results(ys.size());
+  if (ys.empty()) return results;
+  for (const auto& y : ys) {
+    EFF_REQUIRE(y.size() == m_, "measurement vector has wrong size");
+  }
+  EFFICSENSE_SPAN("omp/solve_multi");
+  const auto start = clock_type::now();
+  if (options_.mode == OmpMode::Batch) {
+    // Fused correlation pass: the lane frames are transposed into a
+    // sample-major SoA block so each atom row is streamed through the
+    // cache once and dotted against every lane at once. dot_lanes keeps
+    // the per-(atom, lane) i-accumulation in exact scalar order (SIMD
+    // runs across lanes only), so alpha0 — and everything downstream —
+    // matches the single-RHS path bitwise.
+    const auto alpha_start = clock_type::now();
+    const std::size_t k_atoms = dict_t_.rows();
+    const std::size_t n_lanes = ys.size();
+    std::vector<double> yt(m_ * n_lanes);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      const double* y = ys[l].data();
+      for (std::size_t i = 0; i < m_; ++i) yt[i * n_lanes + l] = y[i];
+    }
+    std::vector<linalg::Vector> alpha0(n_lanes, linalg::Vector(k_atoms, 0.0));
+    std::vector<double> sums(n_lanes);
+    for (std::size_t k = 0; k < k_atoms; ++k) {
+      linalg::dot_lanes(dict_t_.row_ptr(k), yt.data(), m_, n_lanes,
+                        sums.data());
+      for (std::size_t l = 0; l < n_lanes; ++l) alpha0[l][k] = sums[l];
+    }
+    obs::histogram("time/omp_alpha0").observe(seconds_since(alpha_start));
+    for (std::size_t l = 0; l < ys.size(); ++l) {
+      results[l] = solve_batch_with_alpha0(ys[l], alpha0[l], /*accel=*/true);
+    }
+  } else {
+    for (std::size_t l = 0; l < ys.size(); ++l) {
+      results[l] = solve_naive(ys[l]);
+    }
+  }
+  obs::counter("omp/solves").inc(ys.size());
+  obs::counter("omp/multi_solves").inc();
+  obs::histogram("time/omp_solve").observe(seconds_since(start));
+  return results;
 }
 
 double OmpSolver::support_residual_norm(
@@ -145,6 +192,21 @@ OmpResult OmpSolver::solve_naive(const linalg::Vector& y) const {
 
 OmpResult OmpSolver::solve_batch(const linalg::Vector& y) const {
   const std::size_t k_atoms = dict_t_.rows();
+  // alpha0 = A^T y, once per frame; alpha tracks A^T r through the Gram.
+  linalg::Vector alpha0(k_atoms);
+  for (std::size_t k = 0; k < k_atoms; ++k) {
+    const double* atom = dict_t_.row_ptr(k);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < m_; ++i) sum += atom[i] * y[i];
+    alpha0[k] = sum;
+  }
+  return solve_batch_with_alpha0(y, alpha0);
+}
+
+OmpResult OmpSolver::solve_batch_with_alpha0(const linalg::Vector& y,
+                                             const linalg::Vector& alpha0,
+                                             bool accel) const {
+  const std::size_t k_atoms = dict_t_.rows();
 
   OmpResult out;
   out.coefficients.assign(k_atoms, 0.0);
@@ -160,17 +222,18 @@ OmpResult OmpSolver::solve_batch(const linalg::Vector& y) const {
   // path without paying the exact recompute on every iteration.
   const double verify_band = std::max(target, 1e-6 * y_norm);
 
-  // alpha0 = A^T y, once per frame; alpha tracks A^T r through the Gram.
-  linalg::Vector alpha0(k_atoms);
-  for (std::size_t k = 0; k < k_atoms; ++k) {
-    const double* atom = dict_t_.row_ptr(k);
-    double sum = 0.0;
-    for (std::size_t i = 0; i < m_; ++i) sum += atom[i] * y[i];
-    alpha0[k] = sum;
-  }
   linalg::Vector alpha = alpha0;
 
   std::vector<bool> in_support(k_atoms, false);
+  // Lane-path mask for the AVX2 selection kernel: 0.0 = skip (atom already
+  // in support or zero-norm), mirroring the scalar continue condition.
+  std::vector<double> live;
+  if (accel) {
+    live.resize(k_atoms);
+    for (std::size_t k = 0; k < k_atoms; ++k) {
+      live[k] = col_norm_[k] == 0.0 ? 0.0 : 1.0;
+    }
+  }
   std::vector<std::size_t> support;
   support.reserve(options_.max_atoms);
   linalg::CholeskyAppend chol(options_.max_atoms);
@@ -181,12 +244,17 @@ OmpResult OmpSolver::solve_batch(const linalg::Vector& y) const {
   for (std::size_t iter = 0; iter < options_.max_atoms; ++iter) {
     std::size_t best = k_atoms;
     double best_score = 0.0;
-    for (std::size_t k = 0; k < k_atoms; ++k) {
-      if (in_support[k] || col_norm_[k] == 0.0) continue;
-      const double score = std::fabs(alpha[k]) / col_norm_[k];
-      if (score > best_score) {
-        best_score = score;
-        best = k;
+    if (accel) {
+      best = linalg::select_atom(alpha.data(), col_norm_.data(), live.data(),
+                                 k_atoms, &best_score);
+    } else {
+      for (std::size_t k = 0; k < k_atoms; ++k) {
+        if (in_support[k] || col_norm_[k] == 0.0) continue;
+        const double score = std::fabs(alpha[k]) / col_norm_[k];
+        if (score > best_score) {
+          best_score = score;
+          best = k;
+        }
       }
     }
     if (best == k_atoms || best_score < 1e-15) break;
@@ -201,6 +269,7 @@ OmpResult OmpSolver::solve_batch(const linalg::Vector& y) const {
     if (!chol.append(cross, col_norm_[best] * col_norm_[best])) break;
 
     in_support[best] = true;
+    if (accel) live[best] = 0.0;
     support.push_back(best);
     dt_y.push_back(alpha0[best]);
     coef = chol.solve(dt_y);
@@ -218,14 +287,22 @@ OmpResult OmpSolver::solve_batch(const linalg::Vector& y) const {
     if (iter + 1 < options_.max_atoms) {
       // alpha = alpha0 - G[:, S] c; columns read as rows by symmetry.
       alpha = alpha0;
-      for (std::size_t si = 0; si < support.size(); ++si) {
-        const double c = coef[si];
-        const double* grow = gram_.row_ptr(support[si]);
-        for (std::size_t k = 0; k < k_atoms; ++k) alpha[k] -= c * grow[k];
+      if (accel) {
+        for (std::size_t si = 0; si < support.size(); ++si) {
+          linalg::sub_scaled(alpha.data(), gram_.row_ptr(support[si]),
+                             coef[si], k_atoms);
+        }
+      } else {
+        for (std::size_t si = 0; si < support.size(); ++si) {
+          const double c = coef[si];
+          const double* grow = gram_.row_ptr(support[si]);
+          for (std::size_t k = 0; k < k_atoms; ++k) alpha[k] -= c * grow[k];
+        }
       }
     }
   }
 
+  obs::counter("omp/iterations").inc(out.iterations);
   // Report the exactly recomputed residual so downstream consumers see the
   // same value the naive oracle would.
   out.residual_norm =

@@ -51,6 +51,14 @@ class OmpSolver {
 
   OmpResult solve(const linalg::Vector& y) const;
 
+  /// Multi-RHS solve against the shared Gram: one frame from each of K
+  /// Monte-Carlo lanes. The alpha0 = A^T y pass is fused across lanes (each
+  /// atom row is streamed through the cache once for all right-hand sides);
+  /// the support iterations then run per lane, so results[l] is bit-identical
+  /// to solve(ys[l]).
+  std::vector<OmpResult> solve_multi(
+      const std::vector<linalg::Vector>& ys) const;
+
   std::size_t measurements() const { return m_; }
   std::size_t atoms() const { return dict_t_.rows(); }
   const OmpOptions& options() const { return options_; }
@@ -61,6 +69,14 @@ class OmpSolver {
  private:
   OmpResult solve_naive(const linalg::Vector& y) const;
   OmpResult solve_batch(const linalg::Vector& y) const;
+  /// Batch-mode support iterations for a precomputed alpha0 = A^T y.
+  /// `accel` (used by the multi-RHS lane path only) swaps the atom
+  /// selection scan and the alpha-update axpys for AVX2 kernels with the
+  /// exact scalar IEEE semantics — identical results, the single-RHS
+  /// oracle path keeps its original code.
+  OmpResult solve_batch_with_alpha0(const linalg::Vector& y,
+                                    const linalg::Vector& alpha0,
+                                    bool accel = false) const;
   /// ||y - A|_S c||, the same subtraction loop as the naive path, so both
   /// engines report bitwise-identical residuals for identical supports.
   double support_residual_norm(const linalg::Vector& y,

@@ -56,22 +56,26 @@ Reconstructor::Reconstructor(const SparseBinaryMatrix& phi,
   }
 }
 
+linalg::Vector Reconstructor::synthesize_from_support(
+    const OmpResult& res) const {
+  // Synthesize from the support alone: O(k * N) instead of O(K * N).
+  // Atoms are visited in ascending index order, so every output sample
+  // accumulates its terms in the same order a dense Psi * c would.
+  std::vector<std::size_t> atoms = res.support;
+  std::sort(atoms.begin(), atoms.end());
+  linalg::Vector out(n_, 0.0);
+  for (const std::size_t atom : atoms) {
+    const double c = res.coefficients[atom];
+    const double* row = psi_t_.row_ptr(atom);
+    for (std::size_t r = 0; r < n_; ++r) out[r] += c * row[r];
+  }
+  return out;
+}
+
 linalg::Vector Reconstructor::reconstruct_frame(const linalg::Vector& y) const {
   EFF_REQUIRE(y.size() == m_, "measurement frame has wrong size");
   if (config_.algorithm == ReconAlgorithm::Omp) {
-    const OmpResult res = omp_->solve(y);
-    // Synthesize from the support alone: O(k * N) instead of O(K * N).
-    // Atoms are visited in ascending index order, so every output sample
-    // accumulates its terms in the same order a dense Psi * c would.
-    std::vector<std::size_t> atoms = res.support;
-    std::sort(atoms.begin(), atoms.end());
-    linalg::Vector out(n_, 0.0);
-    for (const std::size_t atom : atoms) {
-      const double c = res.coefficients[atom];
-      const double* row = psi_t_.row_ptr(atom);
-      for (std::size_t r = 0; r < n_; ++r) out[r] += c * row[r];
-    }
-    return out;
+    return synthesize_from_support(omp_->solve(y));
   }
 
   linalg::Vector coeffs;
@@ -104,6 +108,47 @@ std::vector<double> Reconstructor::reconstruct_stream(
                            measurements.begin() + (f + 1) * m_);
     const linalg::Vector x = reconstruct_frame(y);
     std::copy(x.begin(), x.end(), out.begin() + f * n_);
+  };
+  if (pool != nullptr && pool->size() > 1 && frames > 1) {
+    pool->parallel_for(frames, recover_frame);
+  } else {
+    for (std::size_t f = 0; f < frames; ++f) recover_frame(f);
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> Reconstructor::reconstruct_stream_multi(
+    const std::vector<const double*>& lanes, std::size_t length,
+    ThreadPool* pool) const {
+  const std::size_t n_lanes = lanes.size();
+  const std::size_t frames = length / m_;
+  std::vector<std::vector<double>> out(n_lanes,
+                                       std::vector<double>(frames * n_, 0.0));
+  if (n_lanes == 0 || frames == 0) return out;
+
+  if (config_.algorithm != ReconAlgorithm::Omp) {
+    // Iterative algorithms have no shared-correlation pass; recover each
+    // lane's stream independently (still one Reconstructor / dictionary).
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      const std::vector<double> meas(lanes[l], lanes[l] + length);
+      out[l] = reconstruct_stream(meas, pool);
+    }
+    return out;
+  }
+
+  // One multi-RHS solve per frame window: the solver fuses the A^T y pass
+  // across lanes against the shared Gram; per-lane results are bit-identical
+  // to solving that lane's frame alone.
+  const auto recover_frame = [&](std::size_t f) {
+    std::vector<linalg::Vector> ys(n_lanes);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      ys[l].assign(lanes[l] + f * m_, lanes[l] + (f + 1) * m_);
+    }
+    const std::vector<OmpResult> results = omp_->solve_multi(ys);
+    for (std::size_t l = 0; l < n_lanes; ++l) {
+      const linalg::Vector x = synthesize_from_support(results[l]);
+      std::copy(x.begin(), x.end(), out[l].begin() + f * n_);
+    }
   };
   if (pool != nullptr && pool->size() > 1 && frames > 1) {
     pool->parallel_for(frames, recover_frame);

@@ -66,10 +66,20 @@ class Reconstructor {
       const std::vector<double>& measurements,
       ThreadPool* pool = nullptr) const;
 
+  /// K-lane batched recovery for the SoA Monte-Carlo engine: lanes[l]
+  /// points at lane l's measurement stream (`length` values each, e.g. a
+  /// LaneBank row). Per frame window one multi-RHS OMP solve runs across
+  /// all lanes against the shared Gram; out[l] is bit-identical to
+  /// reconstruct_stream over lane l alone.
+  std::vector<std::vector<double>> reconstruct_stream_multi(
+      const std::vector<const double*>& lanes, std::size_t length,
+      ThreadPool* pool = nullptr) const;
+
   /// Number of DCT atoms actually used after truncation.
   std::size_t active_atoms() const { return k_atoms_; }
 
  private:
+  linalg::Vector synthesize_from_support(const OmpResult& res) const;
   std::size_t m_ = 0;
   std::size_t n_ = 0;
   std::size_t k_atoms_ = 0;

@@ -1,8 +1,14 @@
 #include "dsp/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+#include "linalg/lane_kernels.hpp"
 #include "util/error.hpp"
 
 namespace efficsense::dsp {
@@ -44,6 +50,82 @@ void fft_pow2(std::vector<Complex>& x, bool inverse) {
 }
 
 namespace {
+
+// One butterfly stage across all lanes. The (u, v) arithmetic is written
+// exactly as the scalar complex operators expand for finite values
+// (v = b*w as br*wr - bi*wi / br*wi + bi*wr, then u +/- v component-wise),
+// so every lane reproduces fft_pow2's rounding. The lane loop has no
+// cross-lane dependency, which is what the AVX2 variant exploits.
+void butterfly_stage_scalar(double* re, double* im, std::size_t n,
+                            std::size_t lanes, std::size_t len,
+                            const std::vector<Complex>& tw) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const double wr = tw[k].real();
+      const double wi = tw[k].imag();
+      double* ur = re + (i + k) * lanes;
+      double* ui = im + (i + k) * lanes;
+      double* br = re + (i + k + half) * lanes;
+      double* bi = im + (i + k + half) * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const double vr = br[l] * wr - bi[l] * wi;
+        const double vi = br[l] * wi + bi[l] * wr;
+        const double u_r = ur[l];
+        const double u_i = ui[l];
+        ur[l] = u_r + vr;
+        ui[l] = u_i + vi;
+        br[l] = u_r - vr;
+        bi[l] = u_i - vi;
+      }
+    }
+  }
+}
+
+#if defined(__x86_64__)
+// mul and add/sub stay separate instructions (never fmadd): the scalar
+// oracle is built without FMA, and contraction would change low bits.
+__attribute__((target("avx2"))) void butterfly_stage_avx2(
+    double* re, double* im, std::size_t n, std::size_t lanes, std::size_t len,
+    const std::vector<Complex>& tw) {
+  const std::size_t half = len / 2;
+  for (std::size_t i = 0; i < n; i += len) {
+    for (std::size_t k = 0; k < half; ++k) {
+      const __m256d vwr = _mm256_set1_pd(tw[k].real());
+      const __m256d vwi = _mm256_set1_pd(tw[k].imag());
+      double* ur = re + (i + k) * lanes;
+      double* ui = im + (i + k) * lanes;
+      double* br = re + (i + k + half) * lanes;
+      double* bi = im + (i + k + half) * lanes;
+      std::size_t l = 0;
+      for (; l + 4 <= lanes; l += 4) {
+        const __m256d xbr = _mm256_loadu_pd(br + l);
+        const __m256d xbi = _mm256_loadu_pd(bi + l);
+        const __m256d vr = _mm256_sub_pd(_mm256_mul_pd(xbr, vwr),
+                                         _mm256_mul_pd(xbi, vwi));
+        const __m256d vi = _mm256_add_pd(_mm256_mul_pd(xbr, vwi),
+                                         _mm256_mul_pd(xbi, vwr));
+        const __m256d xur = _mm256_loadu_pd(ur + l);
+        const __m256d xui = _mm256_loadu_pd(ui + l);
+        _mm256_storeu_pd(ur + l, _mm256_add_pd(xur, vr));
+        _mm256_storeu_pd(ui + l, _mm256_add_pd(xui, vi));
+        _mm256_storeu_pd(br + l, _mm256_sub_pd(xur, vr));
+        _mm256_storeu_pd(bi + l, _mm256_sub_pd(xui, vi));
+      }
+      for (; l < lanes; ++l) {
+        const double vr = br[l] * tw[k].real() - bi[l] * tw[k].imag();
+        const double vi = br[l] * tw[k].imag() + bi[l] * tw[k].real();
+        const double u_r = ur[l];
+        const double u_i = ui[l];
+        ur[l] = u_r + vr;
+        ui[l] = u_i + vi;
+        br[l] = u_r - vr;
+        bi[l] = u_i - vi;
+      }
+    }
+  }
+}
+#endif
 
 std::size_t next_pow2(std::size_t n) {
   std::size_t p = 1;
@@ -87,6 +169,44 @@ std::vector<Complex> bluestein(const std::vector<Complex>& x, bool inverse) {
 }
 
 }  // namespace
+
+void fft_pow2_lanes(double* re, double* im, std::size_t n, std::size_t lanes) {
+  EFF_REQUIRE(is_pow2(n), "fft_pow2_lanes requires a power-of-two length");
+  EFF_REQUIRE(lanes >= 1, "fft_pow2_lanes needs at least one lane");
+  if (n == 1) return;
+
+  // Bit-reversal permutation: swap whole lane rows.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      std::swap_ranges(re + i * lanes, re + (i + 1) * lanes, re + j * lanes);
+      std::swap_ranges(im + i * lanes, im + (i + 1) * lanes, im + j * lanes);
+    }
+  }
+
+  std::vector<Complex> tw;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    // Same twiddle recurrence as fft_pow2 (w starts at 1 and multiplies by
+    // wlen), evaluated once per stage instead of once per block.
+    const double ang = -2.0 * std::numbers::pi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    tw.assign(len / 2, Complex(1.0, 0.0));
+    Complex w(1.0, 0.0);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      tw[k] = w;
+      w *= wlen;
+    }
+#if defined(__x86_64__)
+    if (lanes >= 4 && linalg::cpu_has_avx2()) {
+      butterfly_stage_avx2(re, im, n, lanes, len, tw);
+      continue;
+    }
+#endif
+    butterfly_stage_scalar(re, im, n, lanes, len, tw);
+  }
+}
 
 std::vector<Complex> fft(const std::vector<Complex>& x) {
   EFF_REQUIRE(!x.empty(), "fft of empty signal");

@@ -165,6 +165,73 @@ Psd welch_psd(const std::vector<double>& x, double fs, std::size_t nperseg,
   return out;
 }
 
+PsdLanes welch_psd_lanes(const double* xt, std::size_t n, std::size_t lanes,
+                         double fs, std::size_t nperseg, double overlap,
+                         WindowKind window) {
+  EFF_REQUIRE(nperseg >= 8, "welch_psd needs nperseg >= 8");
+  EFF_REQUIRE(n >= nperseg, "signal shorter than one Welch segment");
+  EFF_REQUIRE(overlap >= 0.0 && overlap < 1.0, "overlap must lie in [0,1)");
+  EFF_REQUIRE(lanes >= 1, "welch_psd_lanes needs at least one lane");
+  // The lockstep FFT only has a radix-2 path; all in-tree callers derive
+  // nperseg as a power of two. (welch_psd covers the Bluestein case.)
+  EFF_REQUIRE(is_pow2(nperseg), "welch_psd_lanes needs power-of-two nperseg");
+
+  const auto w = make_window(window, nperseg);
+  const double u = window_noise_gain(w);
+  const auto step = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(nperseg) * (1.0 - overlap)));
+
+  PsdLanes out;
+  const std::size_t half = nperseg / 2;
+  out.lanes = lanes;
+  out.density.assign((half + 1) * lanes, 0.0);
+  out.bin_hz = fs / static_cast<double>(nperseg);
+  out.freq_hz.resize(half + 1);
+  for (std::size_t k = 0; k <= half; ++k) {
+    out.freq_hz[k] = static_cast<double>(k) * out.bin_hz;
+  }
+
+  std::size_t segments = 0;
+  std::vector<double> seg_mean(lanes);
+  std::vector<double> re(nperseg * lanes), im(nperseg * lanes);
+  for (std::size_t start = 0; start + nperseg <= n; start += step) {
+    // Per-lane segment mean, i-accumulation in scalar order.
+    std::fill(seg_mean.begin(), seg_mean.end(), 0.0);
+    for (std::size_t i = 0; i < nperseg; ++i) {
+      const double* row = xt + (start + i) * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) seg_mean[l] += row[l];
+    }
+    for (std::size_t l = 0; l < lanes; ++l) {
+      seg_mean[l] /= static_cast<double>(nperseg);
+    }
+    for (std::size_t i = 0; i < nperseg; ++i) {
+      const double* row = xt + (start + i) * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        re[i * lanes + l] = (row[l] - seg_mean[l]) * w[i];
+        im[i * lanes + l] = 0.0;
+      }
+    }
+    fft_pow2_lanes(re.data(), im.data(), nperseg, lanes);
+    for (std::size_t k = 0; k <= half; ++k) {
+      const bool doubled = k != 0 && !(nperseg % 2 == 0 && k == half);
+      const double* rr = re.data() + k * lanes;
+      const double* ri = im.data() + k * lanes;
+      double* d = out.density.data() + k * lanes;
+      for (std::size_t l = 0; l < lanes; ++l) {
+        double p = rr[l] * rr[l] + ri[l] * ri[l];
+        if (doubled) p *= 2.0;
+        d[l] += p;
+      }
+    }
+    ++segments;
+  }
+  EFF_REQUIRE(segments > 0, "no Welch segments fit the record");
+  const double scale =
+      1.0 / (static_cast<double>(segments) * fs * u * static_cast<double>(nperseg));
+  for (double& v : out.density) v *= scale;
+  return out;
+}
+
 double band_power(const Psd& psd, double f_lo, double f_hi) {
   EFF_REQUIRE(f_lo <= f_hi, "band_power requires f_lo <= f_hi");
   double power = 0.0;

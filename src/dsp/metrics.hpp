@@ -49,6 +49,22 @@ Psd welch_psd(const std::vector<double>& x, double fs, std::size_t nperseg,
               double overlap = 0.5,
               WindowKind window = WindowKind::Hann);
 
+/// Welch PSD of `lanes` equal-length signals in lockstep. `xt` is
+/// sample-major SoA (xt[i * lanes + l] = sample i of lane l); the result
+/// density is bin-major SoA (density[k * lanes + l]). The frequency grid,
+/// window and segmentation are lane-invariant and computed once; every
+/// per-lane reduction keeps welch_psd's accumulation order, so lane l's
+/// density equals welch_psd of that lane bit for bit.
+struct PsdLanes {
+  std::vector<double> freq_hz;
+  std::vector<double> density;  ///< [bin * lanes + lane], one-sided
+  double bin_hz = 0.0;
+  std::size_t lanes = 0;
+};
+PsdLanes welch_psd_lanes(const double* xt, std::size_t n, std::size_t lanes,
+                         double fs, std::size_t nperseg, double overlap = 0.5,
+                         WindowKind window = WindowKind::Hann);
+
 /// Total signal power within [f_lo, f_hi] from a PSD.
 double band_power(const Psd& psd, double f_lo, double f_hi);
 

@@ -56,17 +56,17 @@ std::vector<double> uniform_times(std::size_t n, double f_target) {
 
 namespace {
 
-double sample_linear(const std::vector<double>& x, double idx) {
-  if (idx <= 0.0) return x.front();
-  const double last = static_cast<double>(x.size() - 1);
-  if (idx >= last) return x.back();
+double sample_linear(const double* x, std::size_t xn, double idx) {
+  if (idx <= 0.0) return x[0];
+  const double last = static_cast<double>(xn - 1);
+  if (idx >= last) return x[xn - 1];
   const auto i0 = static_cast<std::size_t>(idx);
   const double frac = idx - static_cast<double>(i0);
   return x[i0] * (1.0 - frac) + x[i0 + 1] * frac;
 }
 
-double sample_sinc8(const std::vector<double>& x, double idx) {
-  const auto n = static_cast<long long>(x.size());
+double sample_sinc8(const double* x, std::size_t xn, double idx) {
+  const auto n = static_cast<long long>(xn);
   const auto centre = static_cast<long long>(std::floor(idx));
   double acc = 0.0;
   double wsum = 0.0;
@@ -98,12 +98,18 @@ std::vector<double> sample_at_times(const std::vector<double>& x, double fs,
 void sample_at_times(const std::vector<double>& x, double fs,
                      const double* times, std::size_t n, double* out,
                      Interp interp) {
-  EFF_REQUIRE(!x.empty(), "sample_at_times on empty waveform");
+  sample_at_times(x.data(), x.size(), fs, times, n, out, interp);
+}
+
+void sample_at_times(const double* x, std::size_t xn, double fs,
+                     const double* times, std::size_t n, double* out,
+                     Interp interp) {
+  EFF_REQUIRE(xn > 0, "sample_at_times on empty waveform");
   EFF_REQUIRE(fs > 0.0, "sample rate must be positive");
   for (std::size_t i = 0; i < n; ++i) {
     const double idx = times[i] * fs;
-    out[i] = (interp == Interp::Linear) ? sample_linear(x, idx)
-                                        : sample_sinc8(x, idx);
+    out[i] = (interp == Interp::Linear) ? sample_linear(x, xn, idx)
+                                        : sample_sinc8(x, xn, idx);
   }
 }
 

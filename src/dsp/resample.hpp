@@ -32,6 +32,12 @@ void sample_at_times(const std::vector<double>& x, double fs,
                      const double* times, std::size_t n, double* out,
                      Interp interp = Interp::Linear);
 
+/// Raw-span variant for callers holding lane rows rather than vectors
+/// (batched S&H). Arithmetic is identical to the vector overloads.
+void sample_at_times(const double* x, std::size_t xn, double fs,
+                     const double* times, std::size_t n, double* out,
+                     Interp interp = Interp::Linear);
+
 /// Uniform sample instants k / f_target for k in [0, n).
 std::vector<double> uniform_times(std::size_t n, double f_target);
 

@@ -1,5 +1,6 @@
 #include "eeg/generator.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
 
@@ -157,6 +158,42 @@ sim::Waveform Generator::seizure(std::uint64_t seed,
   }
   add_blinks(x, seed);
   return sim::Waveform(config_.fs_hz, std::move(x));
+}
+
+sim::LaneBank Generator::normal_lanes(
+    const std::vector<std::uint64_t>& seeds) const {
+  EFF_REQUIRE(!seeds.empty(), "batched synthesis needs at least one lane");
+  const std::size_t lanes = seeds.size();
+  const auto n = static_cast<std::size_t>(config_.fs_hz * config_.duration_s);
+  std::vector<double> data(lanes * n);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    const sim::Waveform w = normal(seeds[k]);
+    EFF_REQUIRE(w.size() == n, "segment length drifted across lanes");
+    std::copy(w.samples.begin(), w.samples.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(k * n));
+  }
+  return sim::LaneBank::adopt(config_.fs_hz, lanes, n, /*uniform=*/false,
+                              std::move(data));
+}
+
+sim::LaneBank Generator::seizure_lanes(
+    const std::vector<std::uint64_t>& seeds,
+    std::vector<IctalAnnotation>* annotations) const {
+  EFF_REQUIRE(!seeds.empty(), "batched synthesis needs at least one lane");
+  const std::size_t lanes = seeds.size();
+  const auto n = static_cast<std::size_t>(config_.fs_hz * config_.duration_s);
+  std::vector<double> data(lanes * n);
+  if (annotations != nullptr) annotations->resize(lanes);
+  for (std::size_t k = 0; k < lanes; ++k) {
+    IctalAnnotation ann;
+    const sim::Waveform w = seizure(seeds[k], &ann);
+    EFF_REQUIRE(w.size() == n, "segment length drifted across lanes");
+    std::copy(w.samples.begin(), w.samples.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(k * n));
+    if (annotations != nullptr) (*annotations)[k] = ann;
+  }
+  return sim::LaneBank::adopt(config_.fs_hz, lanes, n, /*uniform=*/false,
+                              std::move(data));
 }
 
 }  // namespace efficsense::eeg

@@ -14,6 +14,7 @@
 
 #include <cstdint>
 
+#include "sim/lane_bank.hpp"
 #include "sim/waveform.hpp"
 
 namespace efficsense::eeg {
@@ -64,6 +65,17 @@ class Generator {
   /// The ground-truth discharge span is written to `annotation` if non-null.
   sim::Waveform seizure(std::uint64_t seed,
                         IctalAnnotation* annotation = nullptr) const;
+
+  /// K-lane batched synthesis for the SoA Monte-Carlo engine: lane k of the
+  /// returned bank is bit-identical to normal(seeds[k]) / seizure(seeds[k]).
+  /// Per-lane seeds draw independent AR(1) background streams, so lanes are
+  /// generated row-by-row into contiguous lane-major storage; callers whose
+  /// lanes share one seed should LaneBank::broadcast a single segment
+  /// instead (the batch engine's dominant path).
+  sim::LaneBank normal_lanes(const std::vector<std::uint64_t>& seeds) const;
+  sim::LaneBank seizure_lanes(const std::vector<std::uint64_t>& seeds,
+                              std::vector<IctalAnnotation>* annotations =
+                                  nullptr) const;
 
  private:
   std::vector<double> background(std::uint64_t seed, double scale) const;

@@ -1,0 +1,163 @@
+#include "linalg/lane_kernels.hpp"
+
+#include <cmath>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace efficsense::linalg {
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__)
+  static const bool has = __builtin_cpu_supports("avx2");
+  return has;
+#else
+  return false;
+#endif
+}
+
+namespace {
+
+#if defined(__x86_64__)
+// Four lanes per step: broadcast a[i], multiply against the lane row,
+// accumulate. mul and add stay separate instructions (never fmadd): the
+// scalar oracle is compiled without FMA, so contraction here would change
+// the low bits and break the lane-equivalence goldens.
+__attribute__((target("avx2"))) void dot_lanes4_avx2(const double* a,
+                                                     const double* xt,
+                                                     std::size_t n,
+                                                     std::size_t stride,
+                                                     double* out) {
+  __m256d acc = _mm256_setzero_pd();
+  for (std::size_t i = 0; i < n; ++i) {
+    const __m256d ai = _mm256_set1_pd(a[i]);
+    const __m256d x = _mm256_loadu_pd(xt + i * stride);
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(ai, x));
+  }
+  _mm256_storeu_pd(out, acc);
+}
+#endif
+
+#if defined(__x86_64__)
+__attribute__((target("avx2"))) void sub_scaled_avx2(double* a,
+                                                     const double* r, double c,
+                                                     std::size_t n) {
+  const __m256d vc = _mm256_set1_pd(c);
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d va = _mm256_loadu_pd(a + k);
+    const __m256d vr = _mm256_loadu_pd(r + k);
+    _mm256_storeu_pd(a + k, _mm256_sub_pd(va, _mm256_mul_pd(vc, vr)));
+  }
+  for (; k < n; ++k) a[k] -= c * r[k];
+}
+
+// Blockwise prefilter: the four scores are computed with the same IEEE
+// fabs/div the scalar loop uses; a block is rescanned in scalar order only
+// when its maximum can beat the running best, so the first-strict-winner
+// tie-breaking is preserved.
+__attribute__((target("avx2"))) std::size_t select_atom_avx2(
+    const double* alpha, const double* col_norm, const double* live,
+    std::size_t n, double* best_score) {
+  std::size_t best = n;
+  double score_best = 0.0;
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d neg1 = _mm256_set1_pd(-1.0);
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  std::size_t k = 0;
+  for (; k + 4 <= n; k += 4) {
+    const __m256d va =
+        _mm256_and_pd(_mm256_loadu_pd(alpha + k), abs_mask);
+    const __m256d vn = _mm256_loadu_pd(col_norm + k);
+    __m256d score = _mm256_div_pd(va, vn);
+    const __m256d ok =
+        _mm256_cmp_pd(_mm256_loadu_pd(live + k), zero, _CMP_NEQ_OQ);
+    score = _mm256_blendv_pd(neg1, score, ok);
+    // Horizontal max of the block.
+    __m128d hi = _mm256_extractf128_pd(score, 1);
+    __m128d lo = _mm256_castpd256_pd128(score);
+    __m128d mx = _mm_max_pd(lo, hi);
+    mx = _mm_max_sd(mx, _mm_unpackhi_pd(mx, mx));
+    if (_mm_cvtsd_f64(mx) > score_best) {
+      for (std::size_t j = k; j < k + 4; ++j) {
+        if (live[j] == 0.0) continue;
+        const double s = std::fabs(alpha[j]) / col_norm[j];
+        if (s > score_best) {
+          score_best = s;
+          best = j;
+        }
+      }
+    }
+  }
+  for (; k < n; ++k) {
+    if (live[k] == 0.0) continue;
+    const double s = std::fabs(alpha[k]) / col_norm[k];
+    if (s > score_best) {
+      score_best = s;
+      best = k;
+    }
+  }
+  *best_score = score_best;
+  return best;
+}
+#endif
+
+void dot_lanes_scalar(const double* a, const double* xt, std::size_t n,
+                      std::size_t lanes, std::size_t first, double* out) {
+  for (std::size_t l = first; l < lanes; ++l) {
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) sum += a[i] * xt[i * lanes + l];
+    out[l] = sum;
+  }
+}
+
+}  // namespace
+
+void dot_lanes(const double* a, const double* xt, std::size_t n,
+               std::size_t lanes, double* out) {
+  std::size_t l = 0;
+#if defined(__x86_64__)
+  if (cpu_has_avx2()) {
+    for (; l + 4 <= lanes; l += 4) {
+      dot_lanes4_avx2(a, xt + l, n, lanes, out + l);
+    }
+  }
+#endif
+  dot_lanes_scalar(a, xt, n, lanes, l, out);
+}
+
+void sub_scaled(double* a, const double* r, double c, std::size_t n) {
+#if defined(__x86_64__)
+  if (cpu_has_avx2()) {
+    sub_scaled_avx2(a, r, c, n);
+    return;
+  }
+#endif
+  for (std::size_t k = 0; k < n; ++k) a[k] -= c * r[k];
+}
+
+std::size_t select_atom(const double* alpha, const double* col_norm,
+                        const double* live, std::size_t n,
+                        double* best_score) {
+#if defined(__x86_64__)
+  if (cpu_has_avx2()) {
+    return select_atom_avx2(alpha, col_norm, live, n, best_score);
+  }
+#endif
+  std::size_t best = n;
+  double score_best = 0.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    if (live[k] == 0.0) continue;
+    const double s = std::fabs(alpha[k]) / col_norm[k];
+    if (s > score_best) {
+      score_best = s;
+      best = k;
+    }
+  }
+  *best_score = score_best;
+  return best;
+}
+
+}  // namespace efficsense::linalg

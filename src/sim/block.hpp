@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "sim/lane_bank.hpp"
 #include "sim/params.hpp"
 #include "sim/waveform.hpp"
 
@@ -43,6 +44,28 @@ class Block {
     (void)arena;
     return process(inputs);
   }
+
+  /// Batched (K-lane) variant used by Model::run_batch(): one call advances
+  /// all `lanes` Monte-Carlo lanes of this block at once. `inputs` holds one
+  /// LaneBank per input port; the implementation must append exactly
+  /// num_outputs() banks (each with `lanes` lanes) to `outputs`.
+  ///
+  /// Default contract (see DESIGN.md §12):
+  ///  - all inputs uniform -> the block is assumed lane-invariant: process()
+  ///    runs ONCE and the result is broadcast as a uniform bank. This is
+  ///    bit-exact for every block whose state is shared across lanes
+  ///    (deterministic blocks, and noise blocks when all lanes share one
+  ///    noise stream), and advances any per-run RNG state exactly once —
+  ///    just like one scalar instance would.
+  ///  - some input per-lane -> per-lane scalar fallback: process() runs once
+  ///    per lane. This keeps unconverted blocks running under the batched
+  ///    path, but re-runs per-run RNG streams K times; blocks that hold
+  ///    per-run noise state or per-lane fabrication state MUST override
+  ///    this method to stay bit-identical to the scalar oracle.
+  virtual void process_batch(std::size_t lanes,
+                             const std::vector<const LaneBank*>& inputs,
+                             std::vector<LaneBank>& outputs,
+                             WaveformArena& arena);
 
   /// Clear internal state (filters, noise streams resume their sequence).
   virtual void reset() {}

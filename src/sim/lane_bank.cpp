@@ -1,0 +1,52 @@
+#include "sim/lane_bank.hpp"
+
+#include "sim/arena.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::sim {
+
+LaneBank LaneBank::acquire(WaveformArena& arena, double fs, std::size_t lanes,
+                           std::size_t samples, bool uniform) {
+  EFF_REQUIRE(lanes >= 1, "a lane bank needs at least one lane");
+  LaneBank bank;
+  bank.fs_ = fs;
+  bank.lanes_ = lanes;
+  bank.samples_ = samples;
+  bank.uniform_ = uniform;
+  bank.data_ = arena.acquire((uniform ? 1 : lanes) * samples);
+  return bank;
+}
+
+LaneBank LaneBank::adopt(double fs, std::size_t lanes, std::size_t samples,
+                         bool uniform, std::vector<double> data) {
+  EFF_REQUIRE(lanes >= 1, "a lane bank needs at least one lane");
+  EFF_REQUIRE(data.size() == (uniform ? 1 : lanes) * samples,
+              "adopted buffer does not match the bank geometry");
+  LaneBank bank;
+  bank.fs_ = fs;
+  bank.lanes_ = lanes;
+  bank.samples_ = samples;
+  bank.uniform_ = uniform;
+  bank.data_ = std::move(data);
+  return bank;
+}
+
+Waveform LaneBank::lane_waveform(std::size_t k) const {
+  EFF_REQUIRE(k < lanes_, "lane index out of range");
+  Waveform w;
+  w.fs = fs_;
+  const double* row = lane(k);
+  w.samples.assign(row, row + samples_);
+  return w;
+}
+
+void LaneBank::release_to(WaveformArena& arena) {
+  arena.release(std::move(data_));
+  data_.clear();
+  lanes_ = 0;
+  samples_ = 0;
+  uniform_ = false;
+  fs_ = 0.0;
+}
+
+}  // namespace efficsense::sim

@@ -239,6 +239,81 @@ std::vector<Waveform> Model::run() {
   return model_outputs;
 }
 
+std::vector<const LaneBank*> Model::run_batch(std::size_t lanes) {
+  using clock = std::chrono::steady_clock;
+  EFF_REQUIRE(lanes >= 1, "run_batch needs at least one lane");
+  EFFICSENSE_SPAN("sim/run_batch");
+  const auto run_start = clock::now();
+  ensure_plan();
+  if (run_stats_.blocks.size() != blocks_.size()) {
+    run_stats_.blocks.resize(blocks_.size());
+    for (std::size_t id = 0; id < blocks_.size(); ++id) {
+      run_stats_.blocks[id].name = blocks_[id]->name();
+    }
+  }
+
+  // Recycle last batch's bank storage; blocks re-acquire it below.
+  if (bank_slots_.size() < num_slots_) bank_slots_.resize(num_slots_);
+  for (auto& bank : bank_slots_) bank.release_to(arena_);
+  bank_slots_written_ = 0;
+
+  obs::counter("sim/batch_runs").inc();
+  obs::counter("sim/lanes_active").inc(lanes);
+  obs::Histogram& batch_block_hist = obs::histogram("time/batch_block_run");
+  std::vector<const LaneBank*> inputs;
+  std::vector<LaneBank> outputs;
+  for (std::size_t i = 0; i < plan_.size(); ++i) {
+    const StepPlan& step = plan_[i];
+    Block& b = *blocks_[step.id];
+    inputs.clear();
+    for (const std::size_t slot : step.input_slots) {
+      inputs.push_back(&bank_slots_[slot]);
+    }
+    outputs.clear();
+    obs::Span span("batch_block/", b.name());
+    const auto block_start = clock::now();
+    b.process_batch(lanes, inputs, outputs, arena_);
+    const double seconds =
+        std::chrono::duration<double>(clock::now() - block_start).count();
+    EFF_REQUIRE(outputs.size() == b.num_outputs(),
+                "block " + b.name() + " produced wrong number of output banks");
+    auto& bs = run_stats_.blocks[step.id];
+    bs.runs += 1;
+    bs.seconds += seconds;
+    obs::histogram(step.time_hist_name).observe(seconds);
+    batch_block_hist.observe(seconds);
+    for (std::size_t p = 0; p < outputs.size(); ++p) {
+      EFF_REQUIRE(outputs[p].lanes() == lanes,
+                  "block " + b.name() + " emitted a wrong lane count");
+      bs.samples_out += outputs[p].lanes() * outputs[p].samples();
+      bank_slots_[step.first_output_slot + p] = std::move(outputs[p]);
+    }
+  }
+  bank_slots_written_ = num_slots_;
+  run_stats_.runs += 1;
+  run_stats_.total_seconds +=
+      std::chrono::duration<double>(clock::now() - run_start).count();
+
+  std::vector<const LaneBank*> model_outputs;
+  model_outputs.reserve(model_output_slots_.size());
+  for (const std::size_t slot : model_output_slots_) {
+    model_outputs.push_back(&bank_slots_[slot]);
+  }
+  return model_outputs;
+}
+
+const LaneBank& Model::probe_batch(const std::string& block_name,
+                                   std::size_t port) const {
+  const BlockId id = id_of(block_name);
+  EFF_REQUIRE(port < blocks_[id]->num_outputs(),
+              "probe port out of range on " + block_name);
+  const bool recorded = id < slot_of_block_.size() &&
+                        slot_of_block_[id] + port < bank_slots_written_;
+  EFF_REQUIRE(recorded, "no recorded bank for " + block_name +
+                            " (run_batch the model first)");
+  return bank_slots_[slot_of_block_[id] + port];
+}
+
 const Waveform& Model::probe(const std::string& block_name,
                              std::size_t port) const {
   const BlockId id = id_of(block_name);
@@ -259,6 +334,8 @@ void Model::reset() {
     w.fs = 0.0;
   }
   slots_written_ = 0;
+  for (auto& bank : bank_slots_) bank.release_to(arena_);
+  bank_slots_written_ = 0;
 }
 
 void Model::reset_run_stats() { run_stats_ = RunStats{}; }

@@ -94,9 +94,23 @@ class Model {
   /// waveforms of all unconnected output ports in (block-id, port) order.
   std::vector<Waveform> run();
 
+  /// Execute the model across `lanes` Monte-Carlo lanes in lockstep: the
+  /// cached StepPlan is walked once and each block advances all lanes via
+  /// process_batch() (structure-of-arrays LaneBanks, recycled through the
+  /// arena like run()'s waveforms). Returns pointers to the unconnected
+  /// output ports' banks in (block-id, port) order; they stay valid until
+  /// the next run()/run_batch()/reset(). Lane k of every bank is
+  /// bit-identical to what run() would produce for the scalar instance the
+  /// lane was seeded as (see Block::process_batch for the contract).
+  std::vector<const LaneBank*> run_batch(std::size_t lanes);
+
   /// Waveform observed on a specific output port during the last run()
   /// (tap / scope support, also for connected ports).
   const Waveform& probe(const std::string& block_name, std::size_t port = 0) const;
+
+  /// Bank observed on a specific output port during the last run_batch().
+  const LaneBank& probe_batch(const std::string& block_name,
+                              std::size_t port = 0) const;
 
   /// Reset all block state (does not clear wiring or the cached schedule).
   void reset();
@@ -155,6 +169,10 @@ class Model {
   std::vector<Waveform> slot_outputs_;       // by slot; previous run's values
   std::vector<std::vector<Waveform>> input_scratch_;  // per plan step
   std::size_t slots_written_ = 0;            // slots valid for probe()
+
+  // Lane-bank storage for run_batch(), recycled like slot_outputs_.
+  std::vector<LaneBank> bank_slots_;
+  std::size_t bank_slots_written_ = 0;       // slots valid for probe_batch()
 
   bool fast_path_ = true;
 

@@ -82,6 +82,13 @@ class Rng {
   /// preceded it.
   Rng split(std::uint64_t stream) const;
 
+  /// The seed this generator was constructed from. Together with split()
+  /// this lets lane-seeding chains hand a child's identity to components
+  /// that construct their own Rng later: Rng(base).split(s).seed() ==
+  /// derive_seed(base, s), so batched lanes reproduce the scalar path's
+  /// seed derivations bit-for-bit.
+  std::uint64_t seed() const { return seed_; }
+
   /// Process-wide count of bulk fill_* calls (perf accounting; mirrored
   /// into the obs registry as "rng/bulk_fills" by the callers that link
   /// the obs layer).

@@ -341,3 +341,141 @@ TEST(Decoders, CsDecoderMatchesMatchedReconstructor) {
   ASSERT_EQ(via_decoder.size(), via_recon.size());
   EXPECT_EQ(fnv1a_doubles(via_decoder), fnv1a_doubles(via_recon));
 }
+
+// ---------------------------------------------------------------------------
+// Batched SoA engine (sim::LaneBank + Block::process_batch): every lane of a
+// batched chain must be bit-identical to the scalar chain built from that
+// lane's seeds — the scalar path stays the oracle — and lane i's content
+// must not depend on the lane width K it rides in.
+
+#include "util/rng.hpp"
+
+namespace {
+
+/// Monte-Carlo-style per-lane seeds: the mismatch (and optionally noise)
+/// stream each instance would get from monte_carlo() with base seed 0xFAB.
+std::vector<ChainSeeds> mc_lane_seeds(std::size_t lanes, bool vary_noise) {
+  std::vector<ChainSeeds> out(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    out[i].mismatch = derive_seed(0xFAB, 2 * i);
+    if (vary_noise) out[i].noise = derive_seed(0xFAB, 2 * i + 1);
+  }
+  return out;
+}
+
+std::uint64_t lane_hash(const sim::LaneBank& bank, std::size_t k) {
+  const double* p = bank.lane(k);
+  return fnv1a_doubles(std::vector<double>(p, p + bank.samples()));
+}
+
+struct BatchedArch {
+  const char* id;
+  power::DesignParams design;
+};
+
+std::vector<BatchedArch> batched_archs() {
+  return {{"baseline", styled_design(0, power::CsStyle::PassiveCharge)},
+          {"cs_passive", styled_design(75, power::CsStyle::PassiveCharge)},
+          {"cs_digital", styled_design(75, power::CsStyle::DigitalMac)}};
+}
+
+}  // namespace
+
+TEST(BatchEquivalence, LanesMatchScalarOracleBitwise) {
+  const power::TechnologyParams tech;
+  for (const bool vary_noise : {false, true}) {
+    const auto lane_seeds = mc_lane_seeds(4, vary_noise);
+    for (const auto& c : batched_archs()) {
+      const auto& architecture = ArchRegistry::instance().get(c.id);
+      auto batch = architecture.build_batch_model(tech, c.design, lane_seeds);
+      ASSERT_NE(batch, nullptr) << c.id;
+      const auto& bank =
+          run_chain_batch(*batch, test_segment(), lane_seeds.size());
+      EXPECT_EQ(bank.lanes(), lane_seeds.size());
+      for (std::size_t k = 0; k < lane_seeds.size(); ++k) {
+        auto scalar = architecture.build_model(tech, c.design, lane_seeds[k]);
+        const auto out = run_chain(*scalar, test_segment());
+        ASSERT_EQ(bank.samples(), out.samples.size()) << c.id;
+        EXPECT_EQ(lane_hash(bank, k), fnv1a_doubles(out.samples))
+            << c.id << " lane " << k
+            << (vary_noise ? " (varied noise)" : " (shared noise)");
+      }
+    }
+  }
+}
+
+TEST(BatchEquivalence, LaneSeedingIndependentOfLaneWidth) {
+  // Rng::split-derived lane streams depend only on the lane's own seeds, so
+  // lane i is bit-identical whether it runs at K=1, K=4 or K=8.
+  const power::TechnologyParams tech;
+  const auto& architecture = ArchRegistry::instance().get("cs_passive");
+  const auto design = styled_design(75, power::CsStyle::PassiveCharge);
+
+  const auto seeds8 = mc_lane_seeds(8, true);
+  auto chain8 = architecture.build_batch_model(tech, design, seeds8);
+  ASSERT_NE(chain8, nullptr);
+  const auto& bank8 = run_chain_batch(*chain8, test_segment(), 8);
+  std::vector<std::uint64_t> golden;
+  for (std::size_t k = 0; k < 8; ++k) golden.push_back(lane_hash(bank8, k));
+
+  for (const std::size_t width : {std::size_t{1}, std::size_t{4}}) {
+    const auto seeds = mc_lane_seeds(width, true);
+    auto chain = architecture.build_batch_model(tech, design, seeds);
+    ASSERT_NE(chain, nullptr);
+    const auto& bank = run_chain_batch(*chain, test_segment(), width);
+    for (std::size_t k = 0; k < width; ++k) {
+      EXPECT_EQ(lane_hash(bank, k), golden[k]) << "K=" << width << " lane " << k;
+    }
+  }
+}
+
+TEST(BatchEquivalence, UnbatchedArchitecturesDeclineGracefully) {
+  // cs_active and lc_adc have no batched model yet: build_batch_model must
+  // return nullptr so callers fall back to per-instance scalar evaluation.
+  const power::TechnologyParams tech;
+  const auto seeds = mc_lane_seeds(2, false);
+  EXPECT_EQ(ArchRegistry::instance().get("cs_active").build_batch_model(
+                tech, styled_design(75, power::CsStyle::ActiveIntegrator),
+                seeds),
+            nullptr);
+  EXPECT_EQ(ArchRegistry::instance().get("lc_adc").build_batch_model(
+                tech, styled_design(0, power::CsStyle::PassiveCharge), seeds),
+            nullptr);
+}
+
+TEST(BatchEquivalence, MixedPhiSeedsRejected) {
+  const power::TechnologyParams tech;
+  auto seeds = mc_lane_seeds(2, false);
+  seeds[1].phi ^= 1;  // lanes must share the programmed sensing matrix
+  EXPECT_THROW(ArchRegistry::instance().get("cs_passive").build_batch_model(
+                   tech, styled_design(75, power::CsStyle::PassiveCharge),
+                   seeds),
+               Error);
+}
+
+TEST(BatchEquivalence, EvaluateLanesMatchesScalarEvaluate) {
+  core::EvalOptions opts;
+  opts.max_segments = 2;
+  const core::Evaluator eval(world().tech, &world().dataset, &world().detector,
+                             opts);
+  power::DesignParams d = styled_design(75, power::CsStyle::PassiveCharge);
+  d.lna_noise_vrms = 6e-6;
+  const auto lane_seeds = mc_lane_seeds(4, false);
+  const auto lanes = eval.evaluate_lanes(d, lane_seeds);
+  ASSERT_EQ(lanes.size(), 4u);
+  for (std::size_t k = 0; k < lane_seeds.size(); ++k) {
+    core::Evaluator local = eval;
+    local.set_seeds(lane_seeds[k]);
+    const auto m = local.evaluate(d);
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(lanes[k].snr_db),
+              std::bit_cast<std::uint64_t>(m.snr_db))
+        << "lane " << k;
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(lanes[k].accuracy),
+              std::bit_cast<std::uint64_t>(m.accuracy));
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(lanes[k].power_w),
+              std::bit_cast<std::uint64_t>(m.power_w));
+    EXPECT_EQ(lanes[k].segments_evaluated, m.segments_evaluated);
+  }
+  // Fewer than two lanes is not a batch: the scalar path covers it.
+  EXPECT_TRUE(eval.evaluate_lanes(d, mc_lane_seeds(1, false)).empty());
+}

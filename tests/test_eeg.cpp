@@ -221,3 +221,40 @@ TEST(Upsample, RejectsDownsampling) {
   const auto gen = default_gen();
   EXPECT_THROW(eeg::upsample_record(gen.normal(1), 100.0), Error);
 }
+
+// ---------------------------------------------------------------------------
+// Lane-packed generation for the batched Monte-Carlo engine.
+
+TEST(Generator, LanePackedSegmentsMatchScalarBitwise) {
+  const auto gen = default_gen();
+  const std::vector<std::uint64_t> seeds = {3, 14, 15, 92};
+
+  const auto normal = gen.normal_lanes(seeds);
+  EXPECT_FALSE(normal.uniform());
+  ASSERT_EQ(normal.lanes(), seeds.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    const auto w = gen.normal(seeds[k]);
+    ASSERT_EQ(normal.samples(), w.samples.size());
+    EXPECT_DOUBLE_EQ(normal.fs(), w.fs);
+    const double* lane = normal.lane(k);
+    for (std::size_t i = 0; i < w.samples.size(); ++i) {
+      EXPECT_EQ(lane[i], w.samples[i]) << "lane " << k;
+    }
+  }
+
+  std::vector<eeg::IctalAnnotation> anns;
+  const auto seizure = gen.seizure_lanes(seeds, &anns);
+  ASSERT_EQ(anns.size(), seeds.size());
+  for (std::size_t k = 0; k < seeds.size(); ++k) {
+    eeg::IctalAnnotation a;
+    const auto w = gen.seizure(seeds[k], &a);
+    EXPECT_EQ(anns[k].onset_s, a.onset_s);
+    EXPECT_EQ(anns[k].duration_s, a.duration_s);
+    const double* lane = seizure.lane(k);
+    for (std::size_t i = 0; i < w.samples.size(); ++i) {
+      EXPECT_EQ(lane[i], w.samples[i]) << "lane " << k;
+    }
+  }
+
+  EXPECT_THROW(gen.normal_lanes({}), Error);
+}

@@ -275,6 +275,68 @@ TEST(EndToEnd, MonteCarloDeterministic) {
   EXPECT_DOUBLE_EQ(a.accuracy.mean, b.accuracy.mean);
 }
 
+TEST(EndToEnd, MonteCarloLanesBitIdenticalToScalarPath) {
+  // The batched SoA engine: instances grouped into K-wide lanes must
+  // reproduce the scalar per-instance path bit-for-bit, including a partial
+  // trailing group (5 instances at lanes=2 -> groups of 2+2+1; the size-1
+  // group falls back to scalar evaluation inside monte_carlo).
+  EvalOptions opts;
+  opts.max_segments = 2;
+  const Evaluator eval(world().tech, &world().dataset, &world().detector, opts);
+  power::DesignParams d;
+  d.cs_m = 96;
+  d.lna_noise_vrms = 6e-6;
+  for (const bool vary_noise : {false, true}) {
+    MonteCarloOptions scalar;
+    scalar.instances = 5;
+    scalar.lanes = 1;
+    scalar.min_accuracy = 0.5;
+    scalar.vary_noise_streams = vary_noise;
+    scalar.threads = 1;
+    MonteCarloOptions batched = scalar;
+    batched.lanes = 8;  // clamps to 5: one full-width group
+    MonteCarloOptions grouped = scalar;
+    grouped.lanes = 2;  // 2 + 2 + 1: exercises the remainder group
+
+    const auto a = monte_carlo(eval, d, scalar);
+    for (const auto* r : {&batched, &grouped}) {
+      const auto b = monte_carlo(eval, d, *r);
+      ASSERT_EQ(b.instances.size(), a.instances.size());
+      for (std::size_t i = 0; i < a.instances.size(); ++i) {
+        EXPECT_DOUBLE_EQ(b.instances[i].snr_db, a.instances[i].snr_db)
+            << "lanes=" << r->lanes << " instance " << i
+            << (vary_noise ? " (varied noise)" : "");
+        EXPECT_DOUBLE_EQ(b.instances[i].accuracy, a.instances[i].accuracy);
+        EXPECT_DOUBLE_EQ(b.instances[i].power_w, a.instances[i].power_w);
+      }
+      EXPECT_DOUBLE_EQ(b.snr_db.mean, a.snr_db.mean);
+      EXPECT_DOUBLE_EQ(b.yield, a.yield);
+    }
+  }
+}
+
+TEST(EndToEnd, MonteCarloLanesMatchScalarOnUnbatchedArchitecture) {
+  // cs_active has no batched model: the grouped path must transparently
+  // fall back to per-instance scalar evaluation with identical results.
+  EvalOptions opts;
+  opts.max_segments = 1;
+  const Evaluator eval(world().tech, &world().dataset, &world().detector, opts);
+  power::DesignParams d;
+  d.cs_m = 96;
+  d.cs_style = power::CsStyle::ActiveIntegrator;
+  MonteCarloOptions scalar;
+  scalar.instances = 3;
+  scalar.lanes = 1;
+  MonteCarloOptions batched = scalar;
+  batched.lanes = 4;
+  const auto a = monte_carlo(eval, d, scalar);
+  const auto b = monte_carlo(eval, d, batched);
+  for (std::size_t i = 0; i < a.instances.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.instances[i].snr_db, a.instances[i].snr_db);
+    EXPECT_DOUBLE_EQ(b.instances[i].accuracy, a.instances[i].accuracy);
+  }
+}
+
 TEST(EndToEnd, StudyRunsAndCaches) {
   // A miniature end-to-end study: tiny dataset, 2-point grids. The second
   // run must come entirely from the file cache and agree bit-for-bit.

@@ -320,3 +320,85 @@ TEST(Reconstructor, StreamWithThreadPoolIsBitwiseSerial) {
     EXPECT_EQ(pooled[i], serial[i]);
   }
 }
+
+TEST(OmpBatch, SolveMultiMatchesPerLaneSolves) {
+  // The multi-RHS entry point of the batched Monte-Carlo engine: K lanes
+  // solved against one shared Gram must be bit-identical to K independent
+  // solve() calls, in both modes.
+  Rng rng(9119);
+  const auto dict = gaussian_dict(40, 140, 3131);
+  for (const auto mode : {cs::OmpMode::Batch, cs::OmpMode::Naive}) {
+    const cs::OmpSolver solver(dict, {.max_atoms = 12,
+                                      .residual_tol = 0.02,
+                                      .mode = mode});
+    std::vector<linalg::Vector> ys;
+    for (int lane = 0; lane < 6; ++lane) {
+      auto y = linalg::matvec(dict, sparse_vector(140, 5, 500 + lane));
+      for (auto& v : y) v += 0.02 * rng.gaussian();
+      ys.push_back(std::move(y));
+    }
+    ys.push_back(linalg::Vector(40, 0.0));  // zero lane: early-return path
+
+    const auto multi = solver.solve_multi(ys);
+    ASSERT_EQ(multi.size(), ys.size());
+    for (std::size_t l = 0; l < ys.size(); ++l) {
+      const auto single = solver.solve(ys[l]);
+      EXPECT_EQ(multi[l].support, single.support) << "lane " << l;
+      EXPECT_EQ(multi[l].iterations, single.iterations) << "lane " << l;
+      ASSERT_EQ(multi[l].coefficients.size(), single.coefficients.size());
+      for (std::size_t i = 0; i < single.coefficients.size(); ++i) {
+        EXPECT_EQ(multi[l].coefficients[i], single.coefficients[i])
+            << "lane " << l << " atom " << i;
+      }
+      EXPECT_EQ(multi[l].residual_norm, single.residual_norm) << "lane " << l;
+    }
+  }
+}
+
+TEST(OmpBatch, SolveMultiValidatesShapes) {
+  const auto dict = gaussian_dict(30, 90, 77);
+  const cs::OmpSolver solver(dict, {.mode = cs::OmpMode::Batch});
+  EXPECT_TRUE(solver.solve_multi({}).empty());
+  EXPECT_THROW(solver.solve_multi({linalg::Vector(29, 0.0)}), Error);
+}
+
+TEST(Reconstructor, StreamMultiMatchesPerLaneStreams) {
+  const std::size_t n = 128, m = 64, frames = 4, lanes = 3;
+  const auto phi = cs::SparseBinaryMatrix::generate(m, n, 2, 71);
+  const auto gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
+  cs::ReconstructorConfig cfg;
+  cfg.residual_tol = 0.02;
+  const cs::Reconstructor rec(phi, gains, cfg);
+  const auto w = cs::effective_entry_weights(phi, gains.a, gains.b);
+
+  std::vector<linalg::Vector> streams(lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    for (std::uint64_t f = 0; f < frames; ++f) {
+      const auto y = phi.csr().apply(bandlimited_frame(n, 10 * l + f), w);
+      streams[l].insert(streams[l].end(), y.begin(), y.end());
+    }
+  }
+  std::vector<const double*> rows;
+  for (const auto& s : streams) rows.push_back(s.data());
+
+  const auto multi = rec.reconstruct_stream_multi(rows, streams[0].size());
+  ASSERT_EQ(multi.size(), lanes);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const auto single = rec.reconstruct_stream(streams[l]);
+    ASSERT_EQ(multi[l].size(), single.size()) << "lane " << l;
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(multi[l][i], single[i]) << "lane " << l;
+    }
+  }
+
+  // And bit-identical again when frames fan out over a pool.
+  ThreadPool pool(2);
+  const auto pooled = rec.reconstruct_stream_multi(rows, streams[0].size(),
+                                                   &pool);
+  for (std::size_t l = 0; l < lanes; ++l) {
+    ASSERT_EQ(pooled[l].size(), multi[l].size());
+    for (std::size_t i = 0; i < multi[l].size(); ++i) {
+      EXPECT_EQ(pooled[l][i], multi[l][i]);
+    }
+  }
+}

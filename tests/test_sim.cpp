@@ -433,3 +433,130 @@ TEST(ModelDot, RendersNodesAndEdges) {
   EXPECT_NE(dot.find("1 uW"), std::string::npos);  // power annotation
   EXPECT_NE(dot.find("b0 -> b1"), std::string::npos);
 }
+
+// ---------------------------------------------------------------------------
+// LaneBank + batched execution (the SoA K-lane Monte-Carlo engine).
+
+#include "sim/arena.hpp"
+#include "sim/lane_bank.hpp"
+
+namespace {
+
+/// Adds k to every sample of lane k — deliberately breaks uniformity so the
+/// blocks downstream exercise the default per-lane fallback.
+class LaneOffset final : public sim::Block {
+ public:
+  explicit LaneOffset(std::string name) : Block(std::move(name), 1, 1) {}
+  std::vector<Waveform> process(const std::vector<Waveform>& in) override {
+    return {in.at(0)};
+  }
+  void process_batch(std::size_t lanes,
+                     const std::vector<const sim::LaneBank*>& inputs,
+                     std::vector<sim::LaneBank>& outputs,
+                     sim::WaveformArena& arena) override {
+    const sim::LaneBank& x = *inputs.at(0);
+    auto out = sim::LaneBank::acquire(arena, x.fs(), lanes, x.samples(),
+                                      /*uniform=*/false);
+    for (std::size_t k = 0; k < lanes; ++k) {
+      const double* xr = x.lane(k);
+      double* o = out.lane(k);
+      for (std::size_t i = 0; i < x.samples(); ++i) {
+        o[i] = xr[i] + static_cast<double>(k);
+      }
+    }
+    outputs.push_back(std::move(out));
+  }
+};
+
+}  // namespace
+
+TEST(LaneBank, LayoutUniformityAndAdopt) {
+  const auto b = sim::LaneBank::adopt(100.0, 2, 3, /*uniform=*/false,
+                                      {0, 1, 2, 10, 11, 12});
+  EXPECT_EQ(b.lanes(), 2u);
+  EXPECT_EQ(b.rows(), 2u);
+  EXPECT_FALSE(b.uniform());
+  EXPECT_DOUBLE_EQ(b.lane(1)[0], 10.0);
+  const auto w = b.lane_waveform(1);
+  EXPECT_DOUBLE_EQ(w.fs, 100.0);
+  EXPECT_EQ(w.samples, (std::vector<double>{10, 11, 12}));
+
+  const auto u = sim::LaneBank::broadcast(4, ramp(3));
+  EXPECT_TRUE(u.uniform());
+  EXPECT_EQ(u.lanes(), 4u);
+  EXPECT_EQ(u.rows(), 1u);           // one stored row...
+  EXPECT_EQ(u.lane(3), u.lane(0));   // ...aliased by every lane
+
+  EXPECT_THROW(sim::LaneBank::adopt(100.0, 2, 3, false, {1.0}), Error);
+}
+
+TEST(Model, RunBatchBroadcastsUniformChains) {
+  // A fully deterministic chain stays uniform end to end: the default
+  // process_batch computes each block ONCE regardless of the lane count.
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(6)));
+  const auto id = m.add(std::make_unique<TestGain>("g", 2.0));
+  m.chain({src, id});
+  auto* gain = dynamic_cast<TestGain*>(&m.block("g"));
+  ASSERT_NE(gain, nullptr);
+
+  const auto out = m.run_batch(8);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0]->uniform());
+  EXPECT_EQ(out[0]->lanes(), 8u);
+  EXPECT_EQ(gain->calls(), 1);  // not 8
+  for (std::size_t k = 0; k < 8; ++k) {
+    EXPECT_DOUBLE_EQ(out[0]->lane(k)[3], 6.0);  // 3 * 2
+  }
+}
+
+TEST(Model, RunBatchPerLaneFallbackAfterDivergence) {
+  // Once a block emits per-lane data, downstream unconverted blocks fall
+  // back to one scalar process() per lane and stay correct.
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(4)));
+  const auto off = m.add(std::make_unique<LaneOffset>("off"));
+  const auto g = m.add(std::make_unique<TestGain>("g", 3.0));
+  m.chain({src, off, g});
+  auto* gain = dynamic_cast<TestGain*>(&m.block("g"));
+  ASSERT_NE(gain, nullptr);
+
+  const auto out = m.run_batch(4);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0]->uniform());
+  EXPECT_EQ(gain->calls(), 4);  // one scalar call per lane
+  for (std::size_t k = 0; k < 4; ++k) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_DOUBLE_EQ(out[0]->lane(k)[i],
+                       (static_cast<double>(i) + static_cast<double>(k)) * 3.0);
+    }
+  }
+
+  // probe_batch observes inner banks, like probe() does for run().
+  const auto& probed = m.probe_batch("off", 0);
+  EXPECT_DOUBLE_EQ(probed.lane(2)[1], 3.0);  // 1 + lane 2
+
+  // run_batch(1) degenerates to the scalar topology result.
+  const auto single = m.run_batch(1);
+  EXPECT_DOUBLE_EQ(single[0]->lane(0)[2], 6.0);
+}
+
+TEST(Model, RunBatchMatchesScalarRunForLaneInvariantChains) {
+  sim::Model m;
+  const auto src = m.add(std::make_unique<TestSource>("src", ramp(16)));
+  const auto split = m.add(std::make_unique<TestSplit>("split"));
+  const auto sum = m.add(std::make_unique<TestSum>("sum"));
+  m.connect(src, 0, split, 0);
+  m.connect(split, 0, sum, 0);
+  m.connect(split, 1, sum, 1);
+
+  const auto scalar = m.run();
+  const auto batch = m.run_batch(3);
+  ASSERT_EQ(batch.size(), 1u);
+  ASSERT_EQ(batch[0]->samples(), scalar[0].size());
+  for (std::size_t k = 0; k < 3; ++k) {
+    for (std::size_t i = 0; i < scalar[0].size(); ++i) {
+      EXPECT_DOUBLE_EQ(batch[0]->lane(k)[i], scalar[0][i]);
+    }
+  }
+}

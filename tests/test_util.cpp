@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
@@ -112,6 +113,33 @@ TEST(Rng, SplitStreamsAreIndependent) {
   Rng a2 = parent.split(0);
   Rng a3 = parent.split(0);
   for (int i = 0; i < 16; ++i) EXPECT_EQ(a2(), a3());
+}
+
+TEST(Rng, SplitSeedMatchesDeriveSeed) {
+  // The batched chain builders rely on this identity: the lane stream
+  // split() hands out is seeded with exactly the value a scalar block
+  // passes to its own constructor via derive_seed — so lane i's RNG is
+  // independent of the lane width it rides in.
+  Rng parent(0xFAB);
+  EXPECT_EQ(parent.split(3).seed(), derive_seed(0xFAB, 3));
+  Rng split = parent.split(3);
+  Rng direct(derive_seed(0xFAB, 3));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(split(), direct());
+}
+
+TEST(Rng, SplitResetsCachedGaussian) {
+  // Box-Muller caches the second variate. split() must hand out a stream
+  // whose gaussian sequence matches a freshly seeded generator even when
+  // the parent has a variate cached — a lane inheriting half a draw would
+  // silently desynchronize from its scalar oracle.
+  Rng parent(0xFAB);
+  (void)parent.gaussian();  // leaves the second Box-Muller variate cached
+  Rng stream = parent.split(7);
+  Rng fresh(derive_seed(0xFAB, 7));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(std::bit_cast<std::uint64_t>(stream.gaussian()),
+              std::bit_cast<std::uint64_t>(fresh.gaussian()));
+  }
 }
 
 TEST(Rng, DeriveSeedStable) {
