@@ -394,9 +394,18 @@ RunOutcome merge_journals(const std::vector<std::string>& paths,
   const std::uint64_t total = h0.total_points;
   std::vector<std::optional<JournalRecord>> by_index(total);
   // Which journal contributed each point — its provenance events ride along
-  // into the merged journal (duplicate records keep the first journal's).
+  // into the merged journal. Duplicate records keep the journal that sorts
+  // first by path, NOT the one listed first: concurrently streaming workers
+  // finish in arbitrary order, and the merged bytes must not depend on who
+  // finished (or was globbed) first.
+  std::vector<std::size_t> canonical(journals.size());
+  for (std::size_t j = 0; j < canonical.size(); ++j) canonical[j] = j;
+  std::sort(canonical.begin(), canonical.end(),
+            [&paths](std::size_t a, std::size_t b) {
+              return paths[a] < paths[b];
+            });
   std::vector<std::size_t> source(total, 0);
-  for (std::size_t j = 0; j < journals.size(); ++j) {
+  for (const std::size_t j : canonical) {
     for (auto& rec : journals[j].records) {
       EFF_REQUIRE(rec.index < total, "journal record index out of range in " +
                                          paths[j]);
@@ -447,7 +456,10 @@ RunOutcome merge_journals(const std::vector<std::string>& paths,
     }
     JournalHeader merged = h0;
     merged.shard = Shard{};
-    auto writer = JournalWriter::create(out_path, merged);
+    // The merged journal is derived data — regenerable from the source
+    // journals — so group commit applies regardless of EFFICSENSE_FSYNC:
+    // per-record fsyncs would only slow the merge down.
+    auto writer = JournalWriter::create(out_path, merged, SyncMode::Group);
     for (const auto& slot : by_index) {
       writer.append(*slot);
       auto& per_point = events_by_journal[source[slot->index]];
@@ -460,6 +472,7 @@ RunOutcome merge_journals(const std::vector<std::string>& paths,
                 });
       for (const auto* ev : ordered) writer.append_event(*ev);
     }
+    writer.flush();
   }
   obs::counter("run/journals_merged").inc(paths.size());
   return out;

@@ -1,0 +1,205 @@
+#include "run/fleet.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "obs/sidecar.hpp"
+#include "util/atomic_io.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace fs = std::filesystem;
+
+namespace efficsense::run {
+
+namespace {
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+/// 17-significant-digit rendering, same discipline as the journal events.
+std::string fmt_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::optional<std::uint64_t> hex_field(const std::string& line,
+                                       const std::string& key) {
+  const auto s = jsonf::string_field(line, key);
+  if (!s || s->empty()) return std::nullopt;
+  try {
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(*s, &used, 16);
+    if (used != s->size()) return std::nullopt;
+    return v;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::string join(const std::string& a, const std::string& b) {
+  return (fs::path(a) / b).string();
+}
+
+}  // namespace
+
+std::string SpoolPaths::lease_path(const std::string& worker) const {
+  return join(leases_dir, worker + ".json");
+}
+
+std::string SpoolPaths::heartbeat_path(const std::string& worker) const {
+  return join(workers_dir, worker + ".heartbeat.json");
+}
+
+std::string SpoolPaths::journal_path(const std::string& worker) const {
+  return join(workers_dir, worker + ".jsonl");
+}
+
+SpoolPaths spool_paths(const std::string& root) {
+  SpoolPaths p;
+  p.root = root;
+  p.manifest = join(root, "fleet.json");
+  p.done = join(root, "done.json");
+  p.leases_dir = join(root, "leases");
+  p.workers_dir = join(root, "workers");
+  p.merged = join(root, "merged.jsonl");
+  p.coordinator_status = join(root, "coordinator.status.json");
+  return p;
+}
+
+std::string manifest_to_line(const FleetManifest& m) {
+  std::ostringstream os;
+  os << "{\"type\":\"fleet\",\"version\":" << m.header.version
+     << ",\"digest\":\"" << hex16(m.header.config_digest) << "\",\"space\":\""
+     << hex16(m.header.space_digest) << "\",\"total\":" << m.header.total_points
+     << ",\"ttl\":" << fmt_double(m.lease_ttl_s);
+  return os.str();
+}
+
+std::optional<FleetManifest> parse_manifest(const std::string& line) {
+  if (jsonf::string_field(line, "type").value_or("") != "fleet") {
+    return std::nullopt;
+  }
+  const auto version = jsonf::int_field(line, "version");
+  const auto digest = hex_field(line, "digest");
+  const auto space = hex_field(line, "space");
+  const auto total = jsonf::int_field(line, "total");
+  const auto ttl = jsonf::double_field(line, "ttl");
+  if (!version || !digest || !space || !total || !ttl) return std::nullopt;
+  FleetManifest m;
+  m.header.version = static_cast<std::uint32_t>(*version);
+  m.header.config_digest = *digest;
+  m.header.space_digest = *space;
+  m.header.total_points = *total;
+  m.header.shard = Shard{};
+  m.lease_ttl_s = *ttl;
+  return m;
+}
+
+std::string lease_to_line(const Lease& l) {
+  std::ostringstream os;
+  os << "{\"type\":\"lease\",\"id\":" << l.id << ",\"worker\":\""
+     << obs::json_escape(l.worker) << "\",\"begin\":" << l.begin
+     << ",\"end\":" << l.end << ",\"lv\":" << l.version;
+  return os.str();
+}
+
+std::optional<Lease> parse_lease(const std::string& line) {
+  if (jsonf::string_field(line, "type").value_or("") != "lease") {
+    return std::nullopt;
+  }
+  const auto id = jsonf::int_field(line, "id");
+  const auto worker = jsonf::string_field(line, "worker");
+  const auto begin = jsonf::int_field(line, "begin");
+  const auto end = jsonf::int_field(line, "end");
+  const auto version = jsonf::int_field(line, "lv");
+  if (!id || !worker || !begin || !end || !version) return std::nullopt;
+  Lease l;
+  l.id = *id;
+  l.worker = *worker;
+  l.begin = *begin;
+  l.end = *end;
+  l.version = static_cast<std::uint32_t>(*version);
+  return l;
+}
+
+std::string heartbeat_to_line(const WorkerHeartbeat& hb) {
+  std::ostringstream os;
+  os << "{\"type\":\"heartbeat\",\"worker\":\"" << obs::json_escape(hb.worker)
+     << "\",\"updated\":" << fmt_double(hb.updated_unix_s)
+     << ",\"lease\":" << hb.lease_id << ",\"lv\":" << hb.lease_version
+     << ",\"next\":" << hb.next << ",\"committed\":" << hb.committed
+     << ",\"idle\":" << (hb.idle ? "true" : "false");
+  return os.str();
+}
+
+std::optional<WorkerHeartbeat> parse_heartbeat(const std::string& line) {
+  if (jsonf::string_field(line, "type").value_or("") != "heartbeat") {
+    return std::nullopt;
+  }
+  const auto worker = jsonf::string_field(line, "worker");
+  const auto updated = jsonf::double_field(line, "updated");
+  const auto lease = jsonf::int_field(line, "lease");
+  const auto version = jsonf::int_field(line, "lv");
+  const auto next = jsonf::int_field(line, "next");
+  const auto committed = jsonf::int_field(line, "committed");
+  const auto idle = jsonf::bool_field(line, "idle");
+  if (!worker || !updated || !lease || !version || !next || !committed ||
+      !idle) {
+    return std::nullopt;
+  }
+  WorkerHeartbeat hb;
+  hb.worker = *worker;
+  hb.updated_unix_s = *updated;
+  hb.lease_id = *lease;
+  hb.lease_version = static_cast<std::uint32_t>(*version);
+  hb.next = *next;
+  hb.committed = *committed;
+  hb.idle = *idle;
+  return hb;
+}
+
+void write_sealed_file(const std::string& path, const std::string& payload) {
+  atomic_write_file(path, seal_line(payload) + "\n");
+}
+
+std::optional<std::string> read_sealed_file(const std::string& path) {
+  auto blob = read_file(path);
+  if (!blob) return std::nullopt;
+  while (!blob->empty() && (blob->back() == '\n' || blob->back() == '\r')) {
+    blob->pop_back();
+  }
+  return unseal_line(*blob);
+}
+
+std::vector<std::string> discover_worker_journals(const std::string& root) {
+  const auto paths = spool_paths(root);
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(paths.workers_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().extension() == ".jsonl") {
+      out.push_back(entry.path().string());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double lease_ttl_s_from_env() {
+  const double ttl = env_double("EFFICSENSE_LEASE_TTL", 10.0);
+  return ttl < 0.1 ? 0.1 : ttl;
+}
+
+std::uint32_t workers_from_env() {
+  const long long n = env_int("EFFICSENSE_WORKERS", 0);
+  return n < 0 ? 0u : static_cast<std::uint32_t>(n);
+}
+
+}  // namespace efficsense::run

@@ -1,0 +1,108 @@
+#pragma once
+// Shared vocabulary of the multi-worker sweep fabric: the spool directory
+// layout plus the small sealed-JSON files the Coordinator and Workers
+// coordinate through. Everything rides the existing journal machinery —
+// one-line JSON objects sealed with the journal crc (run::seal_line) and
+// replaced atomically (util::atomic_write_file) — so there is no new wire
+// format and a torn or tampered file reads as "absent", never as garbage.
+//
+// Spool layout (one directory per fleet run):
+//   <spool>/fleet.json                    coordinator manifest (sealed)
+//   <spool>/leases/<worker>.json          current lease of one worker
+//   <spool>/workers/<worker>.heartbeat.json   liveness + progress beacon
+//   <spool>/workers/<worker>.jsonl        that worker's sweep journal
+//   <spool>/coordinator.status.json       PR 6 heartbeat (GVT frontier)
+//   <spool>/merged.jsonl                  final merged journal
+//   <spool>/done.json                     completion marker workers exit on
+//
+// Ownership rules: the coordinator writes fleet.json, every lease file and
+// done.json; a worker writes only its own heartbeat and journal. Leases are
+// revoked by deleting the lease file and shrunk (work stealing) by
+// rewriting it with the same id and a bumped version — a worker re-reads
+// its lease before every point, so the duplicate-evaluation window is at
+// most one in-flight point, and duplicates are benign anyway because
+// evaluation is deterministic (merge dedups identical records).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "run/journal.hpp"
+
+namespace efficsense::run {
+
+/// Canonical file locations inside a spool directory.
+struct SpoolPaths {
+  std::string root;
+  std::string manifest;            ///< <root>/fleet.json
+  std::string done;                ///< <root>/done.json
+  std::string leases_dir;          ///< <root>/leases
+  std::string workers_dir;         ///< <root>/workers
+  std::string merged;              ///< <root>/merged.jsonl
+  std::string coordinator_status;  ///< <root>/coordinator.status.json
+
+  std::string lease_path(const std::string& worker) const;
+  std::string heartbeat_path(const std::string& worker) const;
+  std::string journal_path(const std::string& worker) const;
+};
+
+SpoolPaths spool_paths(const std::string& root);
+
+/// The coordinator's manifest: pins the journal header every worker must
+/// reproduce from its own scenario (digest handshake) plus the lease TTL.
+struct FleetManifest {
+  JournalHeader header;  ///< shard always 0/1 (workers journal whole-space)
+  double lease_ttl_s = 10.0;
+};
+
+std::string manifest_to_line(const FleetManifest& m);
+std::optional<FleetManifest> parse_manifest(const std::string& line);
+
+/// A lease: the half-open point range [begin, end) one worker may evaluate.
+/// `version` bumps every time the coordinator rewrites the same lease id
+/// (steal-shrink), so a worker can tell "my lease changed shape" from "I
+/// have a new lease".
+struct Lease {
+  std::uint64_t id = 0;
+  std::string worker;
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  std::uint32_t version = 1;
+};
+
+std::string lease_to_line(const Lease& l);
+std::optional<Lease> parse_lease(const std::string& line);
+
+/// A worker's liveness beacon, rewritten atomically every ttl/4 by a
+/// background thread. `next` is the next index the worker will evaluate
+/// inside its current lease — the coordinator steals only above it.
+struct WorkerHeartbeat {
+  std::string worker;
+  double updated_unix_s = 0.0;
+  std::uint64_t lease_id = 0;  ///< 0 = no lease held
+  std::uint32_t lease_version = 0;
+  std::uint64_t next = 0;
+  std::uint64_t committed = 0;  ///< records this worker has journaled
+  bool idle = true;
+};
+
+std::string heartbeat_to_line(const WorkerHeartbeat& hb);
+std::optional<WorkerHeartbeat> parse_heartbeat(const std::string& line);
+
+/// Atomic write / validated read of one sealed line (no trailing newline
+/// sensitivity). read_sealed_file returns nullopt when the file is missing
+/// or fails the crc — callers treat both as "not there yet".
+void write_sealed_file(const std::string& path, const std::string& payload);
+std::optional<std::string> read_sealed_file(const std::string& path);
+
+/// Worker journals of a spool: <spool>/workers/*.jsonl, lexicographically
+/// sorted so every consumer (merge, status) sees one canonical order.
+std::vector<std::string> discover_worker_journals(const std::string& root);
+
+/// EFFICSENSE_LEASE_TTL seconds (default 10, floor 0.1).
+double lease_ttl_s_from_env();
+/// EFFICSENSE_WORKERS (default 0 = workers are launched externally).
+std::uint32_t workers_from_env();
+
+}  // namespace efficsense::run

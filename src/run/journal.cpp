@@ -24,23 +24,6 @@ std::string hex16(std::uint64_t v) {
   return buf;
 }
 
-/// Seal `payload` (a JSON object missing its closing brace) with the crc
-/// field: crc is FNV-1a64 over every byte before `,"crc"`.
-std::string seal(const std::string& payload) {
-  return payload + ",\"crc\":\"" + hex16(fnv1a(payload)) + "\"}";
-}
-
-/// Verify a sealed line; returns the payload (without the crc suffix) or
-/// nullopt when the crc is missing or does not match.
-std::optional<std::string> unseal(const std::string& line) {
-  const auto pos = line.rfind(",\"crc\":\"");
-  if (pos == std::string::npos) return std::nullopt;
-  const std::string payload = line.substr(0, pos);
-  const std::string expected = ",\"crc\":\"" + hex16(fnv1a(payload)) + "\"}";
-  if (line.compare(pos, std::string::npos, expected) != 0) return std::nullopt;
-  return payload;
-}
-
 using jsonf::double_field;
 using jsonf::int_field;
 using jsonf::string_field;
@@ -68,7 +51,7 @@ std::string fmt_double(double v) {
 }
 
 std::optional<JournalHeader> parse_header(const std::string& line) {
-  const auto payload = unseal(line);
+  const auto payload = unseal_line(line);
   if (!payload) return std::nullopt;
   if (string_field(*payload, "type").value_or("") != "header") {
     return std::nullopt;
@@ -220,6 +203,19 @@ std::optional<bool> bool_field(const std::string& line,
 
 }  // namespace jsonf
 
+std::string seal_line(const std::string& payload) {
+  return payload + ",\"crc\":\"" + hex16(fnv1a(payload)) + "\"}";
+}
+
+std::optional<std::string> unseal_line(const std::string& line) {
+  const auto pos = line.rfind(",\"crc\":\"");
+  if (pos == std::string::npos) return std::nullopt;
+  const std::string payload = line.substr(0, pos);
+  const std::string expected = ",\"crc\":\"" + hex16(fnv1a(payload)) + "\"}";
+  if (line.compare(pos, std::string::npos, expected) != 0) return std::nullopt;
+  return payload;
+}
+
 std::string Shard::to_string() const {
   return std::to_string(index) + "/" + std::to_string(count);
 }
@@ -266,7 +262,7 @@ std::string header_to_line(const JournalHeader& h) {
      << hex16(h.config_digest) << "\",\"space\":\"" << hex16(h.space_digest)
      << "\",\"total\":" << h.total_points << ",\"shard\":\""
      << h.shard.to_string() << "\"";
-  return seal(os.str());
+  return seal_line(os.str());
 }
 
 std::string record_to_line(const JournalRecord& r) {
@@ -277,7 +273,7 @@ std::string record_to_line(const JournalRecord& r) {
      << "\",\"attempts\":" << r.attempts << ",\""
      << (r.status == PointStatus::Ok ? "row" : "error") << "\":\""
      << obs::json_escape(r.payload) << "\"";
-  return seal(os.str());
+  return seal_line(os.str());
 }
 
 std::string event_to_line(const PointEvent& e) {
@@ -292,7 +288,7 @@ std::string event_to_line(const PointEvent& e) {
      << ",\"dec\":" << fmt_double(e.decode_s)
      << ",\"det\":" << fmt_double(e.detect_s) << ",\"cause\":\""
      << obs::json_escape(e.cause) << "\"";
-  return seal(os.str());
+  return seal_line(os.str());
 }
 
 std::optional<JournalContents> read_journal(const std::string& path) {
@@ -327,7 +323,7 @@ std::optional<JournalContents> read_journal(const std::string& path) {
     // The first bad line marks a truncated/corrupt tail; the points it may
     // have covered re-evaluate deterministically.
     bool ok = false;
-    if (const auto payload = unseal(lines[i].first)) {
+    if (const auto payload = unseal_line(lines[i].first)) {
       const auto type = string_field(*payload, "type").value_or("");
       if (type == "point") {
         if (auto rec = parse_record(*payload)) {
@@ -357,18 +353,38 @@ std::optional<JournalContents> read_journal(const std::string& path) {
 }
 
 JournalWriter JournalWriter::create(const std::string& path,
-                                    const JournalHeader& h) {
+                                    const JournalHeader& h,
+                                    std::optional<SyncMode> mode) {
   std::error_code ec;
   fs::remove(path, ec);
-  JournalWriter w{AppendFile(path)};
+  JournalWriter w{AppendFile(path, mode ? *mode : sync_mode_from_env())};
   w.file_.append_line(header_to_line(h));
   return w;
 }
 
 JournalWriter JournalWriter::resume(const std::string& path,
-                                    std::uint64_t valid_bytes) {
+                                    std::uint64_t valid_bytes,
+                                    std::optional<SyncMode> mode) {
   truncate_file(path, valid_bytes);
-  return JournalWriter{AppendFile(path)};
+  return JournalWriter{AppendFile(path, mode ? *mode : sync_mode_from_env())};
+}
+
+void JournalWriter::note_coalesced() {
+  const std::uint64_t total = file_.coalesced();
+  if (total > reported_coalesced_) {
+    obs::counter("run/fsync_coalesced").inc(total - reported_coalesced_);
+    reported_coalesced_ = total;
+  }
+}
+
+void JournalWriter::append(const JournalRecord& r) {
+  file_.append_line(record_to_line(r));
+  note_coalesced();
+}
+
+void JournalWriter::append_event(const PointEvent& e) {
+  file_.append_line(event_to_line(e));
+  note_coalesced();
 }
 
 }  // namespace efficsense::run

@@ -102,6 +102,16 @@ std::string header_to_line(const JournalHeader& h);
 std::string record_to_line(const JournalRecord& r);
 std::string event_to_line(const PointEvent& e);
 
+/// Seal `payload` (a one-object JSON line missing its closing brace) with
+/// the journal crc discipline: append `,"crc":"<16 hex>"}` where crc is
+/// FNV-1a64 over every byte before it. Shared by journal lines and the
+/// fleet spool files (leases, heartbeats, manifest) so there is exactly one
+/// wire format to validate.
+std::string seal_line(const std::string& payload);
+/// Verify a sealed line; returns the payload (without the crc suffix) or
+/// nullopt when the crc is missing or does not match.
+std::optional<std::string> unseal_line(const std::string& line);
+
 struct JournalContents {
   JournalHeader header;
   std::vector<JournalRecord> records;  ///< valid records, file order
@@ -117,25 +127,33 @@ struct JournalContents {
 /// marking where a writer should truncate before appending.
 std::optional<JournalContents> read_journal(const std::string& path);
 
-/// Append-side handle; every append is fsync'd (see util::AppendFile).
+/// Append-side handle. Sync policy comes from EFFICSENSE_FSYNC by default:
+/// `each` fsyncs every record (the kill-test durability bar), `group`
+/// coalesces fsyncs across records within a small window (see
+/// util::SyncMode). Coalesced syncs are counted on run/fsync_coalesced.
 class JournalWriter {
  public:
   /// Start a fresh journal at `path` (replacing any existing file) and
   /// write the header record.
-  static JournalWriter create(const std::string& path, const JournalHeader& h);
+  static JournalWriter create(const std::string& path, const JournalHeader& h,
+                              std::optional<SyncMode> mode = std::nullopt);
   /// Re-open an existing journal for append after truncating it to
   /// `valid_bytes` (as reported by read_journal), dropping a corrupt tail.
   static JournalWriter resume(const std::string& path,
-                              std::uint64_t valid_bytes);
+                              std::uint64_t valid_bytes,
+                              std::optional<SyncMode> mode = std::nullopt);
 
-  void append(const JournalRecord& r) { file_.append_line(record_to_line(r)); }
-  void append_event(const PointEvent& e) {
-    file_.append_line(event_to_line(e));
-  }
+  void append(const JournalRecord& r);
+  void append_event(const PointEvent& e);
+  /// Force a deferred group-commit fsync to disk now.
+  void flush() { file_.flush(); }
 
  private:
   explicit JournalWriter(AppendFile file) : file_(std::move(file)) {}
+  void note_coalesced();
+
   AppendFile file_;
+  std::uint64_t reported_coalesced_ = 0;
 };
 
 /// Minimal field extractors for the flat one-object JSON the run layer

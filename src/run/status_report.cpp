@@ -3,11 +3,13 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <sstream>
 
 #include "obs/sidecar.hpp"
 #include "obs/snapshot.hpp"
+#include "run/fleet.hpp"
 #include "util/error.hpp"
 
 namespace efficsense::run {
@@ -96,6 +98,29 @@ std::string point_row_json(const PointRow& p) {
 }
 
 }  // namespace
+
+SpoolDiscovery discover_spool(const std::string& dir) {
+  namespace fs = std::filesystem;
+  SpoolDiscovery out;
+  const auto paths = spool_paths(dir);
+  std::error_code ec;
+  if (fs::is_directory(paths.workers_dir, ec)) {
+    out.journals = discover_worker_journals(dir);
+    if (fs::exists(paths.coordinator_status, ec)) {
+      out.status_path = paths.coordinator_status;
+    }
+  } else {
+    for (const auto& entry : fs::directory_iterator(dir, ec)) {
+      if (!entry.is_regular_file()) continue;
+      if (entry.path().extension() == ".jsonl") {
+        out.journals.push_back(entry.path().string());
+      }
+    }
+    std::sort(out.journals.begin(), out.journals.end());
+  }
+  EFF_REQUIRE(!out.journals.empty(), "no journals found under " + dir);
+  return out;
+}
 
 SweepReport build_report(const std::vector<std::string>& journal_paths,
                          const std::string& status_path) {
@@ -193,6 +218,60 @@ SweepReport build_report(const std::vector<std::string>& journal_paths,
     report.quarantined += summary.quarantined;
     report.events += summary.events;
     report.journals.push_back(std::move(summary));
+  }
+
+  // A fleet spool: several whole-shard worker journals over the same grid,
+  // overlapping wherever leases were stolen or reassigned. Summing per-shard
+  // counts would double-count those overlaps, so aggregate by the union of
+  // unique indices instead — canonical (path-sorted) order decides which
+  // journal a duplicate counts for, exactly like merge_journals.
+  const bool fleet =
+      journals.size() > 1 &&
+      std::all_of(journals.begin(), journals.end(),
+                  [](const JournalContents& c) {
+                    return c.header.shard.whole();
+                  });
+  if (fleet) {
+    std::vector<std::size_t> canonical(journals.size());
+    for (std::size_t j = 0; j < canonical.size(); ++j) canonical[j] = j;
+    std::sort(canonical.begin(), canonical.end(),
+              [&journal_paths](std::size_t a, std::size_t b) {
+                return journal_paths[a] < journal_paths[b];
+              });
+    std::vector<char> settled(report.total_points, 0);
+    report.owned = report.total_points;
+    report.committed = 0;
+    report.frontier = 0;
+    report.quarantined = 0;
+    report.retried = 0;
+    report.quarantined_points.clear();
+    for (const std::size_t j : canonical) {
+      for (const auto& rec : journals[j].records) {
+        if (rec.index >= report.total_points || settled[rec.index]) continue;
+        settled[rec.index] = 1;
+        ++report.committed;
+        if (rec.status == PointStatus::Quarantined) {
+          ++report.quarantined;
+          PointRow row;
+          row.index = rec.index;
+          row.attempts = rec.attempts;
+          row.quarantined = true;
+          row.cause = rec.payload;
+          report.quarantined_points.push_back(std::move(row));
+        }
+        if (rec.attempts > 1) ++report.retried;
+      }
+    }
+    while (report.frontier < report.total_points &&
+           settled[report.frontier]) {
+      ++report.frontier;
+    }
+    // A worker owns exactly what it committed; the per-journal frontier
+    // (contiguous prefix of the whole grid) is meaningless for one worker.
+    for (auto& summary : report.journals) {
+      summary.owned = summary.records;
+      summary.frontier = summary.records;
+    }
   }
 
   report.complete = report.owned > 0 && report.committed >= report.owned;

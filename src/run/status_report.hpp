@@ -85,9 +85,22 @@ struct SweepReport {
 
 /// Read every journal (and `<journal>.status.json` — or `status_path` for
 /// all of them when non-empty) and fold them into one report. Throws Error
-/// on unreadable journals or incompatible headers.
+/// on unreadable journals or incompatible headers. A set of overlapping
+/// whole-shard journals (a fleet spool) aggregates by the union of unique
+/// point indices, so stolen/reassigned overlaps are not double-counted.
 SweepReport build_report(const std::vector<std::string>& journal_paths,
                          const std::string& status_path = "");
+
+/// What a directory argument to the status tooling expands to: a fleet
+/// spool (has a workers/ subdirectory, see run/fleet.hpp) yields its worker
+/// journals plus the coordinator heartbeat; any other directory yields
+/// every *.jsonl inside it, lexicographically sorted. Throws Error when no
+/// journal is found either way.
+struct SpoolDiscovery {
+  std::vector<std::string> journals;
+  std::string status_path;  ///< empty = per-journal sidecar resolution
+};
+SpoolDiscovery discover_spool(const std::string& dir);
 
 /// Terminal rendering: identity line, progress bar, throughput + ETA,
 /// trend sparkline, stage breakdown, slowest and quarantined points.

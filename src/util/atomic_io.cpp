@@ -9,6 +9,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/env.hpp"
 #include "util/error.hpp"
 
 namespace fs = std::filesystem;
@@ -31,19 +32,49 @@ void create_parent_dirs(const std::string& path) {
 
 }  // namespace
 
-AppendFile::AppendFile(const std::string& path) : path_(path) {
+SyncMode sync_mode_from_env() {
+  const std::string mode = env_string("EFFICSENSE_FSYNC", "each");
+  if (mode == "each" || mode.empty()) return SyncMode::Each;
+  if (mode == "group") return SyncMode::Group;
+  throw Error("EFFICSENSE_FSYNC must be 'each' or 'group', got: " + mode);
+}
+
+AppendFile::AppendFile(const std::string& path, SyncMode mode,
+                       double group_window_s)
+    : path_(path), mode_(mode), window_s_(group_window_s) {
   create_parent_dirs(path);
   fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
   if (fd_ < 0) throw_errno("cannot open append file", path);
+  last_sync_ = std::chrono::steady_clock::now();
 }
 
 AppendFile::AppendFile(AppendFile&& other) noexcept
-    : fd_(other.fd_), path_(std::move(other.path_)) {
+    : fd_(other.fd_),
+      path_(std::move(other.path_)),
+      mode_(other.mode_),
+      window_s_(other.window_s_),
+      dirty_(other.dirty_),
+      last_sync_(other.last_sync_),
+      syncs_(other.syncs_),
+      coalesced_(other.coalesced_) {
   other.fd_ = -1;
+  other.dirty_ = false;
 }
 
 AppendFile::~AppendFile() {
-  if (fd_ >= 0) ::close(fd_);
+  if (fd_ >= 0) {
+    // Best-effort drain of a deferred group commit; errors cannot be
+    // reported from a destructor and a lost tail re-evaluates on resume.
+    if (dirty_) ::fsync(fd_);
+    ::close(fd_);
+  }
+}
+
+void AppendFile::sync_now() {
+  if (::fsync(fd_) != 0) throw_errno("fsync failed on", path_);
+  dirty_ = false;
+  ++syncs_;
+  last_sync_ = std::chrono::steady_clock::now();
 }
 
 void AppendFile::append_line(const std::string& line) {
@@ -61,7 +92,24 @@ void AppendFile::append_line(const std::string& line) {
     p += n;
     left -= static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0) throw_errno("fsync failed on", path_);
+  dirty_ = true;
+  if (mode_ == SyncMode::Each) {
+    sync_now();
+    return;
+  }
+  // Group commit: sync only when the coalescing window has elapsed since
+  // the last sync; records inside the window ride the next fsync.
+  const std::chrono::duration<double> since =
+      std::chrono::steady_clock::now() - last_sync_;
+  if (since.count() >= window_s_) {
+    sync_now();
+  } else {
+    ++coalesced_;
+  }
+}
+
+void AppendFile::flush() {
+  if (fd_ >= 0 && dirty_) sync_now();
 }
 
 void truncate_file(const std::string& path, std::uint64_t size) {

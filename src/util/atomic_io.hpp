@@ -5,21 +5,36 @@
 // cache. A sweep checkpointed through these survives SIGKILL at any
 // instant with at most the in-flight record lost.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 
 namespace efficsense {
 
+/// When to fsync an AppendFile. Each = every record hits the platter before
+/// the caller proceeds (the durability contract the kill-tests rely on).
+/// Group = group commit: records still write() immediately, but the fsync is
+/// coalesced across records landing within a small window, so fast
+/// lane-batched points are not sync-bound. A crash under Group can lose the
+/// records since the last sync — acceptable because sweep evaluation is
+/// deterministic and lost points simply re-evaluate on resume.
+enum class SyncMode { Each, Group };
+
+/// EFFICSENSE_FSYNC=each|group (default each). Throws Error on other values.
+SyncMode sync_mode_from_env();
+
 /// Append-only handle. Every append_line() writes `line` + '\n' and then
-/// fsyncs, so a record is either fully on disk or not present at all
-/// (a torn final line is possible on power loss; the journal reader's
-/// per-record checksum catches it).
+/// fsyncs per the SyncMode, so under SyncMode::Each a record is either fully
+/// on disk or not present at all (a torn final line is possible on power
+/// loss; the journal reader's per-record checksum catches it).
 class AppendFile {
  public:
   /// Opens (creating if missing) for append; parent directories are
-  /// created. Throws Error when the file cannot be opened.
-  explicit AppendFile(const std::string& path);
+  /// created. Throws Error when the file cannot be opened. `group_window_s`
+  /// is the minimum spacing between fsyncs under SyncMode::Group.
+  explicit AppendFile(const std::string& path, SyncMode mode = SyncMode::Each,
+                      double group_window_s = 0.005);
   ~AppendFile();
 
   AppendFile(AppendFile&& other) noexcept;
@@ -27,14 +42,30 @@ class AppendFile {
   AppendFile(const AppendFile&) = delete;
   AppendFile& operator=(const AppendFile&) = delete;
 
-  /// Append `line` + '\n', then fsync. Throws Error on a short write.
+  /// Append `line` + '\n', then fsync per the sync mode. Throws Error on a
+  /// short write.
   void append_line(const std::string& line);
 
+  /// Force any deferred group-commit fsync to disk now. No-op when clean.
+  void flush();
+
   const std::string& path() const { return path_; }
+  SyncMode mode() const { return mode_; }
+  /// fsyncs issued / skipped-by-coalescing since open (group-commit stats).
+  std::uint64_t syncs() const { return syncs_; }
+  std::uint64_t coalesced() const { return coalesced_; }
 
  private:
+  void sync_now();
+
   int fd_ = -1;
   std::string path_;
+  SyncMode mode_ = SyncMode::Each;
+  double window_s_ = 0.005;
+  bool dirty_ = false;
+  std::chrono::steady_clock::time_point last_sync_{};
+  std::uint64_t syncs_ = 0;
+  std::uint64_t coalesced_ = 0;
 };
 
 /// Shrink `path` to exactly `size` bytes (drop a corrupt journal tail).

@@ -13,8 +13,21 @@
 //             [--out sweep.csv] [--timeout <s>] [--point-delay-ms <n>]
 //   run_sweep --merge merged.jsonl --inputs s0.jsonl s1.jsonl s2.jsonl
 //             [--scenario spec.json] [--out merged.csv]
-//   run_sweep --status results/ci/sweep.jsonl [--inputs more...] [--json]
+//   run_sweep --coordinator <spool-dir> [--workers <N>] [--lease-ttl <s>]
+//             [--scenario spec.json] [--out merged.csv] [--point-delay-ms n]
+//   run_sweep --worker <spool-dir> [--worker-name <name>]
+//             [--scenario spec.json] [--point-delay-ms <n>]
+//   run_sweep --status <journal-or-spool-dir> [--inputs more...] [--json]
 //   run_sweep --list-architectures
+//
+// The fleet modes implement the work-stealing sweep fabric (see
+// run/coordinator.hpp): --coordinator drives leases over a spool directory
+// and merges the worker journals when every point is committed;
+// --workers N forks N local worker processes (default EFFICSENSE_WORKERS;
+// 0 means workers are launched elsewhere, e.g. other hosts on a shared
+// filesystem); --worker serves leases until the coordinator writes
+// done.json. The merged results are bitwise-identical (RESULT_DIGEST) to a
+// serial --journal run of the same scenario.
 //
 // --status renders the telemetry report for an existing journal (same
 // machinery as the sweep_status tool; see run/status_report.hpp). A live
@@ -29,9 +42,13 @@
 // --scenario run of the checked-in smoke spec digests identically to the
 // built-in spec.
 
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -43,11 +60,14 @@
 #include "core/evaluator.hpp"
 #include "core/sweep.hpp"
 #include "obs/obs.hpp"
+#include "run/coordinator.hpp"
 #include "run/durable.hpp"
 #include "run/scenario.hpp"
 #include "run/status_report.hpp"
+#include "run/worker.hpp"
 #include "util/cache.hpp"
 #include "util/env.hpp"
+#include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 using namespace efficsense;
@@ -61,7 +81,13 @@ void usage() {
          "                 [--out <csv>] [--timeout <s>] [--point-delay-ms <n>]\n"
          "       run_sweep --merge <out.jsonl> --inputs <j1> <j2> ...\n"
          "                 [--scenario <spec.json>] [--out <csv>]\n"
-         "       run_sweep --status <journal> [--inputs <more>...] [--json]\n"
+         "       run_sweep --coordinator <spool-dir> [--workers <N>]\n"
+         "                 [--lease-ttl <s>] [--scenario <spec.json>]\n"
+         "                 [--out <csv>] [--point-delay-ms <n>]\n"
+         "       run_sweep --worker <spool-dir> [--worker-name <name>]\n"
+         "                 [--scenario <spec.json>] [--point-delay-ms <n>]\n"
+         "       run_sweep --status <journal-or-spool> [--inputs <more>...]"
+         " [--json]\n"
          "       run_sweep --list-architectures\n";
 }
 
@@ -112,13 +138,47 @@ void list_architectures() {
   }
 }
 
+/// Fork+exec one local worker process (re-invoking this binary with
+/// --worker). fork without exec is unsafe once threads exist, so the
+/// coordinator calls this before building its scenario context.
+pid_t spawn_worker(const char* self, const std::string& spool,
+                   const std::string& name, const std::string& scenario_path,
+                   int point_delay_ms) {
+  std::vector<std::string> args = {self, "--worker", spool, "--worker-name",
+                                   name};
+  if (!scenario_path.empty()) {
+    args.push_back("--scenario");
+    args.push_back(scenario_path);
+  }
+  if (point_delay_ms > 0) {
+    args.push_back("--point-delay-ms");
+    args.push_back(std::to_string(point_delay_ms));
+  }
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    std::vector<char*> argvv;
+    argvv.reserve(args.size() + 1);
+    for (auto& a : args) argvv.push_back(const_cast<char*>(a.c_str()));
+    argvv.push_back(nullptr);
+    ::execv(self, argvv.data());
+    std::perror("run_sweep: execv worker");
+    _exit(127);
+  }
+  EFF_REQUIRE(pid > 0, "fork failed launching worker " + name);
+  std::cout << "[worker " << name << " pid " << pid << "]\n";
+  return pid;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string journal, merge_out, out_csv, scenario_path, status_journal;
+  std::string coordinator_spool, worker_spool, worker_name;
   std::vector<std::string> inputs;
   double timeout_s = 0.0;
+  double lease_ttl_s = 0.0;
   int point_delay_ms = 0;
+  long long workers = -1;  // -1 = EFFICSENSE_WORKERS
   bool merge_mode = false;
   bool json_report = false;
 
@@ -153,6 +213,16 @@ int main(int argc, char** argv) {
       timeout_s = std::stod(next());
     } else if (arg == "--point-delay-ms") {
       point_delay_ms = std::stoi(next());
+    } else if (arg == "--coordinator") {
+      coordinator_spool = next();
+    } else if (arg == "--worker") {
+      worker_spool = next();
+    } else if (arg == "--worker-name") {
+      worker_name = next();
+    } else if (arg == "--workers") {
+      workers = std::stoll(next());
+    } else if (arg == "--lease-ttl") {
+      lease_ttl_s = std::stod(next());
     } else {
       usage();
       return 2;
@@ -161,9 +231,20 @@ int main(int argc, char** argv) {
 
   try {
     if (!status_journal.empty()) {
-      std::vector<std::string> journals{status_journal};
+      std::vector<std::string> journals;
+      std::string status_path;
+      for (const auto& arg : std::vector<std::string>{status_journal}) {
+        if (std::filesystem::is_directory(arg)) {
+          auto spool = run::discover_spool(arg);
+          journals.insert(journals.end(), spool.journals.begin(),
+                          spool.journals.end());
+          status_path = spool.status_path;
+        } else {
+          journals.push_back(arg);
+        }
+      }
       journals.insert(journals.end(), inputs.begin(), inputs.end());
-      const auto status = run::build_report(journals);
+      const auto status = run::build_report(journals, status_path);
       std::cout << (json_report ? run::render_json(status)
                                 : run::render_text(status));
       return status.stale || !status.quarantined_points.empty() ? 4 : 0;
@@ -172,6 +253,96 @@ int main(int argc, char** argv) {
     const auto spec = scenario_path.empty()
                           ? arch::scenario_from_json(kCiSmokeSpec)
                           : arch::scenario_from_file(scenario_path);
+
+    if (!coordinator_spool.empty()) {
+      // Clear stale control state, then fork the local fleet before any
+      // thread exists in this process (scenario building spins threads).
+      run::Coordinator::reset_spool(coordinator_spool);
+      const long long fleet_size =
+          workers >= 0 ? workers
+                       : static_cast<long long>(run::workers_from_env());
+      std::vector<pid_t> pids;
+      for (long long k = 0; k < fleet_size; ++k) {
+        pids.push_back(spawn_worker(argv[0], coordinator_spool,
+                                    "w" + std::to_string(k), scenario_path,
+                                    point_delay_ms));
+      }
+
+      const auto context = run::make_scenario_context(
+          spec, nullptr,
+          [](const std::string& line) { std::cout << "[" << line << "]\n"; });
+      run::CoordinatorOptions options;
+      options.spool_dir = coordinator_spool;
+      options.config_digest = context->evaluator->config_digest();
+      options.lease_ttl_s = lease_ttl_s;
+      options.stall_timeout_s = 600.0;  // CI hang guard
+      std::cout << "[scenario: "
+                << (context->spec.name.empty() ? "(unnamed)"
+                                               : context->spec.name)
+                << ", architecture " << context->spec.architecture << "]\n";
+      std::cout << "[fleet: " << context->spec.space.size()
+                << " points, spool " << coordinator_spool << ", "
+                << fleet_size << " local workers]\n";
+
+      run::Coordinator coordinator(context->base, context->spec.space,
+                                   options);
+      const auto outcome =
+          coordinator.run([&](std::size_t done, std::size_t total) {
+            std::cout << "[progress " << done << "/" << total << "]"
+                      << std::endl;  // flushed: fleet-smoke greps it
+          });
+      for (const pid_t pid : pids) {
+        int wstatus = 0;
+        ::waitpid(pid, &wstatus, 0);
+      }
+      std::cout << "fleet workers_seen=" << outcome.stats.workers_seen
+                << " leases_granted=" << outcome.stats.leases_granted
+                << " leases_stolen=" << outcome.stats.leases_stolen
+                << " leases_expired=" << outcome.stats.leases_expired
+                << " leases_reassigned=" << outcome.stats.leases_reassigned
+                << " duplicate_points=" << outcome.stats.duplicate_points
+                << "\n";
+      report(outcome.merged, sweep_to_csv(outcome.merged.results), out_csv);
+      return outcome.merged.quarantined.empty() ? 0 : 3;
+    }
+
+    if (!worker_spool.empty()) {
+      const auto threads = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, env_int("EFFICSENSE_THREADS", 0)));
+      std::unique_ptr<ThreadPool> pool;
+      if (threads != 1) {
+        pool = std::make_unique<ThreadPool>(threads);
+        if (pool->size() <= 1) pool.reset();
+      }
+      const auto context = run::make_scenario_context(
+          spec, pool.get(),
+          [](const std::string& line) { std::cout << "[" << line << "]\n"; });
+      run::WorkerOptions options;
+      options.spool_dir = worker_spool;
+      options.name = worker_name;
+      options.config_digest = context->evaluator->config_digest();
+      run::DurableSweeper::EvalFn eval = [&](const power::DesignParams& d) {
+        if (point_delay_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(point_delay_ms));
+        }
+        return context->evaluator->evaluate(d);
+      };
+      run::Worker worker(std::move(eval), context->base, context->spec.space,
+                         options);
+      std::cout << "[worker " << worker.name() << " joining spool "
+                << worker_spool << "]\n";
+      const auto outcome = worker.run();
+      std::cout << "worker_evaluated=" << outcome.points_evaluated
+                << " worker_skipped=" << outcome.points_skipped
+                << " worker_quarantined=" << outcome.points_quarantined
+                << " worker_leases=" << outcome.leases_completed << "\n";
+      for (const auto& [name, value] :
+           obs::Registry::instance().counters_with_prefix("run/")) {
+        std::cout << "counter " << name << "=" << value << "\n";
+      }
+      return outcome.points_quarantined == 0 ? 0 : 3;
+    }
 
     if (merge_mode) {
       if (inputs.empty()) {

@@ -4,17 +4,21 @@
 // freshness, throughput trend, per-stage latency breakdown, slowest and
 // quarantined points.
 //
-//   sweep_status <journal.jsonl> [more-shard-journals...]
+//   sweep_status <journal.jsonl | spool-dir> [more-journals...]
 //                [--status <status.json>] [--json]
 //
 // With several journals the report aggregates the shards (the same
-// journals run_sweep --merge accepts). --status overrides the per-journal
+// journals run_sweep --merge accepts). A directory argument is expanded by
+// run::discover_spool: a fleet spool contributes its workers/*.jsonl
+// journals and the coordinator.status.json heartbeat, any other directory
+// contributes every *.jsonl inside it. --status overrides the per-journal
 // "<journal>.status.json" heartbeat location; --json emits the stable
 // machine-readable document (schema_version 1) instead of the terminal
 // view. Exit code: 0 on a healthy/complete run, 4 when the run looks dead
 // (stale heartbeat without completion) or the journal has quarantined
 // points — so CI can gate on it directly.
 
+#include <filesystem>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -24,7 +28,8 @@
 namespace {
 
 void usage() {
-  std::cerr << "usage: sweep_status <journal.jsonl> [more-journals...]\n"
+  std::cerr << "usage: sweep_status <journal.jsonl | spool-dir> "
+               "[more-journals...]\n"
                "                    [--status <status.json>] [--json]\n";
 }
 
@@ -61,7 +66,19 @@ int main(int argc, char** argv) {
   }
 
   try {
-    const auto report = efficsense::run::build_report(journals, status_path);
+    // Expand directory arguments (fleet spools or plain journal dirs).
+    std::vector<std::string> expanded;
+    for (const auto& arg : journals) {
+      if (std::filesystem::is_directory(arg)) {
+        auto spool = efficsense::run::discover_spool(arg);
+        expanded.insert(expanded.end(), spool.journals.begin(),
+                        spool.journals.end());
+        if (status_path.empty()) status_path = spool.status_path;
+      } else {
+        expanded.push_back(arg);
+      }
+    }
+    const auto report = efficsense::run::build_report(expanded, status_path);
     std::cout << (json ? efficsense::run::render_json(report)
                        : efficsense::run::render_text(report));
     return (report.stale || !report.quarantined_points.empty()) ? 4 : 0;
