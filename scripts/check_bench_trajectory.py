@@ -3,19 +3,23 @@
 
 Compares throughput metrics in freshly generated BENCH_*.json files against
 the committed baselines in bench/baselines.json and fails (exit 1) when any
-metric regresses by more than the tolerance band. Higher is always better
-for the gated metrics (they are rates), so only downward moves can fail.
+metric regresses by more than the tolerance band.
 
 Usage:
     scripts/check_bench_trajectory.py [--baselines bench/baselines.json]
                                       [--dir <dir with fresh BENCH files>]
                                       [--tolerance 0.30]
 
-Baseline keys are "<file>:<dotted.path>" into the fresh JSON document.
-A missing fresh file or metric is a hard failure: the gate must never pass
-because the bench silently stopped reporting. Improvements are reported so
-intentional speedups show up in the job log (copy them into the baselines
-when they are real).
+Baseline keys are "<file>:<dotted.path>" into the fresh JSON document. A
+bare number means higher-is-better (rates: only downward moves can fail).
+An object entry {"value": N, "direction": "lower"} gates a
+lower-is-better metric such as a latency percentile, where only upward
+moves can fail; "direction": "higher" is the explicit spelling of the
+default, and an optional per-entry "tolerance" widens or narrows the band
+for that one metric (latency percentiles are noisier than throughput). A missing fresh file or metric is a hard failure: the gate must
+never pass because the bench silently stopped reporting. Improvements are
+reported so intentional speedups show up in the job log (copy them into
+the baselines when they are real).
 """
 
 import argparse
@@ -47,14 +51,23 @@ def main():
 
     with open(args.baselines) as f:
         baselines = json.load(f)
-    tolerance = args.tolerance
-    if tolerance is None:
-        tolerance = float(baselines.get("tolerance", 0.30))
+    default_tolerance = args.tolerance
+    if default_tolerance is None:
+        default_tolerance = float(baselines.get("tolerance", 0.30))
 
     fresh_cache = {}
     failures = []
     checked = 0
     for key, baseline in sorted(baselines["metrics"].items()):
+        direction = "higher"
+        tolerance = default_tolerance
+        if isinstance(baseline, dict):
+            direction = baseline.get("direction", "higher")
+            tolerance = float(baseline.get("tolerance", default_tolerance))
+            baseline = baseline["value"]
+        if direction not in ("higher", "lower"):
+            failures.append(f"{key}: unknown direction {direction!r}")
+            continue
         file_name, dotted = key.split(":", 1)
         path = os.path.join(args.dir, file_name)
         if file_name not in fresh_cache:
@@ -74,19 +87,35 @@ def main():
             failures.append(f"{key}: metric missing from fresh {file_name}")
             continue
         checked += 1
-        floor = baseline * (1.0 - tolerance)
         delta = (fresh - baseline) / baseline if baseline else 0.0
         status = "OK"
-        if fresh < floor:
-            status = "FAIL"
-            failures.append(
-                f"{key}: {fresh:.3f} is {-delta * 100.0:.1f}% below the "
-                f"baseline {baseline:.3f} (allowed {tolerance * 100.0:.0f}%)"
-            )
-        elif delta > tolerance:
-            status = "IMPROVED (consider updating the baseline)"
+        if direction == "higher":
+            floor = baseline * (1.0 - tolerance)
+            if fresh < floor:
+                status = "FAIL"
+                failures.append(
+                    f"{key}: actual {fresh:.3f} is {-delta * 100.0:.1f}% below "
+                    f"the expected baseline {baseline:.3f} "
+                    f"(allowed regression {tolerance * 100.0:.0f}%, "
+                    f"floor {floor:.3f})"
+                )
+            elif delta > tolerance:
+                status = "IMPROVED (consider updating the baseline)"
+        else:  # lower is better (latency-style metric)
+            ceiling = baseline * (1.0 + tolerance)
+            if fresh > ceiling:
+                status = "FAIL"
+                failures.append(
+                    f"{key}: actual {fresh:.3f} is {delta * 100.0:.1f}% above "
+                    f"the expected baseline {baseline:.3f} "
+                    f"(allowed regression {tolerance * 100.0:.0f}%, "
+                    f"ceiling {ceiling:.3f})"
+                )
+            elif delta < -tolerance:
+                status = "IMPROVED (consider updating the baseline)"
         print(
-            f"[{status}] {key}: fresh {fresh:.3f} vs baseline {baseline:.3f} "
+            f"[{status}] {key} ({direction} is better): "
+            f"fresh {fresh:.3f} vs baseline {baseline:.3f} "
             f"({delta * 100.0:+.1f}%)"
         )
 
@@ -96,7 +125,7 @@ def main():
             print(f"  - {f}")
         return 1
     print(f"\nbench trajectory gate passed: {checked} metric(s) within "
-          f"{tolerance * 100.0:.0f}% of baseline")
+          f"tolerance (default {default_tolerance * 100.0:.0f}%)")
     return 0
 
 

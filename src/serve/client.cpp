@@ -1,0 +1,87 @@
+#include "serve/client.hpp"
+
+#include "util/error.hpp"
+
+namespace efficsense::serve {
+
+Client Client::connect_unix(const std::string& path) {
+  return Client(connect_uds(path));
+}
+
+Client Client::connect_inet(const std::string& host, std::uint16_t port) {
+  return Client(connect_tcp(host, port));
+}
+
+void Client::send_raw(const std::string& bytes) {
+  EFF_REQUIRE(fd_.valid(), "client is closed");
+  if (!write_all(fd_.get(), bytes)) {
+    fd_.reset();
+    throw Error("serve client: peer closed while writing");
+  }
+}
+
+HelloAck Client::hello(const Hello& h) {
+  send_raw(encode_frame(FrameType::kHello, Status::kOk, encode_hello(h)));
+  const auto r = recv();
+  if (!r) throw Error("serve client: connection closed during hello");
+  if (r->type == FrameType::kError) {
+    throw Error(std::string("serve client: hello rejected: ") +
+                status_name(r->status));
+  }
+  EFF_REQUIRE(r->hello_ack.has_value(), "serve client: malformed hello ack");
+  return *r->hello_ack;
+}
+
+void Client::send_data(const DataHeader& h, const double* y, std::size_t n) {
+  send_raw(encode_frame(FrameType::kData, Status::kOk, encode_data(h, y, n)));
+}
+
+std::optional<Client::Response> Client::recv() {
+  EFF_REQUIRE(fd_.valid(), "client is closed");
+  const auto io = read_frame(fd_.get(), kMaxFrameBytes, buf_);
+  if (io == IoResult::kEof) {
+    fd_.reset();
+    return std::nullopt;
+  }
+  if (io != IoResult::kFrame) {
+    fd_.reset();
+    throw Error("serve client: broken stream from daemon");
+  }
+  ParsedFrame frame;
+  const Status st = parse_frame(buf_.data(), buf_.size(), &frame);
+  if (st != Status::kOk) {
+    throw Error(std::string("serve client: bad frame from daemon: ") +
+                status_name(st));
+  }
+  Response r;
+  r.type = frame.type;
+  r.status = frame.status;
+  switch (frame.type) {
+    case FrameType::kHelloAck:
+      r.hello_ack = decode_hello_ack(frame.body, frame.body_len);
+      break;
+    case FrameType::kDetection:
+      r.detection = decode_detection(frame.body, frame.body_len);
+      break;
+    case FrameType::kError:
+      r.error = decode_error(frame.body, frame.body_len);
+      break;
+    case FrameType::kByeAck:
+      r.bye_ack = decode_bye_ack(frame.body, frame.body_len);
+      break;
+    default:
+      throw Error("serve client: daemon sent a client-only frame type");
+  }
+  return r;
+}
+
+ByeAck Client::bye() {
+  send_raw(encode_frame(FrameType::kBye, Status::kOk, ""));
+  const auto r = recv();
+  if (!r) throw Error("serve client: connection closed during bye");
+  EFF_REQUIRE(r->type == FrameType::kByeAck && r->bye_ack.has_value(),
+              "serve client: expected bye ack (responses not drained?)");
+  return *r->bye_ack;
+}
+
+}  // namespace efficsense::serve

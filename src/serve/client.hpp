@@ -1,0 +1,65 @@
+#pragma once
+// Blocking client for the gateway wire protocol, used by bench_serve, the
+// serve tests and the CI smoke lane. One Client is one session (one socket);
+// it is NOT thread-safe — drive a session from a single thread and open more
+// clients for concurrency. Every kData frame earns exactly one response
+// (kDetection or kError), so a caller that counts responses knows when the
+// stream is flushed and bye() may be issued.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/wire.hpp"
+
+namespace efficsense::serve {
+
+class Client {
+ public:
+  static Client connect_unix(const std::string& path);
+  static Client connect_inet(const std::string& host, std::uint16_t port);
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Open the session. Throws Error if the daemon rejects the hello or the
+  /// connection drops.
+  HelloAck hello(const Hello& h);
+
+  /// Fire one data frame (does not wait for the response).
+  void send_data(const DataHeader& h, const double* y, std::size_t n);
+
+  /// Escape hatch for malformed-ingress tests: raw bytes, no framing help.
+  void send_raw(const std::string& bytes);
+
+  /// One server frame, demultiplexed. nullopt on orderly EOF.
+  struct Response {
+    FrameType type = FrameType::kError;
+    Status status = Status::kOk;
+    std::optional<HelloAck> hello_ack;
+    std::optional<Detection> detection;
+    std::optional<ErrorBody> error;
+    std::optional<ByeAck> bye_ack;
+  };
+  std::optional<Response> recv();
+
+  /// Flush handshake: send kBye, return the daemon's ByeAck. Call only once
+  /// every outstanding data frame has been answered (the daemon flushes
+  /// in-flight work before acking, but already-sent responses must be read
+  /// first or they will be misparsed as the ack).
+  ByeAck bye();
+
+  bool connected() const { return fd_.valid(); }
+  int fd() const { return fd_.get(); }
+  void close() { fd_.reset(); }
+
+ private:
+  explicit Client(Fd fd) : fd_(std::move(fd)) {}
+
+  Fd fd_;
+  std::vector<std::uint8_t> buf_;  // reused frame buffer
+};
+
+}  // namespace efficsense::serve

@@ -1,0 +1,120 @@
+#pragma once
+// Backpressure primitives of the gateway: an atomic byte budget (global and
+// per-session memory bounds) and per-tenant bounded FIFO queues drained
+// round-robin by the decode pool, so one chatty tenant can neither starve
+// the others nor grow the daemon's memory without bound. A full queue or an
+// exhausted budget rejects the frame with a *retryable* status instead of
+// blocking the reader — the slow path is the client's to absorb.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace efficsense::serve {
+
+/// Byte accounting with a hard cap. try_charge/release are wait-free; a
+/// charge that would cross the cap fails without blocking.
+class ByteBudget {
+ public:
+  explicit ByteBudget(std::size_t cap) : cap_(cap) {}
+
+  bool try_charge(std::size_t n) {
+    std::size_t cur = used_.load(std::memory_order_relaxed);
+    do {
+      if (cur + n > cap_) return false;
+    } while (!used_.compare_exchange_weak(cur, cur + n,
+                                          std::memory_order_relaxed));
+    return true;
+  }
+  void release(std::size_t n) { used_.fetch_sub(n, std::memory_order_relaxed); }
+
+  std::size_t used() const { return used_.load(std::memory_order_relaxed); }
+  std::size_t cap() const { return cap_; }
+
+ private:
+  const std::size_t cap_;
+  std::atomic<std::size_t> used_{0};
+};
+
+/// Per-tenant bounded FIFOs with round-robin pop. push() never blocks: a
+/// tenant at capacity gets a rejection (the caller turns it into a
+/// kRetryBusy response). pop() blocks until a job arrives or close() is
+/// called; tenants are served in rotating key order so the drain rate is
+/// shared fairly regardless of per-tenant arrival rates.
+template <typename Job>
+class TenantQueues {
+ public:
+  explicit TenantQueues(std::size_t per_tenant_capacity)
+      : capacity_(per_tenant_capacity) {}
+
+  enum class Push { kAccepted, kQueueFull, kClosed };
+
+  Push push(std::uint32_t tenant, Job job) {
+    std::unique_lock lock(mutex_);
+    if (closed_) return Push::kClosed;
+    auto& q = queues_[tenant];
+    if (q.size() >= capacity_) return Push::kQueueFull;
+    q.push_back(std::move(job));
+    ++depth_;
+    lock.unlock();
+    cv_.notify_one();
+    return Push::kAccepted;
+  }
+
+  /// Next job in round-robin tenant order; nullopt once closed AND empty
+  /// (a close drains the backlog first — jobs are never dropped here).
+  std::optional<Job> pop() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [&] { return depth_ > 0 || closed_; });
+    if (depth_ == 0) return std::nullopt;
+    // Start after the last-served tenant and wrap (round robin).
+    auto it = queues_.upper_bound(last_tenant_);
+    for (std::size_t hops = 0; hops <= queues_.size(); ++hops) {
+      if (it == queues_.end()) it = queues_.begin();
+      if (!it->second.empty()) break;
+      ++it;
+    }
+    last_tenant_ = it->first;
+    Job job = std::move(it->second.front());
+    it->second.pop_front();
+    if (it->second.empty()) queues_.erase(it);
+    --depth_;
+    return job;
+  }
+
+  /// Wake every popper; pending jobs still drain before pop returns nullopt.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard lock(mutex_);
+    return depth_;
+  }
+  std::size_t tenants() const {
+    std::lock_guard lock(mutex_);
+    return queues_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::map<std::uint32_t, std::deque<Job>> queues_;
+  std::uint32_t last_tenant_ = 0;
+  std::size_t depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace efficsense::serve

@@ -1,0 +1,546 @@
+#include "serve/server.hpp"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+#include "util/error.hpp"
+
+namespace efficsense::serve {
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+ServerConfig server_config_from_env(ServerConfig base) {
+  base.decode_threads = std::size_t(std::max<std::int64_t>(
+      1, env_int("EFFICSENSE_SERVE_THREADS",
+                 std::int64_t(base.decode_threads))));
+  base.queue_capacity = std::size_t(std::max<std::int64_t>(
+      1,
+      env_int("EFFICSENSE_SERVE_QUEUE", std::int64_t(base.queue_capacity))));
+  base.session_budget_bytes = std::size_t(std::max<std::int64_t>(
+      1, env_int("EFFICSENSE_SERVE_SESSION_BUDGET",
+                 std::int64_t(base.session_budget_bytes))));
+  base.global_budget_bytes = std::size_t(std::max<std::int64_t>(
+      1, env_int("EFFICSENSE_SERVE_BUDGET",
+                 std::int64_t(base.global_budget_bytes))));
+  base.max_sessions = std::size_t(std::max<std::int64_t>(
+      1, env_int("EFFICSENSE_SERVE_MAX_SESSIONS",
+                 std::int64_t(base.max_sessions))));
+  base.status_path = serve_status_path(base.status_path);
+  base.status_interval_s = std::max(
+      0.05, env_double("EFFICSENSE_STATUS_INTERVAL", base.status_interval_s));
+  return base;
+}
+
+/// One accepted connection. The reader thread owns parsing and admission;
+/// the decode pool writes responses under write_mutex; the fd is only
+/// closed by the reader after its last in-flight job answered (so a worker
+/// never races a recycled descriptor).
+struct Server::Session {
+  explicit Session(std::size_t budget_bytes) : budget(budget_bytes) {}
+
+  Fd fd;
+  std::uint64_t id = 0;
+  std::uint32_t tenant = 0;
+  bool hello_done = false;  ///< only touched by the reader thread
+
+  std::mutex write_mutex;  ///< serializes response writes + fd close
+
+  ByteBudget budget;  ///< this session's share of queued bytes
+
+  std::mutex pending_mutex;
+  std::condition_variable pending_cv;
+  std::size_t pending = 0;  ///< admitted frames not yet answered
+
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> rejected{0};
+  std::atomic<std::uint64_t> detections{0};
+
+  std::thread reader;
+  std::atomic<bool> finished{false};
+
+  void add_pending() {
+    std::lock_guard lock(pending_mutex);
+    ++pending;
+  }
+  void sub_pending() {
+    {
+      std::lock_guard lock(pending_mutex);
+      --pending;
+    }
+    pending_cv.notify_all();
+  }
+  void wait_no_pending() {
+    std::unique_lock lock(pending_mutex);
+    pending_cv.wait(lock, [&] { return pending == 0; });
+  }
+};
+
+Server::Server(const DecodePipeline* pipeline, ServerConfig config)
+    : pipeline_(pipeline),
+      config_(std::move(config)),
+      global_budget_(config_.global_budget_bytes),
+      queues_(config_.queue_capacity) {
+  EFF_REQUIRE(pipeline_ != nullptr, "server needs a decode pipeline");
+  EFF_REQUIRE(!config_.uds_path.empty() || config_.tcp_port >= 0,
+              "server needs at least one listener (uds path or tcp port)");
+}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  EFF_REQUIRE(!started_.exchange(true), "server already started");
+  start_time_ = std::chrono::steady_clock::now();
+  last_ewma_ = start_time_;
+
+  if (!config_.uds_path.empty()) uds_listener_ = listen_uds(config_.uds_path);
+  if (config_.tcp_port >= 0) {
+    tcp_listener_ = listen_tcp(std::uint16_t(config_.tcp_port), &tcp_port_);
+  }
+  if (::pipe(wake_pipe_) != 0) throw Error("serve: pipe() failed");
+
+  for (std::size_t i = 0; i < config_.decode_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  if (!config_.status_path.empty()) {
+    write_serve_status(config_.status_path, status_snapshot());
+    heartbeat_thread_ = std::thread([this] { heartbeat_loop(); });
+  }
+}
+
+void Server::accept_loop() {
+  std::vector<pollfd> fds;
+  fds.push_back({wake_pipe_[0], POLLIN, 0});
+  if (uds_listener_.valid()) fds.push_back({uds_listener_.get(), POLLIN, 0});
+  if (tcp_listener_.valid()) fds.push_back({tcp_listener_.get(), POLLIN, 0});
+
+  while (!draining_.load(std::memory_order_acquire)) {
+    for (auto& p : fds) p.revents = 0;
+    if (::poll(fds.data(), nfds_t(fds.size()), -1) < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (fds[0].revents) break;  // drain wake-up
+
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if (!(fds[i].revents & POLLIN)) continue;
+      const bool is_tcp =
+          tcp_listener_.valid() && fds[i].fd == tcp_listener_.get();
+      Fd client(::accept(fds[i].fd, nullptr, nullptr));
+      if (!client.valid()) continue;
+      reap_finished_sessions();
+
+      std::size_t open = 0;
+      {
+        std::lock_guard lock(sessions_mutex_);
+        open = sessions_.size();
+      }
+      if (draining_.load(std::memory_order_acquire) ||
+          open >= config_.max_sessions) {
+        // Best-effort typed rejection so the client can back off and retry.
+        const Status why =
+            draining_.load(std::memory_order_acquire) ? Status::kDraining
+                                                      : Status::kRetryBusy;
+        write_all(client.get(), encode_frame(FrameType::kError, why,
+                                             encode_error({0, 0,
+                                                           status_name(why)})));
+        continue;
+      }
+      if (is_tcp) {
+        const int one = 1;
+        ::setsockopt(client.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+      }
+      // A reader that never drains its detections must not wedge a decode
+      // worker forever: writes time out and the response is dropped
+      // (counted), which is the slow-reader contract of DESIGN.md §14.
+      timeval tv{30, 0};
+      ::setsockopt(client.get(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+
+      auto session = std::make_shared<Session>(config_.session_budget_bytes);
+      session->fd = std::move(client);
+      session->id = next_session_id_.fetch_add(1);
+      sessions_opened_.fetch_add(1);
+      obs::counter("serve/sessions_opened").inc();
+      {
+        std::lock_guard lock(sessions_mutex_);
+        sessions_.push_back(session);
+      }
+      session->reader =
+          std::thread([this, session] { session_loop(session); });
+    }
+  }
+}
+
+void Server::send_frame(Session& session, const std::string& frame) {
+  std::lock_guard lock(session.write_mutex);
+  if (!session.fd.valid() || !write_all(session.fd.get(), frame)) {
+    write_failures_.fetch_add(1);
+    obs::counter("serve/write_failures").inc();
+    return;
+  }
+  bytes_out_.fetch_add(frame.size());
+}
+
+void Server::send_error(Session& session, Status status,
+                        std::uint64_t node_id, std::uint64_t epoch_index,
+                        const std::string& message) {
+  errors_out_.fetch_add(1);
+  frames_rejected_.fetch_add(1);
+  session.rejected.fetch_add(1);
+  obs::counter("serve/frames_rejected").inc();
+  obs::counter(std::string("serve/reject_") + status_name(status)).inc();
+  send_frame(session, encode_frame(FrameType::kError, status,
+                                   encode_error({node_id, epoch_index,
+                                                 message})));
+}
+
+bool Server::handle_data(const std::shared_ptr<Session>& session,
+                         const ParsedFrame& frame) {
+  if (!session->hello_done) {
+    send_error(*session, Status::kNotHello, 0, 0,
+               "first frame of a session must be hello");
+    return false;
+  }
+  Status why = Status::kOk;
+  auto data = decode_data(frame.body, frame.body_len, &why);
+  if (!data) {
+    send_error(*session, why, 0, 0, status_name(why));
+    // A frame whose declared count lies about its payload means the byte
+    // stream itself cannot be trusted any further.
+    return why != Status::kTruncated;
+  }
+  const auto& h = data->header;
+  if (draining_.load(std::memory_order_acquire)) {
+    send_error(*session, Status::kDraining, h.node_id, h.epoch_index,
+               "daemon is draining");
+    return true;
+  }
+  EpochRequest req{h, std::move(data->y)};
+  const Status admit = pipeline_->validate(req);
+  if (admit != Status::kOk) {
+    send_error(*session, admit, h.node_id, h.epoch_index, status_name(admit));
+    return true;
+  }
+
+  const std::size_t charge = kHeaderBytes + frame.body_len;
+  if (!session->budget.try_charge(charge)) {
+    obs::counter("serve/budget_rejects").inc();
+    send_error(*session, Status::kRetryBudget, h.node_id, h.epoch_index,
+               "session byte budget exhausted");
+    return true;
+  }
+  if (!global_budget_.try_charge(charge)) {
+    session->budget.release(charge);
+    obs::counter("serve/budget_rejects").inc();
+    send_error(*session, Status::kRetryBudget, h.node_id, h.epoch_index,
+               "global byte budget exhausted");
+    return true;
+  }
+
+  session->add_pending();
+  Job job{session, std::move(req), charge, std::chrono::steady_clock::now()};
+  const auto pushed = queues_.push(session->tenant, std::move(job));
+  if (pushed != TenantQueues<Job>::Push::kAccepted) {
+    session->budget.release(charge);
+    global_budget_.release(charge);
+    session->sub_pending();
+    if (pushed == TenantQueues<Job>::Push::kClosed) {
+      send_error(*session, Status::kDraining, h.node_id, h.epoch_index,
+                 "daemon is draining");
+    } else {
+      obs::counter("serve/queue_rejects").inc();
+      send_error(*session, Status::kRetryBusy, h.node_id, h.epoch_index,
+                 "tenant decode queue full");
+    }
+    return true;
+  }
+  frames_accepted_.fetch_add(1);
+  session->accepted.fetch_add(1);
+  obs::counter("serve/frames_accepted").inc();
+  return true;
+}
+
+void Server::session_loop(const std::shared_ptr<Session>& session) {
+  std::vector<std::uint8_t> buf;  // reused across frames
+  bool keep_going = true;
+  while (keep_going) {
+    const auto res =
+        read_frame(session->fd.get(), config_.max_frame_bytes, buf);
+    if (res == IoResult::kEof) break;
+    if (res == IoResult::kError || res == IoResult::kTruncated) {
+      obs::counter("serve/read_errors").inc();
+      break;
+    }
+    if (res == IoResult::kOversize) {
+      frames_in_.fetch_add(1);
+      send_error(*session, Status::kOversize, 0, 0,
+                 "frame length prefix beyond the protocol cap");
+      break;
+    }
+    frames_in_.fetch_add(1);
+    bytes_in_.fetch_add(buf.size() + 4);
+    obs::counter("serve/frames_in").inc();
+
+    ParsedFrame frame;
+    const Status st = parse_frame(buf.data(), buf.size(), &frame);
+    if (st != Status::kOk) {
+      send_error(*session, st, 0, 0, status_name(st));
+      break;  // framing is untrustworthy after a bad magic/crc/version
+    }
+    switch (frame.type) {
+      case FrameType::kHello: {
+        const auto hello = decode_hello(frame.body, frame.body_len);
+        if (!hello) {
+          send_error(*session, Status::kTruncated, 0, 0, "short hello");
+          keep_going = false;
+          break;
+        }
+        session->tenant = hello->tenant_id;
+        session->hello_done = true;
+        HelloAck ack;
+        ack.tenant_id = hello->tenant_id;
+        ack.session_id = session->id;
+        ack.max_frame_bytes = std::uint32_t(config_.max_frame_bytes);
+        ack.decode_threads = std::uint32_t(config_.decode_threads);
+        send_frame(*session, encode_frame(FrameType::kHelloAck, Status::kOk,
+                                          encode_hello_ack(ack)));
+        break;
+      }
+      case FrameType::kData:
+        keep_going = handle_data(session, frame);
+        break;
+      case FrameType::kBye: {
+        // Flush: every admitted frame answers before the ack goes out.
+        session->wait_no_pending();
+        ByeAck ack;
+        ack.frames_accepted = session->accepted.load();
+        ack.detections_sent = session->detections.load();
+        ack.frames_rejected = session->rejected.load();
+        send_frame(*session, encode_frame(FrameType::kByeAck, Status::kOk,
+                                          encode_bye_ack(ack)));
+        keep_going = false;
+        break;
+      }
+      default:
+        send_error(*session, Status::kBadFrameType, 0, 0,
+                   "client sent a server-only frame type");
+        keep_going = false;
+        break;
+    }
+  }
+
+  // Mid-session disconnects leave jobs in flight; their budget charges are
+  // released by the workers, and the fd stays open until then so responses
+  // never hit a recycled descriptor.
+  session->wait_no_pending();
+  {
+    std::lock_guard lock(session->write_mutex);
+    session->fd.reset();
+  }
+  sessions_closed_.fetch_add(1);
+  obs::counter("serve/sessions_closed").inc();
+  {
+    std::lock_guard lock(sessions_mutex_);
+    session->finished.store(true, std::memory_order_release);
+  }
+  drained_cv_.notify_all();
+}
+
+void Server::worker_loop() {
+  auto& e2e = obs::histogram("time/serve_e2e");
+  while (auto job = queues_.pop()) {
+    if (config_.decode_delay_ms > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config_.decode_delay_ms));
+    }
+    auto& session = *job->session;
+    try {
+      const auto det = pipeline_->decode(job->req);
+      Detection d;
+      d.node_id = det.node_id;
+      d.epoch_index = det.epoch_index;
+      d.score = det.score;
+      d.n_samples = det.n_samples;
+      d.detected = det.detected ? 1 : 0;
+      send_frame(session, encode_frame(FrameType::kDetection, Status::kOk,
+                                       encode_detection(d)));
+      detections_out_.fetch_add(1);
+      session.detections.fetch_add(1);
+      obs::counter("serve/detections_out").inc();
+    } catch (const std::exception& e) {
+      send_error(session, Status::kInternal, job->req.header.node_id,
+                 job->req.header.epoch_index, e.what());
+    }
+    e2e.observe(seconds_since(job->enqueued));
+    global_budget_.release(job->charged_bytes);
+    session.budget.release(job->charged_bytes);
+    job->session->sub_pending();
+  }
+}
+
+void Server::heartbeat_loop() {
+  std::unique_lock lock(heartbeat_mutex_);
+  while (!heartbeat_stop_) {
+    heartbeat_cv_.wait_for(
+        lock, std::chrono::duration<double>(config_.status_interval_s),
+        [&] { return heartbeat_stop_; });
+    if (heartbeat_stop_) break;
+    write_serve_status(config_.status_path, status_snapshot());
+  }
+}
+
+ServeStatus Server::status_snapshot() const {
+  const auto s = stats();
+  ServeStatus out;
+  out.updated_unix_s = obs::unix_now_s();
+  out.interval_s = config_.status_interval_s;
+  out.uptime_s = seconds_since(start_time_);
+  out.draining = s.draining;
+  out.complete = false;
+  out.sessions_open = s.sessions_open;
+  out.sessions_opened = s.sessions_opened;
+  out.sessions_closed = s.sessions_closed;
+  out.frames_in = s.frames_in;
+  out.frames_accepted = s.frames_accepted;
+  out.frames_rejected = s.frames_rejected;
+  out.detections_out = s.detections_out;
+  out.errors_out = s.errors_out;
+  out.bytes_in = s.bytes_in;
+  out.bytes_out = s.bytes_out;
+  out.queue_depth = s.queue_depth;
+  out.queued_bytes = s.queued_bytes;
+  out.global_budget_bytes = config_.global_budget_bytes;
+  obs::gauge("serve/queue_depth").set(double(s.queue_depth));
+
+  {
+    std::lock_guard lock(ewma_mutex_);
+    const double dt = seconds_since(last_ewma_);
+    if (dt >= 0.05) {
+      const double rate =
+          double(s.detections_out - last_detections_) / dt;
+      qps_ewma_ = qps_ewma_ == 0.0 ? rate : 0.3 * rate + 0.7 * qps_ewma_;
+      last_detections_ = s.detections_out;
+      last_ewma_ = std::chrono::steady_clock::now();
+    }
+    out.qps_ewma = qps_ewma_;
+  }
+  return out;
+}
+
+ServeStats Server::stats() const {
+  ServeStats s;
+  s.sessions_opened = sessions_opened_.load();
+  s.sessions_closed = sessions_closed_.load();
+  s.sessions_open = s.sessions_opened - s.sessions_closed;
+  s.frames_in = frames_in_.load();
+  s.frames_accepted = frames_accepted_.load();
+  s.frames_rejected = frames_rejected_.load();
+  s.detections_out = detections_out_.load();
+  s.errors_out = errors_out_.load();
+  s.bytes_in = bytes_in_.load();
+  s.bytes_out = bytes_out_.load();
+  s.write_failures = write_failures_.load();
+  s.queue_depth = queues_.depth();
+  s.queued_bytes = global_budget_.used();
+  s.draining = draining_.load(std::memory_order_acquire);
+  return s;
+}
+
+void Server::begin_drain() {
+  if (!started_.load() || draining_.exchange(true)) return;
+  // Soft drain: sessions stay connected and new data frames earn the
+  // retryable kDraining rejection while admitted work finishes. stop()
+  // hard-kicks any reader still parked on an idle socket.
+  queues_.close();
+  if (wake_pipe_[1] >= 0) {
+    const char x = 'x';
+    [[maybe_unused]] const auto r = ::write(wake_pipe_[1], &x, 1);
+  }
+}
+
+void Server::kick_sessions() {
+  std::lock_guard lock(sessions_mutex_);
+  for (const auto& session : sessions_) {
+    // Readers wake with EOF but in-flight responses still flush: the fd only
+    // closes once the session's pending count hits zero.
+    std::lock_guard wlock(session->write_mutex);
+    if (session->fd.valid()) ::shutdown(session->fd.get(), SHUT_RD);
+  }
+}
+
+void Server::wait_drained() {
+  std::unique_lock lock(sessions_mutex_);
+  drained_cv_.wait(lock, [&] {
+    for (const auto& session : sessions_) {
+      if (!session->finished.load(std::memory_order_acquire)) return false;
+    }
+    return true;
+  });
+}
+
+void Server::reap_finished_sessions() {
+  std::lock_guard lock(sessions_mutex_);
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if ((*it)->finished.load(std::memory_order_acquire)) {
+      if ((*it)->reader.joinable()) (*it)->reader.join();
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void Server::stop() {
+  if (!started_.load() || stopped_.exchange(true)) return;
+  begin_drain();
+  kick_sessions();
+  wait_drained();
+
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  reap_finished_sessions();
+
+  if (heartbeat_thread_.joinable()) {
+    {
+      std::lock_guard lock(heartbeat_mutex_);
+      heartbeat_stop_ = true;
+    }
+    heartbeat_cv_.notify_all();
+    heartbeat_thread_.join();
+  }
+  if (!config_.status_path.empty()) {
+    auto final_status = status_snapshot();
+    final_status.complete = true;
+    write_serve_status(config_.status_path, final_status);
+  }
+
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+  uds_listener_.reset();
+  tcp_listener_.reset();
+  if (!config_.uds_path.empty()) ::unlink(config_.uds_path.c_str());
+}
+
+}  // namespace efficsense::serve

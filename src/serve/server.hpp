@@ -1,0 +1,164 @@
+#pragma once
+// The streaming gateway daemon (DESIGN.md §14): TCP + UDS listeners accept
+// framed sessions, one reader thread per session parses and admits frames
+// into per-tenant bounded decode queues, a fixed decode pool routes them
+// through the cached Batch-OMP reconstruction path and the detector, and
+// detections stream back on the session socket. Backpressure is explicit
+// (full queue / exhausted byte budget -> retryable rejection, never an
+// unbounded buffer), memory is bounded per session and globally, and a
+// drain (SIGTERM in tools/serve) stops intake, finishes every admitted
+// frame, flushes responses, then exits with a complete=true heartbeat.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net.hpp"
+#include "serve/pipeline.hpp"
+#include "serve/queue.hpp"
+#include "serve/status.hpp"
+
+namespace efficsense::serve {
+
+struct ServerConfig {
+  std::string uds_path;  ///< "" = no UDS listener
+  int tcp_port = -1;     ///< -1 = no TCP listener; 0 = ephemeral
+  std::size_t decode_threads = 4;         ///< EFFICSENSE_SERVE_THREADS
+  std::size_t queue_capacity = 256;       ///< per-tenant pending frames
+  std::size_t session_budget_bytes = 8u << 20;
+  std::size_t global_budget_bytes = 64u << 20;
+  std::size_t max_sessions = 256;
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+  std::string status_path = "serve.status.json";  ///< "" disables
+  double status_interval_s = 5.0;
+  /// Artificial per-decode delay (ms) — load/drain testing knob, mirrors
+  /// run_sweep --point-delay-ms.
+  int decode_delay_ms = 0;
+};
+
+/// Fill every knob that has an env override (EFFICSENSE_SERVE_THREADS,
+/// EFFICSENSE_SERVE_QUEUE, EFFICSENSE_SERVE_SESSION_BUDGET,
+/// EFFICSENSE_SERVE_BUDGET, EFFICSENSE_SERVE_MAX_SESSIONS,
+/// EFFICSENSE_SERVE_STATUS, EFFICSENSE_STATUS_INTERVAL) on top of `base`.
+ServerConfig server_config_from_env(ServerConfig base = {});
+
+struct ServeStats {
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t sessions_open = 0;
+  std::uint64_t frames_in = 0;        ///< every frame that arrived
+  std::uint64_t frames_accepted = 0;  ///< admitted into a decode queue
+  std::uint64_t frames_rejected = 0;  ///< typed error responses sent
+  std::uint64_t detections_out = 0;
+  std::uint64_t errors_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t write_failures = 0;  ///< responses lost to vanished peers
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queued_bytes = 0;  ///< global budget in use
+  bool draining = false;
+};
+
+class Server {
+ public:
+  /// The pipeline (and its scenario contexts) must outlive the server.
+  Server(const DecodePipeline* pipeline, ServerConfig config);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind listeners, spawn the accept loop, decode pool and heartbeat.
+  void start();
+
+  /// Soft drain: stop accepting sessions and admitting frames (new data
+  /// earns the retryable kDraining); in-flight work proceeds and open
+  /// sessions keep their connection until they close or stop() kicks them.
+  void begin_drain();
+  /// Block until every admitted frame is answered and every session closed.
+  /// Lingering idle sessions are only force-closed by stop().
+  void wait_drained();
+  /// begin_drain + wait_drained + join everything + final complete=true
+  /// heartbeat. Idempotent.
+  void stop();
+
+  ServeStats stats() const;
+  std::uint16_t bound_tcp_port() const { return tcp_port_; }
+  const ServerConfig& config() const { return config_; }
+
+ private:
+  struct Session;
+  struct Job {
+    std::shared_ptr<Session> session;
+    EpochRequest req;
+    std::size_t charged_bytes = 0;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void accept_loop();
+  void worker_loop();
+  void heartbeat_loop();
+  void session_loop(const std::shared_ptr<Session>& session);
+  bool handle_data(const std::shared_ptr<Session>& session,
+                   const ParsedFrame& frame);
+  void send_frame(Session& session, const std::string& frame);
+  void kick_sessions();
+  void send_error(Session& session, Status status, std::uint64_t node_id,
+                  std::uint64_t epoch_index, const std::string& message);
+  void reap_finished_sessions();
+  ServeStatus status_snapshot() const;
+
+  const DecodePipeline* pipeline_;
+  ServerConfig config_;
+
+  Fd uds_listener_;
+  Fd tcp_listener_;
+  std::uint16_t tcp_port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  ///< nudges the accept poll on drain
+
+  ByteBudget global_budget_;
+  TenantQueues<Job> queues_;
+
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+  std::thread heartbeat_thread_;
+
+  mutable std::mutex sessions_mutex_;
+  std::vector<std::shared_ptr<Session>> sessions_;
+  std::condition_variable drained_cv_;
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> next_session_id_{1};
+
+  // Stats (all monotonic; queue/budget depth read live).
+  std::atomic<std::uint64_t> sessions_opened_{0};
+  std::atomic<std::uint64_t> sessions_closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_accepted_{0};
+  std::atomic<std::uint64_t> frames_rejected_{0};
+  std::atomic<std::uint64_t> detections_out_{0};
+  std::atomic<std::uint64_t> errors_out_{0};
+  std::atomic<std::uint64_t> bytes_in_{0};
+  std::atomic<std::uint64_t> bytes_out_{0};
+  std::atomic<std::uint64_t> write_failures_{0};
+
+  std::chrono::steady_clock::time_point start_time_;
+  mutable std::mutex ewma_mutex_;
+  mutable double qps_ewma_ = 0.0;
+  mutable std::uint64_t last_detections_ = 0;
+  mutable std::chrono::steady_clock::time_point last_ewma_;
+
+  std::mutex heartbeat_mutex_;
+  std::condition_variable heartbeat_cv_;
+  bool heartbeat_stop_ = false;
+};
+
+}  // namespace efficsense::serve

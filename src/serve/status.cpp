@@ -1,0 +1,159 @@
+#include "serve/status.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.hpp"
+#include "obs/sidecar.hpp"
+#include "run/journal.hpp"  // run::jsonf field extractors
+#include "util/atomic_io.hpp"
+#include "util/env.hpp"
+
+namespace efficsense::serve {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string serve_status_to_json(const ServeStatus& s) {
+  std::ostringstream os;
+  os << "{\"version\":" << s.version
+     << ",\"updated_unix_s\":" << fmt_double(s.updated_unix_s)
+     << ",\"interval_s\":" << fmt_double(s.interval_s)
+     << ",\"uptime_s\":" << fmt_double(s.uptime_s)
+     << ",\"draining\":" << (s.draining ? "true" : "false")
+     << ",\"complete\":" << (s.complete ? "true" : "false")
+     << ",\"sessions_open\":" << s.sessions_open
+     << ",\"sessions_opened\":" << s.sessions_opened
+     << ",\"sessions_closed\":" << s.sessions_closed
+     << ",\"frames_in\":" << s.frames_in
+     << ",\"frames_accepted\":" << s.frames_accepted
+     << ",\"frames_rejected\":" << s.frames_rejected
+     << ",\"detections_out\":" << s.detections_out
+     << ",\"errors_out\":" << s.errors_out << ",\"bytes_in\":" << s.bytes_in
+     << ",\"bytes_out\":" << s.bytes_out
+     << ",\"queue_depth\":" << s.queue_depth
+     << ",\"queued_bytes\":" << s.queued_bytes
+     << ",\"global_budget_bytes\":" << s.global_budget_bytes
+     << ",\"qps_ewma\":" << fmt_double(s.qps_ewma)
+     << ",\"rss_bytes\":" << fmt_double(s.rss_bytes) << ",\"stages\":[";
+  for (std::size_t i = 0; i < s.stages.size(); ++i) {
+    const auto& st = s.stages[i];
+    if (i) os << ",";
+    os << "{\"name\":\"" << obs::json_escape(st.name)
+       << "\",\"count\":" << st.stats.count
+       << ",\"sum_s\":" << fmt_double(st.stats.sum)
+       << ",\"mean_s\":" << fmt_double(st.stats.mean)
+       << ",\"p50_s\":" << fmt_double(st.stats.p50)
+       << ",\"p90_s\":" << fmt_double(st.stats.p90)
+       << ",\"p99_s\":" << fmt_double(st.stats.p99) << "}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+std::optional<ServeStatus> parse_serve_status(const std::string& json) {
+  using run::jsonf::bool_field;
+  using run::jsonf::double_field;
+  using run::jsonf::int_field;
+  using run::jsonf::string_field;
+
+  ServeStatus s;
+  const auto version = int_field(json, "version");
+  const auto updated = double_field(json, "updated_unix_s");
+  const auto complete = bool_field(json, "complete");
+  const auto draining = bool_field(json, "draining");
+  if (!version || !updated || !complete || !draining) return std::nullopt;
+  s.version = std::uint32_t(*version);
+  s.updated_unix_s = *updated;
+  s.interval_s = double_field(json, "interval_s").value_or(0.0);
+  s.uptime_s = double_field(json, "uptime_s").value_or(0.0);
+  s.draining = *draining;
+  s.complete = *complete;
+  s.sessions_open = int_field(json, "sessions_open").value_or(0);
+  s.sessions_opened = int_field(json, "sessions_opened").value_or(0);
+  s.sessions_closed = int_field(json, "sessions_closed").value_or(0);
+  s.frames_in = int_field(json, "frames_in").value_or(0);
+  s.frames_accepted = int_field(json, "frames_accepted").value_or(0);
+  s.frames_rejected = int_field(json, "frames_rejected").value_or(0);
+  s.detections_out = int_field(json, "detections_out").value_or(0);
+  s.errors_out = int_field(json, "errors_out").value_or(0);
+  s.bytes_in = int_field(json, "bytes_in").value_or(0);
+  s.bytes_out = int_field(json, "bytes_out").value_or(0);
+  s.queue_depth = int_field(json, "queue_depth").value_or(0);
+  s.queued_bytes = int_field(json, "queued_bytes").value_or(0);
+  s.global_budget_bytes = int_field(json, "global_budget_bytes").value_or(0);
+  s.qps_ewma = double_field(json, "qps_ewma").value_or(0.0);
+  s.rss_bytes = double_field(json, "rss_bytes").value_or(0.0);
+
+  const auto stages_at = json.find("\"stages\":[");
+  if (stages_at != std::string::npos) {
+    std::size_t pos = stages_at + 10;
+    const std::size_t end = json.find(']', pos);
+    while (pos != std::string::npos && pos < end) {
+      const std::size_t open = json.find('{', pos);
+      if (open == std::string::npos || open >= end) break;
+      const std::size_t close = json.find('}', open);
+      if (close == std::string::npos) break;
+      const std::string obj = json.substr(open, close - open + 1);
+      ServeStatus::Stage st;
+      st.name = string_field(obj, "name").value_or("");
+      st.stats.count = int_field(obj, "count").value_or(0);
+      st.stats.sum = double_field(obj, "sum_s").value_or(0.0);
+      st.stats.mean = double_field(obj, "mean_s").value_or(0.0);
+      st.stats.p50 = double_field(obj, "p50_s").value_or(0.0);
+      st.stats.p90 = double_field(obj, "p90_s").value_or(0.0);
+      st.stats.p99 = double_field(obj, "p99_s").value_or(0.0);
+      if (!st.name.empty()) s.stages.push_back(std::move(st));
+      pos = close + 1;
+    }
+  }
+  return s;
+}
+
+std::optional<ServeStatus> read_serve_status(const std::string& path) {
+  const auto text = read_file(path);
+  if (!text) return std::nullopt;
+  return parse_serve_status(*text);
+}
+
+std::string serve_status_path(const std::string& fallback) {
+  const auto v = env_string("EFFICSENSE_SERVE_STATUS", fallback);
+  if (v == "off" || v == "none" || v == "0") return "";
+  return v;
+}
+
+std::string prometheus_path_for(const std::string& status_path) {
+  if (status_path.empty()) return "";
+  const std::string suffix = ".json";
+  if (status_path.size() > suffix.size() &&
+      status_path.compare(status_path.size() - suffix.size(), suffix.size(),
+                          suffix) == 0) {
+    return status_path.substr(0, status_path.size() - suffix.size()) + ".prom";
+  }
+  return status_path + ".prom";
+}
+
+void write_serve_status(const std::string& path, const ServeStatus& s) {
+  if (path.empty()) return;
+  ServeStatus full = s;
+  const auto snapshot = obs::MetricsSnapshot::capture();
+  full.rss_bytes = snapshot.rss_bytes;
+  for (const char* stage : {"decode", "detect", "e2e"}) {
+    if (const auto stats =
+            snapshot.stats(std::string("time/serve_") + stage)) {
+      full.stages.push_back({stage, *stats});
+    }
+  }
+  atomic_write_file(path, serve_status_to_json(full));
+  atomic_write_file(prometheus_path_for(path),
+                    obs::export_prometheus(snapshot));
+}
+
+}  // namespace efficsense::serve

@@ -1,0 +1,72 @@
+#pragma once
+// Crash-honest heartbeat of the gateway daemon, riding the PR 6 telemetry
+// discipline: every few seconds the daemon atomically replaces
+// serve.status.json with a complete point-in-time snapshot (counters, queue
+// depth, byte budgets, decode/detect/e2e latency percentiles, RSS) and the
+// matching Prometheus exposition next to it. A SIGKILL at any instant
+// leaves a parseable file at most one interval old with complete=false; a
+// graceful drain ends on complete=true — so "the daemon died" and "the
+// daemon finished" are distinguishable without talking to the process.
+//
+// Env knobs: EFFICSENSE_SERVE_STATUS overrides the status path (default
+// serve.status.json; "off"/"none"/"0" disables), EFFICSENSE_STATUS_INTERVAL
+// sets the cadence exactly as for sweep journals.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "obs/snapshot.hpp"
+
+namespace efficsense::serve {
+
+struct ServeStatus {
+  std::uint32_t version = 1;
+  double updated_unix_s = 0.0;
+  double interval_s = 0.0;
+  double uptime_s = 0.0;
+  bool draining = false;
+  bool complete = false;  ///< daemon drained cleanly and exited
+
+  std::uint64_t sessions_open = 0;
+  std::uint64_t sessions_opened = 0;
+  std::uint64_t sessions_closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_accepted = 0;
+  std::uint64_t frames_rejected = 0;
+  std::uint64_t detections_out = 0;
+  std::uint64_t errors_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t queue_depth = 0;
+  std::uint64_t queued_bytes = 0;
+  std::uint64_t global_budget_bytes = 0;
+  double qps_ewma = 0.0;  ///< detections/s, exponentially smoothed
+  double rss_bytes = 0.0;
+
+  struct Stage {
+    std::string name;  ///< "decode" | "detect" | "e2e"
+    obs::HistogramStats stats;
+  };
+  std::vector<Stage> stages;
+};
+
+std::string serve_status_to_json(const ServeStatus& s);
+std::optional<ServeStatus> parse_serve_status(const std::string& json);
+/// read_file + parse; nullopt when missing or unparseable.
+std::optional<ServeStatus> read_serve_status(const std::string& path);
+
+/// Resolve the status path: EFFICSENSE_SERVE_STATUS overrides `fallback`
+/// ("off"/"none"/"0" disable, returning "").
+std::string serve_status_path(const std::string& fallback);
+
+/// Write `s` (plus the obs stage histograms captured now) atomically to
+/// `path`, and the Prometheus rendering of the full registry to
+/// `path` with a ".prom" suffix replacing ".json" (or appended).
+void write_serve_status(const std::string& path, const ServeStatus& s);
+
+/// The Prometheus sibling of a status path ("serve.status.json" ->
+/// "serve.status.prom").
+std::string prometheus_path_for(const std::string& status_path);
+
+}  // namespace efficsense::serve

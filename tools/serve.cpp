@@ -1,0 +1,163 @@
+// serve — the streaming gateway daemon (DESIGN.md §14). Loads one or more
+// scenario specs (frame scenario_id = position on the command line), binds a
+// unix-domain and/or loopback TCP listener, and serves framed epoch decode
+// requests through the cached Batch-OMP path and each scenario's trained
+// detector. SIGTERM/SIGINT trigger a graceful drain: intake stops (new data
+// frames get the retryable kDraining rejection), every admitted frame is
+// answered, responses flush, a final complete=true heartbeat lands, and the
+// process exits 0 — CI's serve-smoke lane asserts exactly that sequence.
+//
+//   serve --uds <socket-path> [--tcp <port>] [--scenario <spec.json>]...
+//         [--status <path>] [--threads <n>] [--queue <n>] [--delay-ms <n>]
+//
+// Defaults come from ServerConfig overlaid with the env knobs
+// (EFFICSENSE_SERVE_THREADS, EFFICSENSE_SERVE_QUEUE,
+// EFFICSENSE_SERVE_SESSION_BUDGET, EFFICSENSE_SERVE_BUDGET,
+// EFFICSENSE_SERVE_MAX_SESSIONS, EFFICSENSE_SERVE_STATUS,
+// EFFICSENSE_STATUS_INTERVAL); explicit flags win over both. With no
+// --scenario, the built-in serve smoke spec (examples/
+// scenario_serve_smoke.json) is loaded as scenario 0.
+//
+// After the listeners are live the daemon prints a single machine-readable
+// line ("serve: ready ...") so a harness can wait for it before connecting.
+
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/scenario.hpp"
+#include "run/scenario.hpp"
+#include "serve/server.hpp"
+#include "util/error.hpp"
+
+using namespace efficsense;
+
+namespace {
+
+void usage() {
+  std::cerr
+      << "usage: serve --uds <socket-path> [--tcp <port>]\n"
+         "             [--scenario <spec.json>]... [--status <path>]\n"
+         "             [--threads <n>] [--queue <n>] [--delay-ms <n>]\n"
+         "At least one of --uds/--tcp is required. --tcp 0 picks an\n"
+         "ephemeral port (printed on the ready line).\n";
+}
+
+/// Kept in sync with examples/scenario_serve_smoke.json (same spirit as
+/// run_sweep's built-in CI spec): a small spec whose detector trains in
+/// seconds and caches in .cache/.
+constexpr const char* kServeSmokeSpec = R"({
+  "name": "serve-smoke",
+  "architecture": "auto",
+  "axes": [
+    {"name": "cs_m", "values": [0, 75]}
+  ],
+  "eval": {"residual_tol": 0.02},
+  "sweep": {"segments": 2, "train_segments": 4, "seed": 919}
+})";
+
+volatile std::sig_atomic_t g_signal = 0;
+void on_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string uds_path;
+  int tcp_port = -1;
+  std::vector<std::string> scenario_files;
+  serve::ServerConfig config = serve::server_config_from_env();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        usage();
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--uds") {
+      uds_path = next();
+    } else if (arg == "--tcp") {
+      tcp_port = std::atoi(next());
+    } else if (arg == "--scenario") {
+      scenario_files.push_back(next());
+    } else if (arg == "--status") {
+      config.status_path = next();
+    } else if (arg == "--threads") {
+      config.decode_threads = std::size_t(std::max(1, std::atoi(next())));
+    } else if (arg == "--queue") {
+      config.queue_capacity = std::size_t(std::max(1, std::atoi(next())));
+    } else if (arg == "--delay-ms") {
+      config.decode_delay_ms = std::atoi(next());
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "serve: unknown argument " << arg << "\n";
+      usage();
+      return 2;
+    }
+  }
+  if (uds_path.empty() && tcp_port < 0) {
+    usage();
+    return 2;
+  }
+  config.uds_path = uds_path;
+  config.tcp_port = tcp_port;
+
+  try {
+    // Bring the scenarios to life (dataset synthesis + detector training or
+    // cache load) before binding the listeners: "ready" means servable.
+    std::vector<std::unique_ptr<run::ScenarioContext>> contexts;
+    std::vector<const run::ScenarioContext*> views;
+    const auto log = [](const std::string& line) {
+      std::cerr << "serve: " << line << "\n";
+    };
+    if (scenario_files.empty()) {
+      std::cerr << "serve: no --scenario given; using built-in smoke spec\n";
+      contexts.push_back(run::make_scenario_context(
+          arch::scenario_from_json(kServeSmokeSpec), nullptr, log));
+    }
+    for (const auto& file : scenario_files) {
+      contexts.push_back(run::make_scenario_context(
+          arch::scenario_from_file(file), nullptr, log));
+    }
+    for (const auto& c : contexts) views.push_back(c.get());
+    serve::DecodePipeline pipeline(std::move(views));
+
+    serve::Server server(&pipeline, config);
+    server.start();
+
+    std::signal(SIGTERM, on_signal);
+    std::signal(SIGINT, on_signal);
+
+    std::cout << "serve: ready scenarios=" << contexts.size();
+    if (!uds_path.empty()) std::cout << " uds=" << uds_path;
+    if (tcp_port >= 0) std::cout << " tcp=" << server.bound_tcp_port();
+    std::cout << " threads=" << server.config().decode_threads
+              << " status=" << server.config().status_path << std::endl;
+
+    // Park until a drain signal arrives; sigsuspend-free portable wait.
+    sigset_t empty;
+    sigemptyset(&empty);
+    while (g_signal == 0) sigsuspend(&empty);
+
+    std::cerr << "serve: signal " << int(g_signal) << ", draining\n";
+    server.begin_drain();
+    server.stop();
+
+    const auto stats = server.stats();
+    std::cout << "serve: drained frames_in=" << stats.frames_in
+              << " accepted=" << stats.frames_accepted
+              << " rejected=" << stats.frames_rejected
+              << " detections=" << stats.detections_out
+              << " write_failures=" << stats.write_failures << std::endl;
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "serve: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
