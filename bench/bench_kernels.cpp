@@ -147,6 +147,42 @@ static void BM_OmpFrameNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_OmpFrameNaive)->Arg(75)->Arg(150)->Arg(192);
 
+// --- Registry solver micro-benches: one frame decode per iteration, the
+// same charge-sharing problem the OMP benches time, routed through the
+// registered solver. The gateway-cost table in DESIGN.md §16 comes from
+// these numbers.
+static void solver_frame_bench(benchmark::State& state, const char* solver) {
+  const auto p = make_omp_problem(static_cast<std::size_t>(state.range(0)));
+  cs::ReconstructorConfig cfg;
+  cfg.residual_tol = 0.02;
+  cfg.solver = solver;
+  const cs::Reconstructor rec(p.phi, p.gains, cfg);
+  for (auto _ : state) {
+    auto xr = rec.reconstruct_frame(p.y);
+    benchmark::DoNotOptimize(xr.data());
+  }
+}
+
+static void BM_BsblFrame(benchmark::State& state) {
+  solver_frame_bench(state, "bsbl");
+}
+BENCHMARK(BM_BsblFrame)->Arg(75)->Arg(150);
+
+static void BM_AmpFrame(benchmark::State& state) {
+  solver_frame_bench(state, "amp");
+}
+BENCHMARK(BM_AmpFrame)->Arg(75)->Arg(150);
+
+static void BM_IhtFrame(benchmark::State& state) {
+  solver_frame_bench(state, "iht");
+}
+BENCHMARK(BM_IhtFrame)->Arg(75);
+
+static void BM_IstaFrame(benchmark::State& state) {
+  solver_frame_bench(state, "ista");
+}
+BENCHMARK(BM_IstaFrame)->Arg(75);
+
 static void BM_PhiApplySparse(benchmark::State& state) {
   // y = Phi_eff * x through the CSR operator: O(nnz) per frame.
   const auto p = make_omp_problem(static_cast<std::size_t>(state.range(0)));
@@ -278,7 +314,23 @@ void write_bench_kernels_json(
       << ratio("BM_PhiApplyDense/150", "BM_PhiApplySparse/150") << ",\n"
       << "    \"dict_build_sparse_vs_dense_m192\": "
       << ratio("BM_DictBuildDense/192", "BM_DictBuildSparse/192") << "\n"
-      << "  },\n  \"omp\": " << bench::omp_instruments_json() << "\n}\n";
+      << "  },\n";
+  // Per-solver frame decode rates (the trajectory gate keys on these).
+  const auto solves_per_s = [&](const std::string& name) {
+    const double ns = lookup_ns(timings, name);
+    return ns > 0.0 ? 1e9 / ns : 0.0;
+  };
+  out << "  \"solvers\": {\n"
+      << "    \"omp_solves_per_s\": " << solves_per_s("BM_OmpFrameBatch/75")
+      << ",\n"
+      << "    \"bsbl_solves_per_s\": " << solves_per_s("BM_BsblFrame/75")
+      << ",\n"
+      << "    \"amp_solves_per_s\": " << solves_per_s("BM_AmpFrame/75")
+      << ",\n"
+      << "    \"iht_solves_per_s\": " << solves_per_s("BM_IhtFrame/75")
+      << ",\n"
+      << "    \"ista_solves_per_s\": " << solves_per_s("BM_IstaFrame/75")
+      << "\n  },\n  \"omp\": " << bench::omp_instruments_json() << "\n}\n";
   std::cout << "[writing BENCH_kernels.json]\n";
 }
 

@@ -27,8 +27,13 @@
 #include <optional>
 #include <sstream>
 
+#include "arch/architecture.hpp"
 #include "classify/detector.hpp"
 #include "core/monte_carlo.hpp"
+#include "cs/basis.hpp"
+#include "cs/effective.hpp"
+#include "cs/reconstructor.hpp"
+#include "cs/srbm.hpp"
 #include "eeg/dataset.hpp"
 #include "results_common.hpp"
 #include "run/journal.hpp"
@@ -366,6 +371,61 @@ int main() {
   obs_run.add_field("lane_speedup_k" + std::to_string(lane_width),
                     gated.speedup);
 
+  // -------------------------------------------------------------------
+  // Gateway decode-time split across registered solvers: the same
+  // charge-sharing measurement stream (a segment's worth of frames at the
+  // headline M=75) decoded by OMP, by BSBL, and by the compressed-domain
+  // path (no reconstruction — the detector consumes y directly, so the
+  // gateway cost collapses to a copy). The compressed-vs-omp speedup is
+  // the headline number behind the paper's cheapest decode configuration.
+  const std::size_t dec_frames = 16;
+  const auto dec_phi = cs::SparseBinaryMatrix::generate(75, 384, 2, 33);
+  const auto dec_gains = cs::charge_sharing_gains(0.125e-12, 0.5e-12);
+  const auto dec_w =
+      cs::effective_entry_weights(dec_phi, dec_gains.a, dec_gains.b);
+  linalg::Vector dec_stream;
+  {
+    Rng dec_rng(44);
+    linalg::Vector coeffs(384), frame;
+    for (std::size_t f = 0; f < dec_frames; ++f) {
+      std::fill(coeffs.begin(), coeffs.end(), 0.0);
+      for (std::size_t k = 1; k < 30; ++k) {
+        coeffs[k] = dec_rng.gaussian() / (1.0 + 0.3 * static_cast<double>(k));
+      }
+      frame = cs::dct_inverse(coeffs);
+      const auto y = dec_phi.csr().apply(frame, dec_w);
+      dec_stream.insert(dec_stream.end(), y.begin(), y.end());
+    }
+  }
+  const auto time_decode = [&](const char* solver) {
+    cs::ReconstructorConfig cfg;
+    cfg.residual_tol = 0.02;
+    cfg.solver = solver;
+    const cs::Reconstructor rec(dec_phi, dec_gains, cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto x = rec.reconstruct_stream(dec_stream);
+    const double s = seconds_since(t0);
+    if (x.empty()) return -1.0;
+    return s;
+  };
+  const double dec_omp_s = time_decode("omp");
+  const double dec_bsbl_s = time_decode("bsbl");
+  double dec_cd_s = 0.0;
+  {
+    const arch::MeasurementDomainDecoder cd(dec_phi, dec_gains);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto x = cd.decode(dec_stream, nullptr);
+    dec_cd_s = seconds_since(t0);
+    if (x.size() != dec_stream.size()) return 1;
+  }
+  const double dec_speedup =
+      dec_cd_s > 0.0 ? dec_omp_s / dec_cd_s : 0.0;
+  std::cout << "\ndecode split (" << dec_frames << " frames, M=75): omp "
+            << format_number(dec_omp_s) << " s, bsbl "
+            << format_number(dec_bsbl_s) << " s, compressed-domain "
+            << format_number(dec_cd_s) << " s ("
+            << format_number(dec_speedup) << "x vs omp)\n";
+
   // Where did the time go? Dataset synthesis is timed explicitly above;
   // the block-sim share is the sum of every Model::run() block execution
   // (the time/block_run histogram), accumulated across synthesis warm-up,
@@ -413,6 +473,13 @@ int main() {
           << (i + 1 < lane_rows.size() ? "," : "") << "\n";
     }
     out << "    ]\n  },\n"
+        << "  \"decode_split\": {\n"
+        << "    \"frames\": " << dec_frames << ",\n"
+        << "    \"omp_s\": " << dec_omp_s << ",\n"
+        << "    \"bsbl_s\": " << dec_bsbl_s << ",\n"
+        << "    \"compressed_domain_s\": " << dec_cd_s << ",\n"
+        << "    \"speedup_compressed_vs_omp\": " << dec_speedup << "\n"
+        << "  },\n"
         << "  \"duration_s\": " << duration_s
         << ",\n  \"points_per_s\": "
         << (duration_s > 0.0 ? static_cast<double>(runs) / duration_s : 0.0)

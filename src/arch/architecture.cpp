@@ -42,6 +42,48 @@ std::vector<std::vector<double>> CsDecoder::decode_lanes(
   return recon_->reconstruct_stream_multi(lanes, length, pool);
 }
 
+MeasurementDomainDecoder::MeasurementDomainDecoder(cs::SparseBinaryMatrix phi,
+                                                   cs::ChargeSharingGains gains)
+    : phi_(std::move(phi)),
+      weights_(cs::effective_entry_weights(phi_, gains.a, gains.b)) {
+  EFF_REQUIRE(phi_.rows() > 0 && phi_.cols() > 0, "empty sensing matrix");
+}
+
+std::vector<double> MeasurementDomainDecoder::decode(
+    const std::vector<double>& received, ThreadPool* pool) const {
+  (void)pool;
+  // The gateway keeps the measurements as-is; only a trailing partial frame
+  // is dropped, mirroring the reconstructing path's framing.
+  const std::size_t m = phi_.rows();
+  const std::size_t frames = received.size() / m;
+  return std::vector<double>(received.begin(),
+                             received.begin() + frames * m);
+}
+
+double MeasurementDomainDecoder::rate_scale() const {
+  return static_cast<double>(phi_.rows()) / static_cast<double>(phi_.cols());
+}
+
+std::size_t MeasurementDomainDecoder::reference_samples(
+    std::size_t decoded_samples) const {
+  return (decoded_samples / phi_.rows()) * phi_.cols();
+}
+
+std::vector<double> MeasurementDomainDecoder::reference(
+    std::vector<double> clean) const {
+  const std::size_t n = phi_.cols();
+  const std::size_t frames = clean.size() / n;
+  std::vector<double> out;
+  out.reserve(frames * phi_.rows());
+  for (std::size_t f = 0; f < frames; ++f) {
+    const linalg::Vector frame(clean.begin() + f * n,
+                               clean.begin() + (f + 1) * n);
+    const linalg::Vector y = phi_.csr().apply(frame, weights_);
+    out.insert(out.end(), y.begin(), y.end());
+  }
+  return out;
+}
+
 sim::PowerReport Architecture::power_report(const sim::Model& model) const {
   return model.power_report();
 }

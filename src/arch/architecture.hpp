@@ -55,6 +55,27 @@ class Decoder {
   virtual std::vector<std::vector<double>> decode_lanes(
       const std::vector<const double*>& lanes, std::size_t length,
       ThreadPool* pool) const;
+
+  /// Sample rate of the decoded signal relative to f_sample. 1.0 for every
+  /// reconstructing decoder; M/N_Phi for the measurement-domain path, whose
+  /// output stays at the compressed rate.
+  virtual double rate_scale() const { return 1.0; }
+
+  /// Length of the clean reference matched to a decoded signal of
+  /// `decoded_samples` samples. Identity for reconstructing decoders; the
+  /// measurement-domain decoder maps M measurements back to N_Phi clean
+  /// samples per frame so the reference covers the same wall-clock span.
+  virtual std::size_t reference_samples(std::size_t decoded_samples) const {
+    return decoded_samples;
+  }
+
+  /// Map a clean f_sample-rate reference into the decoder's output domain
+  /// for SNR scoring. Identity for reconstructing decoders; the
+  /// measurement-domain decoder nominally encodes the reference so the
+  /// comparison happens in y-space.
+  virtual std::vector<double> reference(std::vector<double> clean) const {
+    return clean;
+  }
 };
 
 /// Decode for chains whose output already is the uniform-rate signal
@@ -79,6 +100,30 @@ class CsDecoder final : public Decoder {
 
  private:
   std::shared_ptr<const cs::Reconstructor> recon_;
+};
+
+/// The registered "no-reconstruction" decode path (solver id
+/// "compressed_domain", Zhang et al.'s in-sensor inference): the decoded
+/// signal IS the measurement stream, truncated to whole frames, at rate
+/// f_sample * M / N_Phi. The detector is trained on y-domain views so no
+/// reconstruction ever runs at the gateway; SNR scoring happens in y-space
+/// against the nominally-encoded clean reference.
+class MeasurementDomainDecoder final : public Decoder {
+ public:
+  /// `phi` + `gains` must match the chain's encoder (matched_phi /
+  /// matched_gains of the same design and phi seed).
+  MeasurementDomainDecoder(cs::SparseBinaryMatrix phi,
+                           cs::ChargeSharingGains gains);
+
+  std::vector<double> decode(const std::vector<double>& received,
+                             ThreadPool* pool) const override;
+  double rate_scale() const override;
+  std::size_t reference_samples(std::size_t decoded_samples) const override;
+  std::vector<double> reference(std::vector<double> clean) const override;
+
+ private:
+  cs::SparseBinaryMatrix phi_;
+  linalg::Vector weights_;  // effective encoder weights in CSR entry order
 };
 
 class Architecture {

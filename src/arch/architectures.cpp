@@ -22,6 +22,15 @@ namespace {
 std::unique_ptr<Decoder> cached_cs_decoder(const power::DesignParams& design,
                                            const ChainSeeds& seeds,
                                            const cs::ReconstructorConfig& rc) {
+  // Non-reconstructing solvers (compressed_domain) route around the
+  // Reconstructor entirely: the gateway keeps the measurement stream and the
+  // detector consumes it directly.
+  const cs::SparseSolver& solver =
+      cs::SolverRegistry::instance().get(rc.solver_id());
+  if (!solver.reconstructs()) {
+    return std::make_unique<MeasurementDomainDecoder>(
+        matched_phi(design, seeds.phi), matched_gains(design));
+  }
   return std::make_unique<CsDecoder>(
       ReconstructorCache::instance().get(design, seeds, rc));
 }

@@ -26,6 +26,29 @@ cs::SparseBinaryMatrix draw_phi(const power::DesignParams& design,
 
 }  // namespace
 
+cs::SparseBinaryMatrix matched_phi(const power::DesignParams& design,
+                                   std::uint64_t phi_seed) {
+  return draw_phi(design, phi_seed);
+}
+
+cs::ChargeSharingGains matched_gains(const power::DesignParams& design) {
+  cs::ChargeSharingGains gains;
+  if (design.cs_style == power::CsStyle::PassiveCharge) {
+    gains = cs::charge_sharing_gains(design.cs_c_sample_f, design.cs_c_hold_f);
+  } else if (design.cs_style == power::CsStyle::ActiveIntegrator) {
+    gains.a = design.cs_c_sample_f / design.cs_c_int_f;
+    gains.b = 1.0;  // virtual ground: no decay
+  } else if (design.cs_style == power::CsStyle::DigitalMac) {
+    gains.a = 1.0;  // exact binary sums
+    gains.b = 1.0;
+  } else {
+    throw Error("unknown cs_style " +
+                std::to_string(static_cast<int>(design.cs_style)) +
+                "; no matched decoder gains");
+  }
+  return gains;
+}
+
 std::unique_ptr<sim::Model> build_baseline_chain(
     const power::TechnologyParams& tech, const power::DesignParams& design,
     const ChainSeeds& seeds) {
@@ -132,22 +155,8 @@ cs::Reconstructor make_matched_reconstructor(const power::DesignParams& design,
                                              const ChainSeeds& seeds,
                                              cs::ReconstructorConfig config) {
   EFF_REQUIRE(design.uses_cs(), "design does not enable CS");
-  const auto phi = draw_phi(design, seeds.phi);
-  cs::ChargeSharingGains gains;
-  if (design.cs_style == power::CsStyle::PassiveCharge) {
-    gains = cs::charge_sharing_gains(design.cs_c_sample_f, design.cs_c_hold_f);
-  } else if (design.cs_style == power::CsStyle::ActiveIntegrator) {
-    gains.a = design.cs_c_sample_f / design.cs_c_int_f;
-    gains.b = 1.0;  // virtual ground: no decay
-  } else if (design.cs_style == power::CsStyle::DigitalMac) {
-    gains.a = 1.0;  // exact binary sums
-    gains.b = 1.0;
-  } else {
-    throw Error("unknown cs_style " +
-                std::to_string(static_cast<int>(design.cs_style)) +
-                "; no matched reconstructor");
-  }
-  return cs::Reconstructor(phi, gains, config);
+  return cs::Reconstructor(draw_phi(design, seeds.phi), matched_gains(design),
+                           config);
 }
 
 sim::Waveform run_chain(sim::Model& model, const sim::Waveform& input) {

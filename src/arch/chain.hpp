@@ -70,6 +70,15 @@ std::unique_ptr<sim::Model> build_chain(const power::TechnologyParams& tech,
                                         const power::DesignParams& design,
                                         const ChainSeeds& seeds);
 
+/// The sensing-matrix draw a CS chain built with this design + phi seed
+/// installs in its encoder block.
+cs::SparseBinaryMatrix matched_phi(const power::DesignParams& design,
+                                   std::uint64_t phi_seed);
+
+/// The nominal (mismatch-free) encoder gains of the design's CS style: the
+/// a/b a matched decoder compensates for. Throws Error on an unknown style.
+cs::ChargeSharingGains matched_gains(const power::DesignParams& design);
+
 /// The reconstructor matched to a CS chain built with the same design and
 /// seeds: identical sensing matrix and nominal charge-sharing gains.
 cs::Reconstructor make_matched_reconstructor(

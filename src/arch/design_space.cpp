@@ -4,6 +4,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "cs/solver.hpp"
 #include "util/cache.hpp"
 #include "util/csv.hpp"
 #include "util/error.hpp"
@@ -79,6 +80,11 @@ void apply_axis(power::DesignParams& design, const std::string& name,
     const auto style = static_cast<int>(std::llround(value));
     EFF_REQUIRE(style >= 0 && style <= 2, "cs_style must be 0, 1 or 2");
     design.cs_style = static_cast<power::CsStyle>(style);
+  } else if (name == "solver") {
+    const auto code = static_cast<int>(std::llround(value));
+    // Validates the code against the registry (throws listing known codes).
+    (void)cs::SolverRegistry::instance().id_of_code(code);
+    design.cs_solver_code = code;
   } else if (name == "cs_c_int_f") {
     design.cs_c_int_f = value;
   } else if (name == "cs_c_hold_f") {

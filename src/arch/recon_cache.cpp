@@ -25,7 +25,8 @@ std::string reconstructor_cache_key(const power::DesignParams& design,
      << ";k=" << config.sparsity << ";tol=" << config.residual_tol
      << ";iters=" << config.max_iters << ";atoms=" << config.basis_atoms
      << ";comp=" << (config.compensate_decay ? 1 : 0)
-     << ";mode=" << static_cast<int>(config.omp_mode);
+     << ";mode=" << static_cast<int>(config.omp_mode)
+     << ";solver=" << config.solver_id();
   return os.str();
 }
 

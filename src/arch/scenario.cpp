@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "arch/architecture.hpp"
+#include "cs/solver.hpp"
 #include "obs/sidecar.hpp"
 #include "util/atomic_io.hpp"
 #include "util/cache.hpp"
@@ -233,7 +234,7 @@ power::DesignParams ScenarioSpec::base_design() const {
 }
 
 std::uint64_t ScenarioSpec::digest() const {
-  std::string bytes = "scenario-digest-v1;";
+  std::string bytes = "scenario-digest-v2;";
   bytes += architecture;
   bytes.push_back('\n');
   for (const auto& [key, value] : base) {
@@ -251,6 +252,8 @@ std::uint64_t ScenarioSpec::digest() const {
   append_u64(bytes, recon.basis_atoms);
   bytes.push_back(recon.compensate_decay ? 1 : 0);
   bytes.push_back(static_cast<char>(recon.omp_mode));
+  bytes += recon.solver_id();
+  bytes.push_back('\n');
   append_u64(bytes, seeds.mismatch);
   append_u64(bytes, seeds.noise);
   append_u64(bytes, seeds.phi);
@@ -310,6 +313,14 @@ ScenarioSpec scenario_from_json(const std::string& json) {
       std::vector<double> vals;
       vals.reserve(values->items.size());
       for (const Json& item : values->items) {
+        // The "solver" axis also accepts registry ids as strings
+        // ("bsbl", ...), mapped to their numeric codes here so the rest of
+        // the sweep machinery sees a plain numeric axis.
+        if (name->text == "solver" && item.type == Json::Type::String) {
+          vals.push_back(static_cast<double>(
+              cs::SolverRegistry::instance().code_of(item.text)));
+          continue;
+        }
         require_type(item, Json::Type::Number, where + ".values[]");
         vals.push_back(item.number);
       }
@@ -323,8 +334,14 @@ ScenarioSpec scenario_from_json(const std::string& json) {
   if (const Json* v = root.member("eval")) {
     require_type(*v, Json::Type::Object, "eval");
     check_keys(*v, "\"eval\"",
-               {"residual_tol", "sparsity", "max_iters", "max_segments",
-                "seeds"});
+               {"solver", "residual_tol", "sparsity", "max_iters",
+                "max_segments", "seeds"});
+    if (const Json* s = v->member("solver")) {
+      require_type(*s, Json::Type::String, "eval.solver");
+      // get() throws the canonical unknown-solver error listing the ids.
+      (void)cs::SolverRegistry::instance().get(s->text);
+      spec.recon.solver = s->text;
+    }
     spec.recon.residual_tol =
         number_at(*v, "residual_tol", spec.recon.residual_tol, "eval");
     spec.recon.sparsity = static_cast<std::size_t>(

@@ -124,8 +124,9 @@ EpilepsyDetector EpilepsyDetector::train(const eeg::Dataset& clean_dataset,
   Rng aug_rng(config.augment.seed);
 
   auto add_record = [&](const std::vector<double>& record,
-                        const std::optional<eeg::IctalAnnotation>& ictal) {
-    const auto epochs = det.extractor_.epoch_matrix(record, config.fs_hz);
+                        const std::optional<eeg::IctalAnnotation>& ictal,
+                        double fs) {
+    const auto epochs = det.extractor_.epoch_matrix(record, fs);
     const auto truth = epoch_labels(ictal, epochs.rows(),
                                     config.features.epoch_s);
     for (std::size_t e = 0; e < epochs.rows(); ++e) {
@@ -141,11 +142,56 @@ EpilepsyDetector EpilepsyDetector::train(const eeg::Dataset& clean_dataset,
     EFF_REQUIRE(seg.label == eeg::SegmentClass::Normal || seg.ictal.has_value(),
                 "seizure training segment lacks its annotation");
     const auto sampled = ideal_resample(seg.waveform, config.fs_hz);
-    add_record(sampled, seg.ictal);
+    add_record(sampled, seg.ictal, config.fs_hz);
     if (config.augment.enabled) {
       add_record(noisy_quantized_view(sampled, config.augment, aug_rng),
-                 seg.ictal);
-      add_record(cs_view(sampled, config.augment, aug_rng), seg.ictal);
+                 seg.ictal, config.fs_hz);
+      add_record(cs_view(sampled, config.augment, aug_rng), seg.ictal,
+                 config.fs_hz);
+    }
+  }
+
+  // Measurement-domain pass: compressed-domain scenarios score the detector
+  // directly on y, so it must also have seen y-space epochs — the deployed
+  // phi draw applied to each clean segment, plus one noisy pre-encode view.
+  // A separate pass with a separately derived Rng keeps the aug_rng stream
+  // above bit-identical whether or not this view is enabled.
+  if (config.augment.enabled && config.augment.y_view.enabled) {
+    const auto& yv = config.augment.y_view;
+    EFF_REQUIRE(yv.m > 0 && yv.m <= yv.n_phi,
+                "y-domain view needs 0 < m <= n_phi");
+    const double fs_y =
+        config.fs_hz * static_cast<double>(yv.m) / static_cast<double>(yv.n_phi);
+    const auto phi = cs::SparseBinaryMatrix::generate(
+        static_cast<std::size_t>(yv.m), static_cast<std::size_t>(yv.n_phi),
+        static_cast<std::size_t>(yv.sparsity), yv.phi_seed);
+    const auto gains = cs::charge_sharing_gains(yv.c_sample_f, yv.c_hold_f);
+    const auto weights = cs::effective_entry_weights(phi, gains.a, gains.b);
+    Rng y_rng(derive_seed(config.augment.seed, 0x79646f6d));  // "ydom"
+    const auto n_phi = static_cast<std::size_t>(yv.n_phi);
+    for (const auto& seg : clean_dataset.segments) {
+      const auto sampled = ideal_resample(seg.waveform, config.fs_hz);
+      const std::size_t frames = sampled.size() / n_phi;
+      if (frames == 0) continue;
+      const double sigma =
+          1e-6 * y_rng.uniform(config.augment.noise_uv_min,
+                               config.augment.noise_uv_max);
+      std::vector<double> clean_y, noisy_y;
+      clean_y.reserve(frames * phi.rows());
+      noisy_y.reserve(frames * phi.rows());
+      linalg::Vector frame(n_phi), noisy_frame(n_phi);
+      for (std::size_t f = 0; f < frames; ++f) {
+        for (std::size_t j = 0; j < n_phi; ++j) {
+          frame[j] = sampled[f * n_phi + j];
+          noisy_frame[j] = frame[j] + y_rng.gaussian(0.0, sigma);
+        }
+        const auto y = phi.csr().apply(frame, weights);
+        clean_y.insert(clean_y.end(), y.begin(), y.end());
+        const auto yn = phi.csr().apply(noisy_frame, weights);
+        noisy_y.insert(noisy_y.end(), yn.begin(), yn.end());
+      }
+      add_record(clean_y, seg.ictal, fs_y);
+      add_record(noisy_y, seg.ictal, fs_y);
     }
   }
   EFF_REQUIRE(rows.size() >= 16, "too few labelled epochs to train on");

@@ -52,6 +52,22 @@ struct AugmentationConfig {
   double cs_c_sample_f = 0.125e-12;
   double cs_c_hold_f = 0.5e-12;
   double recon_tol = 0.02;
+  /// Measurement-domain view: compressed-domain scenarios skip the gateway
+  /// reconstruction and score the detector directly on y, so the training
+  /// set must contain y-space views of each clean segment — encoded with
+  /// the *deployed* phi draw (phi_seed) so train and serve see the same
+  /// measurement operator. Off by default: the main augmentation streams
+  /// stay bit-identical whether or not this view exists.
+  struct YDomainView {
+    bool enabled = false;
+    std::uint64_t phi_seed = 0;
+    int m = 75;
+    int n_phi = 384;
+    int sparsity = 2;
+    double c_sample_f = 0.125e-12;
+    double c_hold_f = 0.5e-12;
+  };
+  YDomainView y_view;
 };
 
 struct DetectorConfig {

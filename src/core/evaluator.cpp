@@ -46,10 +46,22 @@ Evaluator::Evaluator(power::TechnologyParams tech, const eeg::Dataset* dataset,
     // Fail at construction, with the registered list, not at point 4990.
     arch::ArchRegistry::instance().get(options_.architecture);
   }
+  // Same early-failure contract for the decode solver.
+  cs::SolverRegistry::instance().get(options_.recon.solver_id());
+}
+
+cs::ReconstructorConfig Evaluator::point_recon(
+    const power::DesignParams& design) const {
+  cs::ReconstructorConfig rc = options_.recon;
+  if (design.cs_solver_code >= 0) {
+    rc.solver =
+        cs::SolverRegistry::instance().id_of_code(design.cs_solver_code);
+  }
+  return rc;
 }
 
 std::uint64_t Evaluator::config_digest() const {
-  std::string bytes = "eval-digest-v2;";
+  std::string bytes = "eval-digest-v3;";
   // Technology constants.
   append_bits(bytes, tech_.c_logic_f);
   append_bits(bytes, tech_.gm_over_id);
@@ -71,6 +83,10 @@ std::uint64_t Evaluator::config_digest() const {
   append_u64(bytes, rc.basis_atoms);
   bytes.push_back(rc.compensate_decay ? 1 : 0);
   bytes.push_back(static_cast<char>(rc.omp_mode));
+  // The resolved decode solver id: journals refuse results produced by a
+  // run configured with a different solver.
+  bytes += rc.solver_id();
+  bytes.push_back('\n');
   // Chain seeds and segment cap.
   append_u64(bytes, options_.seeds.mismatch);
   append_u64(bytes, options_.seeds.noise);
@@ -103,15 +119,21 @@ Evaluator::SegmentOutcome Evaluator::process_segment(
   SegmentOutcome out;
   const sim::Waveform received = run_chain(chain, clean);
 
-  // At LNA-output scale, rate f_sample.
+  // At LNA-output scale; rate f_sample for reconstructing decoders, the
+  // compressed f_sample * M / N_Phi for the measurement-domain path.
   std::vector<double> signal = decoder.decode(received.samples, pool_);
   EFF_REQUIRE(!signal.empty(), "front-end produced no samples");
 
-  // Ground truth: the clean segment ideally sampled at f_sample, truncated
-  // to the received length (CS drops a trailing partial frame).
+  // Ground truth: the clean segment ideally sampled at f_sample over the
+  // same wall-clock span (CS drops a trailing partial frame), then mapped
+  // into the decoder's output domain (identity for reconstructing decoders;
+  // nominal y-encode for the measurement-domain path, so SNR is scored in
+  // y-space). snr_vs_reference_db fits the gain, so scale stays free.
   const double f_sample = design.f_sample_hz();
-  const auto times = dsp::uniform_times(signal.size(), f_sample);
-  const auto reference = dsp::sample_at_times(clean.samples, clean.fs, times);
+  const auto times =
+      dsp::uniform_times(decoder.reference_samples(signal.size()), f_sample);
+  const auto reference =
+      decoder.reference(dsp::sample_at_times(clean.samples, clean.fs, times));
 
   out.snr_db = dsp::snr_vs_reference_db(reference, signal);
 
@@ -121,7 +143,7 @@ Evaluator::SegmentOutcome Evaluator::process_segment(
   for (std::size_t i = 0; i < signal.size(); ++i) {
     out.received[i] = signal[i] * inv_gain;
   }
-  out.fs = f_sample;
+  out.fs = f_sample * decoder.rate_scale();
   return out;
 }
 
@@ -139,7 +161,7 @@ EvalMetrics Evaluator::evaluate(const power::DesignParams& design) const {
   // instance and every sweep point sharing the design's CS front-end reuses
   // one dictionary + Gram.
   const auto decoder =
-      architecture.make_decoder(design, options_.seeds, options_.recon);
+      architecture.make_decoder(design, options_.seeds, point_recon(design));
 
   EvalMetrics metrics;
   const bool live_power = architecture.signal_dependent_power();
@@ -212,7 +234,8 @@ std::vector<EvalMetrics> Evaluator::evaluate_lanes(
   // One decoder serves every lane: reconstructors depend only on the shared
   // phi seed + CS config, never on mismatch/noise seeds.
   const auto decoder =
-      architecture.make_decoder(design, lane_seeds.front(), options_.recon);
+      architecture.make_decoder(design, lane_seeds.front(),
+                                point_recon(design));
 
   // Power/area are deterministic functions of (tech, design) — independent
   // of the drawn mismatch — so one report serves all lanes (the scalar path
@@ -249,13 +272,14 @@ std::vector<EvalMetrics> Evaluator::evaluate_lanes(
         decoder->decode_lanes(rows, received.samples(), pool_);
 
     // Ground truth: shared across lanes — every lane decodes the same
-    // number of samples from the same clean segment.
+    // number of samples from the same clean segment. Mapped into the
+    // decoder's output domain exactly as in process_segment.
     EFF_REQUIRE(!signals.empty() && !signals.front().empty(),
                 "front-end produced no samples");
-    const auto times = dsp::uniform_times(signals.front().size(), f_sample);
-    const auto reference =
-        dsp::sample_at_times(segment.waveform.samples, segment.waveform.fs,
-                             times);
+    const auto times = dsp::uniform_times(
+        decoder->reference_samples(signals.front().size()), f_sample);
+    const auto reference = decoder->reference(dsp::sample_at_times(
+        segment.waveform.samples, segment.waveform.fs, times));
 
     for (std::size_t k = 0; k < lanes; ++k) {
       const std::vector<double>& signal = signals[k];
@@ -270,8 +294,8 @@ std::vector<EvalMetrics> Evaluator::evaluate_lanes(
     }
     // One lockstep scoring pass over the lane group: the Welch/FFT feature
     // schedule is shared, each lane's score matches score_epochs exactly.
-    const auto scores =
-        detector_->score_epochs_lanes(lane_records, f_sample, segment.ictal);
+    const auto scores = detector_->score_epochs_lanes(
+        lane_records, f_sample * decoder->rate_scale(), segment.ictal);
     for (std::size_t k = 0; k < lanes; ++k) {
       correct[k] += scores[k].correct;
       scored[k] += scores[k].scored;

@@ -100,6 +100,11 @@ class Evaluator {
   void set_pool(ThreadPool* pool) { pool_ = pool; }
 
  private:
+  /// The reconstruction config for one design point: the evaluator-level
+  /// config, with the solver overridden when the point carries a swept
+  /// "solver" axis (design.cs_solver_code >= 0).
+  cs::ReconstructorConfig point_recon(const power::DesignParams& design) const;
+
   power::TechnologyParams tech_;
   const eeg::Dataset* dataset_;
   const classify::EpilepsyDetector* detector_;

@@ -1,0 +1,98 @@
+#include "cs/amp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace efficsense::cs {
+
+AmpResult amp_solve(const linalg::Matrix& dictionary, const linalg::Vector& y,
+                    AmpOptions options) {
+  const std::size_t m = dictionary.rows();
+  const std::size_t k = dictionary.cols();
+  EFF_REQUIRE(m > 0 && k > 0, "amp_solve needs a non-empty dictionary");
+  EFF_REQUIRE(y.size() == m, "amp_solve measurement size mismatch");
+
+  AmpResult out;
+  out.coefficients.assign(k, 0.0);
+
+  const double y_norm = linalg::norm2(y);
+  if (y_norm == 0.0) return out;
+
+  // Column-normalize so the universal threshold rule applies; solve for
+  // xn = diag(col_norm) * x and rescale at the end.
+  linalg::Vector col_norm(k, 1.0);
+  linalg::Matrix an = dictionary;
+  for (std::size_t j = 0; j < k; ++j) {
+    double sq = 0.0;
+    for (std::size_t r = 0; r < m; ++r) sq += an(r, j) * an(r, j);
+    const double n = std::sqrt(sq);
+    if (n > 0.0) {
+      col_norm[j] = n;
+      for (std::size_t r = 0; r < m; ++r) an(r, j) /= n;
+    }
+  }
+
+  const double sqrt_m = std::sqrt(static_cast<double>(m));
+  const double damp = std::clamp(options.damping, 0.0, 0.99);
+
+  linalg::Vector x(k, 0.0);
+  linalg::Vector z = y;
+  linalg::Vector best = x;
+  double best_res = y_norm;
+
+  for (std::size_t iter = 0; iter < options.max_iters; ++iter) {
+    out.iterations = iter + 1;
+
+    const linalg::Vector corr = linalg::matvec_transposed(an, z);
+    const double tau =
+        options.threshold_factor * linalg::norm2(z) / sqrt_m;
+
+    linalg::Vector x_next(k, 0.0);
+    for (std::size_t j = 0; j < k; ++j) {
+      const double r = x[j] + corr[j];
+      if (r > tau) {
+        x_next[j] = r - tau;
+      } else if (r < -tau) {
+        x_next[j] = r + tau;
+      }
+      if (damp > 0.0) x_next[j] = (1.0 - damp) * x_next[j] + damp * x[j];
+    }
+
+    std::size_t nnz = 0;
+    for (double c : x_next) {
+      if (c != 0.0) ++nnz;
+    }
+
+    const linalg::Vector fit = linalg::matvec(an, x_next);
+    const double onsager = static_cast<double>(nnz) / static_cast<double>(m);
+    linalg::Vector z_next(m);
+    for (std::size_t r = 0; r < m; ++r) {
+      double zn = y[r] - fit[r] + onsager * z[r];
+      if (damp > 0.0) zn = (1.0 - damp) * zn + damp * z[r];
+      z_next[r] = zn;
+    }
+
+    const double res = linalg::norm2(linalg::vsub(y, fit));
+    if (!std::isfinite(res)) break;
+    if (res < best_res) {
+      best_res = res;
+      best = x_next;
+    }
+
+    x = std::move(x_next);
+    z = std::move(z_next);
+
+    if (res <= options.residual_tol * y_norm) break;
+    if (res > 1e3 * y_norm) break;  // diverged; keep the best iterate
+  }
+
+  for (std::size_t j = 0; j < k; ++j) {
+    out.coefficients[j] = best[j] / col_norm[j];
+  }
+  out.residual_norm = best_res;
+  return out;
+}
+
+}  // namespace efficsense::cs

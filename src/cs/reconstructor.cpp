@@ -4,12 +4,23 @@
 #include <memory>
 
 #include "cs/basis.hpp"
-#include "cs/iterative.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace efficsense::cs {
+
+std::string recon_algorithm_id(ReconAlgorithm algorithm) {
+  switch (algorithm) {
+    case ReconAlgorithm::Omp:
+      return "omp";
+    case ReconAlgorithm::Iht:
+      return "iht";
+    case ReconAlgorithm::Ista:
+      return "ista";
+  }
+  throw Error("invalid ReconAlgorithm value");
+}
 
 Reconstructor::Reconstructor(const SparseBinaryMatrix& phi,
                              ChargeSharingGains gains,
@@ -17,6 +28,15 @@ Reconstructor::Reconstructor(const SparseBinaryMatrix& phi,
     : m_(phi.rows()), n_(phi.cols()), config_(config) {
   EFF_REQUIRE(m_ > 0 && n_ > 0, "empty sensing matrix");
   EFFICSENSE_SPAN("recon/setup");
+
+  const std::string solver_id = config_.solver_id();
+  const SparseSolver& solver = SolverRegistry::instance().get(solver_id);
+  if (!solver.reconstructs()) {
+    throw Error("solver '" + solver_id +
+                "' does not reconstruct; the architecture layer must route "
+                "it to a measurement-domain decoder instead of a "
+                "cs::Reconstructor");
+  }
 
   // Truncate the DCT dictionary to the low-frequency atoms that carry EEG
   // energy; the automatic choice keeps the system comfortably solvable.
@@ -39,33 +59,32 @@ Reconstructor::Reconstructor(const SparseBinaryMatrix& phi,
 
   // Assemble A = Phi_eff * Psi through the CSR sensing operator: O(nnz * K)
   // instead of the dense O(M * N * K), bitwise identical to the dense path.
-  dictionary_ = config_.compensate_decay
-                    ? effective_dictionary(phi, gains.a, gains.b, psi_trunc)
-                    : phi.csr().dense_product(psi_trunc);
+  linalg::Matrix dictionary =
+      config_.compensate_decay
+          ? effective_dictionary(phi, gains.a, gains.b, psi_trunc)
+          : phi.csr().dense_product(psi_trunc);
   psi_t_ = psi_trunc.transposed();
 
-  if (config_.algorithm == ReconAlgorithm::Omp) {
-    OmpOptions opts;
-    opts.max_atoms = (config_.sparsity != 0)
-                         ? config_.sparsity
-                         : std::max<std::size_t>(1, m_ / 3);
-    opts.residual_tol = config_.residual_tol;
-    opts.mode = config_.omp_mode;
-    omp_ = std::make_shared<OmpSolver>(std::move(dictionary_), opts);
-    dictionary_ = {};  // the solver owns all dictionary state the OMP path needs
-  }
+  SolverOptions opts;
+  opts.sparsity = config_.sparsity;
+  opts.residual_tol = config_.residual_tol;
+  opts.max_iters = config_.max_iters;
+  opts.omp_mode = config_.omp_mode;
+  prepared_ = solver.prepare(std::move(dictionary), opts);
 }
 
-linalg::Vector Reconstructor::synthesize_from_support(
-    const OmpResult& res) const {
+linalg::Vector Reconstructor::synthesize(const SparseSolution& sol) const {
+  if (!sol.sparse) {
+    return linalg::matvec_transposed(psi_t_, sol.coefficients);
+  }
   // Synthesize from the support alone: O(k * N) instead of O(K * N).
   // Atoms are visited in ascending index order, so every output sample
   // accumulates its terms in the same order a dense Psi * c would.
-  std::vector<std::size_t> atoms = res.support;
+  std::vector<std::size_t> atoms = sol.support;
   std::sort(atoms.begin(), atoms.end());
   linalg::Vector out(n_, 0.0);
   for (const std::size_t atom : atoms) {
-    const double c = res.coefficients[atom];
+    const double c = sol.coefficients[atom];
     const double* row = psi_t_.row_ptr(atom);
     for (std::size_t r = 0; r < n_; ++r) out[r] += c * row[r];
   }
@@ -74,29 +93,7 @@ linalg::Vector Reconstructor::synthesize_from_support(
 
 linalg::Vector Reconstructor::reconstruct_frame(const linalg::Vector& y) const {
   EFF_REQUIRE(y.size() == m_, "measurement frame has wrong size");
-  if (config_.algorithm == ReconAlgorithm::Omp) {
-    return synthesize_from_support(omp_->solve(y));
-  }
-
-  linalg::Vector coeffs;
-  switch (config_.algorithm) {
-    case ReconAlgorithm::Iht: {
-      IhtOptions opts;
-      opts.sparsity = config_.sparsity;
-      opts.max_iters = config_.max_iters;
-      coeffs = iht_solve(dictionary_, y, opts);
-      break;
-    }
-    case ReconAlgorithm::Ista: {
-      IstaOptions opts;
-      opts.max_iters = config_.max_iters;
-      coeffs = ista_solve(dictionary_, y, opts);
-      break;
-    }
-    case ReconAlgorithm::Omp:
-      break;  // handled above
-  }
-  return linalg::matvec_transposed(psi_t_, coeffs);
+  return synthesize(prepared_->solve(y));
 }
 
 std::vector<double> Reconstructor::reconstruct_stream(
@@ -126,27 +123,18 @@ std::vector<std::vector<double>> Reconstructor::reconstruct_stream_multi(
                                        std::vector<double>(frames * n_, 0.0));
   if (n_lanes == 0 || frames == 0) return out;
 
-  if (config_.algorithm != ReconAlgorithm::Omp) {
-    // Iterative algorithms have no shared-correlation pass; recover each
-    // lane's stream independently (still one Reconstructor / dictionary).
-    for (std::size_t l = 0; l < n_lanes; ++l) {
-      const std::vector<double> meas(lanes[l], lanes[l] + length);
-      out[l] = reconstruct_stream(meas, pool);
-    }
-    return out;
-  }
-
-  // One multi-RHS solve per frame window: the solver fuses the A^T y pass
-  // across lanes against the shared Gram; per-lane results are bit-identical
-  // to solving that lane's frame alone.
+  // One multi-RHS solve per frame window: Batch-OMP fuses the A^T y pass
+  // across lanes against the shared Gram, every other solver takes the
+  // scalar per-lane fallback; per-lane results are bit-identical to solving
+  // that lane's frame alone either way.
   const auto recover_frame = [&](std::size_t f) {
     std::vector<linalg::Vector> ys(n_lanes);
     for (std::size_t l = 0; l < n_lanes; ++l) {
       ys[l].assign(lanes[l] + f * m_, lanes[l] + (f + 1) * m_);
     }
-    const std::vector<OmpResult> results = omp_->solve_multi(ys);
+    const std::vector<SparseSolution> results = prepared_->solve_multi(ys);
     for (std::size_t l = 0; l < n_lanes; ++l) {
-      const linalg::Vector x = synthesize_from_support(results[l]);
+      const linalg::Vector x = synthesize(results[l]);
       std::copy(x.begin(), x.end(), out[l].begin() + f * n_);
     }
   };

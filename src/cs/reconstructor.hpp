@@ -1,18 +1,21 @@
 #pragma once
 // Frame-wise CS reconstruction facade: binds a sensing matrix (with its
 // nominal charge-sharing weights), a sparsifying basis and a recovery
-// algorithm, and turns measurement streams back into signal estimates.
+// solver, and turns measurement streams back into signal estimates.
 //
 // The dictionary A = Phi_eff * Psi is assembled through the CSR form of the
-// s-SRBM in O(nnz * K) rather than the dense O(M * N * K), and the OMP path
-// hands it straight to an OmpSolver (Batch mode by default) so the Gram is
-// built exactly once per Reconstructor.
+// s-SRBM in O(nnz * K) rather than the dense O(M * N * K), then handed to
+// the registered solver's prepare() so per-dictionary state (OMP's Gram,
+// AMP's column normalization) is built exactly once per Reconstructor.
+// Solvers come from cs::SolverRegistry — see cs/solver.hpp for the
+// registered ids and the registration contract.
 
 #include <cstddef>
 #include <memory>
+#include <string>
 
 #include "cs/effective.hpp"
-#include "cs/omp.hpp"
+#include "cs/solver.hpp"
 #include "cs/srbm.hpp"
 #include "linalg/matrix.hpp"
 
@@ -22,17 +25,29 @@ class ThreadPool;
 
 namespace efficsense::cs {
 
+/// Deprecated compat shim over the SolverRegistry ids: kept so existing
+/// configs keep compiling, mapped to "omp"/"iht"/"ista" by solver_id().
+/// New code (and everything sweepable) uses ReconstructorConfig::solver.
 enum class ReconAlgorithm { Omp, Iht, Ista };
 enum class BasisKind { Dct, Db4 };
 
+/// Registry id behind a legacy enum value.
+std::string recon_algorithm_id(ReconAlgorithm algorithm);
+
 struct ReconstructorConfig {
+  /// Registry id of the recovery solver ("omp", "iht", "ista", "bsbl",
+  /// "amp", "compressed_domain", ...). Empty falls back to the deprecated
+  /// `algorithm` enum below; solver_id() resolves the effective id.
+  std::string solver;
+  /// Deprecated: pre-registry algorithm selector, honoured only while
+  /// `solver` is empty.
   ReconAlgorithm algorithm = ReconAlgorithm::Omp;
   /// Sparsifying basis: DCT (default) or Daubechies-4 wavelets. Both order
   /// atoms smooth-first, so the basis_atoms truncation applies equally.
   BasisKind basis = BasisKind::Dct;
   std::size_t sparsity = 0;     ///< atoms for OMP / K for IHT (0 = M/3)
-  double residual_tol = 1e-3;   ///< OMP stopping criterion
-  std::size_t max_iters = 100;  ///< IHT / ISTA iteration cap
+  double residual_tol = 1e-3;   ///< OMP/BSBL/AMP stopping criterion
+  std::size_t max_iters = 100;  ///< iterative-solver iteration cap
   /// Dictionary truncation: keep only the first `basis_atoms` DCT atoms
   /// (EEG energy lives below ~45 Hz, so high-frequency atoms only let the
   /// solver fit noise). 0 selects the automatic choice 0.85 * M. Set to
@@ -43,12 +58,19 @@ struct ReconstructorConfig {
   bool compensate_decay = true;
   /// OMP selection engine; Naive is the reference oracle for tests.
   OmpMode omp_mode = OmpMode::Batch;
+
+  /// Effective registry id: `solver` when set, else the legacy enum mapping.
+  std::string solver_id() const {
+    return solver.empty() ? recon_algorithm_id(algorithm) : solver;
+  }
 };
 
 class Reconstructor {
  public:
   /// `gains` carries the nominal a/b of the charge-sharing encoder. Pass
   /// {1.0, 0.0} when the measurements come from an ideal digital MAC.
+  /// Throws Error for unknown solver ids and for registered solvers that do
+  /// not reconstruct (compressed_domain routes around this class entirely).
   Reconstructor(const SparseBinaryMatrix& phi, ChargeSharingGains gains,
                 ReconstructorConfig config = {});
 
@@ -68,9 +90,10 @@ class Reconstructor {
 
   /// K-lane batched recovery for the SoA Monte-Carlo engine: lanes[l]
   /// points at lane l's measurement stream (`length` values each, e.g. a
-  /// LaneBank row). Per frame window one multi-RHS OMP solve runs across
-  /// all lanes against the shared Gram; out[l] is bit-identical to
-  /// reconstruct_stream over lane l alone.
+  /// LaneBank row). Per frame window one multi-RHS solve runs across all
+  /// lanes (fused against the shared Gram for OMP, the scalar per-lane
+  /// fallback otherwise); out[l] is bit-identical to reconstruct_stream
+  /// over lane l alone.
   std::vector<std::vector<double>> reconstruct_stream_multi(
       const std::vector<const double*>& lanes, std::size_t length,
       ThreadPool* pool = nullptr) const;
@@ -79,15 +102,13 @@ class Reconstructor {
   std::size_t active_atoms() const { return k_atoms_; }
 
  private:
-  linalg::Vector synthesize_from_support(const OmpResult& res) const;
+  linalg::Vector synthesize(const SparseSolution& sol) const;
   std::size_t m_ = 0;
   std::size_t n_ = 0;
   std::size_t k_atoms_ = 0;
   ReconstructorConfig config_;
-  linalg::Matrix psi_t_;       // k_atoms x N synthesis transpose (row = atom)
-  linalg::Matrix dictionary_;  // M x k_atoms: Phi_eff * Psi (IHT/ISTA only;
-                               // the OMP path moves it into the solver)
-  std::shared_ptr<const OmpSolver> omp_;
+  linalg::Matrix psi_t_;  // k_atoms x N synthesis transpose (row = atom)
+  std::shared_ptr<const PreparedSolver> prepared_;
 };
 
 }  // namespace efficsense::cs

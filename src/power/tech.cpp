@@ -121,6 +121,8 @@ std::string DesignParams::cache_key() const {
      << ";nphi=" << cs_n_phi << ";s=" << cs_sparsity << ";ch=" << cs_c_hold_f
      << ";cs=" << cs_c_sample_f << ";style=" << static_cast<int>(cs_style)
      << ";cint=" << cs_c_int_f;
+  // Appended only when set so every pre-existing key stays byte-identical.
+  if (cs_solver_code >= 0) os << ";solver=" << cs_solver_code;
   return os.str();
 }
 

@@ -66,6 +66,11 @@ struct DesignParams {
   double cs_ota_gbw_factor = 10.0;  ///< OTA GBW = factor * f_sample
   // Digital-MAC style [2][12]:
   int cs_acc_headroom_bits = 0;  ///< 0 = automatic ceil(log2(s*N_Phi/M))+1
+  /// Gateway decode solver as a sweepable axis: a cs::SolverRegistry code
+  /// (see SolverRegistry::code_of), or -1 to keep the scenario/eval solver.
+  /// Purely a gateway-side knob — it never changes the sensed waveform or
+  /// the front-end power model.
+  int cs_solver_code = -1;
 
   bool uses_cs() const { return cs_m > 0; }
 

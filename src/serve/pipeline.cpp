@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "arch/recon_cache.hpp"
+#include "cs/solver.hpp"
 #include "obs/metrics.hpp"
 #include "util/error.hpp"
 
@@ -73,10 +74,22 @@ EpochDetection DecodePipeline::decode(const EpochRequest& req) const {
   const double fs = design.f_sample_hz();
 
   std::vector<double> x;
+  double fs_detect = fs;
   if (h.m > 0) {
-    const auto recon = arch::ReconstructorCache::instance().get(
-        design, frame_seeds(ctx, h), ctx.spec.recon);
-    x = recon->reconstruct_stream(req.y);
+    const cs::SparseSolver& solver =
+        cs::SolverRegistry::instance().get(ctx.spec.recon.solver_id());
+    if (!solver.reconstructs()) {
+      // Compressed-domain scenario: the gateway skips reconstruction and
+      // feeds the detector the measurement stream (whole frames) at the
+      // compressed rate — the decode cost drops to the copy below.
+      const std::size_t frames = req.y.size() / h.m;
+      x.assign(req.y.begin(), req.y.begin() + frames * h.m);
+      fs_detect = fs * double(h.m) / double(design.cs_n_phi);
+    } else {
+      const auto recon = arch::ReconstructorCache::instance().get(
+          design, frame_seeds(ctx, h), ctx.spec.recon);
+      x = recon->reconstruct_stream(req.y);
+    }
   } else {
     x = req.y;
   }
@@ -90,7 +103,7 @@ EpochDetection DecodePipeline::decode(const EpochRequest& req) const {
   out.node_id = h.node_id;
   out.epoch_index = h.epoch_index;
   out.n_samples = std::uint32_t(x.size());
-  out.score = ctx.detector->seizure_probability(x, fs);
+  out.score = ctx.detector->seizure_probability(x, fs_detect);
   out.detected = out.score >= 0.5;
   obs::histogram("time/serve_detect")
       .observe(std::chrono::duration<double>(std::chrono::steady_clock::now() -

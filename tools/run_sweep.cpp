@@ -58,6 +58,7 @@
 #include "arch/architecture.hpp"
 #include "arch/scenario.hpp"
 #include "core/evaluator.hpp"
+#include "cs/solver.hpp"
 #include "core/sweep.hpp"
 #include "obs/obs.hpp"
 #include "run/coordinator.hpp"
@@ -88,7 +89,8 @@ void usage() {
          "                 [--scenario <spec.json>] [--point-delay-ms <n>]\n"
          "       run_sweep --status <journal-or-spool> [--inputs <more>...]"
          " [--json]\n"
-         "       run_sweep --list-architectures\n";
+         "       run_sweep --list-architectures\n"
+         "       run_sweep --list-solvers\n";
 }
 
 /// The built-in scenario: the fixed CI space (both chain families, 12
@@ -135,6 +137,14 @@ void report(const run::RunOutcome& outcome, const std::string& csv,
 void list_architectures() {
   for (const arch::Architecture* a : arch::ArchRegistry::instance().list()) {
     std::printf("%-12s %s\n", a->id().c_str(), a->description().c_str());
+  }
+}
+
+void list_solvers() {
+  for (const cs::SparseSolver* s : cs::SolverRegistry::instance().list()) {
+    std::printf("%-18s code=%d  %s\n", s->id().c_str(),
+                cs::SolverRegistry::instance().code_of(s->id()),
+                s->description().c_str());
   }
 }
 
@@ -206,6 +216,9 @@ int main(int argc, char** argv) {
       json_report = true;
     } else if (arg == "--list-architectures") {
       list_architectures();
+      return 0;
+    } else if (arg == "--list-solvers") {
+      list_solvers();
       return 0;
     } else if (arg == "--out") {
       out_csv = next();
